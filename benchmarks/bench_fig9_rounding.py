@@ -1,0 +1,40 @@
+"""Figure 9 — effect of the hub-rounding threshold omega on result quality."""
+
+import pytest
+
+from repro.evaluation import figure9_rounding_effect
+
+DATASET = "epinions"  # the denser stand-in, where hub vectors have long tails
+K_VALUES = (5, 10, 20)
+OMEGAS = (1e-3, 1e-5, 1e-6)
+N_QUERIES = 10
+
+
+def test_fig9_rounding_effect(benchmark, bench_graphs, bench_params, write_result_file):
+    graph = bench_graphs[DATASET]
+
+    result = benchmark.pedantic(
+        lambda: figure9_rounding_effect(
+            graph,
+            k_values=K_VALUES,
+            rounding_thresholds=OMEGAS,
+            n_queries=N_QUERIES,
+            params=bench_params,
+            graph_name=DATASET,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result_file("figure9_rounding", result.text)
+    print("\n" + result.text)
+
+    similarity = result.data["similarity"]
+    # Paper's conclusion: omega <= 1e-5 loses essentially nothing; even the
+    # coarser thresholds stay close to perfect similarity.
+    assert min(similarity[1e-6]) >= 0.99
+    assert min(similarity[1e-5]) >= 0.98
+    assert min(similarity[1e-3]) >= 0.80
+    # Similarity is (weakly) monotone in the rounding threshold.
+    for k_position in range(len(result.data["k"])):
+        per_omega = [similarity[omega][k_position] for omega in OMEGAS]
+        assert per_omega == sorted(per_omega) or max(per_omega) - min(per_omega) < 0.05

@@ -1,0 +1,55 @@
+"""Side contribution — PMPN (Algorithm 2) costs the same as one forward column.
+
+Theorem 2 claims computing the proximities from *all* nodes to a query costs
+no more than computing one ordinary proximity vector.  This benchmark times
+both on every evaluation graph and also compares against the naive approach
+(computing every column to read off one row).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pmpn import proximity_to_node
+from repro.evaluation.tables import format_table
+from repro.rwr import proximity_vector
+from repro.utils.timer import Timer
+
+BENCH_DATASETS = ("web-stanford-cs", "epinions", "web-stanford", "web-google")
+N_PROBES = 5
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_pmpn_cost_matches_single_column(benchmark, bench_graphs, bench_transitions,
+                                         write_result_file, dataset):
+    graph = bench_graphs[dataset]
+    matrix = bench_transitions[dataset]
+    rng = np.random.default_rng(1)
+    probes = rng.integers(0, graph.n_nodes, size=N_PROBES)
+
+    benchmark(lambda: proximity_to_node(matrix, int(probes[0]), tolerance=1e-8))
+
+    with Timer() as row_timer:
+        row_iterations = [
+            proximity_to_node(matrix, int(node), tolerance=1e-8).iterations
+            for node in probes
+        ]
+    with Timer() as column_timer:
+        column_iterations = [
+            proximity_vector(matrix, int(node), tolerance=1e-8).iterations
+            for node in probes
+        ]
+
+    text = format_table(
+        ["method", "mean iterations", "total time (s)"],
+        [
+            ["PMPN (row of P)", float(np.mean(row_iterations)), row_timer.elapsed],
+            ["power method (column of P)", float(np.mean(column_iterations)), column_timer.elapsed],
+        ],
+        title=f"PMPN vs single-column cost, {dataset} (n={graph.n_nodes})",
+    )
+    write_result_file(f"pmpn_cost_{dataset}", text)
+    print("\n" + text)
+
+    # Theorem 2: same iteration bound, so within a small constant factor.
+    assert np.mean(row_iterations) <= 2 * np.mean(column_iterations) + 5
+    assert row_timer.elapsed < 5 * column_timer.elapsed + 0.5

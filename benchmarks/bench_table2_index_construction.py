@@ -1,0 +1,48 @@
+"""Table 2 — index construction time and space versus the hub budget B.
+
+Regenerates, for each evaluation graph: the construction time, the index size
+with and without rounding, the Theorem-1 predicted size, and the cost of the
+brute-force alternative (computing the full proximity matrix).
+"""
+
+import pytest
+
+from repro.core import IndexParams, build_index
+from repro.core.hubs import select_hubs_by_degree
+from repro.evaluation import table2_index_construction
+
+BENCH_DATASETS = ("web-stanford-cs", "epinions", "web-stanford", "web-google")
+HUB_BUDGETS = (5, 10, 20, 40)
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_table2_index_construction(benchmark, bench_graphs, bench_transitions, bench_params, write_result_file, dataset):
+    """Benchmark one index build per graph and emit the full Table 2 rows."""
+    graph = bench_graphs[dataset]
+    matrix = bench_transitions[dataset]
+    hubs = select_hubs_by_degree(graph, bench_params.hub_budget)
+
+    index = benchmark.pedantic(
+        lambda: build_index(graph, bench_params, transition=matrix, hubs=hubs),
+        rounds=1,
+        iterations=1,
+    )
+
+    result = table2_index_construction(
+        graph,
+        hub_budgets=HUB_BUDGETS,
+        params=bench_params,
+        graph_name=dataset,
+        include_brute_force=True,
+    )
+    write_result_file(f"table2_{dataset}", result.text)
+    print("\n" + result.text)
+
+    # Shape checks mirroring the paper's conclusions:
+    # (1) the index is far smaller than the dense proximity matrix;
+    # (2) construction is cheaper than computing the full matrix.
+    full_matrix_bytes = graph.n_nodes * graph.n_nodes * 8
+    assert index.total_bytes() < full_matrix_bytes
+    brute = result.data["brute_force"]
+    fastest_build = min(row["seconds"] for row in result.data["rows"])
+    assert fastest_build < brute["seconds"] * 1.5

@@ -1,0 +1,86 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper on the
+scaled-down dataset stand-ins (see DESIGN.md).  The measured numbers are
+written both to the pytest-benchmark report and to ``benchmarks/results/``,
+so EXPERIMENTS.md can quote them.
+
+Scale notes: the paper's graphs range from 10k to 875k nodes and its queries
+run in 0.1-150 s on a 2014-era core.  The stand-ins here default to a few
+hundred nodes so that the whole harness finishes in minutes; the *relative*
+shapes (index ≪ full P, pruning ~O(k) candidates, update < no-update, ...)
+are what the assertions check.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core import IndexParams  # noqa: E402
+from repro.graph import datasets, transition_matrix  # noqa: E402
+
+#: Where the formatted paper-style tables are written.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Graph scale used across the harness (fraction of the stand-in default size).
+BENCH_SCALE = 0.06
+
+#: Index parameters shared by the benchmarks (capacity covers k up to 50,
+#: scaled-down analogue of the paper's K = 200).
+BENCH_PARAMS = IndexParams(capacity=50, hub_budget=8)
+
+#: The four unlabeled evaluation graphs of Table 2 / Figures 5-8.
+BENCH_DATASETS = ("web-stanford-cs", "epinions", "web-stanford", "web-google")
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a formatted experiment table under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def write_result_file():
+    """Fixture handle to :func:`write_result` for benchmark modules."""
+    return write_result
+
+
+@pytest.fixture(scope="session")
+def bench_graphs():
+    """The four unlabeled benchmark graphs, scaled down, keyed by dataset name."""
+    return {
+        name: datasets.load_dataset(name, scale=BENCH_SCALE) for name in BENCH_DATASETS
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_transitions(bench_graphs):
+    """Transition matrices for the benchmark graphs."""
+    return {name: transition_matrix(graph) for name, graph in bench_graphs.items()}
+
+
+@pytest.fixture(scope="session")
+def primary_graph(bench_graphs):
+    """The graph used by single-graph benchmarks (web-stanford-cs stand-in)."""
+    return bench_graphs["web-stanford-cs"]
+
+
+@pytest.fixture(scope="session")
+def primary_transition(bench_transitions):
+    """Transition matrix of the primary benchmark graph."""
+    return bench_transitions["web-stanford-cs"]
+
+
+@pytest.fixture(scope="session")
+def bench_params():
+    """Index parameters shared by all benchmarks."""
+    return BENCH_PARAMS

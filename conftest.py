@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Prepends ``src/`` to ``sys.path`` so the test-suite and benchmarks run even
+when the package has not been installed (offline environments without the
+``wheel`` package cannot perform PEP 660 editable installs; see README).
+An installed ``repro`` takes precedence because the editable install puts the
+same directory on the path.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

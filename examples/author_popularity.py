@@ -1,0 +1,51 @@
+"""Author popularity in a co-authorship network (paper §5.4, Table 3).
+
+Run with::
+
+    python examples/author_popularity.py
+
+The paper ranks DBLP authors by the size of their reverse top-5 list under a
+*weighted* random walk (transition probability proportional to the number of
+co-authored papers).  The headline result: truly popular authors are ranked
+highly by far more researchers than they ever co-authored with — the reverse
+top-k size is a stronger popularity signal than the degree.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps import AuthorPopularityAnalyzer
+from repro.core import IndexParams
+from repro.graph import datasets
+
+
+def main() -> None:
+    graph, paper_counts = datasets.dblp(scale=0.12, seed=5)
+    print(f"co-authorship graph: {graph.n_nodes} authors, "
+          f"{graph.n_edges} directed collaboration edges")
+
+    analyzer = AuthorPopularityAnalyzer(
+        graph, k=5, params=IndexParams(capacity=30, hub_budget=8)
+    )
+
+    print("\nauthors with the longest reverse top-5 lists (cf. Table 3):")
+    print(f"{'author':<12} {'reverse top-5 size':>18} {'# coauthors':>12} {'indirect':>9}")
+    for record in analyzer.ranking(top=10):
+        print(
+            f"{record.name:<12} {record.reverse_top_k_size:>18d} "
+            f"{record.n_coauthors:>12d} {record.indirect_reach:>9d}"
+        )
+
+    # The paper's point: reverse top-k size versus plain degree.
+    mapping = analyzer.popularity_versus_degree()
+    exceed = sum(1 for size, degree in mapping.values() if size > degree)
+    print(
+        f"\n{exceed} of {graph.n_nodes} authors are in more top-5 lists than they "
+        "have co-authors — their influence reaches beyond direct collaboration."
+    )
+
+
+if __name__ == "__main__":
+    main()

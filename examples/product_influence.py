@@ -1,0 +1,51 @@
+"""Product-influence analysis on a co-purchase graph (paper §1 motivation).
+
+Run with::
+
+    python examples/product_influence.py
+
+"In a product co-purchase graph, a reverse top-k query of a product q can
+identify which products influence the buying of q" — this example builds a
+synthetic co-purchase graph, finds the influencers of a few products and
+suggests cross-promotion bundles.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps import ProductInfluenceAnalyzer
+from repro.core import IndexParams
+from repro.graph import datasets
+
+
+def main() -> None:
+    graph, categories = datasets.amazon_copurchase(scale=0.25, seed=6)
+    print(f"co-purchase graph: {graph.n_nodes} products, {graph.n_edges} edges, "
+          f"{categories.max() + 1} categories")
+
+    analyzer = ProductInfluenceAnalyzer(
+        graph, k=10, params=IndexParams(capacity=30, hub_budget=10)
+    )
+
+    for product in (3, 42, 117):
+        record = analyzer.influencers(product)
+        print(f"\nproduct {product} (category {categories[product]}):")
+        print(f"  {len(record.influencers)} products have it in their top-10 "
+              "co-purchase proximities")
+        print("  strongest influencers:", record.top(5))
+        print("  suggested promotion bundle:", analyzer.promotion_bundle(product, size=3))
+
+    # A simple influence leaderboard across a sample of products.
+    sample = list(range(0, graph.n_nodes, max(1, graph.n_nodes // 20)))
+    scores = analyzer.influence_scores(sample)
+    leaders = sorted(scores.items(), key=lambda item: -item[1])[:5]
+    print("\nmost influential products in the sample (by reverse top-10 list size):")
+    for product, size in leaders:
+        print(f"  product {product:4d}  influences {size:3d} products "
+              f"(category {categories[product]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Spam-host detection with reverse top-k queries (paper §5.4, first application).
+
+Run with::
+
+    python examples/spam_detection.py
+
+A synthetic labelled host graph stands in for the Webspam UK2006 dataset: spam
+hosts form link farms that funnel their PageRank contribution into a few
+targets.  A reverse top-k query on a suspicious host reveals exactly which
+hosts give it one of their top-k contributions — for spam, these are almost
+all other spam hosts.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.apps import SpamDetector
+from repro.core import IndexParams
+from repro.graph import datasets
+
+
+def main() -> None:
+    graph, labels = datasets.webspam(scale=0.12, seed=4)
+    n_spam = int(labels.sum())
+    print(f"host graph: {graph.n_nodes} hosts ({n_spam} labelled spam), "
+          f"{graph.n_edges} links")
+
+    detector = SpamDetector(
+        graph, labels, k=5, params=IndexParams(capacity=30, hub_budget=10)
+    )
+
+    # Reproduce the paper's aggregate measurement.
+    report = detector.evaluate(max_queries_per_class=30)
+    print(f"\nreverse top-{report.k} composition (averaged over "
+          f"{report.spam_queries}+{report.normal_queries} labelled queries):")
+    print(f"  spam queries   -> {report.mean_spam_ratio_for_spam:6.1%} of their "
+          "reverse sets are spam hosts")
+    print(f"  normal queries -> {report.mean_spam_ratio_for_normal:6.1%} of their "
+          "reverse sets are spam hosts")
+    print(f"  separation     -> {report.separation():.2f}")
+
+    # Use the signal as a classifier on a few "unlabelled" hosts.
+    rng = np.random.default_rng(0)
+    suspects = rng.choice(graph.n_nodes, size=6, replace=False)
+    print("\nper-host spam scores (fraction of spam in the reverse top-5 set):")
+    for host in suspects:
+        ratio = detector.spam_ratio(int(host))
+        verdict = "SPAM " if detector.classify(int(host)) else "clean"
+        truth = "spam" if labels[host] else "normal"
+        print(f"  host {int(host):4d}  score {ratio:4.2f}  -> {verdict} (label: {truth})")
+
+
+if __name__ == "__main__":
+    main()

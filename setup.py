@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so that legacy
+``pip install -e .`` works in environments without the ``wheel`` package
+(PEP 660 editable installs need it, ``setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro — Reverse top-k proximity search on graphs with Random Walk with Restart.
+
+A from-scratch reproduction of *"Reverse Top-k Search using Random Walk with
+Restart"* (Yu, Mamoulis, Su; PVLDB 7(5), 2014).
+
+The package is organised in layers:
+
+* :mod:`repro.graph` — graph substrate (directed graphs, transition matrices,
+  generators, dataset stand-ins, I/O);
+* :mod:`repro.rwr` — RWR proximity primitives (power method, direct solvers,
+  classic BCA, Monte Carlo, PageRank);
+* :mod:`repro.core` — the paper's contribution (lower-bound index, PMPN,
+  staircase upper bounds, online query engine, brute-force baselines);
+* :mod:`repro.topk` — top-k RWR search baselines from related work;
+* :mod:`repro.apps` — applications: spam detection, author popularity,
+  product influence;
+* :mod:`repro.workloads`, :mod:`repro.evaluation` — workload generators and
+  the experiment harness that regenerates the paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import ReverseTopKEngine
+>>> from repro.graph import copying_web_graph
+>>> graph = copying_web_graph(500, seed=7)
+>>> engine = ReverseTopKEngine.build(graph)
+>>> result = engine.query(42, k=10)
+>>> sorted(result.nodes)[:3]  # doctest: +SKIP
+[3, 17, 42]
+"""
+
+from .core import (
+    IndexParams,
+    QueryParams,
+    ReverseTopKEngine,
+    ReverseTopKIndex,
+    QueryResult,
+    QueryStatistics,
+    build_index,
+    proximity_to_node,
+    brute_force_reverse_topk,
+)
+from .graph import DiGraph, transition_matrix, weighted_transition_matrix
+from .exceptions import (
+    ReproError,
+    GraphError,
+    ConvergenceError,
+    InvalidParameterError,
+    QueryError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IndexParams",
+    "QueryParams",
+    "ReverseTopKEngine",
+    "ReverseTopKIndex",
+    "QueryResult",
+    "QueryStatistics",
+    "build_index",
+    "proximity_to_node",
+    "brute_force_reverse_topk",
+    "DiGraph",
+    "transition_matrix",
+    "weighted_transition_matrix",
+    "ReproError",
+    "GraphError",
+    "ConvergenceError",
+    "InvalidParameterError",
+    "QueryError",
+    "__version__",
+]

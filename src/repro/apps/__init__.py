@@ -1,0 +1,26 @@
+"""Applications of reverse top-k RWR search (Section 1 and Section 5.4).
+
+Three applications from the paper are packaged as reusable classes:
+
+* :mod:`spam` — web-spam detection: the reverse top-k set of a spam host is
+  dominated by other spam hosts (its link farm);
+* :mod:`coauthor` — author popularity in a co-authorship network: the size of
+  an author's reverse top-k list measures how many researchers consider the
+  author one of their closest collaborators (Table 3);
+* :mod:`recommendation` — product influence in a co-purchase graph: the
+  reverse top-k set of a product identifies the products that drive its
+  purchases.
+"""
+
+from .spam import SpamDetector, SpamDetectionReport
+from .coauthor import AuthorPopularityAnalyzer, AuthorPopularity
+from .recommendation import ProductInfluenceAnalyzer, ProductInfluence
+
+__all__ = [
+    "SpamDetector",
+    "SpamDetectionReport",
+    "AuthorPopularityAnalyzer",
+    "AuthorPopularity",
+    "ProductInfluenceAnalyzer",
+    "ProductInfluence",
+]

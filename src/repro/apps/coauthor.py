@@ -1,0 +1,120 @@
+"""Author popularity in co-authorship networks (Section 5.4, Table 3).
+
+The paper runs a reverse top-5 query from every author in a DBLP subset using
+a *weighted* RWR (transition probability proportional to the number of
+co-authored papers) and ranks authors by the size of their reverse top-k
+lists.  The headline observation of Table 3: the most "approachable" authors
+have reverse top-k lists several times longer than their direct co-author
+count — i.e. many researchers who never co-authored with them still count
+them among their strongest indirect collaborators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_k
+from ..core.config import IndexParams
+from ..core.query import ReverseTopKEngine
+from ..graph.digraph import DiGraph
+from ..graph.transition import weighted_transition_matrix
+
+
+@dataclass(frozen=True)
+class AuthorPopularity:
+    """Popularity record of a single author (one row of Table 3).
+
+    Attributes
+    ----------
+    author:
+        Node id of the author.
+    name:
+        Human-readable label (from the graph's node names).
+    reverse_top_k_size:
+        Number of authors whose top-k proximity set contains this author.
+    n_coauthors:
+        Direct co-author count (the author's degree).
+    """
+
+    author: int
+    name: str
+    reverse_top_k_size: int
+    n_coauthors: int
+
+    @property
+    def indirect_reach(self) -> int:
+        """How many non-co-authors still rank this author in their top-k."""
+        return max(0, self.reverse_top_k_size - self.n_coauthors)
+
+
+class AuthorPopularityAnalyzer:
+    """Rank authors by reverse top-k list size on a weighted co-authorship graph.
+
+    Parameters
+    ----------
+    graph:
+        Co-authorship graph; edge weight = number of co-authored papers.
+    k:
+        Reverse top-k depth (the paper uses 5).
+    params:
+        Index parameters; the index is built over the *weighted* transition
+        matrix ``a_{i,j} = w_{i,j} / w_j``.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        k: int = 5,
+        params: Optional[IndexParams] = None,
+    ) -> None:
+        self.graph = graph
+        self.k = check_k(k, graph.n_nodes)
+        matrix = weighted_transition_matrix(graph)
+        self.engine = ReverseTopKEngine.build(graph, params, transition=matrix)
+
+    def reverse_list_size(self, author: int) -> int:
+        """Size of ``author``'s reverse top-k list."""
+        return len(self.engine.query(int(author), self.k).nodes)
+
+    def popularity(self, author: int) -> AuthorPopularity:
+        """Full popularity record of a single author."""
+        author = int(author)
+        return AuthorPopularity(
+            author=author,
+            name=self.graph.name_of(author),
+            reverse_top_k_size=self.reverse_list_size(author),
+            n_coauthors=int(self.graph.out_degree[author]),
+        )
+
+    def ranking(
+        self,
+        *,
+        top: int = 10,
+        authors: Optional[Sequence[int]] = None,
+    ) -> List[AuthorPopularity]:
+        """The ``top`` authors with the longest reverse top-k lists (Table 3).
+
+        ``authors`` restricts the sweep to a subset (useful for sampling on
+        large graphs); by default every author is queried, as in the paper.
+        """
+        candidates = (
+            [int(a) for a in authors] if authors is not None else list(range(self.graph.n_nodes))
+        )
+        records = [self.popularity(author) for author in candidates]
+        records.sort(key=lambda record: (-record.reverse_top_k_size, record.author))
+        return records[: max(0, int(top))]
+
+    def popularity_versus_degree(self) -> Dict[int, tuple[int, int]]:
+        """Map every author to ``(reverse list size, co-author count)``.
+
+        Used to confirm the paper's claim that reverse top-k size is a
+        stronger popularity signal than the degree alone.
+        """
+        return {
+            author: (self.reverse_list_size(author), int(self.graph.out_degree[author]))
+            for author in range(self.graph.n_nodes)
+        }

@@ -1,0 +1,160 @@
+"""Web-spam detection with reverse top-k RWR queries (Section 5.4).
+
+The intuition: spam hosts are boosted by link farms, i.e. sets of pages whose
+main purpose is to channel their PageRank contribution into the target.  A
+reverse top-k query on a suspected host returns exactly the hosts that give
+the query one of their top-k PageRank contributions — for a spam host these
+are overwhelmingly other spam hosts.  The paper reports that 96.1% of the
+reverse top-5 set of a spam host is spam, versus 97.4% normal for normal
+hosts; :class:`SpamDetector` reproduces that measurement and exposes a simple
+classifier on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_k, check_node_index, check_probability
+from ..core.config import IndexParams
+from ..core.query import ReverseTopKEngine
+from ..graph.digraph import DiGraph
+from ..graph.transition import transition_matrix
+
+
+@dataclass(frozen=True)
+class SpamDetectionReport:
+    """Aggregate statistics of a labelled reverse top-k sweep.
+
+    Attributes
+    ----------
+    k:
+        The reverse top-k depth used.
+    spam_queries / normal_queries:
+        Number of labelled queries evaluated per class.
+    mean_spam_ratio_for_spam:
+        Average fraction of spam hosts in the reverse top-k set of spam
+        queries (the paper reports 0.961 at ``k = 5``).
+    mean_spam_ratio_for_normal:
+        Average fraction of spam hosts in the reverse top-k set of normal
+        queries (the paper's complement of 0.974).
+    """
+
+    k: int
+    spam_queries: int
+    normal_queries: int
+    mean_spam_ratio_for_spam: float
+    mean_spam_ratio_for_normal: float
+
+    def separation(self) -> float:
+        """Gap between the two class averages — the detection signal strength."""
+        return self.mean_spam_ratio_for_spam - self.mean_spam_ratio_for_normal
+
+
+class SpamDetector:
+    """Classify hosts as spam from the composition of their reverse top-k sets.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.
+    labels:
+        0/1 array, 1 marking known spam hosts (the partially labelled ground
+        truth used to score unlabelled queries).
+    k:
+        Reverse top-k depth (the paper uses 5).
+    params:
+        Index construction parameters.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        labels: np.ndarray,
+        *,
+        k: int = 5,
+        params: Optional[IndexParams] = None,
+    ) -> None:
+        labels = np.asarray(labels, dtype=np.int64).ravel()
+        if labels.size != graph.n_nodes:
+            raise ValueError(
+                f"labels cover {labels.size} nodes but the graph has {graph.n_nodes}"
+            )
+        self.graph = graph
+        self.labels = labels
+        self.k = check_k(k, graph.n_nodes)
+        matrix = transition_matrix(graph)
+        self.engine = ReverseTopKEngine.build(graph, params, transition=matrix)
+
+    def reverse_set(self, host: int) -> np.ndarray:
+        """Reverse top-k set of ``host``."""
+        host = check_node_index(host, self.graph.n_nodes, "host")
+        return self.engine.query(host, self.k).nodes
+
+    def spam_ratio(self, host: int) -> float:
+        """Fraction of labelled-spam hosts in the reverse top-k set of ``host``.
+
+        The query host itself is excluded from the ratio so that a host's own
+        label never influences its score.
+        """
+        members = [int(u) for u in self.reverse_set(host) if int(u) != int(host)]
+        if not members:
+            return 0.0
+        return float(np.mean([self.labels[u] == 1 for u in members]))
+
+    def classify(self, host: int, *, threshold: float = 0.5) -> bool:
+        """Return ``True`` when ``host`` looks like spam (ratio above threshold)."""
+        threshold = check_probability(threshold, "threshold", inclusive=True)
+        return self.spam_ratio(host) >= threshold
+
+    def evaluate(
+        self,
+        *,
+        spam_sample: Optional[Sequence[int]] = None,
+        normal_sample: Optional[Sequence[int]] = None,
+        max_queries_per_class: Optional[int] = None,
+    ) -> SpamDetectionReport:
+        """Reproduce the §5.4 measurement over labelled spam and normal hosts.
+
+        ``spam_sample`` / ``normal_sample`` restrict which hosts are queried;
+        by default every labelled host is used (capped by
+        ``max_queries_per_class`` for large graphs).
+
+        A query host whose reverse top-k set contains no host other than
+        itself carries no information about "which hosts give it their top-k
+        contributions", so such hosts are excluded from the class averages —
+        matching the paper's phrasing, which averages over the composition of
+        (non-empty) answer sets.
+        """
+        spam_hosts = list(spam_sample) if spam_sample is not None else np.flatnonzero(
+            self.labels == 1
+        ).tolist()
+        normal_hosts = (
+            list(normal_sample)
+            if normal_sample is not None
+            else np.flatnonzero(self.labels == 0).tolist()
+        )
+        if max_queries_per_class is not None:
+            spam_hosts = spam_hosts[:max_queries_per_class]
+            normal_hosts = normal_hosts[:max_queries_per_class]
+
+        spam_ratios = self._ratios_of_non_empty(spam_hosts)
+        normal_ratios = self._ratios_of_non_empty(normal_hosts)
+        return SpamDetectionReport(
+            k=self.k,
+            spam_queries=len(spam_hosts),
+            normal_queries=len(normal_hosts),
+            mean_spam_ratio_for_spam=float(np.mean(spam_ratios)) if spam_ratios else 0.0,
+            mean_spam_ratio_for_normal=float(np.mean(normal_ratios)) if normal_ratios else 0.0,
+        )
+
+    def _ratios_of_non_empty(self, hosts: Sequence[int]) -> list[float]:
+        """Spam ratios of the hosts whose reverse sets contain other hosts."""
+        ratios = []
+        for host in hosts:
+            members = [int(u) for u in self.reverse_set(int(host)) if int(u) != int(host)]
+            if members:
+                ratios.append(float(np.mean([self.labels[u] == 1 for u in members])))
+        return ratios

@@ -1,0 +1,65 @@
+"""Core contribution of the paper: the reverse top-k RWR search framework.
+
+Modules
+-------
+``config``
+    Parameter dataclasses (``IndexParams``, ``QueryParams``) with the paper's
+    defaults (α=0.15, K=200, η=1e-4, δ=0.1, ω=1e-6, ε=1e-10).
+``hubs``
+    Hub selection: the paper's degree-based heuristic (§4.1.1) and Berkhin's
+    greedy BCA-driven scheme for comparison.
+``lbi``
+    Algorithm 1 — Lower Bound Indexing via batched BCA with hubs.
+``index``
+    The :class:`ReverseTopKIndex` data structure: per-node BCA state, top-K
+    lower bounds, rounded hub proximities, dynamic updates, persistence and
+    size accounting (§4.1.3).
+``pmpn``
+    Algorithm 2 — Power Method for Proximity to Node (Theorem 2).
+``bounds``
+    Algorithm 3 — staircase upper bound for the k-th largest proximity.
+``query``
+    Algorithm 4 — the online reverse top-k query engine.
+``baseline``
+    Brute-force comparators: BF, IBF and FBF (§3, §5.3).
+``estimates``
+    Theorem 1 storage estimate and Proposition 3 rounding-error bound.
+"""
+
+from .config import IndexParams, QueryParams
+from .hubs import select_hubs_by_degree, select_hubs_greedy, HubSet
+from .lbi import build_index, refine_node_state
+from .index import ReverseTopKIndex, NodeState
+from .pmpn import proximity_to_node, PMPNResult
+from .bounds import kth_upper_bound, staircase_levels
+from .query import ReverseTopKEngine, QueryResult, QueryStatistics
+from .baseline import (
+    brute_force_reverse_topk,
+    InfeasibleBruteForce,
+    FeasibleBruteForce,
+)
+from .estimates import predicted_index_bytes, rounding_error_bound
+
+__all__ = [
+    "IndexParams",
+    "QueryParams",
+    "select_hubs_by_degree",
+    "select_hubs_greedy",
+    "HubSet",
+    "build_index",
+    "refine_node_state",
+    "ReverseTopKIndex",
+    "NodeState",
+    "proximity_to_node",
+    "PMPNResult",
+    "kth_upper_bound",
+    "staircase_levels",
+    "ReverseTopKEngine",
+    "QueryResult",
+    "QueryStatistics",
+    "brute_force_reverse_topk",
+    "InfeasibleBruteForce",
+    "FeasibleBruteForce",
+    "predicted_index_bytes",
+    "rounding_error_bound",
+]

@@ -1,0 +1,167 @@
+"""Brute-force baselines for reverse top-k search (§3 and §5.3, Figure 8).
+
+Three comparators are implemented:
+
+* :func:`brute_force_reverse_topk` — the textbook baseline ("BF"): compute the
+  full proximity matrix on the fly and scan it.  Only usable on tiny graphs;
+  the ground-truth oracle for correctness tests.
+* :class:`InfeasibleBruteForce` ("IBF") — precompute and keep the entire exact
+  proximity matrix ``P``; each query then costs a single row scan.  The paper
+  calls it infeasible because ``P`` needs ``O(n^2)`` memory (6.7 TB for
+  Web-google), but it is the best possible per-query time.
+* :class:`FeasibleBruteForce` ("FBF") — precompute only the exact top-K
+  proximity value per node (the k-th thresholds), then answer queries with
+  PMPN plus a comparison per node.  Same offline cost as IBF, bounded memory,
+  slower queries than IBF.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_k, check_node_index
+from ..rwr.power_method import DEFAULT_ALPHA, DEFAULT_TOLERANCE, proximity_vector
+from ..rwr.proximity import ProximityMatrix
+from ..utils.sparsetools import top_k_descending
+from ..utils.timer import Timer
+from .pmpn import proximity_to_node
+
+#: Numerical slack when comparing a proximity against a k-th threshold.  The
+#: reverse top-k definition includes ties (``p_u(q) >= p^kmax_u``); different
+#: exact solvers agree only to ~1e-10, so a slightly larger slack keeps tied
+#: nodes inside the answer regardless of which solver produced the values.
+_TIE_SLACK = 1e-9
+
+
+def brute_force_reverse_topk(
+    transition: sp.spmatrix,
+    query: int,
+    k: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> np.ndarray:
+    """Exact reverse top-k by computing every proximity vector (BF, §3).
+
+    The ground-truth oracle used throughout the test suite.  ``O(n)`` power
+    method runs — do not call on large graphs.
+    """
+    n = transition.shape[0]
+    query = check_node_index(query, n, "query")
+    k = check_k(k, n)
+    result = []
+    for node in range(n):
+        vector = proximity_vector(transition, node, alpha=alpha, tolerance=tolerance).vector
+        kth = float(np.partition(vector, -k)[-k])
+        if vector[query] >= kth - _TIE_SLACK:
+            result.append(node)
+    return np.asarray(result, dtype=np.int64)
+
+
+class InfeasibleBruteForce:
+    """IBF: materialise the exact proximity matrix once, answer queries by row scan.
+
+    Attributes
+    ----------
+    offline_seconds:
+        Wall-clock time of the precomputation (the large upfront cost in
+        Figure 8).
+    """
+
+    def __init__(
+        self,
+        transition: sp.spmatrix,
+        capacity: int,
+        *,
+        alpha: float = DEFAULT_ALPHA,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> None:
+        self.alpha = alpha
+        self.capacity = capacity
+        timer = Timer()
+        with timer:
+            self.matrix = ProximityMatrix.from_transition(
+                transition, alpha=alpha, tolerance=tolerance
+            )
+            n = self.matrix.n_nodes
+            # Exact k-th largest value of each column for every k <= capacity.
+            capacity = min(capacity, n)
+            self.capacity = capacity
+            self._top_values = np.zeros((capacity, n))
+            for node in range(n):
+                self._top_values[:, node] = top_k_descending(
+                    self.matrix.column(node), capacity
+                )
+        self.offline_seconds = timer.elapsed
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes covered."""
+        return self.matrix.n_nodes
+
+    def query(self, query: int, k: int) -> np.ndarray:
+        """Answer a reverse top-k query by comparing the query row to thresholds."""
+        query = check_node_index(query, self.n_nodes, "query")
+        k = check_k(k, self.n_nodes, maximum=self.capacity)
+        row = self.matrix.row(query)
+        thresholds = self._top_values[k - 1, :]
+        return np.flatnonzero(row >= thresholds - _TIE_SLACK).astype(np.int64)
+
+    def storage_bytes(self) -> int:
+        """Memory footprint of the dense matrix plus thresholds."""
+        return int(self.matrix.nbytes() + self._top_values.nbytes)
+
+
+class FeasibleBruteForce:
+    """FBF: precompute exact per-node top-K thresholds, use PMPN at query time.
+
+    Keeps only ``K`` values per node (like our index) but pays the full
+    ``O(n)`` power-method precomputation and gains no pruning or refinement —
+    every query costs one PMPN run plus an ``O(n)`` comparison, and the
+    offline phase is as expensive as IBF's.
+    """
+
+    def __init__(
+        self,
+        transition: sp.spmatrix,
+        capacity: int,
+        *,
+        alpha: float = DEFAULT_ALPHA,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> None:
+        self.transition = sp.csc_matrix(transition)
+        self.alpha = alpha
+        self.tolerance = tolerance
+        n = self.transition.shape[0]
+        self.capacity = min(capacity, n)
+        timer = Timer()
+        with timer:
+            self._top_values = np.zeros((self.capacity, n))
+            for node in range(n):
+                vector = proximity_vector(
+                    self.transition, node, alpha=alpha, tolerance=tolerance
+                ).vector
+                self._top_values[:, node] = top_k_descending(vector, self.capacity)
+        self.offline_seconds = timer.elapsed
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes covered."""
+        return self.transition.shape[0]
+
+    def query(self, query: int, k: int) -> np.ndarray:
+        """Answer a query with one PMPN run plus a threshold comparison per node."""
+        query = check_node_index(query, self.n_nodes, "query")
+        k = check_k(k, self.n_nodes, maximum=self.capacity)
+        row = proximity_to_node(
+            self.transition, query, alpha=self.alpha, tolerance=self.tolerance
+        ).proximities
+        thresholds = self._top_values[k - 1, :]
+        return np.flatnonzero(row >= thresholds - _TIE_SLACK).astype(np.int64)
+
+    def storage_bytes(self) -> int:
+        """Memory footprint of the stored thresholds."""
+        return int(self._top_values.nbytes)

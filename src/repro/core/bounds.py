@@ -1,0 +1,90 @@
+"""Algorithm 3 — staircase upper bound for the k-th largest proximity (§4.2.2).
+
+Given a node ``u`` with a partially-computed proximity vector, the index knows
+
+* ``lower`` — the top-``k`` retained-ink values of ``u`` in descending order
+  (each a lower bound of the corresponding true proximity), and
+* ``residual_mass`` — the total residue ink ``||r_u||_1`` not yet distributed.
+
+In the most favourable case for ``u``, all residue lands on the current top-k
+entries, raising the k-th value as much as possible.  Viewing the top-k values
+as a staircase sitting in a container and "pouring" the residue into it, the
+resulting water level is exactly the best attainable k-th value — a true upper
+bound of ``p^{kmax}_u`` (Proposition 4), monotonically non-increasing as BCA
+refines the vector.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_non_negative_float, check_positive_int
+from ..exceptions import InvalidParameterError
+
+
+def staircase_levels(lower: np.ndarray, k: int) -> np.ndarray:
+    """Return the cumulative ink amounts ``z_j`` of Eq. (17).
+
+    ``z_j`` is the amount of residue required for the poured-ink level to
+    reach the ``(k - j)``-th step of the staircase, for ``j = 0 .. k-1``.
+    """
+    lower = np.asarray(lower, dtype=np.float64)
+    k = check_positive_int(k, "k")
+    if lower.size < k:
+        raise InvalidParameterError(
+            f"need at least k={k} lower-bound entries, got {lower.size}"
+        )
+    top = lower[:k]
+    if np.any(np.diff(top) > 1e-12):
+        raise InvalidParameterError("lower bounds must be sorted in descending order")
+    levels = np.zeros(k, dtype=np.float64)
+    for j in range(1, k):
+        delta = top[k - j - 1] - top[k - j]  # Δ_{k-j} = p̂(k-j) - p̂(k-j+1)
+        levels[j] = levels[j - 1] + j * delta
+    return levels
+
+
+def kth_upper_bound(lower: Sequence[float] | np.ndarray, residual_mass: float, k: int) -> float:
+    """Upper bound ``ub_u`` of the k-th largest proximity of a node (Eq. 18).
+
+    Parameters
+    ----------
+    lower:
+        The node's top proximities (lower bounds) in **descending** order;
+        at least ``k`` entries (use zeros to pad when fewer are known).
+    residual_mass:
+        Total undistributed ink ``||r_u||_1``.
+    k:
+        The query depth.
+
+    Returns
+    -------
+    float
+        An upper bound on the true k-th largest proximity value of the node.
+        When ``residual_mass`` is zero the bound equals the k-th lower bound,
+        i.e. the exact value.
+    """
+    residual_mass = check_non_negative_float(residual_mass, "residual_mass")
+    k = check_positive_int(k, "k")
+    lower = np.asarray(lower, dtype=np.float64)
+    if lower.size < k:
+        lower = np.pad(lower, (0, k - lower.size))
+    top = lower[:k]
+
+    if residual_mass == 0.0:
+        return float(top[k - 1])
+
+    levels = staircase_levels(top, k)
+    # Find the first step j with z_{j-1} < ||r||_1 <= z_j.
+    for j in range(1, k):
+        if levels[j - 1] < residual_mass <= levels[j]:
+            return float(top[k - j - 1] - (levels[j] - residual_mass) / j)
+    # Residue exceeds z_{k-1}: the whole staircase is flooded.
+    return float(top[0] + (residual_mass - levels[k - 1]) / k)
+
+
+def is_valid_upper_bound(upper: float, exact_kth: float, *, atol: float = 1e-9) -> bool:
+    """Check ``upper >= exact_kth`` within tolerance (used by tests)."""
+    return upper >= exact_kth - atol

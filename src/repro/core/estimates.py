@@ -1,0 +1,110 @@
+"""Analytical estimates from the paper: Theorem 1 and Proposition 3.
+
+Both results assume the entries of a hub proximity vector follow a power law,
+``p̂_h(i) ∝ i^(-beta)`` with ``0 < beta < 1`` (the paper uses ``beta = 0.76``
+following Bahmani et al.).  Under that assumption:
+
+* **Theorem 1** — after zeroing entries below the rounding threshold
+  ``omega``, the index needs
+  ``O(K n + (1-beta)^(1/beta) |H| omega^(-1/beta) n^(1 - 1/beta))`` space.
+* **Proposition 3** — the L1 error that rounding introduces into any
+  approximate proximity vector is at most
+  ``1 - ((1-beta) / (omega n))^(1/beta - 1)``.
+
+These are used by the Table 2 benchmark ("predicted space" row) and exposed
+for users sizing an index before building it.
+"""
+
+from __future__ import annotations
+
+from .._validation import (
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+)
+from ..exceptions import InvalidParameterError
+
+#: Power-law exponent of proximity vectors reported by Bahmani et al. and
+#: adopted by the paper for the Table 2 predictions.
+DEFAULT_BETA = 0.76
+
+#: Bytes per stored entry (8-byte value + 8-byte index), matching the
+#: accounting in :meth:`repro.core.index.ReverseTopKIndex.storage_bytes`.
+_ENTRY_BYTES = 16
+_VALUE_BYTES = 8
+
+
+def hub_entries_above_threshold(
+    n_nodes: int, rounding_threshold: float, *, beta: float = DEFAULT_BETA
+) -> float:
+    """Estimated number of entries of one hub vector that survive rounding.
+
+    This is the ``l*`` bound inside the proof of Theorem 1:
+    ``l* <= (1-beta)^(1/beta) * omega^(-1/beta) * n^(1 - 1/beta)``.
+    """
+    n = check_positive_int(n_nodes, "n_nodes")
+    omega = check_positive_float(rounding_threshold, "rounding_threshold")
+    beta = _check_beta(beta)
+    estimate = ((1.0 - beta) ** (1.0 / beta)) * (omega ** (-1.0 / beta)) * (
+        n ** (1.0 - 1.0 / beta)
+    )
+    return float(min(estimate, n))
+
+
+def predicted_index_entries(
+    n_nodes: int,
+    capacity: int,
+    n_hubs: int,
+    rounding_threshold: float,
+    *,
+    beta: float = DEFAULT_BETA,
+) -> float:
+    """Theorem 1: estimated number of stored values in the whole index."""
+    n = check_positive_int(n_nodes, "n_nodes")
+    capacity = check_positive_int(capacity, "capacity")
+    n_hubs = check_non_negative_int(n_hubs, "n_hubs")
+    per_hub = hub_entries_above_threshold(n, rounding_threshold, beta=beta) if n_hubs else 0.0
+    return float(capacity * n + n_hubs * per_hub)
+
+
+def predicted_index_bytes(
+    n_nodes: int,
+    capacity: int,
+    n_hubs: int,
+    rounding_threshold: float,
+    *,
+    beta: float = DEFAULT_BETA,
+) -> float:
+    """Theorem 1 expressed in bytes, comparable to ``ReverseTopKIndex.total_bytes``.
+
+    The top-K lower-bound matrix stores plain values (8 bytes each); hub
+    columns store value+index pairs (16 bytes each).
+    """
+    n = check_positive_int(n_nodes, "n_nodes")
+    capacity = check_positive_int(capacity, "capacity")
+    n_hubs = check_non_negative_int(n_hubs, "n_hubs")
+    per_hub = hub_entries_above_threshold(n, rounding_threshold, beta=beta) if n_hubs else 0.0
+    return float(capacity * n * _VALUE_BYTES + n_hubs * per_hub * _ENTRY_BYTES)
+
+
+def rounding_error_bound(
+    n_nodes: int, rounding_threshold: float, *, beta: float = DEFAULT_BETA
+) -> float:
+    """Proposition 3: L1 error bound of rounding on an approximate proximity vector.
+
+    ``||p^t_u - p̄^t_u||_1 <= 1 - ((1-beta) / (omega n))^(1/beta - 1)``,
+    clamped to ``[0, 1]`` (the bound is vacuous once it reaches 1).
+    """
+    n = check_positive_int(n_nodes, "n_nodes")
+    omega = check_positive_float(rounding_threshold, "rounding_threshold")
+    beta = _check_beta(beta)
+    ratio = (1.0 - beta) / (omega * n)
+    bound = 1.0 - ratio ** (1.0 / beta - 1.0)
+    return float(min(max(bound, 0.0), 1.0))
+
+
+def _check_beta(beta: float) -> float:
+    beta = float(beta)
+    if not 0.0 < beta < 1.0:
+        raise InvalidParameterError(f"beta must be in (0, 1), got {beta}")
+    return beta

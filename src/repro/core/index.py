@@ -1,0 +1,385 @@
+"""The reverse top-k index data structure (Section 4.1).
+
+The index ``I = (P̂, R, W, S, P_H)`` holds, for every node ``u``:
+
+* ``P̂`` — the ``K`` largest entries of the lower-bound proximity vector
+  ``p^t_u`` in descending order (the pruning workhorse);
+* ``R`` — the residue ink vector ``r^t_u`` (what BCA has not yet distributed);
+* ``W`` — the ink retained at non-hub nodes ``w^t_u``;
+* ``S`` — the ink accumulated at hub nodes ``s^t_u``;
+* ``P_H`` — the (optionally rounded) exact proximity vectors of the hubs.
+
+Per-node sparse state is stored as plain ``{node: value}`` dictionaries, which
+keeps the refinement loop simple and allocation-free; ``P_H`` is a CSC matrix
+with one column per hub.
+
+Rounding note (§4.1.3): zeroing hub proximity entries below ``omega`` keeps
+``p^t_u`` a valid *lower* bound but silently drops mass that the staircase
+*upper* bound of Algorithm 3 would otherwise account for.  To keep the upper
+bound sound we record, per hub, the total mass removed by rounding
+(``hub_deficit``) and add ``s_u[h] * deficit[h]`` back into the residue mass
+used by the bound.  With the paper's default ``omega = 1e-6`` the correction
+is negligible, but it makes Proposition 4 hold exactly in all configurations.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_k, check_node_index
+from ..exceptions import IndexNotBuiltError, SerializationError
+from .config import IndexParams
+from .hubs import HubSet
+
+PathLike = Union[str, os.PathLike]
+
+#: Bytes per stored floating-point value / index, used for size accounting.
+_VALUE_BYTES = 8
+_INDEX_BYTES = 8
+
+
+@dataclass
+class NodeState:
+    """Per-node BCA state: the column of ``R``, ``W``, ``S`` and ``P̂`` for one node.
+
+    Attributes
+    ----------
+    residual:
+        ``{node: residue ink}`` — ink waiting to be propagated (non-hub nodes only).
+    retained:
+        ``{node: retained ink}`` — ink permanently retained at non-hub nodes.
+    hub_ink:
+        ``{hub node: accumulated ink}`` — ink parked at hubs, to be expanded
+        through ``P_H`` when the approximate vector is materialised.
+    lower_bounds:
+        Descending top-``K`` values of the approximate proximity vector.
+    iterations:
+        Number of batched BCA iterations applied so far (``t_u``).
+    is_hub:
+        Hub nodes carry their exact top-``K`` proximities and no residue.
+    """
+
+    residual: Dict[int, float] = field(default_factory=dict)
+    retained: Dict[int, float] = field(default_factory=dict)
+    hub_ink: Dict[int, float] = field(default_factory=dict)
+    lower_bounds: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    iterations: int = 0
+    is_hub: bool = False
+
+    @property
+    def residual_mass(self) -> float:
+        """Total undistributed ink ``||r^t_u||_1``."""
+        return float(sum(self.residual.values()))
+
+    @property
+    def is_exact(self) -> bool:
+        """True when no residue remains, i.e. the lower bounds are exact values."""
+        return self.is_hub or not self.residual
+
+    def kth_lower_bound(self, k: int) -> float:
+        """The k-th largest lower bound (``p̂^t_u(k)``); zero when unknown."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if k > self.lower_bounds.size:
+            return 0.0
+        return float(self.lower_bounds[k - 1])
+
+    def copy(self) -> "NodeState":
+        """Deep copy used by the no-update query mode."""
+        return NodeState(
+            residual=dict(self.residual),
+            retained=dict(self.retained),
+            hub_ink=dict(self.hub_ink),
+            lower_bounds=self.lower_bounds.copy(),
+            iterations=self.iterations,
+            is_hub=self.is_hub,
+        )
+
+    def stored_entries(self) -> int:
+        """Number of sparse entries stored for this node (for size accounting)."""
+        return len(self.residual) + len(self.retained) + len(self.hub_ink)
+
+
+class ReverseTopKIndex:
+    """The complete offline index over all nodes of a graph.
+
+    Instances are produced by :func:`repro.core.lbi.build_index`; they are
+    mutable because Algorithm 4 refines node states during query evaluation
+    and (optionally) persists the refinement.
+    """
+
+    def __init__(
+        self,
+        params: IndexParams,
+        hubs: HubSet,
+        hub_matrix: sp.csc_matrix,
+        hub_deficit: np.ndarray,
+        states: List[NodeState],
+        *,
+        build_seconds: float = 0.0,
+    ) -> None:
+        self.params = params
+        self.hubs = hubs
+        self.hub_matrix = hub_matrix.tocsc()
+        self.hub_deficit = np.asarray(hub_deficit, dtype=np.float64)
+        self._states = states
+        self.build_seconds = float(build_seconds)
+        if self.hub_matrix.shape[1] != len(hubs):
+            raise ValueError(
+                f"hub matrix has {self.hub_matrix.shape[1]} columns but {len(hubs)} hubs"
+            )
+        if self.hub_deficit.size != len(hubs):
+            raise ValueError("hub_deficit length must equal the number of hubs")
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of indexed nodes."""
+        return len(self._states)
+
+    @property
+    def capacity(self) -> int:
+        """The maximum k supported by this index (``K``)."""
+        return self.params.capacity
+
+    def state(self, node: int) -> NodeState:
+        """The mutable :class:`NodeState` of ``node``."""
+        node = check_node_index(node, self.n_nodes)
+        return self._states[node]
+
+    def set_state(self, node: int, state: NodeState) -> None:
+        """Replace the stored state of ``node`` (used by the update policy)."""
+        node = check_node_index(node, self.n_nodes)
+        self._states[node] = state
+
+    def states(self) -> Iterable[Tuple[int, NodeState]]:
+        """Iterate over ``(node, state)`` pairs."""
+        return enumerate(self._states)
+
+    def kth_lower_bounds(self, k: int) -> np.ndarray:
+        """The k-th row of ``P̂`` across all nodes — the primary pruning signal."""
+        k = check_k(k, max(self.n_nodes, k), maximum=self.capacity)
+        return np.array([state.kth_lower_bound(k) for state in self._states])
+
+    def lower_bound_matrix(self) -> np.ndarray:
+        """Dense ``K x n`` matrix ``P̂`` (column ``u`` = top-K lower bounds of ``u``)."""
+        matrix = np.zeros((self.capacity, self.n_nodes))
+        for node, state in enumerate(self._states):
+            count = min(self.capacity, state.lower_bounds.size)
+            matrix[:count, node] = state.lower_bounds[:count]
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # approximate proximity reconstruction
+    # ------------------------------------------------------------------ #
+    def approximate_vector(self, node: int) -> np.ndarray:
+        """Materialise the lower-bound proximity vector ``p^t_node`` (Eq. 7).
+
+        ``p^t = w + P_H @ s`` — retained ink at non-hubs plus hub ink expanded
+        through the (rounded) hub proximity columns.
+        """
+        state = self.state(node)
+        n = self.hub_matrix.shape[0] if self.hub_matrix.shape[0] else self.n_nodes
+        vector = np.zeros(n, dtype=np.float64)
+        for target, value in state.retained.items():
+            vector[target] += value
+        if state.hub_ink:
+            for hub, ink in state.hub_ink.items():
+                position = self.hubs.position(hub)
+                start, stop = (
+                    self.hub_matrix.indptr[position],
+                    self.hub_matrix.indptr[position + 1],
+                )
+                vector[self.hub_matrix.indices[start:stop]] += (
+                    ink * self.hub_matrix.data[start:stop]
+                )
+        return vector
+
+    def effective_residual_mass(self, node: int) -> float:
+        """Residue mass for the upper bound, including the rounding deficit.
+
+        ``||r_u||_1`` plus the mass lost because hub proximities were rounded
+        (``sum_h s_u[h] * deficit[h]``) — see the module docstring.
+        """
+        state = self.state(node)
+        mass = state.residual_mass
+        if state.hub_ink and self.hub_deficit.size:
+            for hub, ink in state.hub_ink.items():
+                mass += ink * float(self.hub_deficit[self.hubs.position(hub)])
+        return mass
+
+    # ------------------------------------------------------------------ #
+    # size accounting (Table 2)
+    # ------------------------------------------------------------------ #
+    def storage_bytes(self) -> Dict[str, int]:
+        """Approximate storage footprint per index component, in bytes.
+
+        Matches the accounting of Table 2: the top-K lower bound matrix, the
+        sparse BCA state matrices ``R``/``W``/``S`` and the hub proximity
+        matrix ``P_H`` (rounded).  Entries are counted as 8-byte value plus
+        8-byte index, mirroring a coordinate sparse representation.
+        """
+        lower = self.capacity * self.n_nodes * _VALUE_BYTES
+        state_entries = sum(state.stored_entries() for state in self._states)
+        state_bytes = state_entries * (_VALUE_BYTES + _INDEX_BYTES)
+        hub_bytes = self.hub_matrix.nnz * (_VALUE_BYTES + _INDEX_BYTES)
+        return {
+            "lower_bounds": lower,
+            "bca_state": state_bytes,
+            "hub_matrix": hub_bytes,
+            "total": lower + state_bytes + hub_bytes,
+        }
+
+    def total_bytes(self) -> int:
+        """Total approximate index size in bytes."""
+        return self.storage_bytes()["total"]
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: PathLike) -> None:
+        """Serialise the index to a ``.npz`` archive."""
+        path = Path(path)
+        arrays = _states_to_arrays(self._states, self.capacity)
+        hub_matrix = self.hub_matrix.tocoo()
+        try:
+            np.savez_compressed(
+                path,
+                alpha=np.array([self.params.alpha]),
+                capacity=np.array([self.params.capacity]),
+                propagation_threshold=np.array([self.params.propagation_threshold]),
+                residue_threshold=np.array([self.params.residue_threshold]),
+                rounding_threshold=np.array([self.params.rounding_threshold]),
+                hub_budget=np.array([self.params.hub_budget]),
+                tolerance=np.array([self.params.tolerance]),
+                hubs=np.asarray(self.hubs.nodes, dtype=np.int64),
+                hub_deficit=self.hub_deficit,
+                hub_rows=hub_matrix.row.astype(np.int64),
+                hub_cols=hub_matrix.col.astype(np.int64),
+                hub_vals=hub_matrix.data.astype(np.float64),
+                hub_shape=np.asarray(self.hub_matrix.shape, dtype=np.int64),
+                build_seconds=np.array([self.build_seconds]),
+                **arrays,
+            )
+        except OSError as exc:
+            raise SerializationError(f"cannot save index to {path}: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ReverseTopKIndex":
+        """Load an index previously written by :meth:`save`."""
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                params = IndexParams(
+                    alpha=float(data["alpha"][0]),
+                    capacity=int(data["capacity"][0]),
+                    propagation_threshold=float(data["propagation_threshold"][0]),
+                    residue_threshold=float(data["residue_threshold"][0]),
+                    rounding_threshold=float(data["rounding_threshold"][0]),
+                    hub_budget=int(data["hub_budget"][0]),
+                    tolerance=float(data["tolerance"][0]),
+                )
+                hubs = HubSet.from_iterable(data["hubs"].tolist())
+                shape = tuple(int(x) for x in data["hub_shape"])
+                hub_matrix = sp.coo_matrix(
+                    (data["hub_vals"], (data["hub_rows"], data["hub_cols"])), shape=shape
+                ).tocsc()
+                states = _states_from_arrays(data)
+                return cls(
+                    params,
+                    hubs,
+                    hub_matrix,
+                    data["hub_deficit"],
+                    states,
+                    build_seconds=float(data["build_seconds"][0]),
+                )
+        except (OSError, KeyError, ValueError) as exc:
+            raise SerializationError(f"cannot load index from {path}: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"ReverseTopKIndex(n_nodes={self.n_nodes}, K={self.capacity}, "
+            f"hubs={len(self.hubs)}, bytes={self.total_bytes()})"
+        )
+
+
+# ----------------------------------------------------------------------- #
+# (de)serialisation helpers
+# ----------------------------------------------------------------------- #
+def _dicts_to_arrays(dicts: List[Dict[int, float]]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a list of ``{index: value}`` dicts into (indptr, keys, values)."""
+    counts = np.array([len(d) for d in dicts], dtype=np.int64)
+    indptr = np.concatenate([[0], np.cumsum(counts)])
+    keys = np.empty(int(indptr[-1]), dtype=np.int64)
+    values = np.empty(int(indptr[-1]), dtype=np.float64)
+    position = 0
+    for entry in dicts:
+        for key, value in entry.items():
+            keys[position] = key
+            values[position] = value
+            position += 1
+    return indptr, keys, values
+
+
+def _arrays_to_dicts(indptr: np.ndarray, keys: np.ndarray, values: np.ndarray) -> List[Dict[int, float]]:
+    result: List[Dict[int, float]] = []
+    for node in range(indptr.size - 1):
+        start, stop = int(indptr[node]), int(indptr[node + 1])
+        result.append(
+            {int(k): float(v) for k, v in zip(keys[start:stop], values[start:stop])}
+        )
+    return result
+
+
+def _states_to_arrays(states: List[NodeState], capacity: int) -> Dict[str, np.ndarray]:
+    arrays: Dict[str, np.ndarray] = {}
+    for name in ("residual", "retained", "hub_ink"):
+        indptr, keys, values = _dicts_to_arrays([getattr(s, name) for s in states])
+        arrays[f"{name}_indptr"] = indptr
+        arrays[f"{name}_keys"] = keys
+        arrays[f"{name}_values"] = values
+    lower = np.zeros((len(states), capacity), dtype=np.float64)
+    for row, state in enumerate(states):
+        count = min(capacity, state.lower_bounds.size)
+        lower[row, :count] = state.lower_bounds[:count]
+    arrays["lower_bounds"] = lower
+    arrays["iterations"] = np.array([s.iterations for s in states], dtype=np.int64)
+    arrays["is_hub"] = np.array([s.is_hub for s in states], dtype=bool)
+    return arrays
+
+
+def _states_from_arrays(data: "np.lib.npyio.NpzFile") -> List[NodeState]:
+    residuals = _arrays_to_dicts(
+        data["residual_indptr"], data["residual_keys"], data["residual_values"]
+    )
+    retained = _arrays_to_dicts(
+        data["retained_indptr"], data["retained_keys"], data["retained_values"]
+    )
+    hub_ink = _arrays_to_dicts(
+        data["hub_ink_indptr"], data["hub_ink_keys"], data["hub_ink_values"]
+    )
+    lower = data["lower_bounds"]
+    iterations = data["iterations"]
+    is_hub = data["is_hub"]
+    states = []
+    for node in range(lower.shape[0]):
+        states.append(
+            NodeState(
+                residual=residuals[node],
+                retained=retained[node],
+                hub_ink=hub_ink[node],
+                lower_bounds=lower[node].copy(),
+                iterations=int(iterations[node]),
+                is_hub=bool(is_hub[node]),
+            )
+        )
+    return states

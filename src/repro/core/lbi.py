@@ -1,0 +1,330 @@
+"""Algorithm 1 — Lower Bound Indexing (LBI) via batched BCA with hubs (§4.1.2).
+
+For every node ``u`` the indexer runs a *batched* adaptation of BCA:
+
+1. inject one unit of ink at ``u``;
+2. at each iteration, take **all** non-hub nodes holding at least ``eta``
+   residue ink (the set ``L_t``), retain an ``alpha`` share of their residue
+   and forward the rest along out-edges;
+3. ink arriving at a hub is parked in the hub-ink vector ``s`` (it will be
+   expanded exactly through the pre-computed hub proximities ``P_H``);
+4. stop once the total residue drops to ``delta`` (or no node reaches
+   ``eta``), then record the top-``K`` values of ``p^t_u = w + P_H s`` as the
+   node's lower bounds.
+
+Hub proximity vectors are computed exactly with the power method, rounded
+(entries below ``omega`` zeroed) and stored as the columns of ``P_H``.
+
+The same single-iteration primitive (:func:`bca_iteration`) doubles as the
+candidate-refinement step of the online query (Algorithm 4, line 13).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.digraph import DiGraph
+from ..graph.transition import transition_matrix
+from ..utils.sparsetools import top_k_descending
+from ..utils.timer import Timer
+from ..rwr.power_method import proximity_vector
+from .config import IndexParams
+from .hubs import HubSet, select_hubs_by_degree
+from .index import NodeState, ReverseTopKIndex
+
+
+def bca_iteration(
+    state: NodeState,
+    transition: sp.csc_matrix,
+    hub_mask: np.ndarray,
+    params: IndexParams,
+    *,
+    propagation_threshold: Optional[float] = None,
+) -> bool:
+    """Run one batched BCA iteration in place (Eq. 6, 8, 9).
+
+    Returns ``True`` when at least one node propagated ink, ``False`` when no
+    non-hub node holds ``eta`` or more residue (the state cannot be refined
+    further at this threshold).  ``propagation_threshold`` overrides the
+    configured ``eta`` for a single step — query-time refinement lowers it
+    adaptively so candidates can always be decided.
+    """
+    eta = params.propagation_threshold if propagation_threshold is None else propagation_threshold
+    alpha = params.alpha
+    active = [(node, amount) for node, amount in state.residual.items() if amount >= eta]
+    if not active:
+        return False
+
+    residual = state.residual
+    retained = state.retained
+    hub_ink = state.hub_ink
+    indptr, indices, data = transition.indptr, transition.indices, transition.data
+    for node, amount in active:
+        # Consume exactly the snapshot amount (Eq. 9 operates on r_{t-1});
+        # ink pushed to this node by earlier members of the same batch stays
+        # as residue for the next iteration.
+        remaining = residual.get(node, 0.0) - amount
+        if remaining > 1e-18:
+            residual[node] = remaining
+        else:
+            residual.pop(node, None)
+        retained[node] = retained.get(node, 0.0) + alpha * amount
+        # ...and push the rest to out-neighbours (transition column = node).
+        start, stop = indptr[node], indptr[node + 1]
+        if start == stop:
+            # Dangling nodes never occur with the default self-loop policy,
+            # but guard anyway: the (1-alpha) share is simply lost as residue.
+            continue
+        share = (1.0 - alpha) * amount
+        for neighbor, weight in zip(indices[start:stop], data[start:stop]):
+            portion = share * weight
+            if hub_mask[neighbor]:
+                hub_ink[int(neighbor)] = hub_ink.get(int(neighbor), 0.0) + portion
+            else:
+                residual[int(neighbor)] = residual.get(int(neighbor), 0.0) + portion
+    state.iterations += 1
+    return True
+
+
+def materialize_lower_bounds(
+    state: NodeState, index_like: "_HubExpansion", capacity: int
+) -> None:
+    """Recompute ``state.lower_bounds`` from the current ``w`` and ``s`` (Eq. 7)."""
+    vector = index_like.expand(state)
+    state.lower_bounds = top_k_descending(vector, capacity)
+
+
+class _HubExpansion:
+    """Expands a node state into a dense approximate proximity vector.
+
+    Thin helper shared by index construction (before the
+    :class:`ReverseTopKIndex` exists) and by query-time refinement (where the
+    index itself provides the hub matrix).
+    """
+
+    def __init__(self, n_nodes: int, hubs: HubSet, hub_matrix: sp.csc_matrix) -> None:
+        self.n_nodes = n_nodes
+        self.hubs = hubs
+        self.hub_matrix = hub_matrix
+
+    def expand(self, state: NodeState) -> np.ndarray:
+        vector = np.zeros(self.n_nodes, dtype=np.float64)
+        for target, value in state.retained.items():
+            vector[target] += value
+        for hub, ink in state.hub_ink.items():
+            position = self.hubs.position(hub)
+            start, stop = (
+                self.hub_matrix.indptr[position],
+                self.hub_matrix.indptr[position + 1],
+            )
+            vector[self.hub_matrix.indices[start:stop]] += ink * self.hub_matrix.data[start:stop]
+        return vector
+
+
+def _compute_hub_matrix(
+    transition: sp.spmatrix,
+    hubs: HubSet,
+    params: IndexParams,
+) -> Tuple[sp.csc_matrix, np.ndarray, Dict[int, np.ndarray]]:
+    """Exact hub proximity vectors, rounded per §4.1.3.
+
+    Returns the ``n x |H|`` CSC matrix ``P_H``, the per-hub mass removed by
+    rounding (``hub_deficit``, used to keep the upper bound sound), and the
+    *exact* (un-rounded) top-``K`` proximity values of every hub.  The exact
+    top-K lists are what the index stores as the hubs' lower bounds — they
+    cost no extra space and keep hub decisions exact regardless of ``omega``.
+    """
+    n = transition.shape[0]
+    omega = params.rounding_threshold
+    columns = []
+    deficits = np.zeros(len(hubs), dtype=np.float64)
+    exact_top_k: Dict[int, np.ndarray] = {}
+    for position, hub in enumerate(hubs):
+        exact = proximity_vector(
+            transition, hub, alpha=params.alpha, tolerance=params.tolerance
+        ).vector
+        exact_top_k[int(hub)] = top_k_descending(exact, params.capacity)
+        if omega > 0:
+            kept = np.where(exact >= omega, exact, 0.0)
+        else:
+            kept = exact
+        deficits[position] = float(exact.sum() - kept.sum())
+        columns.append(sp.csc_matrix(kept.reshape(-1, 1)))
+    if columns:
+        hub_matrix = sp.hstack(columns, format="csc")
+    else:
+        hub_matrix = sp.csc_matrix((n, 0))
+    return hub_matrix, deficits, exact_top_k
+
+
+def initial_node_state(node: int, is_hub: bool) -> NodeState:
+    """Fresh BCA state for ``node``: one unit of residue ink at the node itself.
+
+    Hub nodes do not run BCA; their state simply references their own exact
+    hub column (``s = e_node``), so the reconstructed vector is ``P_H e_node``.
+    """
+    if is_hub:
+        return NodeState(hub_ink={int(node): 1.0}, is_hub=True)
+    return NodeState(residual={int(node): 1.0})
+
+
+def run_node_bca(
+    state: NodeState,
+    transition: sp.csc_matrix,
+    hub_mask: np.ndarray,
+    params: IndexParams,
+    *,
+    max_iterations: Optional[int] = None,
+) -> NodeState:
+    """Run batched BCA on ``state`` until the residue drops below ``delta``.
+
+    The loop also stops when no node reaches the propagation threshold or the
+    iteration cap is hit, whichever comes first.
+    """
+    if max_iterations is None:
+        max_iterations = params.max_index_iterations
+    while state.residual_mass > params.residue_threshold and state.iterations < max_iterations:
+        if not bca_iteration(state, transition, hub_mask, params):
+            break
+    return state
+
+
+def build_index(
+    graph: DiGraph | sp.spmatrix,
+    params: Optional[IndexParams] = None,
+    *,
+    hubs: Optional[HubSet] = None,
+    transition: Optional[sp.spmatrix] = None,
+    nodes: Optional[Sequence[int]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> ReverseTopKIndex:
+    """Build the reverse top-k index for a graph (Algorithm 1).
+
+    Parameters
+    ----------
+    graph:
+        Either a :class:`~repro.graph.digraph.DiGraph` or a pre-built
+        column-stochastic transition matrix.
+    params:
+        Index construction parameters; defaults to the paper's settings,
+        clamped to the graph size.
+    hubs:
+        Pre-selected hub set; defaults to the degree heuristic of §4.1.1 with
+        ``params.hub_budget``.
+    transition:
+        Pre-computed transition matrix (overrides the graph's default,
+        unweighted one — pass the weighted matrix for co-authorship graphs).
+    nodes:
+        Restrict indexing to a subset of nodes (used by incremental tests);
+        other nodes receive an un-refined state with a single unit of residue.
+    progress:
+        Optional callback ``(done, total)`` invoked after each node, so long
+        builds can report progress.
+    """
+    if isinstance(graph, DiGraph):
+        matrix = transition if transition is not None else transition_matrix(graph)
+        n = graph.n_nodes
+    else:
+        matrix = graph if transition is None else transition
+        n = matrix.shape[0]
+        graph = None  # type: ignore[assignment]
+
+    matrix = sp.csc_matrix(matrix)
+    if params is None:
+        params = IndexParams()
+    params = params.for_graph(n)
+
+    if hubs is None:
+        if params.hub_budget > 0 and graph is not None:
+            hubs = select_hubs_by_degree(graph, params.hub_budget)
+        elif params.hub_budget > 0:
+            hubs = _select_hubs_from_matrix(matrix, params.hub_budget)
+        else:
+            hubs = HubSet(())
+
+    timer = Timer()
+    with timer:
+        hub_matrix, hub_deficit, hub_top_k = _compute_hub_matrix(matrix, hubs, params)
+        hub_mask = hubs.mask(n)
+        expansion = _HubExpansion(n, hubs, hub_matrix)
+
+        target_nodes = range(n) if nodes is None else [int(v) for v in nodes]
+        target_set = set(target_nodes)
+        states: List[NodeState] = []
+        done = 0
+        for node in range(n):
+            state = initial_node_state(node, hub_mask[node])
+            if state.is_hub:
+                # Hubs carry their exact (un-rounded) top-K proximities.
+                state.lower_bounds = hub_top_k[node].copy()
+            else:
+                if node in target_set:
+                    run_node_bca(state, matrix, hub_mask, params)
+                materialize_lower_bounds(state, expansion, params.capacity)
+            states.append(state)
+            if progress is not None and node in target_set:
+                done += 1
+                progress(done, len(target_set))
+
+    return ReverseTopKIndex(
+        params, hubs, hub_matrix, hub_deficit, states, build_seconds=timer.elapsed
+    )
+
+
+def refine_node_state(
+    state: NodeState,
+    index: ReverseTopKIndex,
+    transition: sp.csc_matrix,
+    hub_mask: np.ndarray,
+    *,
+    adaptive: bool = True,
+) -> bool:
+    """One refinement step used by the online query (Algorithm 4, line 13).
+
+    Applies a single batched BCA iteration to ``state`` and refreshes its
+    top-K lower bounds.  With ``adaptive=True`` (the default for query-time
+    refinement) the propagation threshold is lowered to the largest remaining
+    residue when no node reaches the configured ``eta``, so refinement always
+    makes progress while any residue remains — this is what lets Algorithm 4
+    decide every candidate instead of stalling on sub-threshold residue.
+
+    Returns ``False`` only when the state holds no residue at all (it is
+    already exact).
+    """
+    threshold: Optional[float] = None
+    if adaptive and state.residual:
+        largest = max(state.residual.values())
+        if largest < index.params.propagation_threshold:
+            # Half the largest residue: every node within a factor two of the
+            # maximum propagates, so each step still moves a whole batch of
+            # ink instead of degenerating into single-node pushes.
+            threshold = largest * 0.5
+    progressed = bca_iteration(
+        state, transition, hub_mask, index.params, propagation_threshold=threshold
+    )
+    if not progressed:
+        return False
+    expansion = _HubExpansion(index.hub_matrix.shape[0], index.hubs, index.hub_matrix)
+    materialize_lower_bounds(state, expansion, index.params.capacity)
+    return True
+
+
+def _select_hubs_from_matrix(matrix: sp.csc_matrix, budget: int) -> HubSet:
+    """Degree-based hub selection when only the transition matrix is available.
+
+    Column ``j`` of the transition matrix lists the out-neighbours of ``j``;
+    rows list in-edges.  The non-zero counts therefore give out- and
+    in-degrees without needing the original graph object.
+    """
+    csc = matrix.tocsc()
+    out_degree = np.diff(csc.indptr)
+    csr = matrix.tocsr()
+    in_degree = np.diff(csr.indptr)
+    n = matrix.shape[0]
+    budget = min(budget, n)
+    by_out = np.lexsort((np.arange(n), -out_degree))[:budget]
+    by_in = np.lexsort((np.arange(n), -in_degree))[:budget]
+    return HubSet.from_iterable(np.concatenate([by_in, by_out]).tolist())

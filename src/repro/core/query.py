@@ -1,0 +1,388 @@
+"""Algorithm 4 — the online reverse top-k query engine (§4.2).
+
+Query evaluation proceeds in two phases:
+
+1. **Exact proximities to the query** — PMPN (Algorithm 2) computes
+   ``p_{q,*}`` so that for every node ``u`` the exact value ``p_u(q)`` is
+   known.
+2. **Per-node verification** — each node is pruned with its indexed k-th
+   lower bound, confirmed with the staircase upper bound (Algorithm 3), or
+   progressively refined with additional batched BCA iterations until one of
+   the two tests decides.  Refinements can be written back into the index
+   ("update" mode), tightening bounds for future queries.
+
+The engine also collects the per-query statistics reported in Figures 5–8:
+candidate count, immediate hits, refinement iterations, and stage timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_k, check_node_index
+from ..exceptions import QueryError
+from ..graph.digraph import DiGraph
+from ..graph.transition import transition_matrix
+from ..utils.timer import StageTimer, Timer
+from .bounds import kth_upper_bound
+from .config import IndexParams, QueryParams
+from .index import NodeState, ReverseTopKIndex
+from .lbi import build_index, refine_node_state
+from .pmpn import proximity_to_node
+
+
+@dataclass(frozen=True)
+class QueryStatistics:
+    """Counters describing how a single reverse top-k query was resolved.
+
+    Attributes
+    ----------
+    n_results:
+        Size of the answer set.
+    n_candidates:
+        Nodes that survived the initial lower-bound filter and were *not*
+        already exact (the "cand" series of Figure 6).
+    n_hits:
+        Candidates confirmed as results by their first upper-bound check,
+        without any refinement (the "hits" series of Figure 6).
+    n_exact_shortcut:
+        Nodes accepted directly because their indexed bounds are exact.
+    n_pruned_immediately:
+        Nodes rejected by the very first lower-bound comparison.
+    n_refinement_iterations:
+        Total batched BCA iterations spent refining candidates.
+    n_refined_nodes:
+        Number of distinct candidates that needed at least one refinement.
+    n_exact_fallbacks:
+        Candidates whose refinement budget ran out and that were resolved
+        exactly with one power-method run instead.
+    pmpn_iterations:
+        Iterations used by the exact proximity-to-query computation.
+    seconds:
+        Total wall-clock time of the query.
+    stage_seconds:
+        Breakdown of the time per stage (``pmpn``, ``scan``, ``refine``).
+    """
+
+    n_results: int
+    n_candidates: int
+    n_hits: int
+    n_exact_shortcut: int
+    n_pruned_immediately: int
+    n_refinement_iterations: int
+    n_refined_nodes: int
+    pmpn_iterations: int
+    seconds: float
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    n_exact_fallbacks: int = 0
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer of a reverse top-k query.
+
+    Attributes
+    ----------
+    query:
+        The query node ``q``.
+    k:
+        The query depth.
+    nodes:
+        Sorted array of nodes whose top-k proximity set contains ``q``.
+    proximities_to_query:
+        The exact proximities ``p_u(q)`` for every node ``u`` (a by-product
+        of PMPN, useful to rank the result set).
+    statistics:
+        The :class:`QueryStatistics` of this evaluation.
+    """
+
+    query: int
+    k: int
+    nodes: np.ndarray
+    proximities_to_query: np.ndarray
+    statistics: QueryStatistics
+
+    def __contains__(self, node: object) -> bool:
+        return bool(np.isin(node, self.nodes))
+
+    def __len__(self) -> int:
+        return int(self.nodes.size)
+
+    def ranked(self) -> List[tuple[int, float]]:
+        """Result nodes with their proximity to the query, strongest first."""
+        pairs = [(int(node), float(self.proximities_to_query[node])) for node in self.nodes]
+        return sorted(pairs, key=lambda item: (-item[1], item[0]))
+
+
+class ReverseTopKEngine:
+    """Reverse top-k query engine combining the index with Algorithm 4.
+
+    Typical usage::
+
+        engine = ReverseTopKEngine.build(graph)           # offline indexing
+        result = engine.query(query_node, k=10)           # online query
+        print(result.nodes)
+
+    Parameters
+    ----------
+    transition:
+        Column-stochastic transition matrix of the graph.
+    index:
+        A pre-built :class:`ReverseTopKIndex` over the same graph.
+    """
+
+    def __init__(self, transition: sp.spmatrix, index: ReverseTopKIndex) -> None:
+        self.transition = sp.csc_matrix(transition)
+        if self.transition.shape[0] != index.n_nodes and index.n_nodes:
+            raise QueryError(
+                f"index covers {index.n_nodes} nodes but the transition matrix has "
+                f"{self.transition.shape[0]}"
+            )
+        self.index = index
+        self._hub_mask = index.hubs.mask(self.transition.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph | sp.spmatrix,
+        params: Optional[IndexParams] = None,
+        *,
+        transition: Optional[sp.spmatrix] = None,
+        hubs=None,
+    ) -> "ReverseTopKEngine":
+        """Construct the index for ``graph`` and wrap it in an engine."""
+        if isinstance(graph, DiGraph):
+            matrix = transition if transition is not None else transition_matrix(graph)
+        else:
+            matrix = graph if transition is None else transition
+        index = build_index(graph, params, transition=matrix, hubs=hubs)
+        return cls(matrix, index)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes covered by the engine."""
+        return self.transition.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # query evaluation
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        query: int,
+        k: int = 10,
+        *,
+        update_index: bool = True,
+        params: Optional[QueryParams] = None,
+    ) -> QueryResult:
+        """Evaluate a reverse top-k query (Algorithm 4).
+
+        Parameters
+        ----------
+        query:
+            The query node ``q``.
+        k:
+            Reverse top-k depth; must not exceed the index capacity ``K``.
+        update_index:
+            Persist candidate refinements back into the index (the paper's
+            "update" policy).  When ``False`` the index is left untouched.
+        params:
+            Full :class:`QueryParams`; overrides ``k`` and ``update_index``
+            when given.
+        """
+        if params is None:
+            params = QueryParams(k=k, update_index=update_index)
+        query = check_node_index(query, self.n_nodes, "query")
+        k = check_k(params.k, self.n_nodes, maximum=self.index.capacity)
+
+        stages = StageTimer()
+        total_timer = Timer()
+        with total_timer:
+            with stages.time("pmpn"):
+                pmpn = proximity_to_node(
+                    self.transition,
+                    query,
+                    alpha=self.index.params.alpha,
+                    tolerance=params.tolerance,
+                )
+            proximity_to_q = pmpn.proximities
+
+            results: List[int] = []
+            n_candidates = 0
+            n_hits = 0
+            n_exact = 0
+            n_pruned = 0
+            n_refine_iterations = 0
+            n_refined_nodes = 0
+            n_fallbacks = 0
+
+            with stages.time("scan"):
+                for node in range(self.n_nodes):
+                    outcome = self._verify_node(
+                        node,
+                        float(proximity_to_q[node]),
+                        k,
+                        params,
+                    )
+                    if outcome.is_result:
+                        results.append(node)
+                    n_candidates += outcome.was_candidate
+                    n_hits += outcome.was_immediate_hit
+                    n_exact += outcome.used_exact_shortcut
+                    n_pruned += outcome.pruned_immediately
+                    n_refine_iterations += outcome.refinement_iterations
+                    n_refined_nodes += outcome.refinement_iterations > 0
+                    n_fallbacks += outcome.used_exact_fallback
+
+        statistics = QueryStatistics(
+            n_results=len(results),
+            n_candidates=n_candidates,
+            n_hits=n_hits,
+            n_exact_shortcut=n_exact,
+            n_pruned_immediately=n_pruned,
+            n_refinement_iterations=n_refine_iterations,
+            n_refined_nodes=n_refined_nodes,
+            pmpn_iterations=pmpn.iterations,
+            seconds=total_timer.elapsed,
+            stage_seconds=stages.as_dict(),
+            n_exact_fallbacks=n_fallbacks,
+        )
+        return QueryResult(
+            query=query,
+            k=k,
+            nodes=np.asarray(results, dtype=np.int64),
+            proximities_to_query=proximity_to_q,
+            statistics=statistics,
+        )
+
+    def query_many(
+        self,
+        queries: Sequence[int],
+        k: int = 10,
+        *,
+        update_index: bool = True,
+    ) -> List[QueryResult]:
+        """Evaluate a workload of queries sequentially (Figures 7 and 8)."""
+        return [
+            self.query(int(query), k, update_index=update_index) for query in queries
+        ]
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _verify_node(
+        self,
+        node: int,
+        proximity_to_query: float,
+        k: int,
+        params: QueryParams,
+    ) -> "_NodeOutcome":
+        """Decide whether ``node`` belongs to the reverse top-k result.
+
+        Implements the while-loop body of Algorithm 4 for a single node,
+        including the refinement of line 13 and the bookkeeping needed for
+        Figure 6's candidate/hit statistics.
+        """
+        state = self.index.state(node)
+        outcome = _NodeOutcome()
+
+        lower_k = state.kth_lower_bound(k)
+        if proximity_to_query < lower_k:
+            outcome.pruned_immediately = True
+            return outcome
+
+        if state.is_exact:
+            # The lower bound is the true k-th value; the comparison is final.
+            outcome.is_result = True
+            outcome.used_exact_shortcut = True
+            return outcome
+
+        outcome.was_candidate = True
+        working = state if params.update_index else state.copy()
+        first_check = True
+        refinements = 0
+        while proximity_to_query >= working.kth_lower_bound(k):
+            if working.is_exact:
+                outcome.is_result = True
+                break
+            residual_mass = self._effective_residual_mass(working)
+            upper = kth_upper_bound(working.lower_bounds, residual_mass, k)
+            if proximity_to_query >= upper:
+                outcome.is_result = True
+                if first_check:
+                    outcome.was_immediate_hit = True
+                break
+            first_check = False
+            if refinements >= params.max_refinements:
+                # Refinement budget exhausted: decide exactly with one power
+                # method run instead of guessing (rare; counted in statistics).
+                outcome.is_result = self._exact_decision(node, working, proximity_to_query, k)
+                outcome.used_exact_fallback = True
+                break
+            progressed = refine_node_state(
+                working, self.index, self.transition, self._hub_mask
+            )
+            refinements += 1
+            if not progressed:
+                # No residue remains: the lower bounds are exact values now.
+                outcome.is_result = proximity_to_query >= working.kth_lower_bound(k)
+                break
+
+        outcome.refinement_iterations = refinements
+        if params.update_index and refinements:
+            self.index.set_state(node, working)
+        return outcome
+
+    def _exact_decision(
+        self, node: int, state: NodeState, proximity_to_query: float, k: int
+    ) -> bool:
+        """Decide membership exactly by computing the node's proximity vector.
+
+        Used only when the refinement budget runs out; the exact top-K values
+        replace the node's lower bounds (a strictly better index entry).
+        """
+        from ..rwr.power_method import proximity_vector
+        from ..utils.sparsetools import top_k_descending
+
+        exact = proximity_vector(
+            self.transition,
+            node,
+            alpha=self.index.params.alpha,
+            tolerance=self.index.params.tolerance,
+        ).vector
+        state.lower_bounds = top_k_descending(exact, self.index.capacity)
+        state.retained = {
+            int(target): float(value)
+            for target, value in enumerate(exact)
+            if value > 0.0
+        }
+        state.residual = {}
+        state.hub_ink = {}
+        return proximity_to_query >= state.kth_lower_bound(k)
+
+    def _effective_residual_mass(self, state: NodeState) -> float:
+        """Residue mass for the upper bound, including the hub rounding deficit."""
+        mass = state.residual_mass
+        if state.hub_ink and self.index.hub_deficit.size:
+            for hub, ink in state.hub_ink.items():
+                mass += ink * float(self.index.hub_deficit[self.index.hubs.position(hub)])
+        return mass
+
+
+@dataclass
+class _NodeOutcome:
+    """Private per-node bookkeeping of Algorithm 4's while loop."""
+
+    is_result: bool = False
+    was_candidate: bool = False
+    was_immediate_hit: bool = False
+    used_exact_shortcut: bool = False
+    used_exact_fallback: bool = False
+    pruned_immediately: bool = False
+    refinement_iterations: int = 0

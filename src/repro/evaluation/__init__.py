@@ -1,0 +1,39 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+``experiments`` holds one function per table/figure of the evaluation section;
+``metrics`` and ``tables`` provide the shared measurement and formatting
+helpers.  The :mod:`benchmarks` directory at the repository root wraps these
+functions with ``pytest-benchmark`` so each experiment can be re-run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from .metrics import jaccard_similarity, precision_at_k, result_overlap
+from .tables import format_table, format_series
+from .experiments import (
+    ExperimentResult,
+    table2_index_construction,
+    figure5_query_time,
+    figure6_pruning_power,
+    figure7_refinement_effect,
+    figure8_cumulative_cost,
+    figure9_rounding_effect,
+    table3_author_popularity,
+    spam_detection_stats,
+)
+
+__all__ = [
+    "jaccard_similarity",
+    "precision_at_k",
+    "result_overlap",
+    "format_table",
+    "format_series",
+    "ExperimentResult",
+    "table2_index_construction",
+    "figure5_query_time",
+    "figure6_pruning_power",
+    "figure7_refinement_effect",
+    "figure8_cumulative_cost",
+    "figure9_rounding_effect",
+    "table3_author_popularity",
+    "spam_detection_stats",
+]

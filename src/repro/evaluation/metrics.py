@@ -1,0 +1,50 @@
+"""Result-quality metrics used by the evaluation harness (Figure 9, tests)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+import numpy as np
+
+
+def _as_set(values: Iterable[int]) -> Set[int]:
+    return {int(v) for v in np.asarray(list(values)).ravel()} if values is not None else set()
+
+
+def jaccard_similarity(first: Iterable[int], second: Iterable[int]) -> float:
+    """Jaccard similarity ``|A ∩ B| / |A ∪ B|`` between two result sets.
+
+    Two empty sets are defined to be identical (similarity 1), matching the
+    convention used for Figure 9 where some queries have empty answers.
+    """
+    a, b = _as_set(first), _as_set(second)
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def result_overlap(first: Iterable[int], second: Iterable[int]) -> float:
+    """Fraction of the first set that also appears in the second (recall of A in B)."""
+    a, b = _as_set(first), _as_set(second)
+    if not a:
+        return 1.0
+    return len(a & b) / len(a)
+
+
+def precision_at_k(predicted: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Precision of the first ``k`` predictions against a relevant set."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    relevant_set = _as_set(relevant)
+    top = [int(p) for p in list(predicted)[:k]]
+    if not top:
+        return 0.0
+    return sum(1 for p in top if p in relevant_set) / len(top)
+
+
+def mean_and_std(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and standard deviation, robust to empty input."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return 0.0, 0.0
+    return float(array.mean()), float(array.std())

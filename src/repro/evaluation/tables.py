@@ -1,0 +1,69 @@
+"""Plain-text table / series formatting for benchmark and experiment output.
+
+The benchmarks print the same rows and series the paper reports; these
+helpers keep the formatting consistent (fixed-width columns, aligned headers)
+without pulling in plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows = [
+        [_render_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            if column < len(widths):
+                widths[column] = max(widths[column], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[Any],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render one or more named series over a shared x-axis as a table.
+
+    Mirrors how the paper's figures are tabulated in EXPERIMENTS.md: one row
+    per x value, one column per series.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for position, x in enumerate(x_values):
+        row = [x]
+        for values in series.values():
+            row.append(values[position] if position < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def _render_cell(cell: Any, float_format: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)

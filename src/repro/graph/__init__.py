@@ -1,0 +1,58 @@
+"""Graph substrate: directed graphs, transition matrices, generators, datasets.
+
+This package provides everything the reverse top-k algorithms need from the
+underlying graph: a compact CSR-backed directed graph type, column-stochastic
+transition matrices (uniform and weighted), synthetic graph generators that
+mimic the structural properties of the paper's datasets, and simple edge-list
+I/O.
+"""
+
+from .digraph import DiGraph
+from .builder import GraphBuilder, from_edges
+from .transition import (
+    DanglingPolicy,
+    transition_matrix,
+    weighted_transition_matrix,
+    is_column_stochastic,
+)
+from .generators import (
+    erdos_renyi_graph,
+    scale_free_graph,
+    copying_web_graph,
+    trust_graph,
+    coauthorship_graph,
+    spam_host_graph,
+    ring_graph,
+    star_graph,
+    complete_graph,
+)
+from . import datasets
+from .io import read_edge_list, write_edge_list, read_node_labels, write_node_labels
+from .stats import GraphStats, degree_histogram, summarize
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "from_edges",
+    "DanglingPolicy",
+    "transition_matrix",
+    "weighted_transition_matrix",
+    "is_column_stochastic",
+    "erdos_renyi_graph",
+    "scale_free_graph",
+    "copying_web_graph",
+    "trust_graph",
+    "coauthorship_graph",
+    "spam_host_graph",
+    "ring_graph",
+    "star_graph",
+    "complete_graph",
+    "datasets",
+    "read_edge_list",
+    "write_edge_list",
+    "read_node_labels",
+    "write_node_labels",
+    "GraphStats",
+    "degree_histogram",
+    "summarize",
+]

@@ -1,0 +1,287 @@
+"""A compact, immutable directed graph backed by SciPy CSR adjacency.
+
+The reverse top-k algorithms need three things from a graph:
+
+* fast access to the out-neighbours of a node (for ink propagation),
+* the column-stochastic transition matrix ``A`` (for the power method),
+* in/out degree vectors (for hub selection).
+
+:class:`DiGraph` stores the adjacency once in CSR form (row = source) and
+derives the rest lazily, caching the results.  Edge weights are optional; an
+unweighted graph stores an implicit weight of ``1.0`` per edge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import GraphError, NodeNotFoundError
+from .._validation import check_node_index
+
+
+class DiGraph:
+    """Immutable directed graph with integer node ids ``0 .. n-1``.
+
+    Parameters
+    ----------
+    adjacency:
+        An ``n x n`` sparse (or dense) matrix where entry ``(i, j)`` is the
+        weight of edge ``i -> j``.  Zero entries are absent edges.
+    node_names:
+        Optional sequence of ``n`` human-readable node labels (e.g. author
+        names, host names).  Purely cosmetic; algorithms use integer ids.
+
+    Notes
+    -----
+    The matrix is canonicalised to CSR with sorted indices, duplicate entries
+    summed and explicit zeros removed, so two graphs built from equivalent
+    edge sets compare equal structurally.
+    """
+
+    __slots__ = (
+        "_adjacency",
+        "_adjacency_csc",
+        "_node_names",
+        "_out_degree",
+        "_in_degree",
+        "_out_weight",
+    )
+
+    def __init__(
+        self,
+        adjacency: sp.spmatrix | np.ndarray,
+        node_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        matrix = sp.csr_matrix(adjacency, dtype=np.float64)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise GraphError(
+                f"adjacency must be square, got shape {matrix.shape}"
+            )
+        if matrix.nnz and matrix.data.min() < 0:
+            raise GraphError("edge weights must be non-negative")
+        matrix.sum_duplicates()
+        matrix.eliminate_zeros()
+        matrix.sort_indices()
+        self._adjacency: sp.csr_matrix = matrix
+        self._adjacency_csc: Optional[sp.csc_matrix] = None
+        self._out_degree: Optional[np.ndarray] = None
+        self._in_degree: Optional[np.ndarray] = None
+        self._out_weight: Optional[np.ndarray] = None
+        if node_names is not None:
+            names = list(node_names)
+            if len(names) != matrix.shape[0]:
+                raise GraphError(
+                    f"expected {matrix.shape[0]} node names, got {len(names)}"
+                )
+            self._node_names: Optional[Tuple[str, ...]] = tuple(str(x) for x in names)
+        else:
+            self._node_names = None
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return self._adjacency.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges (non-zero adjacency entries)."""
+        return int(self._adjacency.nnz)
+
+    @property
+    def adjacency(self) -> sp.csr_matrix:
+        """The CSR adjacency matrix (row = source, column = target)."""
+        return self._adjacency
+
+    @property
+    def adjacency_csc(self) -> sp.csc_matrix:
+        """CSC view of the adjacency, cached (column = target)."""
+        if self._adjacency_csc is None:
+            self._adjacency_csc = self._adjacency.tocsc()
+        return self._adjacency_csc
+
+    @property
+    def node_names(self) -> Optional[Tuple[str, ...]]:
+        """Optional node labels supplied at construction time."""
+        return self._node_names
+
+    @property
+    def is_weighted(self) -> bool:
+        """``True`` when any edge weight differs from 1."""
+        return bool(self._adjacency.nnz) and not np.allclose(self._adjacency.data, 1.0)
+
+    # ------------------------------------------------------------------ #
+    # degrees
+    # ------------------------------------------------------------------ #
+    @property
+    def out_degree(self) -> np.ndarray:
+        """Out-degree (number of out-edges) per node as ``int64``."""
+        if self._out_degree is None:
+            self._out_degree = np.diff(self._adjacency.indptr).astype(np.int64)
+        return self._out_degree
+
+    @property
+    def in_degree(self) -> np.ndarray:
+        """In-degree (number of in-edges) per node as ``int64``."""
+        if self._in_degree is None:
+            self._in_degree = np.diff(self.adjacency_csc.indptr).astype(np.int64)
+        return self._in_degree
+
+    @property
+    def out_weight(self) -> np.ndarray:
+        """Total outgoing edge weight per node as ``float64``."""
+        if self._out_weight is None:
+            self._out_weight = np.asarray(self._adjacency.sum(axis=1)).ravel()
+        return self._out_weight
+
+    def dangling_nodes(self) -> np.ndarray:
+        """Return the ids of nodes with no outgoing edges."""
+        return np.flatnonzero(self.out_degree == 0).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # neighbourhood access
+    # ------------------------------------------------------------------ #
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Return the out-neighbour ids of ``node``."""
+        node = self._check_node(node)
+        start, stop = self._adjacency.indptr[node], self._adjacency.indptr[node + 1]
+        return self._adjacency.indices[start:stop].astype(np.int64)
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """Return the in-neighbour ids of ``node``."""
+        node = self._check_node(node)
+        csc = self.adjacency_csc
+        start, stop = csc.indptr[node], csc.indptr[node + 1]
+        return csc.indices[start:stop].astype(np.int64)
+
+    def out_edges(self, node: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(target, weight)`` for each out-edge of ``node``."""
+        node = self._check_node(node)
+        start, stop = self._adjacency.indptr[node], self._adjacency.indptr[node + 1]
+        for target, weight in zip(
+            self._adjacency.indices[start:stop], self._adjacency.data[start:stop]
+        ):
+            yield int(target), float(weight)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return whether the directed edge ``source -> target`` exists."""
+        source = self._check_node(source)
+        target = self._check_node(target)
+        start, stop = self._adjacency.indptr[source], self._adjacency.indptr[source + 1]
+        return bool(np.isin(target, self._adjacency.indices[start:stop]))
+
+    def edge_weight(self, source: int, target: int) -> float:
+        """Return the weight of edge ``source -> target`` (0 when absent)."""
+        source = self._check_node(source)
+        target = self._check_node(target)
+        return float(self._adjacency[source, target])
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield every edge as ``(source, target, weight)``."""
+        coo = self._adjacency.tocoo()
+        for source, target, weight in zip(coo.row, coo.col, coo.data):
+            yield int(source), int(target), float(weight)
+
+    def nodes(self) -> range:
+        """Return the node id range ``0 .. n-1``."""
+        return range(self.n_nodes)
+
+    def name_of(self, node: int) -> str:
+        """Return the label of ``node`` (falls back to ``str(node)``)."""
+        node = self._check_node(node)
+        if self._node_names is None:
+            return str(node)
+        return self._node_names[node]
+
+    def node_id(self, name: str) -> int:
+        """Return the id of the node labelled ``name``.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If the graph has no labels or ``name`` is not among them.
+        """
+        if self._node_names is None:
+            raise NodeNotFoundError(name)
+        try:
+            return self._node_names.index(name)
+        except ValueError as exc:
+            raise NodeNotFoundError(name) from exc
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def reverse(self) -> "DiGraph":
+        """Return the graph with every edge direction flipped."""
+        return DiGraph(self._adjacency.T.tocsr(), self._node_names)
+
+    def subgraph(self, nodes: Iterable[int]) -> "DiGraph":
+        """Return the induced subgraph on ``nodes`` (relabelled 0..len-1)."""
+        ids = np.asarray(sorted(set(int(v) for v in nodes)), dtype=np.int64)
+        if ids.size and (ids[0] < 0 or ids[-1] >= self.n_nodes):
+            raise GraphError("subgraph nodes outside the graph's node range")
+        sub = self._adjacency[ids][:, ids]
+        names = None
+        if self._node_names is not None:
+            names = [self._node_names[i] for i in ids]
+        return DiGraph(sub, names)
+
+    def with_self_loops_on_dangling(self) -> "DiGraph":
+        """Return a copy where every dangling node gets a self-loop.
+
+        This is one of the two dangling-node policies mentioned in the paper
+        (footnote 1 of Section 2.1).
+        """
+        dangling = self.dangling_nodes()
+        if dangling.size == 0:
+            return self
+        loops = sp.csr_matrix(
+            (np.ones(dangling.size), (dangling, dangling)),
+            shape=self._adjacency.shape,
+        )
+        return DiGraph(self._adjacency + loops, self._node_names)
+
+    def largest_out_component_heuristic(self) -> "DiGraph":
+        """Drop nodes with neither in- nor out-edges (isolated nodes)."""
+        keep = np.flatnonzero((self.out_degree > 0) | (self.in_degree > 0))
+        if keep.size == self.n_nodes:
+            return self
+        return self.subgraph(keep)
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.n_nodes
+
+    def __contains__(self, node: object) -> bool:
+        return isinstance(node, (int, np.integer)) and 0 <= int(node) < self.n_nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        if self.n_nodes != other.n_nodes or self.n_edges != other.n_edges:
+            return False
+        difference = (self._adjacency - other._adjacency)
+        return difference.nnz == 0 or bool(np.allclose(difference.data, 0.0))
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        weighted = "weighted " if self.is_weighted else ""
+        return f"DiGraph({weighted}n_nodes={self.n_nodes}, n_edges={self.n_edges})"
+
+    # ------------------------------------------------------------------ #
+    # internal helpers
+    # ------------------------------------------------------------------ #
+    def _check_node(self, node: int) -> int:
+        try:
+            return check_node_index(node, self.n_nodes)
+        except Exception as exc:
+            raise NodeNotFoundError(node) from exc

@@ -1,0 +1,129 @@
+"""Edge-list and label I/O.
+
+The paper's datasets are distributed as plain-text edge lists (SNAP / LAW
+format): one ``source target [weight]`` triple per line, ``#`` comments
+allowed.  Node labels (e.g. spam / normal) come as ``node label`` pairs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import SerializationError
+from .builder import from_edges
+from .digraph import DiGraph
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_edge_list(
+    path: PathLike,
+    *,
+    comment: str = "#",
+    delimiter: str | None = None,
+    weighted: bool = False,
+) -> DiGraph:
+    """Read a directed graph from a plain-text edge list.
+
+    Parameters
+    ----------
+    path:
+        File containing one edge per line: ``source target`` or
+        ``source target weight`` when ``weighted`` is true.
+    comment:
+        Lines starting with this prefix are skipped.
+    delimiter:
+        Column separator (default: any whitespace).
+    weighted:
+        Parse a third column as the edge weight.
+    """
+    path = Path(path)
+    edges: list[Tuple[int, int, float]] = []
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line or line.startswith(comment):
+                    continue
+                parts = line.split(delimiter)
+                if len(parts) < 2:
+                    raise SerializationError(
+                        f"{path}:{line_number}: expected at least 2 columns, got {len(parts)}"
+                    )
+                source, target = int(parts[0]), int(parts[1])
+                weight = float(parts[2]) if weighted and len(parts) > 2 else 1.0
+                edges.append((source, target, weight))
+    except OSError as exc:
+        raise SerializationError(f"cannot read edge list {path}: {exc}") from exc
+    if not edges:
+        raise SerializationError(f"edge list {path} contains no edges")
+    return from_edges(edges)
+
+
+def write_edge_list(graph: DiGraph, path: PathLike, *, weighted: bool | None = None) -> None:
+    """Write ``graph`` as a plain-text edge list.
+
+    ``weighted=None`` (default) writes weights only when the graph is weighted.
+    """
+    path = Path(path)
+    if weighted is None:
+        weighted = graph.is_weighted
+    try:
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(f"# repro edge list: {graph.n_nodes} nodes, {graph.n_edges} edges\n")
+            for source, target, weight in graph.edges():
+                if weighted:
+                    handle.write(f"{source} {target} {weight:.10g}\n")
+                else:
+                    handle.write(f"{source} {target}\n")
+    except OSError as exc:
+        raise SerializationError(f"cannot write edge list {path}: {exc}") from exc
+
+
+def read_node_labels(path: PathLike, *, comment: str = "#") -> Dict[int, str]:
+    """Read ``node label`` pairs into a dictionary."""
+    path = Path(path)
+    labels: Dict[int, str] = {}
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line or line.startswith(comment):
+                    continue
+                parts = line.split()
+                if len(parts) < 2:
+                    raise SerializationError(
+                        f"{path}:{line_number}: expected 'node label', got {line!r}"
+                    )
+                labels[int(parts[0])] = parts[1]
+    except OSError as exc:
+        raise SerializationError(f"cannot read labels {path}: {exc}") from exc
+    return labels
+
+
+def write_node_labels(labels: Dict[int, str] | Iterable[Tuple[int, str]], path: PathLike) -> None:
+    """Write node labels as ``node label`` lines."""
+    if isinstance(labels, dict):
+        items = sorted(labels.items())
+    else:
+        items = sorted(labels)
+    path = Path(path)
+    try:
+        with path.open("w", encoding="utf-8") as handle:
+            for node, label in items:
+                handle.write(f"{int(node)} {label}\n")
+    except OSError as exc:
+        raise SerializationError(f"cannot write labels {path}: {exc}") from exc
+
+
+def labels_to_array(labels: Dict[int, str], n_nodes: int, *, positive: str) -> np.ndarray:
+    """Convert a label dict into a 0/1 array where ``positive`` maps to 1."""
+    array = np.zeros(n_nodes, dtype=np.int64)
+    for node, label in labels.items():
+        if 0 <= node < n_nodes and label == positive:
+            array[node] = 1
+    return array

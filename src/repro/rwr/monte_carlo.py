@@ -1,0 +1,97 @@
+"""Monte Carlo estimation of RWR proximities (Fogaras et al. / Avrachenkov et al.).
+
+The paper's related-work section (6.2) describes two Monte Carlo estimators
+for ``p_u``:
+
+* **MC End Point** — run ``walks`` independent random walks from ``u``, each
+  terminating with probability ``alpha`` at every step; estimate ``p_u(v)``
+  as the fraction of walks that *end* at ``v``.
+* **MC Complete Path** — estimate ``p_u(v)`` from the total number of visits
+  to ``v`` along the walks, scaled by ``alpha / walks``.
+
+Both are fast but only approximate; critically they are **not** lower bounds,
+which is why the paper's index cannot use them (they appear here as baselines
+and for the approximate top-k comparison).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_node_index, check_positive_int, check_probability
+from ..utils.rng import SeedLike, ensure_rng
+from .power_method import DEFAULT_ALPHA
+
+
+def _sample_walks(
+    transition: sp.csc_matrix,
+    source: int,
+    walks: int,
+    alpha: float,
+    rng: np.random.Generator,
+    *,
+    count_visits: bool,
+    max_length: int = 1000,
+) -> np.ndarray:
+    """Simulate restart-terminated walks, counting end points or all visits."""
+    n = transition.shape[0]
+    counts = np.zeros(n, dtype=np.float64)
+    indptr, indices, data = transition.indptr, transition.indices, transition.data
+    for _ in range(walks):
+        node = source
+        if count_visits:
+            counts[node] += 1.0
+        for _ in range(max_length):
+            if rng.random() < alpha:
+                break
+            start, stop = indptr[node], indptr[node + 1]
+            if start == stop:
+                break  # dangling: treat as an immediate restart
+            weights = data[start:stop]
+            node = int(rng.choice(indices[start:stop], p=weights / weights.sum()))
+            if count_visits:
+                counts[node] += 1.0
+        if not count_visits:
+            counts[node] += 1.0
+    return counts
+
+
+def mc_end_point(
+    transition: sp.spmatrix,
+    source: int,
+    *,
+    walks: int = 2000,
+    alpha: float = DEFAULT_ALPHA,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """MC End Point estimate of ``p_source``: fraction of walks ending at each node."""
+    alpha = check_probability(alpha, "alpha")
+    walks = check_positive_int(walks, "walks")
+    n = transition.shape[0]
+    source = check_node_index(source, n, "source")
+    rng = ensure_rng(seed)
+    counts = _sample_walks(
+        transition.tocsc(), source, walks, alpha, rng, count_visits=False
+    )
+    return counts / walks
+
+
+def mc_complete_path(
+    transition: sp.spmatrix,
+    source: int,
+    *,
+    walks: int = 2000,
+    alpha: float = DEFAULT_ALPHA,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """MC Complete Path estimate: visit counts scaled by ``alpha / walks``."""
+    alpha = check_probability(alpha, "alpha")
+    walks = check_positive_int(walks, "walks")
+    n = transition.shape[0]
+    source = check_node_index(source, n, "source")
+    rng = ensure_rng(seed)
+    counts = _sample_walks(
+        transition.tocsc(), source, walks, alpha, rng, count_visits=True
+    )
+    return counts * alpha / walks

@@ -1,0 +1,25 @@
+"""Top-k RWR proximity search baselines (related work, §6.2).
+
+The reverse top-k problem verifies membership of the query in other nodes'
+top-k sets; these modules solve the *forward* problem — find the k nodes with
+the highest proximity **from** a given node — using the algorithms the paper
+cites as prior art.  They serve three purposes in this repository:
+
+* as comparison points in the ablation benchmarks,
+* as independent oracles in tests (their top-k sets must agree with the
+  index's fully-refined lower bounds),
+* to demonstrate why naively reusing them for reverse top-k is too expensive
+  (one top-k computation per node).
+"""
+
+from .exact import exact_top_k
+from .bpa import basic_push_top_k
+from .kdash import KDashIndex
+from .mc_topk import monte_carlo_top_k
+
+__all__ = [
+    "exact_top_k",
+    "basic_push_top_k",
+    "KDashIndex",
+    "monte_carlo_top_k",
+]

@@ -1,0 +1,62 @@
+"""K-dash-style exact top-k search backed by a sparse LU factorisation.
+
+Fujiwara et al. (PVLDB 2012) precompute an LU decomposition of
+``I - (1-alpha) A`` so that any proximity vector can be obtained with two
+sparse triangular solves, then prune the candidate scan with tree-based upper
+bounds.  This module reproduces the essential structure — factor once, answer
+many top-k queries exactly — which is what the paper uses K-dash for when
+discussing the brute-force cost of reverse search (Section 3).  The BFS-tree
+estimation of the original is unnecessary here because the triangular solves
+already dominate on the graph sizes we target.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_k, check_node_index
+from ..rwr.linear_solver import ProximityLU
+from ..rwr.power_method import DEFAULT_ALPHA
+from ..utils.sparsetools import dense_top_k
+
+
+class KDashIndex:
+    """Factor-once / query-many exact top-k search.
+
+    Examples
+    --------
+    >>> import scipy.sparse as sp
+    >>> import numpy as np
+    >>> transition = sp.csc_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+    >>> index = KDashIndex(transition)
+    >>> nodes, values = index.top_k(0, 1)
+    >>> int(nodes[0])
+    0
+    """
+
+    def __init__(self, transition: sp.spmatrix, *, alpha: float = DEFAULT_ALPHA) -> None:
+        self._lu = ProximityLU(transition, alpha=alpha)
+        self.alpha = alpha
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes covered by the factorisation."""
+        return self._lu.n_nodes
+
+    def proximity_vector(self, source: int) -> np.ndarray:
+        """Exact proximity vector of ``source`` via two triangular solves."""
+        return self._lu.column(source)
+
+    def top_k(self, source: int, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact top-k proximity set of ``source``: ``(node ids, values)``."""
+        source = check_node_index(source, self.n_nodes, "source")
+        k = check_k(k, self.n_nodes)
+        return dense_top_k(self.proximity_vector(source), k)
+
+    def kth_value(self, source: int, k: int) -> float:
+        """The exact k-th largest proximity value from ``source``."""
+        _, values = self.top_k(source, k)
+        return float(values[-1]) if values.size else 0.0

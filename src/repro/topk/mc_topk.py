@@ -1,0 +1,50 @@
+"""Approximate top-k via Monte Carlo simulation (Avrachenkov et al., WAW 2011).
+
+Useful when the exact order within the top-k set is not important; the paper
+lists this family as related work.  Both the End Point and the Complete Path
+estimators from :mod:`repro.rwr.monte_carlo` can back the ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_k, check_membership, check_node_index
+from ..rwr.monte_carlo import mc_complete_path, mc_end_point
+from ..rwr.power_method import DEFAULT_ALPHA
+from ..utils.rng import SeedLike
+from ..utils.sparsetools import dense_top_k
+
+
+def monte_carlo_top_k(
+    transition: sp.spmatrix,
+    source: int,
+    k: int,
+    *,
+    walks: int = 5000,
+    method: str = "complete_path",
+    alpha: float = DEFAULT_ALPHA,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Approximate top-k proximity set of ``source`` from simulated walks.
+
+    Parameters
+    ----------
+    method:
+        ``"complete_path"`` (visit counts, lower variance) or ``"end_point"``
+        (terminal nodes only).
+    walks:
+        Number of simulated random walks; accuracy grows with the square root.
+    """
+    n = transition.shape[0]
+    source = check_node_index(source, n, "source")
+    k = check_k(k, n)
+    method = check_membership(method, ("complete_path", "end_point"), "method")
+    if method == "complete_path":
+        estimate = mc_complete_path(transition, source, walks=walks, alpha=alpha, seed=seed)
+    else:
+        estimate = mc_end_point(transition, source, walks=walks, alpha=alpha, seed=seed)
+    return dense_top_k(estimate, k)

@@ -1,0 +1,44 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that may
+be ``None``, an integer, or an already-constructed :class:`numpy.random.Generator`.
+Centralising the conversion keeps behaviour consistent and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for non-deterministic behaviour, an integer for a fixed
+        seed, a :class:`~numpy.random.SeedSequence`, or an existing
+        :class:`~numpy.random.Generator` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Split ``seed`` into ``count`` independent generators.
+
+    Useful for embarrassingly-parallel work (e.g. per-node index construction
+    or Monte Carlo walkers) where each chunk must have an independent stream
+    while the overall run remains reproducible.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(count)]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

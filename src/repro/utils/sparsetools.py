@@ -1,0 +1,105 @@
+"""Sparse-vector helpers used by the BCA index and the query engine.
+
+The reverse top-k index stores per-node state (residue ink, retained ink,
+hub-accumulated ink, top-K lower bounds) as *sparse* vectors because for
+realistic graphs only a tiny fraction of entries is non-zero.  These helpers
+centralise the conversions and top-k extraction so the core algorithms stay
+readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def l1_norm(vector: np.ndarray | sp.spmatrix) -> float:
+    """Return the L1 norm of a dense or sparse vector."""
+    if sp.issparse(vector):
+        return float(np.abs(vector.data).sum()) if vector.nnz else 0.0
+    return float(np.abs(np.asarray(vector)).sum())
+
+
+def sparse_vector_from_dict(entries: Dict[int, float], size: int) -> sp.csc_matrix:
+    """Build an ``size x 1`` CSC column vector from a ``{index: value}`` dict."""
+    if not entries:
+        return sp.csc_matrix((size, 1), dtype=np.float64)
+    indices = np.fromiter(entries.keys(), dtype=np.int64, count=len(entries))
+    values = np.fromiter(entries.values(), dtype=np.float64, count=len(entries))
+    order = np.argsort(indices)
+    indices, values = indices[order], values[order]
+    indptr = np.array([0, len(indices)], dtype=np.int64)
+    return sp.csc_matrix((values, indices, indptr), shape=(size, 1))
+
+
+def sparse_column_to_dense(column: sp.spmatrix | np.ndarray, size: int | None = None) -> np.ndarray:
+    """Return a flat dense ``float64`` array for a (possibly sparse) column."""
+    if sp.issparse(column):
+        return np.asarray(column.todense(), dtype=np.float64).ravel()
+    dense = np.asarray(column, dtype=np.float64).ravel()
+    if size is not None and dense.size != size:
+        raise ValueError(f"expected a vector of length {size}, got {dense.size}")
+    return dense
+
+
+def dense_top_k(values: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the indices and values of the ``k`` largest entries, descending.
+
+    Ties are broken by ascending index so the result is deterministic.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    k = min(int(k), values.size)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    # argpartition gives the k largest in O(n); a final sort orders them.
+    candidate = np.argpartition(-values, k - 1)[:k]
+    # Sort by (-value, index) for deterministic tie-breaking.
+    order = np.lexsort((candidate, -values[candidate]))
+    top = candidate[order]
+    return top.astype(np.int64), values[top]
+
+
+def sparse_top_k(column: sp.spmatrix, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-k of a sparse column without densifying the full vector.
+
+    Entries absent from the sparse structure are treated as zero; if fewer
+    than ``k`` stored entries exist, zeros pad the value array (with index -1)
+    only when the column genuinely has fewer than ``k`` non-zero entries but
+    the caller asked for more — callers that need exactly ``k`` physical slots
+    should handle padding themselves.
+    """
+    if not sp.issparse(column):
+        return dense_top_k(np.asarray(column), k)
+    column = column.tocoo()
+    if column.nnz == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    rows = column.row if column.shape[1] == 1 else column.col
+    values = column.data
+    k_eff = min(int(k), values.size)
+    candidate = np.argpartition(-values, k_eff - 1)[:k_eff]
+    order = np.lexsort((rows[candidate], -values[candidate]))
+    chosen = candidate[order]
+    return rows[chosen].astype(np.int64), values[chosen].astype(np.float64)
+
+
+def top_k_descending(values: np.ndarray, k: int) -> np.ndarray:
+    """Return just the ``k`` largest values in descending order (padded with 0).
+
+    The lower-bound matrix of the index stores exactly ``K`` slots per node;
+    when a node has fewer than ``K`` positive proximity estimates the tail is
+    zero, which is a valid (trivial) lower bound.
+    """
+    _, top_values = dense_top_k(values, k)
+    if top_values.size < k:
+        top_values = np.pad(top_values, (0, k - top_values.size))
+    return top_values
+
+
+def iter_sparse_entries(column: sp.spmatrix) -> Iterable[Tuple[int, float]]:
+    """Yield ``(index, value)`` pairs of a sparse column vector."""
+    coo = column.tocoo()
+    rows = coo.row if coo.shape[1] == 1 else coo.col
+    for index, value in zip(rows.tolist(), coo.data.tolist()):
+        yield int(index), float(value)

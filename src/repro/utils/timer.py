@@ -1,0 +1,90 @@
+"""A tiny wall-clock timer used by the evaluation harness and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class Timer:
+    """Context-manager stopwatch measuring wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    def restart(self) -> None:
+        """Reset the timer and start measuring again."""
+        self.elapsed = 0.0
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop measuring and return the elapsed time in seconds."""
+        self.__exit__(None, None, None)
+        return self.elapsed
+
+
+@dataclass
+class StageTimer:
+    """Accumulates named timing stages, e.g. ``pmpn``, ``prune``, ``refine``.
+
+    The online query engine uses this to report where query time is spent,
+    mirroring the per-stage discussion in Section 5.3 of the paper.
+    """
+
+    stages: Dict[str, float] = field(default_factory=dict)
+    _order: List[str] = field(default_factory=list)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Add ``seconds`` to the accumulated total of ``stage``."""
+        if stage not in self.stages:
+            self.stages[stage] = 0.0
+            self._order.append(stage)
+        self.stages[stage] += float(seconds)
+
+    def time(self, stage: str) -> "_StageContext":
+        """Return a context manager that records its duration under ``stage``."""
+        return _StageContext(self, stage)
+
+    @property
+    def total(self) -> float:
+        """Total seconds across every stage."""
+        return sum(self.stages.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return stage totals in insertion order."""
+        return {name: self.stages[name] for name in self._order}
+
+
+class _StageContext:
+    def __init__(self, parent: StageTimer, stage: str) -> None:
+        self._parent = parent
+        self._stage = stage
+        self._timer = Timer()
+
+    def __enter__(self) -> "_StageContext":
+        self._timer.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.__exit__(*exc_info)
+        self._parent.add(self._stage, self._timer.elapsed)

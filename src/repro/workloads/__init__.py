@@ -1,0 +1,18 @@
+"""Query workload generation and parameter sweeps for the evaluation harness."""
+
+from .queries import (
+    uniform_query_workload,
+    degree_weighted_query_workload,
+    all_nodes_workload,
+    QueryWorkload,
+)
+from .sweep import ParameterSweep, SweepPoint
+
+__all__ = [
+    "uniform_query_workload",
+    "degree_weighted_query_workload",
+    "all_nodes_workload",
+    "QueryWorkload",
+    "ParameterSweep",
+    "SweepPoint",
+]

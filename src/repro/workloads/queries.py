@@ -1,0 +1,89 @@
+"""Query workload generators (Section 5.3 runs 500-query workloads per graph)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..graph.digraph import DiGraph
+from ..utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A sequence of reverse top-k queries to run against one graph.
+
+    Attributes
+    ----------
+    queries:
+        Node ids, in execution order.
+    k:
+        The reverse top-k depth shared by all queries.
+    description:
+        Human-readable provenance ("uniform", "degree-weighted", ...).
+    """
+
+    queries: np.ndarray
+    k: int
+    description: str = ""
+
+    def __len__(self) -> int:
+        return int(self.queries.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(q) for q in self.queries)
+
+    def with_k(self, k: int) -> "QueryWorkload":
+        """The same query sequence at a different depth ``k`` (Figure 5 sweeps)."""
+        return QueryWorkload(self.queries.copy(), check_positive_int(k, "k"), self.description)
+
+
+def uniform_query_workload(
+    graph: DiGraph | int,
+    n_queries: int,
+    *,
+    k: int = 10,
+    seed: SeedLike = 0,
+    replace: bool = True,
+) -> QueryWorkload:
+    """Sample query nodes uniformly at random (the paper's default workload)."""
+    n_nodes = graph if isinstance(graph, int) else graph.n_nodes
+    n_queries = check_positive_int(n_queries, "n_queries")
+    rng = ensure_rng(seed)
+    if not replace:
+        n_queries = min(n_queries, n_nodes)
+        queries = rng.choice(n_nodes, size=n_queries, replace=False)
+    else:
+        queries = rng.integers(0, n_nodes, size=n_queries)
+    return QueryWorkload(queries.astype(np.int64), k, "uniform")
+
+
+def degree_weighted_query_workload(
+    graph: DiGraph,
+    n_queries: int,
+    *,
+    k: int = 10,
+    seed: SeedLike = 0,
+    direction: str = "in",
+) -> QueryWorkload:
+    """Sample query nodes proportionally to degree.
+
+    High in-degree nodes are the typical targets of spam-style analyses, so
+    this workload stresses the harder queries (larger candidate sets).
+    """
+    n_queries = check_positive_int(n_queries, "n_queries")
+    rng = ensure_rng(seed)
+    degrees = (graph.in_degree if direction == "in" else graph.out_degree).astype(np.float64)
+    weights = degrees + 1.0
+    probabilities = weights / weights.sum()
+    queries = rng.choice(graph.n_nodes, size=n_queries, p=probabilities)
+    return QueryWorkload(queries.astype(np.int64), k, f"degree-weighted ({direction})")
+
+
+def all_nodes_workload(graph: DiGraph | int, *, k: int = 10) -> QueryWorkload:
+    """Every node exactly once, in id order (the Figure 8 cumulative workload)."""
+    n_nodes = graph if isinstance(graph, int) else graph.n_nodes
+    return QueryWorkload(np.arange(n_nodes, dtype=np.int64), k, "all-nodes")

@@ -1,0 +1,75 @@
+"""Generic parameter sweep runner used by the table/figure experiments.
+
+Each experiment in the paper varies one or two parameters (``k``, the hub
+budget ``B``, the rounding threshold ``omega``, update vs. no-update) and
+reports one or more metrics per setting.  :class:`ParameterSweep` factors out
+the bookkeeping so individual experiments stay short and declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated parameter setting and its measured metrics."""
+
+    parameters: Dict[str, Any]
+    metrics: Dict[str, float]
+
+    def __getitem__(self, key: str) -> Any:
+        if key in self.metrics:
+            return self.metrics[key]
+        return self.parameters[key]
+
+
+class ParameterSweep:
+    """Run a measurement function over the Cartesian product of parameter axes.
+
+    Examples
+    --------
+    >>> sweep = ParameterSweep({"k": [1, 2]})
+    >>> points = sweep.run(lambda k: {"twice": 2.0 * k})
+    >>> [(p.parameters["k"], p.metrics["twice"]) for p in points]
+    [(1, 2.0), (2, 4.0)]
+    """
+
+    def __init__(self, axes: Mapping[str, Sequence[Any]]) -> None:
+        if not axes:
+            raise ValueError("at least one parameter axis is required")
+        self.axes = {name: list(values) for name, values in axes.items()}
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+
+    def points(self) -> List[Dict[str, Any]]:
+        """All parameter combinations in row-major order of the given axes."""
+        combinations: List[Dict[str, Any]] = [{}]
+        for name, values in self.axes.items():
+            combinations = [
+                {**existing, name: value} for existing in combinations for value in values
+            ]
+        return combinations
+
+    def run(
+        self,
+        measure: Callable[..., Mapping[str, float]],
+        *,
+        on_point: Callable[[SweepPoint], None] | None = None,
+    ) -> List[SweepPoint]:
+        """Call ``measure(**parameters)`` for every combination.
+
+        ``measure`` must return a mapping of metric name to value.  The
+        optional ``on_point`` callback receives each finished point (useful
+        for streaming progress output from long benchmark runs).
+        """
+        results: List[SweepPoint] = []
+        for parameters in self.points():
+            metrics = dict(measure(**parameters))
+            point = SweepPoint(parameters=parameters, metrics=metrics)
+            results.append(point)
+            if on_point is not None:
+                on_point(point)
+        return results

@@ -1,0 +1,140 @@
+"""Tests for the application modules: spam detection, author popularity, recommendations."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    AuthorPopularityAnalyzer,
+    ProductInfluenceAnalyzer,
+    SpamDetector,
+)
+from repro.core import IndexParams
+from repro.graph.generators import copurchase_graph
+
+
+SMALL_PARAMS = IndexParams(capacity=10, hub_budget=4)
+
+
+class TestSpamDetector:
+    @pytest.fixture(scope="class")
+    def detector(self, labelled_spam_graph):
+        graph, labels = labelled_spam_graph
+        return SpamDetector(graph, labels, k=5, params=SMALL_PARAMS)
+
+    def test_rejects_mismatched_labels(self, labelled_spam_graph):
+        graph, _ = labelled_spam_graph
+        with pytest.raises(ValueError):
+            SpamDetector(graph, np.zeros(3), k=5)
+
+    def test_spam_ratio_in_unit_interval(self, detector, labelled_spam_graph):
+        _, labels = labelled_spam_graph
+        spam_host = int(np.flatnonzero(labels == 1)[0])
+        ratio = detector.spam_ratio(spam_host)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_spam_farm_target_has_spammy_reverse_set(self, detector, labelled_spam_graph):
+        # The spam host with the highest in-degree is the link-farm target;
+        # its reverse top-k set must be dominated by other spam hosts.
+        graph, labels = labelled_spam_graph
+        spam_hosts = np.flatnonzero(labels == 1)
+        target = int(spam_hosts[np.argmax(graph.in_degree[spam_hosts])])
+        assert detector.spam_ratio(target) > 0.5
+
+    def test_evaluate_report_structure(self, detector):
+        report = detector.evaluate(max_queries_per_class=5)
+        assert report.spam_queries == 5
+        assert report.normal_queries == 5
+        assert 0.0 <= report.mean_spam_ratio_for_spam <= 1.0
+        assert report.separation() == pytest.approx(
+            report.mean_spam_ratio_for_spam - report.mean_spam_ratio_for_normal
+        )
+
+    def test_separation_is_positive(self, detector):
+        report = detector.evaluate(max_queries_per_class=8)
+        assert report.separation() > 0.0
+
+    def test_classify_uses_threshold(self, detector, labelled_spam_graph):
+        _, labels = labelled_spam_graph
+        spam_host = int(np.flatnonzero(labels == 1)[0])
+        assert detector.classify(spam_host, threshold=0.0) is True
+        assert detector.classify(spam_host, threshold=1.0) in (True, False)
+
+    def test_explicit_samples_respected(self, detector, labelled_spam_graph):
+        _, labels = labelled_spam_graph
+        spam = np.flatnonzero(labels == 1)[:2].tolist()
+        normal = np.flatnonzero(labels == 0)[:3].tolist()
+        report = detector.evaluate(spam_sample=spam, normal_sample=normal)
+        assert report.spam_queries == 2
+        assert report.normal_queries == 3
+
+
+class TestAuthorPopularity:
+    @pytest.fixture(scope="class")
+    def analyzer(self, weighted_coauthor_graph):
+        graph, _ = weighted_coauthor_graph
+        return AuthorPopularityAnalyzer(graph, k=4, params=SMALL_PARAMS)
+
+    def test_ranking_sorted_by_list_size(self, analyzer):
+        ranking = analyzer.ranking(top=5)
+        sizes = [record.reverse_top_k_size for record in ranking]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_ranking_length(self, analyzer):
+        assert len(analyzer.ranking(top=3)) == 3
+
+    def test_popularity_record_fields(self, analyzer, weighted_coauthor_graph):
+        graph, _ = weighted_coauthor_graph
+        record = analyzer.popularity(0)
+        assert record.author == 0
+        assert record.name == graph.name_of(0)
+        assert record.n_coauthors == int(graph.out_degree[0])
+        assert record.indirect_reach >= 0
+
+    def test_prolific_author_tops_ranking(self, analyzer, weighted_coauthor_graph):
+        graph, paper_counts = weighted_coauthor_graph
+        prolific = int(np.argmax(paper_counts))
+        top_authors = [record.author for record in analyzer.ranking(top=5)]
+        assert prolific in top_authors
+
+    def test_reverse_size_can_exceed_degree(self, analyzer, weighted_coauthor_graph):
+        # The Table 3 effect: at least one author is known well beyond co-authors.
+        graph, _ = weighted_coauthor_graph
+        mapping = analyzer.popularity_versus_degree()
+        assert any(size > degree for size, degree in mapping.values())
+
+    def test_subset_ranking(self, analyzer):
+        ranking = analyzer.ranking(top=2, authors=[0, 1, 2, 3])
+        assert len(ranking) == 2
+        assert all(record.author in {0, 1, 2, 3} for record in ranking)
+
+
+class TestProductInfluence:
+    @pytest.fixture(scope="class")
+    def analyzer(self):
+        graph, _ = copurchase_graph(60, seed=8)
+        return ProductInfluenceAnalyzer(graph, k=5, params=SMALL_PARAMS)
+
+    def test_influencers_sorted_by_proximity(self, analyzer):
+        record = analyzer.influencers(0)
+        values = record.proximities
+        assert all(values[i] >= values[i + 1] for i in range(len(values) - 1))
+
+    def test_top_truncation(self, analyzer):
+        record = analyzer.influencers(3)
+        assert len(record.top(2)) <= 2
+
+    def test_promotion_bundle_excludes_product(self, analyzer):
+        bundle = analyzer.promotion_bundle(5, size=3)
+        assert 5 not in bundle
+        assert len(bundle) <= 3
+
+    def test_influence_scores_keys(self, analyzer):
+        scores = analyzer.influence_scores([0, 1, 2])
+        assert set(scores) == {0, 1, 2}
+        assert all(size >= 0 for size in scores.values())
+
+    def test_invalid_product_rejected(self, analyzer):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            analyzer.influencers(10_000)

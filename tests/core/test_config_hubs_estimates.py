@@ -1,0 +1,167 @@
+"""Tests for IndexParams/QueryParams, hub selection and the analytical estimates."""
+
+import numpy as np
+import pytest
+
+from repro.core import IndexParams, QueryParams
+from repro.core.estimates import (
+    DEFAULT_BETA,
+    hub_entries_above_threshold,
+    predicted_index_bytes,
+    predicted_index_entries,
+    rounding_error_bound,
+)
+from repro.core.hubs import HubSet, select_hubs_by_degree, select_hubs_greedy
+from repro.exceptions import InvalidParameterError
+from repro.graph import copying_web_graph, star_graph, transition_matrix
+
+
+class TestIndexParams:
+    def test_paper_defaults(self):
+        params = IndexParams()
+        assert params.alpha == 0.15
+        assert params.capacity == 200
+        assert params.propagation_threshold == 1e-4
+        assert params.residue_threshold == 0.1
+        assert params.rounding_threshold == 1e-6
+
+    def test_rejects_invalid_alpha(self):
+        with pytest.raises((InvalidParameterError, ValueError)):
+            IndexParams(alpha=1.5)
+
+    def test_rejects_negative_hub_budget(self):
+        with pytest.raises(ValueError):
+            IndexParams(hub_budget=-1)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises((InvalidParameterError, ValueError)):
+            IndexParams(capacity=0)
+
+    def test_for_graph_clamps_capacity(self):
+        params = IndexParams(capacity=200, hub_budget=50).for_graph(20)
+        assert params.capacity == 20
+        assert params.hub_budget <= 10
+
+    def test_for_graph_noop_when_small_enough(self):
+        params = IndexParams(capacity=5, hub_budget=2)
+        assert params.for_graph(100) is params
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            IndexParams().alpha = 0.3  # type: ignore[misc]
+
+
+class TestQueryParams:
+    def test_defaults(self):
+        params = QueryParams()
+        assert params.k == 10
+        assert params.update_index is True
+
+    def test_rejects_bad_k(self):
+        with pytest.raises((InvalidParameterError, ValueError)):
+            QueryParams(k=0)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises((InvalidParameterError, ValueError)):
+            QueryParams(tolerance=-1.0)
+
+
+class TestHubSet:
+    def test_from_iterable_dedupes_and_sorts(self):
+        hubs = HubSet.from_iterable([5, 1, 5, 3])
+        assert hubs.nodes == (1, 3, 5)
+
+    def test_membership_and_position(self):
+        hubs = HubSet.from_iterable([2, 7])
+        assert 7 in hubs
+        assert 3 not in hubs
+        assert hubs.position(7) == 1
+
+    def test_mask(self):
+        hubs = HubSet.from_iterable([0, 2])
+        assert hubs.mask(4).tolist() == [True, False, True, False]
+
+    def test_empty(self):
+        hubs = HubSet(())
+        assert len(hubs) == 0
+        assert not hubs.mask(3).any()
+
+
+class TestDegreeHubSelection:
+    def test_star_centre_selected(self):
+        star = star_graph(6)
+        hubs = select_hubs_by_degree(star, 1)
+        assert 0 in hubs
+
+    def test_budget_zero_gives_empty(self, small_web_graph):
+        assert len(select_hubs_by_degree(small_web_graph, 0)) == 0
+
+    def test_size_between_budget_and_twice_budget(self, small_web_graph):
+        budget = 5
+        hubs = select_hubs_by_degree(small_web_graph, budget)
+        assert budget <= len(hubs) <= 2 * budget
+
+    def test_contains_highest_in_degree_node(self, small_web_graph):
+        hubs = select_hubs_by_degree(small_web_graph, 3)
+        assert int(np.argmax(small_web_graph.in_degree)) in hubs
+
+    def test_budget_larger_than_graph(self, small_web_graph):
+        hubs = select_hubs_by_degree(small_web_graph, 10_000)
+        assert len(hubs) == small_web_graph.n_nodes
+
+    def test_deterministic(self, small_web_graph):
+        assert select_hubs_by_degree(small_web_graph, 4).nodes == select_hubs_by_degree(
+            small_web_graph, 4
+        ).nodes
+
+
+class TestGreedyHubSelection:
+    def test_returns_requested_count(self, small_web_graph, small_transition):
+        hubs = select_hubs_greedy(small_web_graph, small_transition, 5, seed=1)
+        assert len(hubs) == 5
+
+    def test_reproducible(self, small_web_graph, small_transition):
+        first = select_hubs_greedy(small_web_graph, small_transition, 4, seed=2)
+        second = select_hubs_greedy(small_web_graph, small_transition, 4, seed=2)
+        assert first.nodes == second.nodes
+
+    def test_greedy_hubs_have_aboveaverage_degree(self, small_web_graph, small_transition):
+        hubs = select_hubs_greedy(small_web_graph, small_transition, 5, seed=0)
+        total_degree = small_web_graph.in_degree + small_web_graph.out_degree
+        assert total_degree[list(hubs.nodes)].mean() >= total_degree.mean() * 0.8
+
+
+class TestEstimates:
+    def test_entries_decrease_with_larger_threshold(self):
+        few = hub_entries_above_threshold(10_000, 1e-4)
+        many = hub_entries_above_threshold(10_000, 1e-6)
+        assert few < many
+
+    def test_entries_capped_at_n(self):
+        assert hub_entries_above_threshold(100, 1e-12) == 100
+
+    def test_predicted_entries_structure(self):
+        total = predicted_index_entries(1000, 50, 10, 1e-6)
+        assert total >= 50 * 1000  # at least the K*n lower bound matrix
+
+    def test_predicted_bytes_grow_with_hubs(self):
+        small = predicted_index_bytes(1000, 50, 5, 1e-6)
+        large = predicted_index_bytes(1000, 50, 50, 1e-6)
+        assert large > small
+
+    def test_rounding_error_bound_in_unit_interval(self):
+        for omega in (1e-4, 1e-6, 1e-8):
+            bound = rounding_error_bound(10_000, omega)
+            assert 0.0 <= bound <= 1.0
+
+    def test_rounding_error_bound_monotone_in_omega(self):
+        coarse = rounding_error_bound(10_000, 1e-3)
+        fine = rounding_error_bound(10_000, 1e-7)
+        assert fine <= coarse
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            rounding_error_bound(100, 1e-6, beta=1.5)
+
+    def test_default_beta_matches_paper(self):
+        assert DEFAULT_BETA == pytest.approx(0.76)

@@ -1,0 +1,256 @@
+"""Tests for Algorithm 1 (lower-bound indexing) and the index data structure."""
+
+import copy
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import IndexParams, build_index
+from repro.core.hubs import HubSet, select_hubs_by_degree
+from repro.core.index import NodeState, ReverseTopKIndex
+from repro.core.lbi import bca_iteration, initial_node_state, refine_node_state
+from repro.graph import transition_matrix
+from repro.utils.sparsetools import top_k_descending
+
+
+class TestNodeState:
+    def test_residual_mass(self):
+        state = NodeState(residual={0: 0.4, 3: 0.1})
+        assert state.residual_mass == pytest.approx(0.5)
+
+    def test_is_exact(self):
+        assert NodeState(residual={}).is_exact
+        assert not NodeState(residual={1: 0.2}).is_exact
+        assert NodeState(is_hub=True).is_exact
+
+    def test_kth_lower_bound_padding(self):
+        state = NodeState(lower_bounds=np.array([0.5, 0.2]))
+        assert state.kth_lower_bound(1) == 0.5
+        assert state.kth_lower_bound(2) == 0.2
+        assert state.kth_lower_bound(5) == 0.0
+
+    def test_kth_lower_bound_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            NodeState().kth_lower_bound(0)
+
+    def test_copy_is_deep(self):
+        state = NodeState(residual={0: 1.0}, lower_bounds=np.array([0.3]))
+        clone = state.copy()
+        clone.residual[0] = 0.5
+        clone.lower_bounds[0] = 0.0
+        assert state.residual[0] == 1.0
+        assert state.lower_bounds[0] == 0.3
+
+    def test_stored_entries(self):
+        state = NodeState(residual={0: 1.0}, retained={1: 0.2, 2: 0.1}, hub_ink={3: 0.3})
+        assert state.stored_entries() == 4
+
+
+class TestBCAIteration:
+    def test_mass_conservation_across_iterations(self, small_transition, small_params):
+        hub_mask = np.zeros(small_transition.shape[0], dtype=bool)
+        state = initial_node_state(0, False)
+        matrix = sp.csc_matrix(small_transition)
+        for _ in range(6):
+            before = (
+                sum(state.retained.values())
+                + sum(state.hub_ink.values())
+                + state.residual_mass
+            )
+            progressed = bca_iteration(state, matrix, hub_mask, small_params)
+            after = (
+                sum(state.retained.values())
+                + sum(state.hub_ink.values())
+                + state.residual_mass
+            )
+            assert after == pytest.approx(before, abs=1e-12)
+            if not progressed:
+                break
+
+    def test_residual_shrinks(self, small_transition, small_params):
+        hub_mask = np.zeros(small_transition.shape[0], dtype=bool)
+        state = initial_node_state(0, False)
+        matrix = sp.csc_matrix(small_transition)
+        masses = [state.residual_mass]
+        for _ in range(5):
+            bca_iteration(state, matrix, hub_mask, small_params)
+            masses.append(state.residual_mass)
+        assert masses[-1] < masses[0]
+
+    def test_hub_ink_collected(self, small_web_graph, small_transition, small_params):
+        hubs = select_hubs_by_degree(small_web_graph, 3)
+        hub_mask = hubs.mask(small_web_graph.n_nodes)
+        start = next(v for v in range(small_web_graph.n_nodes) if not hub_mask[v])
+        state = initial_node_state(start, False)
+        matrix = sp.csc_matrix(small_transition)
+        for _ in range(4):
+            bca_iteration(state, matrix, hub_mask, small_params)
+        # All hub_ink keys must be hubs and no residue may sit at a hub.
+        assert all(hub in hubs for hub in state.hub_ink)
+        assert all(not hub_mask[node] for node in state.residual)
+
+    def test_returns_false_without_active_nodes(self, small_transition, small_params):
+        hub_mask = np.zeros(small_transition.shape[0], dtype=bool)
+        state = NodeState(residual={0: small_params.propagation_threshold / 10})
+        assert not bca_iteration(state, sp.csc_matrix(small_transition), hub_mask, small_params)
+
+
+class TestBuildIndex:
+    def test_index_shape(self, small_index, small_web_graph, small_params):
+        assert small_index.n_nodes == small_web_graph.n_nodes
+        assert small_index.capacity == small_params.capacity
+        assert small_index.hub_matrix.shape == (
+            small_web_graph.n_nodes,
+            len(small_index.hubs),
+        )
+
+    def test_lower_bounds_are_descending(self, small_index):
+        for _, state in small_index.states():
+            bounds = state.lower_bounds
+            assert np.all(np.diff(bounds) <= 1e-12)
+
+    def test_lower_bounds_never_exceed_exact(self, small_index, small_exact_matrix):
+        for node, state in small_index.states():
+            exact_sorted = np.sort(small_exact_matrix[:, node])[::-1]
+            k = min(state.lower_bounds.size, exact_sorted.size)
+            assert np.all(state.lower_bounds[:k] <= exact_sorted[:k] + 1e-9)
+
+    def test_hub_states_are_exact(self, small_index, small_exact_matrix):
+        for hub in small_index.hubs:
+            state = small_index.state(hub)
+            assert state.is_hub
+            assert state.is_exact
+            exact_top = top_k_descending(small_exact_matrix[:, hub], small_index.capacity)
+            np.testing.assert_allclose(state.lower_bounds, exact_top, atol=1e-7)
+
+    def test_non_hub_residual_below_delta(self, small_index, small_params):
+        for node, state in small_index.states():
+            if not state.is_hub:
+                assert state.residual_mass <= small_params.residue_threshold + 1e-9
+
+    def test_approximate_vector_is_lower_bound(self, small_index, small_exact_matrix):
+        for node in (0, 5, 20, 41):
+            approx = small_index.approximate_vector(node)
+            assert np.all(approx <= small_exact_matrix[:, node] + 1e-9)
+
+    def test_kth_lower_bounds_row(self, small_index):
+        row = small_index.kth_lower_bounds(3)
+        assert row.shape == (small_index.n_nodes,)
+        assert np.all(row >= 0)
+
+    def test_lower_bound_matrix_shape(self, small_index):
+        matrix = small_index.lower_bound_matrix()
+        assert matrix.shape == (small_index.capacity, small_index.n_nodes)
+
+    def test_zero_hub_budget(self, small_web_graph, small_transition):
+        params = IndexParams(capacity=10, hub_budget=0)
+        index = build_index(small_web_graph, params, transition=small_transition)
+        assert len(index.hubs) == 0
+        assert index.hub_matrix.shape[1] == 0
+
+    def test_build_from_transition_matrix_only(self, small_transition):
+        params = IndexParams(capacity=10, hub_budget=3)
+        index = build_index(small_transition, params)
+        assert index.n_nodes == small_transition.shape[0]
+        assert len(index.hubs) >= 3
+
+    def test_rounding_reduces_hub_matrix_size(self, small_trust_graph):
+        # The trust graph is well connected, so hub proximity vectors have a
+        # long tail of small entries that rounding removes.
+        matrix = transition_matrix(small_trust_graph)
+        exact = build_index(
+            small_trust_graph,
+            IndexParams(capacity=10, hub_budget=4, rounding_threshold=0.0),
+            transition=matrix,
+        )
+        rounded = build_index(
+            small_trust_graph,
+            IndexParams(capacity=10, hub_budget=4, rounding_threshold=1e-3),
+            transition=matrix,
+        )
+        assert rounded.hub_matrix.nnz < exact.hub_matrix.nnz
+        assert rounded.total_bytes() < exact.total_bytes()
+        assert np.all(rounded.hub_deficit >= 0.0)
+        assert np.any(rounded.hub_deficit > 0.0)
+
+    def test_hub_deficit_zero_without_rounding(self, small_web_graph, small_transition):
+        index = build_index(
+            small_web_graph,
+            IndexParams(capacity=10, hub_budget=4, rounding_threshold=0.0),
+            transition=small_transition,
+        )
+        np.testing.assert_allclose(index.hub_deficit, 0.0, atol=1e-12)
+
+    def test_build_seconds_recorded(self, small_index):
+        assert small_index.build_seconds > 0.0
+
+    def test_storage_accounting_keys(self, small_index):
+        storage = small_index.storage_bytes()
+        assert set(storage) == {"lower_bounds", "bca_state", "hub_matrix", "total"}
+        assert storage["total"] == sum(v for k, v in storage.items() if k != "total")
+
+
+class TestRefinement:
+    def test_refinement_tightens_lower_bounds(self, small_web_graph, small_transition, small_params):
+        index = build_index(small_web_graph, small_params, transition=small_transition)
+        hub_mask = index.hubs.mask(small_web_graph.n_nodes)
+        matrix = sp.csc_matrix(small_transition)
+        refined_any = False
+        for node, state in index.states():
+            if state.is_exact:
+                continue
+            before = state.lower_bounds.copy()
+            progressed = refine_node_state(state, index, matrix, hub_mask)
+            if progressed:
+                refined_any = True
+                assert np.all(state.lower_bounds >= before - 1e-12)
+        assert refined_any
+
+    def test_refinement_to_exhaustion_matches_exact(
+        self, small_web_graph, small_transition, small_exact_matrix
+    ):
+        params = IndexParams(capacity=10, hub_budget=4, rounding_threshold=0.0)
+        index = build_index(small_web_graph, params, transition=small_transition)
+        hub_mask = index.hubs.mask(small_web_graph.n_nodes)
+        matrix = sp.csc_matrix(small_transition)
+        node = next(v for v, s in index.states() if not s.is_hub)
+        state = index.state(node)
+        for _ in range(10_000):
+            if not refine_node_state(state, index, matrix, hub_mask):
+                break
+        exact_top = top_k_descending(small_exact_matrix[:, node], params.capacity)
+        np.testing.assert_allclose(state.lower_bounds, exact_top, atol=1e-6)
+
+
+class TestIndexPersistence:
+    def test_save_load_round_trip(self, small_index, tmp_path):
+        path = tmp_path / "index.npz"
+        small_index.save(path)
+        loaded = ReverseTopKIndex.load(path)
+        assert loaded.n_nodes == small_index.n_nodes
+        assert loaded.capacity == small_index.capacity
+        assert loaded.hubs.nodes == small_index.hubs.nodes
+        for node, state in small_index.states():
+            restored = loaded.state(node)
+            assert restored.residual == pytest.approx(state.residual)
+            assert restored.retained == pytest.approx(state.retained)
+            assert restored.hub_ink == pytest.approx(state.hub_ink)
+            np.testing.assert_allclose(restored.lower_bounds, state.lower_bounds)
+            assert restored.is_hub == state.is_hub
+
+    def test_loaded_index_answers_queries(self, small_index, small_transition, tmp_path):
+        from repro.core import ReverseTopKEngine
+
+        path = tmp_path / "index.npz"
+        small_index.save(path)
+        loaded = ReverseTopKIndex.load(path)
+        original = ReverseTopKEngine(small_transition, copy.deepcopy(small_index)).query(3, 5)
+        restored = ReverseTopKEngine(small_transition, loaded).query(3, 5)
+        assert set(original.nodes.tolist()) == set(restored.nodes.tolist())
+
+    def test_load_missing_file_raises(self, tmp_path):
+        from repro.exceptions import SerializationError
+
+        with pytest.raises(SerializationError):
+            ReverseTopKIndex.load(tmp_path / "nope.npz")

@@ -1,0 +1,88 @@
+"""Tests for Algorithm 2 (PMPN) — exact proximities to a node."""
+
+import numpy as np
+import pytest
+
+from repro.core.pmpn import PMPNResult, pmpn_iteration_bound, proximity_to_node
+from repro.exceptions import ConvergenceError, InvalidParameterError
+from repro.graph import ring_graph, transition_matrix
+from repro.rwr import ProximityLU, proximity_column
+
+
+class TestPMPNCorrectness:
+    def test_matches_row_of_exact_matrix(self, small_transition, small_exact_matrix):
+        for query in (0, 5, 23):
+            result = proximity_to_node(small_transition, query)
+            np.testing.assert_allclose(result.proximities, small_exact_matrix[query, :], atol=1e-7)
+
+    def test_matches_column_entries(self, small_transition):
+        # p_{q,*}(u) must equal p_u(q) computed column-wise (Theorem 2).
+        query = 7
+        row = proximity_to_node(small_transition, query).proximities
+        for node in (0, 3, 11, 30):
+            column = proximity_column(small_transition, node)
+            assert row[node] == pytest.approx(column[query], abs=1e-7)
+
+    def test_cost_independent_of_result_size(self, small_transition):
+        # Same iteration count magnitude as a single forward power-method run.
+        result = proximity_to_node(small_transition, 0, tolerance=1e-10)
+        assert result.iterations <= 2 * pmpn_iteration_bound(0.15, 1e-10) + 10
+
+    def test_converges_from_arbitrary_start(self, small_transition, small_exact_matrix):
+        n = small_transition.shape[0]
+        rng = np.random.default_rng(0)
+        start = rng.random(n) * 5.0
+        result = proximity_to_node(small_transition, 9, initial=start)
+        np.testing.assert_allclose(result.proximities, small_exact_matrix[9, :], atol=1e-7)
+
+    def test_ring_graph_row(self):
+        matrix = transition_matrix(ring_graph(5))
+        lu = ProximityLU(matrix)
+        row = proximity_to_node(matrix, 2).proximities
+        np.testing.assert_allclose(row, lu.row(2), atol=1e-8)
+
+    def test_query_entry_is_largest_on_ring(self):
+        # On a symmetric cycle, the node closest to q (q itself) contributes most.
+        matrix = transition_matrix(ring_graph(7))
+        row = proximity_to_node(matrix, 3).proximities
+        assert int(np.argmax(row)) == 3
+
+
+class TestPMPNBehaviour:
+    def test_result_fields(self, small_transition):
+        result = proximity_to_node(small_transition, 1)
+        assert isinstance(result, PMPNResult)
+        assert result.converged
+        assert result.residual < 1e-10
+        assert result.iterations > 0
+
+    def test_rejects_bad_query(self, small_transition):
+        with pytest.raises(InvalidParameterError):
+            proximity_to_node(small_transition, -1)
+
+    def test_rejects_bad_initial_length(self, small_transition):
+        with pytest.raises(ValueError):
+            proximity_to_node(small_transition, 0, initial=np.ones(3))
+
+    def test_raises_on_failure_by_default(self, small_transition):
+        with pytest.raises(ConvergenceError):
+            proximity_to_node(small_transition, 0, max_iterations=1, tolerance=1e-14)
+
+    def test_non_raising_mode(self, small_transition):
+        result = proximity_to_node(
+            small_transition, 0, max_iterations=1, tolerance=1e-14, raise_on_failure=False
+        )
+        assert not result.converged
+
+    def test_iteration_bound_formula(self):
+        assert pmpn_iteration_bound(0.15, 1e-10) == pytest.approx(131, abs=2)
+
+    def test_convergence_rate_bounded_by_one_minus_alpha(self, small_transition):
+        # Theorem 2(b) gives 1 - alpha as the *worst-case* rate: the extra
+        # iterations for a 1e4-times tighter tolerance never exceed the bound
+        # (real graphs often converge faster).
+        loose = proximity_to_node(small_transition, 0, tolerance=1e-4).iterations
+        tight = proximity_to_node(small_transition, 0, tolerance=1e-8).iterations
+        worst_case_gap = np.log(1e-8 / 1e-4) / np.log(1 - 0.15)
+        assert tight >= loose
+        assert (tight - loose) <= worst_case_gap + 10

@@ -1,0 +1,168 @@
+"""Tests for evaluation metrics, table formatting and the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import IndexParams
+from repro.evaluation import (
+    figure5_query_time,
+    figure6_pruning_power,
+    figure7_refinement_effect,
+    figure8_cumulative_cost,
+    figure9_rounding_effect,
+    format_series,
+    format_table,
+    jaccard_similarity,
+    precision_at_k,
+    result_overlap,
+    spam_detection_stats,
+    table2_index_construction,
+    table3_author_popularity,
+)
+from repro.evaluation.metrics import mean_and_std
+from repro.graph import copying_web_graph
+
+
+TINY_PARAMS = IndexParams(capacity=8, hub_budget=3)
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    return copying_web_graph(50, out_degree=4, seed=21)
+
+
+class TestMetrics:
+    def test_jaccard_identical(self):
+        assert jaccard_similarity([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard_similarity([1], [2]) == 0.0
+
+    def test_jaccard_both_empty(self):
+        assert jaccard_similarity([], []) == 1.0
+
+    def test_jaccard_partial(self):
+        assert jaccard_similarity([1, 2], [2, 3]) == pytest.approx(1 / 3)
+
+    def test_result_overlap(self):
+        assert result_overlap([1, 2], [2, 3]) == pytest.approx(0.5)
+        assert result_overlap([], [1]) == 1.0
+
+    def test_precision_at_k(self):
+        assert precision_at_k([1, 2, 3, 4], {2, 4}, 2) == pytest.approx(0.5)
+        assert precision_at_k([], {1}, 3) == 0.0
+
+    def test_precision_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], {1}, 0)
+
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([1.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+        assert mean_and_std([]) == (0.0, 0.0)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series_columns(self):
+        text = format_series("k", {"s1": [1.0, 2.0], "s2": [3.0, 4.0]}, [5, 10])
+        assert "s1" in text and "s2" in text
+        assert "5" in text and "10" in text
+
+    def test_format_table_handles_strings_and_bools(self):
+        text = format_table(["x"], [["hello"], [True]])
+        assert "hello" in text and "True" in text
+
+
+class TestExperiments:
+    def test_table2(self, tiny_graph):
+        result = table2_index_construction(
+            tiny_graph, hub_budgets=(2, 3), params=TINY_PARAMS, graph_name="tiny"
+        )
+        assert result.name == "table2"
+        assert len(result.data["rows"]) == 2
+        assert result.data["brute_force"]["seconds"] > 0
+        for row in result.data["rows"]:
+            assert row["actual_bytes"] > 0
+            assert row["seconds"] >= 0
+        assert "Table 2" in result.text
+
+    def test_figure5(self, tiny_graph):
+        result = figure5_query_time(
+            tiny_graph, k_values=(2, 4), n_queries=4, params=TINY_PARAMS
+        )
+        assert result.data["k"] == [2, 4]
+        assert len(result.data["update_seconds"]) == 2
+        assert all(value > 0 for value in result.data["update_seconds"])
+
+    def test_figure6(self, tiny_graph):
+        result = figure6_pruning_power(
+            tiny_graph, k_values=(2, 4), n_queries=4, params=TINY_PARAMS
+        )
+        assert len(result.data["candidates"]) == 2
+        # Hits can never exceed candidates; results are at least the hits count
+        for cand, hits in zip(result.data["candidates"], result.data["hits"]):
+            assert hits <= cand + 1e-9
+
+    def test_figure7(self, tiny_graph):
+        result = figure7_refinement_effect(
+            tiny_graph, k=4, n_queries=8, params=TINY_PARAMS
+        )
+        assert len(result.data["update_seconds"]) == 8
+        assert len(result.data["no_update_seconds"]) == 8
+        # With updates the total refinement work is never larger than without.
+        assert sum(result.data["update_refinements"]) <= sum(
+            result.data["no_update_refinements"]
+        ) + 1e-9
+
+    def test_figure8(self, tiny_graph):
+        from repro.workloads import uniform_query_workload
+
+        workload = uniform_query_workload(tiny_graph, 6, k=3, seed=1)
+        result = figure8_cumulative_cost(
+            tiny_graph, k=3, params=TINY_PARAMS, workload=workload
+        )
+        ours = result.data["ours"]
+        assert len(ours) == 6
+        assert all(ours[i] <= ours[i + 1] for i in range(len(ours) - 1))
+        # Our offline phase must be cheaper than computing the full matrix.
+        assert result.data["offline"]["ours"] < result.data["offline"]["ibf"] * 5
+
+    def test_figure9(self, tiny_graph):
+        result = figure9_rounding_effect(
+            tiny_graph,
+            k_values=(2, 4),
+            rounding_thresholds=(1e-3, 1e-6),
+            n_queries=4,
+            params=TINY_PARAMS,
+        )
+        for values in result.data["similarity"].values():
+            assert all(0.0 <= value <= 1.0 for value in values)
+        # The finest threshold must give (near-)identical results.
+        assert min(result.data["similarity"][1e-6]) >= 0.99
+
+    def test_table3(self, weighted_coauthor_graph):
+        graph, _ = weighted_coauthor_graph
+        result = table3_author_popularity(graph, k=3, top=5, params=TINY_PARAMS)
+        rows = result.data["rows"]
+        assert len(rows) == 5
+        sizes = [row["reverse_top_k_size"] for row in rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_spam_stats(self, labelled_spam_graph):
+        graph, labels = labelled_spam_graph
+        result = spam_detection_stats(
+            graph, labels, k=3, max_queries_per_class=6, params=TINY_PARAMS
+        )
+        assert result.data["spam_queries"] == 6
+        assert (
+            result.data["mean_spam_ratio_for_spam"]
+            > result.data["mean_spam_ratio_for_normal"]
+        )

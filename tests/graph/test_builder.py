@@ -1,0 +1,117 @@
+"""Unit tests for GraphBuilder and from_edges."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import GraphBuilder, from_edges
+
+
+class TestGraphBuilder:
+    def test_basic_build(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b")
+        builder.add_edge("b", "c", weight=2.0)
+        graph = builder.build()
+        assert graph.n_nodes == 3
+        assert graph.n_edges == 2
+        assert graph.edge_weight(1, 2) == pytest.approx(2.0)
+
+    def test_node_ids_in_insertion_order(self):
+        builder = GraphBuilder()
+        builder.add_edge("x", "y")
+        builder.add_edge("z", "x")
+        mapping = builder.node_mapping()
+        assert mapping == {"x": 0, "y": 1, "z": 2}
+
+    def test_duplicate_edges_merge_weights(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 1.0)
+        builder.add_edge(0, 1, 3.0)
+        graph = builder.build()
+        assert graph.n_edges == 1
+        assert graph.edge_weight(0, 1) == pytest.approx(4.0)
+
+    def test_add_node_idempotent(self):
+        builder = GraphBuilder()
+        first = builder.add_node("a")
+        second = builder.add_node("a")
+        assert first == second
+        assert builder.n_nodes == 1
+
+    def test_add_edges_mixed_arity(self):
+        builder = GraphBuilder()
+        builder.add_edges([("a", "b"), ("b", "c", 5.0)])
+        graph = builder.build()
+        assert graph.n_edges == 2
+        assert graph.edge_weight(1, 2) == pytest.approx(5.0)
+
+    def test_add_edges_rejects_bad_tuple(self):
+        builder = GraphBuilder()
+        with pytest.raises(GraphError):
+            builder.add_edges([("a",)])
+
+    def test_undirected_edge_adds_both_directions(self):
+        builder = GraphBuilder()
+        builder.add_undirected_edge("a", "b", 2.0)
+        graph = builder.build()
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+
+    def test_negative_weight_rejected(self):
+        builder = GraphBuilder()
+        with pytest.raises(GraphError):
+            builder.add_edge("a", "b", -1.0)
+
+    def test_self_loop_suppression(self):
+        builder = GraphBuilder(allow_self_loops=False)
+        builder.add_edge("a", "a")
+        builder.add_edge("a", "b")
+        graph = builder.build()
+        assert not graph.has_edge(0, 0)
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().build()
+
+    def test_default_names_from_keys(self):
+        builder = GraphBuilder()
+        builder.add_edge("alice", "bob")
+        graph = builder.build()
+        assert graph.name_of(0) == "alice"
+        assert graph.node_id("bob") == 1
+
+    def test_isolated_node_included(self):
+        builder = GraphBuilder()
+        builder.add_node("lonely")
+        builder.add_edge("a", "b")
+        graph = builder.build()
+        assert graph.n_nodes == 3
+
+
+class TestFromEdges:
+    def test_basic(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0)])
+        assert graph.n_nodes == 3
+        assert graph.n_edges == 3
+
+    def test_weighted_edges(self):
+        graph = from_edges([(0, 1, 2.5)])
+        assert graph.edge_weight(0, 1) == pytest.approx(2.5)
+
+    def test_n_nodes_padding(self):
+        graph = from_edges([(0, 1)], n_nodes=5)
+        assert graph.n_nodes == 5
+        assert graph.out_degree[4] == 0
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphError):
+            from_edges([(-1, 0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            from_edges([])
+
+    def test_self_loop_filtering(self):
+        graph = from_edges([(0, 0), (0, 1)], allow_self_loops=False)
+        assert not graph.has_edge(0, 0)
+        assert graph.has_edge(0, 1)

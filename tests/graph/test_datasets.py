@@ -1,0 +1,61 @@
+"""Tests for the paper-dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        names = set(datasets.available_datasets())
+        assert {"web-stanford-cs", "epinions", "web-stanford", "web-google", "webspam", "dblp"} <= names
+
+    def test_specs_have_paper_sizes(self):
+        spec = datasets.PAPER_DATASETS["web-google"]
+        assert spec.paper_nodes == 875_713
+        assert spec.paper_edges == 5_105_039
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            datasets.load_dataset("not-a-dataset")
+
+
+class TestLoaders:
+    @pytest.mark.parametrize(
+        "name", ["web-stanford-cs", "epinions", "web-stanford", "web-google"]
+    )
+    def test_load_dataset_scaled_down(self, name):
+        graph = datasets.load_dataset(name, scale=0.05)
+        assert graph.n_nodes >= 50
+        assert graph.n_edges > graph.n_nodes  # all stand-ins are denser than a tree
+
+    def test_load_dataset_deterministic(self):
+        first = datasets.load_dataset("web-stanford-cs", scale=0.05)
+        second = datasets.load_dataset("web-stanford-cs", scale=0.05)
+        assert first == second
+
+    def test_webspam_labels(self):
+        graph, labels = datasets.webspam(scale=0.1)
+        assert labels.shape[0] == graph.n_nodes
+        spam_fraction = labels.mean()
+        assert 0.1 < spam_fraction < 0.3  # paper's graph is ~18.5% spam
+
+    def test_dblp_weighted(self):
+        graph, counts = datasets.dblp(scale=0.1)
+        assert graph.is_weighted
+        assert counts.shape[0] == graph.n_nodes
+
+    def test_copurchase_loader(self):
+        graph, categories = datasets.amazon_copurchase(scale=0.1)
+        assert categories.shape[0] == graph.n_nodes
+
+    def test_scale_parameter_grows_graph(self):
+        small = datasets.web_stanford_cs(scale=0.05)
+        large = datasets.web_stanford_cs(scale=0.1)
+        assert large.n_nodes > small.n_nodes
+
+    def test_load_dataset_accepts_seed(self):
+        first = datasets.load_dataset("epinions", scale=0.03, seed=1)
+        second = datasets.load_dataset("epinions", scale=0.03, seed=2)
+        assert first != second

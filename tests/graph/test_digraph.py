@@ -1,0 +1,186 @@
+"""Unit tests for the DiGraph container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph import DiGraph, ring_graph, star_graph
+
+
+@pytest.fixture()
+def triangle() -> DiGraph:
+    matrix = np.array(
+        [
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 2.0],
+            [3.0, 0.0, 0.0],
+        ]
+    )
+    return DiGraph(matrix, node_names=["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_counts(self, triangle):
+        assert triangle.n_nodes == 3
+        assert triangle.n_edges == 3
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphError):
+            DiGraph(np.zeros((2, 3)))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(GraphError):
+            DiGraph(np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+    def test_rejects_wrong_number_of_names(self):
+        with pytest.raises(GraphError):
+            DiGraph(np.zeros((2, 2)), node_names=["only-one"])
+
+    def test_duplicate_edges_are_summed(self):
+        rows = np.array([0, 0])
+        cols = np.array([1, 1])
+        data = np.array([1.0, 2.0])
+        graph = DiGraph(sp.csr_matrix((data, (rows, cols)), shape=(2, 2)))
+        assert graph.n_edges == 1
+        assert graph.edge_weight(0, 1) == pytest.approx(3.0)
+
+    def test_explicit_zeros_are_dropped(self):
+        rows = np.array([0, 1])
+        cols = np.array([1, 0])
+        data = np.array([1.0, 0.0])
+        graph = DiGraph(sp.csr_matrix((data, (rows, cols)), shape=(2, 2)))
+        assert graph.n_edges == 1
+
+    def test_len_and_contains(self, triangle):
+        assert len(triangle) == 3
+        assert 0 in triangle
+        assert 2 in triangle
+        assert 3 not in triangle
+        assert "a" not in triangle
+
+    def test_repr_mentions_sizes(self, triangle):
+        text = repr(triangle)
+        assert "3" in text
+        assert "DiGraph" in text
+
+    def test_weighted_flag(self, triangle):
+        assert triangle.is_weighted
+        assert not ring_graph(4).is_weighted
+
+
+class TestDegrees:
+    def test_out_degree(self, triangle):
+        assert triangle.out_degree.tolist() == [1, 1, 1]
+
+    def test_in_degree(self, triangle):
+        assert triangle.in_degree.tolist() == [1, 1, 1]
+
+    def test_out_weight(self, triangle):
+        assert triangle.out_weight.tolist() == [1.0, 2.0, 3.0]
+
+    def test_star_degrees(self):
+        star = star_graph(4)
+        assert star.out_degree[0] == 4
+        assert star.in_degree[0] == 4
+        assert star.out_degree[1] == 1
+
+    def test_dangling_nodes(self):
+        graph = DiGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert graph.dangling_nodes().tolist() == [1]
+
+    def test_no_dangling_in_ring(self):
+        assert ring_graph(5).dangling_nodes().size == 0
+
+
+class TestNeighbors:
+    def test_out_neighbors(self, triangle):
+        assert triangle.out_neighbors(0).tolist() == [1]
+        assert triangle.out_neighbors(2).tolist() == [0]
+
+    def test_in_neighbors(self, triangle):
+        assert triangle.in_neighbors(0).tolist() == [2]
+
+    def test_out_edges_weights(self, triangle):
+        assert list(triangle.out_edges(1)) == [(2, 2.0)]
+
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+
+    def test_edge_weight_absent_edge(self, triangle):
+        assert triangle.edge_weight(0, 2) == 0.0
+
+    def test_edges_iteration(self, triangle):
+        edges = set(triangle.edges())
+        assert (0, 1, 1.0) in edges
+        assert (1, 2, 2.0) in edges
+        assert (2, 0, 3.0) in edges
+
+    def test_unknown_node_raises(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.out_neighbors(99)
+        with pytest.raises(NodeNotFoundError):
+            triangle.in_neighbors(-1)
+
+
+class TestNames:
+    def test_name_of(self, triangle):
+        assert triangle.name_of(0) == "a"
+
+    def test_node_id(self, triangle):
+        assert triangle.node_id("c") == 2
+
+    def test_node_id_missing(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.node_id("zzz")
+
+    def test_name_fallback_without_labels(self):
+        graph = ring_graph(3)
+        assert graph.name_of(1) == "1"
+
+
+class TestTransformations:
+    def test_reverse_flips_edges(self, triangle):
+        reverse = triangle.reverse()
+        assert reverse.has_edge(1, 0)
+        assert not reverse.has_edge(0, 1)
+        assert reverse.n_edges == triangle.n_edges
+
+    def test_reverse_twice_is_identity(self, triangle):
+        assert triangle.reverse().reverse() == triangle
+
+    def test_subgraph(self, triangle):
+        sub = triangle.subgraph([0, 1])
+        assert sub.n_nodes == 2
+        assert sub.has_edge(0, 1)
+        assert sub.n_edges == 1
+
+    def test_subgraph_keeps_names(self, triangle):
+        sub = triangle.subgraph([1, 2])
+        assert sub.node_names == ("b", "c")
+
+    def test_subgraph_rejects_out_of_range(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.subgraph([0, 10])
+
+    def test_self_loop_on_dangling(self):
+        graph = DiGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        fixed = graph.with_self_loops_on_dangling()
+        assert fixed.dangling_nodes().size == 0
+        assert fixed.has_edge(1, 1)
+
+    def test_self_loop_noop_when_no_dangling(self):
+        ring = ring_graph(4)
+        assert ring.with_self_loops_on_dangling() is ring
+
+    def test_equality(self):
+        assert ring_graph(4) == ring_graph(4)
+        assert ring_graph(4) != ring_graph(5)
+
+    def test_drop_isolated_nodes(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 1.0
+        graph = DiGraph(matrix)
+        trimmed = graph.largest_out_component_heuristic()
+        assert trimmed.n_nodes == 2

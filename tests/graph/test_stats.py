@@ -1,0 +1,68 @@
+"""Tests for graph summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    complete_graph,
+    copying_web_graph,
+    degree_histogram,
+    ring_graph,
+    summarize,
+)
+from repro.graph.stats import powerlaw_exponent_estimate
+
+
+class TestSummarize:
+    def test_ring_statistics(self):
+        stats = summarize(ring_graph(10))
+        assert stats.n_nodes == 10
+        assert stats.n_edges == 10
+        assert stats.mean_out_degree == pytest.approx(1.0)
+        assert stats.n_dangling == 0
+        assert stats.reciprocity == 0.0
+
+    def test_complete_graph_reciprocity(self):
+        stats = summarize(complete_graph(5))
+        assert stats.reciprocity == pytest.approx(1.0)
+        assert stats.density == pytest.approx(1.0)
+
+    def test_dangling_count(self):
+        graph = DiGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert summarize(graph).n_dangling == 1
+
+    def test_as_dict_keys(self):
+        stats = summarize(ring_graph(4)).as_dict()
+        assert {"n_nodes", "n_edges", "density", "reciprocity"} <= set(stats)
+
+
+class TestDegreeHistogram:
+    def test_ring_histogram(self):
+        values, counts = degree_histogram(ring_graph(6), direction="out")
+        assert values.tolist() == [1]
+        assert counts.tolist() == [6]
+
+    def test_in_direction(self):
+        values, counts = degree_histogram(ring_graph(6), direction="in")
+        assert counts.sum() == 6
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            degree_histogram(ring_graph(3), direction="sideways")
+
+    def test_web_graph_has_degree_spread(self):
+        values, counts = degree_histogram(copying_web_graph(150, seed=2), direction="in")
+        assert values.size > 3  # heavy-tailed: many distinct in-degrees
+
+
+class TestPowerLawEstimate:
+    def test_returns_finite_value_on_web_graph(self):
+        estimate = powerlaw_exponent_estimate(copying_web_graph(200, seed=1))
+        assert np.isfinite(estimate)
+        assert estimate > 1.0
+
+    def test_nan_on_tiny_graph(self):
+        graph = DiGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        estimate = powerlaw_exponent_estimate(graph, direction="out")
+        assert np.isnan(estimate) or estimate > 0

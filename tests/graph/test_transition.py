@@ -1,0 +1,125 @@
+"""Tests for transition-matrix construction and dangling-node policies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    DiGraph,
+    DanglingPolicy,
+    is_column_stochastic,
+    ring_graph,
+    star_graph,
+    transition_matrix,
+    weighted_transition_matrix,
+)
+from repro.graph.generators import coauthorship_graph, copying_web_graph
+
+
+class TestTransitionMatrix:
+    def test_column_stochastic_on_ring(self):
+        assert is_column_stochastic(transition_matrix(ring_graph(5)))
+
+    def test_column_stochastic_on_web(self):
+        graph = copying_web_graph(80, seed=1)
+        assert is_column_stochastic(transition_matrix(graph))
+
+    def test_entries_match_out_degree(self):
+        star = star_graph(3)  # centre 0 <-> leaves 1..3
+        matrix = transition_matrix(star).toarray()
+        # Column 0 spreads 1/3 to each leaf.
+        assert matrix[1, 0] == pytest.approx(1 / 3)
+        assert matrix[2, 0] == pytest.approx(1 / 3)
+        # Each leaf sends everything back to the centre.
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+    def test_direction_convention(self):
+        # Edge 0 -> 1 means column 0 has mass at row 1 (A[i,j] for edge j->i).
+        graph = DiGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        matrix = transition_matrix(graph).toarray()
+        assert matrix[1, 0] == pytest.approx(1.0)
+
+    def test_weights_ignored_by_unweighted_transition(self):
+        graph = DiGraph(np.array([[0.0, 5.0, 1.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]]))
+        matrix = transition_matrix(graph).toarray()
+        assert matrix[1, 0] == pytest.approx(0.5)
+        assert matrix[2, 0] == pytest.approx(0.5)
+
+    def test_dangling_self_loop_policy(self):
+        graph = DiGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        matrix = transition_matrix(graph, dangling=DanglingPolicy.SELF_LOOP)
+        assert is_column_stochastic(matrix)
+        assert matrix.toarray()[1, 1] == pytest.approx(1.0)
+
+    def test_dangling_sink_policy_adds_node(self):
+        graph = DiGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        matrix = transition_matrix(graph, dangling=DanglingPolicy.SINK)
+        assert matrix.shape == (3, 3)
+        assert is_column_stochastic(matrix)
+        dense = matrix.toarray()
+        assert dense[2, 1] == pytest.approx(1.0)  # dangling node feeds the sink
+        assert dense[2, 2] == pytest.approx(1.0)  # sink loops onto itself
+
+    def test_dangling_error_policy(self):
+        graph = DiGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(GraphError):
+            transition_matrix(graph, dangling=DanglingPolicy.ERROR)
+
+    def test_policy_accepts_string(self):
+        graph = DiGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        matrix = transition_matrix(graph, dangling="sink")
+        assert matrix.shape == (3, 3)
+
+
+class TestWeightedTransitionMatrix:
+    def test_column_stochastic(self):
+        graph, _ = coauthorship_graph(40, seed=2)
+        assert is_column_stochastic(weighted_transition_matrix(graph))
+
+    def test_probability_proportional_to_weight(self):
+        # Node 0 has out-edges to 1 (weight 3) and 2 (weight 1); rows are sources.
+        graph = DiGraph(np.array([[0.0, 3.0, 1.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]]))
+        matrix = weighted_transition_matrix(graph).toarray()
+        assert matrix[1, 0] == pytest.approx(0.75)
+        assert matrix[2, 0] == pytest.approx(0.25)
+
+    def test_weighted_dangling_self_loop(self):
+        graph = DiGraph(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        matrix = weighted_transition_matrix(graph)
+        assert is_column_stochastic(matrix)
+
+    def test_weighted_dangling_error(self):
+        graph = DiGraph(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        with pytest.raises(GraphError):
+            weighted_transition_matrix(graph, dangling=DanglingPolicy.ERROR)
+
+    def test_weighted_dangling_sink(self):
+        graph = DiGraph(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        matrix = weighted_transition_matrix(graph, dangling=DanglingPolicy.SINK)
+        assert matrix.shape == (3, 3)
+        assert is_column_stochastic(matrix)
+
+    def test_differs_from_unweighted_when_weights_vary(self):
+        # Node 0 spreads unevenly (3 vs 1) so the weighted matrix must differ.
+        graph = DiGraph(np.array([[0.0, 3.0, 1.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]]))
+        unweighted = transition_matrix(graph).toarray()
+        weighted = weighted_transition_matrix(graph).toarray()
+        assert not np.allclose(unweighted, weighted)
+
+
+class TestIsColumnStochastic:
+    def test_rejects_non_square(self):
+        import scipy.sparse as sp
+
+        assert not is_column_stochastic(sp.csc_matrix(np.ones((2, 3))))
+
+    def test_rejects_bad_column_sum(self):
+        import scipy.sparse as sp
+
+        matrix = sp.csc_matrix(np.array([[0.5, 0.0], [0.4, 1.0]]))
+        assert not is_column_stochastic(matrix)
+
+    def test_accepts_identity(self):
+        import scipy.sparse as sp
+
+        assert is_column_stochastic(sp.identity(4, format="csc"))

@@ -1,0 +1,82 @@
+"""Property-based tests (hypothesis) for the staircase upper bound (Algorithm 3)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import kth_upper_bound, staircase_levels
+
+
+@st.composite
+def descending_vectors(draw, min_size: int = 1, max_size: int = 12):
+    """A descending non-negative vector plus a k within its length."""
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    vector = np.sort(np.asarray(values))[::-1]
+    k = draw(st.integers(min_value=1, max_value=size))
+    return vector, k
+
+
+class TestUpperBoundProperties:
+    @given(descending_vectors(), st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_upper_bound_at_least_kth_lower_bound(self, vector_and_k, residual):
+        vector, k = vector_and_k
+        bound = kth_upper_bound(vector, residual, k)
+        assert bound >= vector[k - 1] - 1e-12
+
+    @given(descending_vectors(), st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_zero_residual_is_tight(self, vector_and_k, residual):
+        vector, k = vector_and_k
+        assert kth_upper_bound(vector, 0.0, k) == vector[k - 1]
+
+    @given(
+        descending_vectors(),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_residual(self, vector_and_k, residual_a, residual_b):
+        vector, k = vector_and_k
+        low, high = sorted((residual_a, residual_b))
+        assert kth_upper_bound(vector, low, k) <= kth_upper_bound(vector, high, k) + 1e-12
+
+    @given(descending_vectors(), st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_bound_dominates_any_feasible_completion(self, vector_and_k, residual):
+        """Distribute the residual adversarially (greedily onto the top-k) — the
+        resulting k-th value never exceeds the bound."""
+        vector, k = vector_and_k
+        bound = kth_upper_bound(vector, residual, k)
+        # Water-filling simulation: pour residual onto the k largest entries.
+        top = vector[:k].astype(float).copy()
+        remaining = residual
+        for _ in range(1000):
+            if remaining <= 1e-15:
+                break
+            lowest = np.argmin(top)
+            gap_candidates = top[top > top[lowest] + 1e-15]
+            step = (
+                min(remaining, gap_candidates.min() - top[lowest])
+                if gap_candidates.size
+                else remaining
+            )
+            top[lowest] += step
+            remaining -= step
+        achieved_kth = top.min()
+        assert achieved_kth <= bound + 1e-9
+
+    @given(descending_vectors(min_size=2))
+    @settings(max_examples=100, deadline=None)
+    def test_staircase_levels_monotone(self, vector_and_k):
+        vector, k = vector_and_k
+        levels = staircase_levels(vector, k)
+        assert levels[0] == 0.0
+        assert np.all(np.diff(levels) >= -1e-12)

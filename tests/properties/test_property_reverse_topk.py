@@ -1,0 +1,65 @@
+"""End-to-end property test: the engine agrees with the exact oracle on random graphs."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IndexParams, ReverseTopKEngine
+from repro.graph import DiGraph, transition_matrix
+from repro.rwr import ProximityLU
+
+
+@st.composite
+def graph_query_cases(draw):
+    """A random small graph plus a query node and depth k."""
+    n = draw(st.integers(min_value=4, max_value=18))
+    density = draw(st.floats(min_value=0.15, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < density
+    np.fill_diagonal(mask, False)
+    if not mask.any():
+        mask[0, 1] = True
+    graph = DiGraph(sp.csr_matrix(mask.astype(float)))
+    query = draw(st.integers(min_value=0, max_value=n - 1))
+    k = draw(st.integers(min_value=1, max_value=min(5, n)))
+    hub_budget = draw(st.integers(min_value=0, max_value=3))
+    return graph, query, k, hub_budget
+
+
+class TestReverseTopKAgainstOracle:
+    @given(graph_query_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_engine_matches_exact_oracle(self, case):
+        graph, query, k, hub_budget = case
+        matrix = transition_matrix(graph)
+        exact = ProximityLU(matrix).matrix()
+        params = IndexParams(
+            capacity=min(8, graph.n_nodes), hub_budget=hub_budget, rounding_threshold=0.0
+        ).for_graph(graph.n_nodes)
+        engine = ReverseTopKEngine.build(graph, params, transition=matrix)
+        result = set(engine.query(query, k).nodes.tolist())
+
+        for node in range(graph.n_nodes):
+            column = exact[:, node]
+            kth = np.sort(column)[-k]
+            value = column[query]
+            if value > kth + 1e-9:
+                assert node in result
+            elif value < kth - 1e-9:
+                assert node not in result
+
+    @given(graph_query_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_update_and_no_update_agree(self, case):
+        graph, query, k, hub_budget = case
+        matrix = transition_matrix(graph)
+        params = IndexParams(
+            capacity=min(8, graph.n_nodes), hub_budget=hub_budget, rounding_threshold=0.0
+        ).for_graph(graph.n_nodes)
+        with_update = ReverseTopKEngine.build(graph, params, transition=matrix)
+        without_update = ReverseTopKEngine.build(graph, params, transition=matrix)
+        a = set(with_update.query(query, k, update_index=True).nodes.tolist())
+        b = set(without_update.query(query, k, update_index=False).nodes.tolist())
+        assert a == b

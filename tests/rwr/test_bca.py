@@ -1,0 +1,63 @@
+"""Tests for the classic BCA and push algorithms (lower-bound property etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.rwr import bca_proximity_vector, proximity_column, push_proximity_vector
+
+
+class TestBCAProximityVector:
+    def test_retained_is_lower_bound(self, small_transition):
+        exact = proximity_column(small_transition, 0)
+        result = bca_proximity_vector(small_transition, 0, residue_threshold=1e-3)
+        assert np.all(result.retained <= exact + 1e-9)
+
+    def test_converges_to_exact_with_tight_threshold(self, small_transition):
+        exact = proximity_column(small_transition, 5)
+        result = bca_proximity_vector(small_transition, 5, residue_threshold=1e-10)
+        np.testing.assert_allclose(result.retained, exact, atol=1e-7)
+
+    def test_mass_conservation(self, small_transition):
+        result = bca_proximity_vector(small_transition, 3, residue_threshold=1e-6)
+        total = result.retained.sum() + result.residual.sum()
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_residual_mass_below_threshold(self, small_transition):
+        result = bca_proximity_vector(small_transition, 2, residue_threshold=1e-4)
+        assert result.residual_mass <= 1e-4 + 1e-12
+
+    def test_is_exact_flag(self, small_transition):
+        rough = bca_proximity_vector(small_transition, 1, residue_threshold=0.5)
+        assert not rough.is_exact
+
+    def test_push_budget_respected(self, small_transition):
+        result = bca_proximity_vector(small_transition, 0, max_pushes=3)
+        assert result.iterations <= 3
+
+
+class TestPushProximityVector:
+    def test_retained_is_lower_bound(self, small_transition):
+        exact = proximity_column(small_transition, 7)
+        result = push_proximity_vector(small_transition, 7, propagation_threshold=1e-4)
+        assert np.all(result.retained <= exact + 1e-9)
+
+    def test_mass_conservation(self, small_transition):
+        result = push_proximity_vector(small_transition, 7, propagation_threshold=1e-5)
+        assert result.retained.sum() + result.residual.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_no_residue_above_threshold_at_termination(self, small_transition):
+        eta = 1e-4
+        result = push_proximity_vector(small_transition, 4, propagation_threshold=eta)
+        assert result.residual.max() < eta
+
+    def test_smaller_threshold_gives_tighter_bound(self, small_transition):
+        coarse = push_proximity_vector(small_transition, 9, propagation_threshold=1e-2)
+        fine = push_proximity_vector(small_transition, 9, propagation_threshold=1e-6)
+        assert fine.retained.sum() >= coarse.retained.sum() - 1e-12
+
+    def test_approaches_exact(self, small_transition):
+        exact = proximity_column(small_transition, 11)
+        result = push_proximity_vector(
+            small_transition, 11, propagation_threshold=1e-8, max_pushes=200_000
+        )
+        np.testing.assert_allclose(result.retained, exact, atol=1e-5)

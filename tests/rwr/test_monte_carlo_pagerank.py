@@ -1,0 +1,120 @@
+"""Tests for Monte Carlo estimators, PageRank and the ProximityMatrix wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph import ring_graph, transition_matrix
+from repro.rwr import (
+    ProximityMatrix,
+    mc_complete_path,
+    mc_end_point,
+    pagerank,
+    personalized_pagerank,
+    proximity_column,
+    top_k_of_column,
+)
+
+
+class TestMonteCarlo:
+    def test_end_point_is_distribution(self, small_transition):
+        estimate = mc_end_point(small_transition, 0, walks=500, seed=1)
+        assert estimate.sum() == pytest.approx(1.0, abs=1e-9)
+        assert estimate.min() >= 0.0
+
+    def test_complete_path_close_to_exact(self, small_transition):
+        exact = proximity_column(small_transition, 2)
+        estimate = mc_complete_path(small_transition, 2, walks=4000, seed=3)
+        # Top node should agree and L1 error should be modest.
+        assert int(np.argmax(estimate)) == int(np.argmax(exact))
+        assert np.abs(estimate - exact).sum() < 0.35
+
+    def test_end_point_reproducible(self, small_transition):
+        a = mc_end_point(small_transition, 1, walks=200, seed=9)
+        b = mc_end_point(small_transition, 1, walks=200, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_more_walks_reduce_error(self, small_transition):
+        exact = proximity_column(small_transition, 4)
+        few = mc_complete_path(small_transition, 4, walks=200, seed=5)
+        many = mc_complete_path(small_transition, 4, walks=8000, seed=5)
+        assert np.abs(many - exact).sum() <= np.abs(few - exact).sum() + 0.05
+
+    def test_invalid_walks_rejected(self, small_transition):
+        with pytest.raises(InvalidParameterError):
+            mc_end_point(small_transition, 0, walks=0)
+
+
+class TestPageRank:
+    def test_pagerank_is_distribution(self, small_transition):
+        ranks = pagerank(small_transition)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-8)
+        assert ranks.min() >= 0.0
+
+    def test_personalized_equals_proximity_vector(self, small_transition):
+        n = small_transition.shape[0]
+        preference = np.zeros(n)
+        preference[3] = 1.0
+        ppr = personalized_pagerank(small_transition, preference)
+        np.testing.assert_allclose(ppr, proximity_column(small_transition, 3), atol=1e-8)
+
+    def test_pagerank_uniform_on_ring(self):
+        matrix = transition_matrix(ring_graph(8))
+        ranks = pagerank(matrix)
+        np.testing.assert_allclose(ranks, np.full(8, 1 / 8), atol=1e-8)
+
+    def test_preference_normalised(self, small_transition):
+        n = small_transition.shape[0]
+        preference = np.zeros(n)
+        preference[0] = 10.0  # un-normalised on purpose
+        ppr = personalized_pagerank(small_transition, preference)
+        np.testing.assert_allclose(ppr, proximity_column(small_transition, 0), atol=1e-8)
+
+    def test_rejects_negative_preference(self, small_transition):
+        n = small_transition.shape[0]
+        preference = np.zeros(n)
+        preference[0] = -1.0
+        with pytest.raises(InvalidParameterError):
+            personalized_pagerank(small_transition, preference)
+
+    def test_rejects_zero_preference(self, small_transition):
+        with pytest.raises(InvalidParameterError):
+            personalized_pagerank(small_transition, np.zeros(small_transition.shape[0]))
+
+    def test_rejects_wrong_length(self, small_transition):
+        with pytest.raises(InvalidParameterError):
+            personalized_pagerank(small_transition, np.ones(3))
+
+
+class TestProximityMatrixWrapper:
+    def test_reverse_top_k_matches_definition(self, small_transition, small_exact_matrix):
+        wrapper = ProximityMatrix(small_exact_matrix)
+        k = 3
+        answer = set(wrapper.reverse_top_k(5, k).tolist())
+        for node in range(wrapper.n_nodes):
+            column = small_exact_matrix[:, node]
+            kth = np.sort(column)[-k]
+            if column[5] > kth + 1e-12:
+                assert node in answer
+
+    def test_top_k_descending(self, small_exact_matrix):
+        wrapper = ProximityMatrix(small_exact_matrix)
+        _, values = wrapper.top_k(0, 5)
+        assert all(values[i] >= values[i + 1] for i in range(4))
+
+    def test_proximity_accessor(self, small_exact_matrix):
+        wrapper = ProximityMatrix(small_exact_matrix)
+        assert wrapper.proximity(2, 3) == pytest.approx(small_exact_matrix[3, 2])
+
+    def test_kth_value(self, small_exact_matrix):
+        wrapper = ProximityMatrix(small_exact_matrix)
+        _, values = wrapper.top_k(1, 4)
+        assert wrapper.kth_value(1, 4) == pytest.approx(values[-1])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            ProximityMatrix(np.ones((2, 3)))
+
+    def test_top_k_of_column_helper(self):
+        indices, values = top_k_of_column(np.array([0.1, 0.4, 0.2]), 2)
+        assert indices.tolist() == [1, 2]

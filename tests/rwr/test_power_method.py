@@ -1,0 +1,89 @@
+"""Tests for the power-method proximity solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, InvalidParameterError
+from repro.graph import ring_graph, transition_matrix
+from repro.rwr import ProximityLU, proximity_column, proximity_matrix, proximity_vector
+from repro.rwr.power_method import expected_iterations
+
+
+class TestProximityVector:
+    def test_sums_to_one(self, small_transition):
+        result = proximity_vector(small_transition, 0)
+        assert result.vector.sum() == pytest.approx(1.0, abs=1e-8)
+        assert result.converged
+
+    def test_non_negative(self, small_transition):
+        vector = proximity_column(small_transition, 3)
+        assert vector.min() >= 0.0
+
+    def test_matches_direct_solver(self, small_transition):
+        lu = ProximityLU(small_transition)
+        for node in (0, 7, 21):
+            iterative = proximity_column(small_transition, node)
+            direct = lu.column(node)
+            np.testing.assert_allclose(iterative, direct, atol=1e-8)
+
+    def test_restart_node_has_high_proximity(self, small_transition):
+        vector = proximity_column(small_transition, 5)
+        assert vector[5] >= 0.15  # at least the restart mass alpha
+
+    def test_alpha_one_sided_effect(self, small_transition):
+        low_alpha = proximity_column(small_transition, 0, alpha=0.05)
+        high_alpha = proximity_column(small_transition, 0, alpha=0.5)
+        # Higher restart probability concentrates more mass at the source.
+        assert high_alpha[0] > low_alpha[0]
+
+    def test_ring_symmetry(self):
+        matrix = transition_matrix(ring_graph(4))
+        from_zero = proximity_column(matrix, 0)
+        from_one = proximity_column(matrix, 1)
+        # Rotational symmetry: proximity pattern is a cyclic shift.
+        np.testing.assert_allclose(np.roll(from_zero, 1), from_one, atol=1e-9)
+
+    def test_invalid_source_rejected(self, small_transition):
+        with pytest.raises(InvalidParameterError):
+            proximity_vector(small_transition, 10_000)
+
+    def test_invalid_alpha_rejected(self, small_transition):
+        with pytest.raises(InvalidParameterError):
+            proximity_vector(small_transition, 0, alpha=1.5)
+
+    def test_convergence_error_when_budget_too_small(self, small_transition):
+        with pytest.raises(ConvergenceError):
+            proximity_vector(small_transition, 0, max_iterations=1, tolerance=1e-12)
+
+    def test_no_raise_mode_returns_partial(self, small_transition):
+        result = proximity_vector(
+            small_transition, 0, max_iterations=1, tolerance=1e-12, raise_on_failure=False
+        )
+        assert not result.converged
+        assert result.iterations == 1
+
+
+class TestExpectedIterations:
+    def test_bound_formula(self):
+        # log(eps/alpha) / log(1-alpha) for alpha=0.15, eps=1e-10.
+        assert expected_iterations(0.15, 1e-10) == pytest.approx(131, abs=2)
+
+    def test_looser_tolerance_needs_fewer_iterations(self):
+        assert expected_iterations(0.15, 1e-4) < expected_iterations(0.15, 1e-10)
+
+    def test_tolerance_above_alpha(self):
+        assert expected_iterations(0.15, 0.5) == 1
+
+
+class TestProximityMatrix:
+    def test_columns_match_individual_runs(self, small_transition):
+        matrix = proximity_matrix(small_transition, nodes=np.array([0, 1, 2]))
+        for position, node in enumerate((0, 1, 2)):
+            np.testing.assert_allclose(
+                matrix[:, position], proximity_column(small_transition, node), atol=1e-9
+            )
+
+    def test_full_matrix_is_stochastic_columnwise(self):
+        matrix = transition_matrix(ring_graph(6))
+        full = proximity_matrix(matrix)
+        np.testing.assert_allclose(full.sum(axis=0), np.ones(6), atol=1e-8)

@@ -1,0 +1,115 @@
+"""Tests for the forward top-k baselines (exact, BPA, K-dash, Monte Carlo)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.topk import KDashIndex, basic_push_top_k, exact_top_k, monte_carlo_top_k
+from repro.utils.sparsetools import dense_top_k
+
+
+class TestExactTopK:
+    def test_matches_exact_matrix(self, small_transition, small_exact_matrix):
+        for node in (0, 5, 30):
+            ids, values = exact_top_k(small_transition, node, 5)
+            expected_ids, expected_values = dense_top_k(small_exact_matrix[:, node], 5)
+            np.testing.assert_allclose(values, expected_values, atol=1e-7)
+            # Sets must match even when close values swap order.
+            assert set(ids.tolist()) == set(expected_ids.tolist())
+
+    def test_values_descending(self, small_transition):
+        _, values = exact_top_k(small_transition, 3, 8)
+        assert all(values[i] >= values[i + 1] for i in range(len(values) - 1))
+
+    def test_source_keeps_at_least_restart_mass(self, small_transition):
+        # The source retains at least alpha of the walk mass, so it always
+        # appears among its own strongest proximities (though hubs may beat it).
+        ids, values = exact_top_k(small_transition, 12, 10)
+        source_value = dict(zip(ids.tolist(), values.tolist())).get(12, 0.0)
+        assert source_value >= 0.15 - 1e-9
+
+    def test_invalid_k(self, small_transition):
+        with pytest.raises(InvalidParameterError):
+            exact_top_k(small_transition, 0, 10_000)
+
+
+class TestBasicPushTopK:
+    def test_top_set_matches_exact(self, small_transition, small_exact_matrix):
+        for node in (1, 7, 22):
+            ids, _ = basic_push_top_k(small_transition, node, 5, propagation_threshold=1e-8)
+            exact_ids, exact_values = dense_top_k(small_exact_matrix[:, node], 5)
+            # Compare as sets of "clearly top" nodes: allow swaps among ties.
+            kth = exact_values[-1]
+            clear = {int(v) for v, value in zip(exact_ids, exact_values) if value > kth + 1e-9}
+            assert clear <= set(ids.tolist())
+
+    def test_values_are_lower_bounds(self, small_transition, small_exact_matrix):
+        node = 4
+        ids, values = basic_push_top_k(small_transition, node, 5)
+        for candidate, value in zip(ids, values):
+            assert value <= small_exact_matrix[candidate, node] + 1e-9
+
+    def test_push_budget_limits_work(self, small_transition):
+        ids, values = basic_push_top_k(small_transition, 0, 3, max_pushes=2)
+        assert len(ids) <= 3
+
+    def test_coarse_threshold_still_returns_k_entries(self, small_transition):
+        ids, _ = basic_push_top_k(small_transition, 9, 4, propagation_threshold=1e-2)
+        assert len(ids) == 4
+
+
+class TestKDash:
+    @pytest.fixture(scope="class")
+    def kdash(self, small_transition):
+        return KDashIndex(small_transition)
+
+    def test_matches_exact(self, kdash, small_transition, small_exact_matrix):
+        for node in (2, 17):
+            ids, values = kdash.top_k(node, 6)
+            expected_ids, expected_values = dense_top_k(small_exact_matrix[:, node], 6)
+            np.testing.assert_allclose(values, expected_values, atol=1e-8)
+            assert set(ids.tolist()) == set(expected_ids.tolist())
+
+    def test_kth_value(self, kdash, small_exact_matrix):
+        expected = np.sort(small_exact_matrix[:, 8])[-3]
+        assert kdash.kth_value(8, 3) == pytest.approx(expected, abs=1e-8)
+
+    def test_proximity_vector_is_distribution(self, kdash):
+        vector = kdash.proximity_vector(0)
+        assert vector.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_n_nodes(self, kdash, small_transition):
+        assert kdash.n_nodes == small_transition.shape[0]
+
+
+class TestMonteCarloTopK:
+    def test_top1_lands_in_exact_top3(self, small_transition, small_exact_matrix):
+        # Exact top values may tie, so only require the MC winner to be among
+        # the strongest few exact entries.
+        node = 6
+        ids, _ = monte_carlo_top_k(small_transition, node, 1, walks=4000, seed=2)
+        exact_ids, _ = dense_top_k(small_exact_matrix[:, node], 3)
+        assert int(ids[0]) in set(exact_ids.tolist())
+
+    def test_reproducible_with_seed(self, small_transition):
+        a = monte_carlo_top_k(small_transition, 3, 5, walks=500, seed=7)
+        b = monte_carlo_top_k(small_transition, 3, 5, walks=500, seed=7)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_end_point_method(self, small_transition):
+        ids, values = monte_carlo_top_k(
+            small_transition, 3, 5, walks=1000, method="end_point", seed=1
+        )
+        assert len(ids) == 5
+        assert values.max() <= 1.0
+
+    def test_rejects_unknown_method(self, small_transition):
+        with pytest.raises(InvalidParameterError):
+            monte_carlo_top_k(small_transition, 0, 3, method="quantum")
+
+    def test_recall_against_exact_topk(self, small_transition, small_exact_matrix):
+        node = 14
+        ids, _ = monte_carlo_top_k(small_transition, node, 10, walks=6000, seed=4)
+        exact_ids, _ = dense_top_k(small_exact_matrix[:, node], 10)
+        overlap = len(set(ids.tolist()) & set(exact_ids.tolist()))
+        assert overlap >= 6

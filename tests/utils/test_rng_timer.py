@@ -1,0 +1,87 @@
+"""Tests for RNG plumbing and timers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import StageTimer, Timer
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        rngs = spawn_rngs(0, 4)
+        assert len(rngs) == 4
+
+    def test_independent_streams(self):
+        first, second = spawn_rngs(0, 2)
+        assert first.random() != second.random()
+
+    def test_reproducible(self):
+        a = [rng.random() for rng in spawn_rngs(7, 3)]
+        b = [rng.random() for rng in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(3), 2)
+        assert len(rngs) == 2
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.elapsed > 0.0
+
+    def test_stop_returns_elapsed(self):
+        timer = Timer()
+        timer.restart()
+        assert timer.stop() >= 0.0
+
+    def test_restart_resets(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.restart()
+        assert timer.stop() >= 0.0
+
+
+class TestStageTimer:
+    def test_accumulates_stages(self):
+        stages = StageTimer()
+        stages.add("a", 1.0)
+        stages.add("a", 0.5)
+        stages.add("b", 2.0)
+        assert stages.stages["a"] == pytest.approx(1.5)
+        assert stages.total == pytest.approx(3.5)
+
+    def test_context_manager_records(self):
+        stages = StageTimer()
+        with stages.time("work"):
+            sum(range(1000))
+        assert stages.stages["work"] > 0.0
+
+    def test_as_dict_preserves_order(self):
+        stages = StageTimer()
+        stages.add("later", 1.0)
+        stages.add("earlier", 1.0)
+        assert list(stages.as_dict()) == ["later", "earlier"]

@@ -1,0 +1,84 @@
+"""Tests for query workload generators and the parameter sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ParameterSweep,
+    QueryWorkload,
+    all_nodes_workload,
+    degree_weighted_query_workload,
+    uniform_query_workload,
+)
+
+
+class TestQueryWorkloads:
+    def test_uniform_reproducible(self, small_web_graph):
+        a = uniform_query_workload(small_web_graph, 20, seed=1)
+        b = uniform_query_workload(small_web_graph, 20, seed=1)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_uniform_within_range(self, small_web_graph):
+        workload = uniform_query_workload(small_web_graph, 50, seed=2)
+        assert workload.queries.min() >= 0
+        assert workload.queries.max() < small_web_graph.n_nodes
+
+    def test_uniform_without_replacement_unique(self, small_web_graph):
+        workload = uniform_query_workload(small_web_graph, 30, seed=3, replace=False)
+        assert len(set(workload.queries.tolist())) == len(workload)
+
+    def test_accepts_plain_node_count(self):
+        workload = uniform_query_workload(100, 10, seed=0)
+        assert workload.queries.max() < 100
+
+    def test_degree_weighted_prefers_high_degree(self, small_web_graph):
+        workload = degree_weighted_query_workload(small_web_graph, 400, seed=4)
+        counts = np.bincount(workload.queries, minlength=small_web_graph.n_nodes)
+        degrees = small_web_graph.in_degree
+        top_nodes = np.argsort(-degrees)[:5]
+        bottom_nodes = np.argsort(degrees)[:5]
+        assert counts[top_nodes].mean() > counts[bottom_nodes].mean()
+
+    def test_all_nodes_covers_everything(self, small_web_graph):
+        workload = all_nodes_workload(small_web_graph, k=3)
+        assert len(workload) == small_web_graph.n_nodes
+        assert set(workload) == set(range(small_web_graph.n_nodes))
+
+    def test_with_k_changes_only_depth(self, small_web_graph):
+        workload = uniform_query_workload(small_web_graph, 10, k=5, seed=1)
+        deeper = workload.with_k(20)
+        assert deeper.k == 20
+        np.testing.assert_array_equal(deeper.queries, workload.queries)
+
+    def test_iteration_yields_ints(self, small_web_graph):
+        workload = uniform_query_workload(small_web_graph, 5, seed=0)
+        assert all(isinstance(query, int) for query in workload)
+
+
+class TestParameterSweep:
+    def test_cartesian_product(self):
+        sweep = ParameterSweep({"a": [1, 2], "b": ["x", "y", "z"]})
+        assert len(sweep.points()) == 6
+
+    def test_run_collects_metrics(self):
+        sweep = ParameterSweep({"k": [1, 2, 3]})
+        points = sweep.run(lambda k: {"square": float(k * k)})
+        assert [p.metrics["square"] for p in points] == [1.0, 4.0, 9.0]
+
+    def test_point_item_access(self):
+        sweep = ParameterSweep({"k": [4]})
+        point = sweep.run(lambda k: {"value": 1.0})[0]
+        assert point["k"] == 4
+        assert point["value"] == 1.0
+
+    def test_on_point_callback(self):
+        seen = []
+        sweep = ParameterSweep({"k": [1, 2]})
+        sweep.run(lambda k: {"v": float(k)}, on_point=seen.append)
+        assert len(seen) == 2
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSweep({})
+        with pytest.raises(ValueError):
+            ParameterSweep({"k": []})
