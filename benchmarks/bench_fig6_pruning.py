@@ -1,4 +1,9 @@
-"""Figure 6 — pruning power: candidates, immediate hits and results per query."""
+"""Figure 6 — pruning power: candidates, immediate hits and results per query.
+
+The candidate/hit counters now come from the vectorized columnar scan; the
+shape assertions below are the same ones the seed per-node loop satisfied,
+so they double as a pruning-statistics regression check for the refactor.
+"""
 
 import pytest
 

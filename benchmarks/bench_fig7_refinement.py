@@ -1,4 +1,9 @@
-"""Figure 7 — per-query cost over a query sequence: index update vs. no-update."""
+"""Figure 7 — per-query cost over a query sequence: index update vs. no-update.
+
+The workload runs through the engine's batched ``query_many`` path, which
+shares the columnar index views and the cached CSR transpose across queries;
+update-mode refinements flow back into the columns between queries.
+"""
 
 import numpy as np
 import pytest

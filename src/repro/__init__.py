@@ -29,6 +29,7 @@ Quickstart
 """
 
 from .core import (
+    ColumnarView,
     IndexParams,
     QueryParams,
     ReverseTopKEngine,
@@ -36,6 +37,7 @@ from .core import (
     QueryResult,
     QueryStatistics,
     build_index,
+    kth_upper_bounds_batch,
     proximity_to_node,
     brute_force_reverse_topk,
 )
@@ -51,6 +53,7 @@ from .exceptions import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ColumnarView",
     "IndexParams",
     "QueryParams",
     "ReverseTopKEngine",
@@ -58,6 +61,7 @@ __all__ = [
     "QueryResult",
     "QueryStatistics",
     "build_index",
+    "kth_upper_bounds_batch",
     "proximity_to_node",
     "brute_force_reverse_topk",
     "DiGraph",

@@ -13,7 +13,8 @@ Modules
 ``index``
     The :class:`ReverseTopKIndex` data structure: per-node BCA state, top-K
     lower bounds, rounded hub proximities, dynamic updates, persistence and
-    size accounting (§4.1.3).
+    size accounting (§4.1.3) — plus the incrementally-maintained columnar
+    views (:class:`ColumnarView`) the vectorized engine scans.
 ``pmpn``
     Algorithm 2 — Power Method for Proximity to Node (Theorem 2).
 ``bounds``
@@ -29,10 +30,10 @@ Modules
 from .config import IndexParams, QueryParams
 from .hubs import select_hubs_by_degree, select_hubs_greedy, HubSet
 from .lbi import build_index, refine_node_state
-from .index import ReverseTopKIndex, NodeState
+from .index import ReverseTopKIndex, NodeState, ColumnarView
 from .pmpn import proximity_to_node, PMPNResult
-from .bounds import kth_upper_bound, staircase_levels
-from .query import ReverseTopKEngine, QueryResult, QueryStatistics
+from .bounds import kth_upper_bound, kth_upper_bounds_batch, staircase_levels
+from .query import ReverseTopKEngine, QueryResult, QueryStatistics, SCAN_MODES
 from .baseline import (
     brute_force_reverse_topk,
     InfeasibleBruteForce,
@@ -50,11 +51,14 @@ __all__ = [
     "refine_node_state",
     "ReverseTopKIndex",
     "NodeState",
+    "ColumnarView",
     "proximity_to_node",
     "PMPNResult",
     "kth_upper_bound",
+    "kth_upper_bounds_batch",
     "staircase_levels",
     "ReverseTopKEngine",
+    "SCAN_MODES",
     "QueryResult",
     "QueryStatistics",
     "brute_force_reverse_topk",

@@ -85,6 +85,78 @@ def kth_upper_bound(lower: Sequence[float] | np.ndarray, residual_mass: float, k
     return float(top[0] + (residual_mass - levels[k - 1]) / k)
 
 
+def kth_upper_bounds_batch(
+    lower: np.ndarray, residual_masses: np.ndarray, k: int
+) -> np.ndarray:
+    """Vectorized :func:`kth_upper_bound` across many nodes at once (Eq. 18).
+
+    This is the batched staircase check of the vectorized query engine: one
+    call bounds the k-th largest proximity of every scan survivor, replacing
+    a per-node Python loop.  The arithmetic (sequential level accumulation,
+    step search, pour formula) mirrors the scalar implementation exactly, so
+    the returned bounds are bit-identical to calling :func:`kth_upper_bound`
+    column by column.
+
+    Parameters
+    ----------
+    lower:
+        ``(K, m)`` array with one node per **column**: the top-``K`` lower
+        bounds in descending order (``K >= k``; zero-padded tails are fine).
+        Columns are assumed descending — pass index columns, not raw data.
+    residual_masses:
+        ``(m,)`` vector of effective residual masses ``||r_u||_1``.
+    k:
+        The query depth.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m,)`` vector of upper bounds; entries with zero residual mass equal
+        the k-th lower bound (the exact value).
+    """
+    k = check_positive_int(k, "k")
+    lower = np.asarray(lower, dtype=np.float64)
+    masses = np.asarray(residual_masses, dtype=np.float64)
+    if lower.ndim != 2 or lower.shape[0] < k:
+        raise InvalidParameterError(
+            f"need a (K >= {k}, m) column matrix of lower bounds, got shape {lower.shape}"
+        )
+    m = lower.shape[1]
+    if masses.shape != (m,):
+        raise InvalidParameterError(
+            f"expected {m} residual masses, got shape {masses.shape}"
+        )
+    if m == 0:
+        return np.zeros(0, dtype=np.float64)
+    if masses.min() < 0.0:
+        raise InvalidParameterError("residual masses must be non-negative")
+
+    top = lower[:k, :]
+    # z_j = z_{j-1} + j * (p̂(k-j) - p̂(k-j+1)); cumsum accumulates sequentially,
+    # reproducing the scalar staircase_levels recurrence term for term.
+    steps = top[:-1, :] - top[1:, :]  # steps[i] = p̂(i+1) - p̂(i+2)
+    j_weights = np.arange(1, k, dtype=np.int64)[:, None]
+    levels = np.vstack(
+        [np.zeros((1, m)), np.cumsum(j_weights * steps[::-1, :], axis=0)]
+    )
+    # Smallest j with z_{j-1} < ||r||_1 <= z_j; j == k means the staircase floods.
+    j = np.sum(levels < masses[None, :], axis=0)
+
+    out = np.empty(m, dtype=np.float64)
+    cols = np.arange(m)
+    exact = masses == 0.0
+    flooded = ~exact & (j >= k)
+    partial = ~exact & ~flooded
+    out[exact] = top[k - 1, exact]
+    if np.any(partial):
+        pj = j[partial]
+        pcols = cols[partial]
+        out[partial] = top[k - pj - 1, pcols] - (levels[pj, pcols] - masses[partial]) / pj
+    if np.any(flooded):
+        out[flooded] = top[0, flooded] + (masses[flooded] - levels[k - 1, flooded]) / k
+    return out
+
+
 def is_valid_upper_bound(upper: float, exact_kth: float, *, atol: float = 1e-9) -> bool:
     """Check ``upper >= exact_kth`` within tolerance (used by tests)."""
     return upper >= exact_kth - atol

@@ -13,6 +13,25 @@ Per-node sparse state is stored as plain ``{node: value}`` dictionaries, which
 keeps the refinement loop simple and allocation-free; ``P_H`` is a CSC matrix
 with one column per hub.
 
+Columnar views (vectorized query engine)
+----------------------------------------
+On top of the per-node states the index maintains three incrementally-updated
+columnar arrays, exposed as :attr:`ReverseTopKIndex.columns`:
+
+* ``lower`` — the dense ``(K, n)`` lower-bound matrix ``P̂`` (column ``u`` =
+  top-``K`` lower bounds of ``u``, descending, zero-padded);
+* ``residual_mass`` — an ``n``-vector of *effective* residual masses, i.e.
+  ``||r_u||_1`` plus the hub rounding deficit correction (see below);
+* ``is_exact`` — a boolean mask marking nodes whose bounds are exact values.
+
+These views are what Algorithm 4's vectorized scan phase operates on: the
+whole-array prune ``p_u(q) < P̂[k-1, u]``, the exact-shortcut acceptance and
+the batched staircase upper-bound check all read the columns directly instead
+of looping over :class:`NodeState` objects.  The per-node states remain the
+refinement-time representation; every write-back through :meth:`set_state` (or
+:meth:`sync_state` after an in-place mutation) refreshes the corresponding
+column so the views never go stale.
+
 Rounding note (§4.1.3): zeroing hub proximity entries below ``omega`` keeps
 ``p^t_u`` a valid *lower* bound but silently drops mass that the staircase
 *upper* bound of Algorithm 3 would otherwise account for.  To keep the upper
@@ -33,12 +52,39 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
-from .._validation import check_k, check_node_index
-from ..exceptions import IndexNotBuiltError, SerializationError
+from .._validation import check_node_index, check_positive_int
+from ..exceptions import IndexNotBuiltError, InvalidParameterError, SerializationError
 from .config import IndexParams
 from .hubs import HubSet
 
 PathLike = Union[str, os.PathLike]
+
+
+@dataclass(frozen=True)
+class ColumnarView:
+    """Live columnar views over the index, consumed by the vectorized engine.
+
+    The arrays are the index's working storage, *not* copies: they reflect
+    every state write-back immediately and must be treated as read-only by
+    callers (mutate node states through :meth:`ReverseTopKIndex.set_state` /
+    :meth:`ReverseTopKIndex.sync_state` instead).
+
+    Attributes
+    ----------
+    lower:
+        Dense ``(K, n)`` lower-bound matrix ``P̂``; row ``k-1`` holds the k-th
+        lower bound of every node (zero-padded when fewer bounds are known).
+    residual_mass:
+        ``n``-vector of effective residual masses — ``||r_u||_1`` plus the hub
+        rounding-deficit correction used by the staircase upper bound.
+    is_exact:
+        ``n``-vector boolean mask; ``True`` where the lower bounds are the
+        exact proximity values (hubs and fully-drained states).
+    """
+
+    lower: np.ndarray
+    residual_mass: np.ndarray
+    is_exact: np.ndarray
 
 #: Bytes per stored floating-point value / index, used for size accounting.
 _VALUE_BYTES = 8
@@ -137,6 +183,7 @@ class ReverseTopKIndex:
             )
         if self.hub_deficit.size != len(hubs):
             raise ValueError("hub_deficit length must equal the number of hubs")
+        self._columns = self._build_columns()
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -151,8 +198,18 @@ class ReverseTopKIndex:
         """The maximum k supported by this index (``K``)."""
         return self.params.capacity
 
+    @property
+    def columns(self) -> ColumnarView:
+        """The live :class:`ColumnarView` over this index (read-only arrays)."""
+        return self._columns
+
     def state(self, node: int) -> NodeState:
-        """The mutable :class:`NodeState` of ``node``."""
+        """The mutable :class:`NodeState` of ``node``.
+
+        Callers that mutate the returned state in place must call
+        :meth:`sync_state` (or :meth:`set_state`) afterwards so the columnar
+        views stay consistent.
+        """
         node = check_node_index(node, self.n_nodes)
         return self._states[node]
 
@@ -160,23 +217,34 @@ class ReverseTopKIndex:
         """Replace the stored state of ``node`` (used by the update policy)."""
         node = check_node_index(node, self.n_nodes)
         self._states[node] = state
+        self._sync_column(node, state)
+
+    def sync_state(self, node: int) -> None:
+        """Refresh the columnar views of ``node`` after an in-place mutation."""
+        node = check_node_index(node, self.n_nodes)
+        self._sync_column(node, self._states[node])
 
     def states(self) -> Iterable[Tuple[int, NodeState]]:
         """Iterate over ``(node, state)`` pairs."""
         return enumerate(self._states)
 
     def kth_lower_bounds(self, k: int) -> np.ndarray:
-        """The k-th row of ``P̂`` across all nodes — the primary pruning signal."""
-        k = check_k(k, max(self.n_nodes, k), maximum=self.capacity)
-        return np.array([state.kth_lower_bound(k) for state in self._states])
+        """The k-th row of ``P̂`` across all nodes — the primary pruning signal.
+
+        ``k`` is validated against the index capacity ``K`` only: the matrix
+        stores ``K`` slots per node regardless of the graph size, and slots
+        beyond a node's known bounds hold the trivial lower bound ``0``.
+        """
+        k = check_positive_int(k, "k")
+        if k > self.capacity:
+            raise InvalidParameterError(
+                f"k={k} exceeds the index capacity K={self.capacity}"
+            )
+        return self._columns.lower[k - 1].copy()
 
     def lower_bound_matrix(self) -> np.ndarray:
         """Dense ``K x n`` matrix ``P̂`` (column ``u`` = top-K lower bounds of ``u``)."""
-        matrix = np.zeros((self.capacity, self.n_nodes))
-        for node, state in enumerate(self._states):
-            count = min(self.capacity, state.lower_bounds.size)
-            matrix[:count, node] = state.lower_bounds[:count]
-        return matrix
+        return self._columns.lower.copy()
 
     # ------------------------------------------------------------------ #
     # approximate proximity reconstruction
@@ -210,12 +278,44 @@ class ReverseTopKIndex:
         ``||r_u||_1`` plus the mass lost because hub proximities were rounded
         (``sum_h s_u[h] * deficit[h]``) — see the module docstring.
         """
-        state = self.state(node)
+        return self.state_residual_mass(self.state(node))
+
+    def state_residual_mass(self, state: NodeState) -> float:
+        """Effective residual mass of an arbitrary (possibly detached) state.
+
+        Used by the query engine on working copies during refinement, and by
+        the column sync so the columnar ``residual_mass`` vector holds exactly
+        the value the per-node computation would produce.
+        """
         mass = state.residual_mass
         if state.hub_ink and self.hub_deficit.size:
             for hub, ink in state.hub_ink.items():
                 mass += ink * float(self.hub_deficit[self.hubs.position(hub)])
         return mass
+
+    # ------------------------------------------------------------------ #
+    # columnar view maintenance
+    # ------------------------------------------------------------------ #
+    def _build_columns(self) -> ColumnarView:
+        """Assemble the columnar views from the per-node states (one pass)."""
+        columns = ColumnarView(
+            lower=np.zeros((self.capacity, self.n_nodes), dtype=np.float64),
+            residual_mass=np.zeros(self.n_nodes, dtype=np.float64),
+            is_exact=np.zeros(self.n_nodes, dtype=bool),
+        )
+        for node, state in enumerate(self._states):
+            self._write_column(columns, node, state)
+        return columns
+
+    def _sync_column(self, node: int, state: NodeState) -> None:
+        self._write_column(self._columns, node, state)
+
+    def _write_column(self, columns: ColumnarView, node: int, state: NodeState) -> None:
+        count = min(self.capacity, state.lower_bounds.size)
+        columns.lower[:count, node] = state.lower_bounds[:count]
+        columns.lower[count:, node] = 0.0
+        columns.residual_mass[node] = self.state_residual_mass(state)
+        columns.is_exact[node] = state.is_exact
 
     # ------------------------------------------------------------------ #
     # size accounting (Table 2)

@@ -281,6 +281,7 @@ def refine_node_state(
     hub_mask: np.ndarray,
     *,
     adaptive: bool = True,
+    node: Optional[int] = None,
 ) -> bool:
     """One refinement step used by the online query (Algorithm 4, line 13).
 
@@ -290,6 +291,11 @@ def refine_node_state(
     residue when no node reaches the configured ``eta``, so refinement always
     makes progress while any residue remains — this is what lets Algorithm 4
     decide every candidate instead of stalling on sub-threshold residue.
+
+    When ``node`` is given and ``state`` is the index's stored state for that
+    node (the update-index query policy refines states in place), the index's
+    columnar views are refreshed too, so the vectorized scan of later queries
+    prunes with the tightened bounds.
 
     Returns ``False`` only when the state holds no residue at all (it is
     already exact).
@@ -309,6 +315,8 @@ def refine_node_state(
         return False
     expansion = _HubExpansion(index.hub_matrix.shape[0], index.hubs, index.hub_matrix)
     materialize_lower_bounds(state, expansion, index.params.capacity)
+    if node is not None and state is index.state(node):
+        index.sync_state(node)
     return True
 
 

@@ -62,6 +62,7 @@ def proximity_to_node(
     max_iterations: Optional[int] = None,
     initial: Optional[np.ndarray] = None,
     raise_on_failure: bool = True,
+    transposed: Optional[sp.spmatrix] = None,
 ) -> PMPNResult:
     """Compute the exact proximities from all nodes to ``query`` (Algorithm 2).
 
@@ -83,6 +84,10 @@ def proximity_to_node(
     raise_on_failure:
         Raise :class:`ConvergenceError` if the cap is reached (default), or
         return the non-converged result when ``False``.
+    transposed:
+        Optional precomputed ``A^T`` in CSR form.  The transpose costs
+        ``O(nnz)`` per call; workloads evaluating many queries against the
+        same graph (the engine's ``query_many`` path) pass it once instead.
     """
     alpha = check_probability(alpha, "alpha")
     tolerance = check_positive_float(tolerance, "tolerance")
@@ -91,7 +96,8 @@ def proximity_to_node(
     if max_iterations is None:
         max_iterations = 2 * expected_iterations(alpha, tolerance) + 10
 
-    transposed = transition.T.tocsr()
+    if transposed is None:
+        transposed = transition.T.tocsr()
     restart = np.zeros(n, dtype=np.float64)
     restart[query] = alpha
 

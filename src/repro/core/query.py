@@ -5,34 +5,60 @@ Query evaluation proceeds in two phases:
 1. **Exact proximities to the query** — PMPN (Algorithm 2) computes
    ``p_{q,*}`` so that for every node ``u`` the exact value ``p_u(q)`` is
    known.
-2. **Per-node verification** — each node is pruned with its indexed k-th
+2. **Candidate-centric scan** — nodes are pruned with their indexed k-th
    lower bound, confirmed with the staircase upper bound (Algorithm 3), or
    progressively refined with additional batched BCA iterations until one of
    the two tests decides.  Refinements can be written back into the index
    ("update" mode), tightening bounds for future queries.
 
+Vectorized pipeline (the default, ``scan_mode="vectorized"``)
+-------------------------------------------------------------
+Instead of looping over all ``n`` nodes, the scan phase runs as whole-array
+stages over the index's columnar views (:attr:`ReverseTopKIndex.columns`):
+
+* **prune** — one NumPy comparison ``p_*(q) < P̂[k-1, *]`` rejects almost
+  every node in a single pass (the paper's headline pruning result,
+  Figures 5-6);
+* **exact shortcut** — survivors whose ``is_exact`` mask bit is set are
+  accepted outright: their lower bound is the true k-th value, so surviving
+  the prune is a final decision;
+* **batched upper bound** — the staircase bound of Algorithm 3 is evaluated
+  for *all* remaining candidates at once (:func:`kth_upper_bounds_batch`),
+  turning first-check hits into results without touching per-node state;
+* **refine** — only the few candidates that all three vectorized stages left
+  undecided enter the per-node refinement loop of Algorithm 4, line 13.
+
+The stages produce results and :class:`QueryStatistics` counters that are
+bit-identical to the per-node reference scan, which remains available as
+``scan_mode="scalar"`` for equivalence tests and benchmarks.
+
 The engine also collects the per-query statistics reported in Figures 5–8:
-candidate count, immediate hits, refinement iterations, and stage timings.
+candidate count, immediate hits, refinement iterations, and stage timings
+(``pmpn``, ``scan``, and — in vectorized mode — ``refine``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
-from .._validation import check_k, check_node_index
+from .._validation import check_k, check_membership, check_node_index
 from ..exceptions import QueryError
 from ..graph.digraph import DiGraph
 from ..graph.transition import transition_matrix
 from ..utils.timer import StageTimer, Timer
-from .bounds import kth_upper_bound
+from .bounds import kth_upper_bound, kth_upper_bounds_batch
 from .config import IndexParams, QueryParams
 from .index import NodeState, ReverseTopKIndex
 from .lbi import build_index, refine_node_state
 from .pmpn import proximity_to_node
+
+#: Accepted scan-phase implementations: the columnar pipeline and the
+#: per-node reference loop (kept for equivalence testing and benchmarks).
+SCAN_MODES = ("vectorized", "scalar")
 
 
 @dataclass(frozen=True)
@@ -144,6 +170,8 @@ class ReverseTopKEngine:
             )
         self.index = index
         self._hub_mask = index.hubs.mask(self.transition.shape[0])
+        # PMPN iterates with A^T; transpose once and share it across queries.
+        self._transposed = self.transition.T.tocsr()
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -180,6 +208,7 @@ class ReverseTopKEngine:
         *,
         update_index: bool = True,
         params: Optional[QueryParams] = None,
+        scan_mode: str = "vectorized",
     ) -> QueryResult:
         """Evaluate a reverse top-k query (Algorithm 4).
 
@@ -195,12 +224,52 @@ class ReverseTopKEngine:
         params:
             Full :class:`QueryParams`; overrides ``k`` and ``update_index``
             when given.
+        scan_mode:
+            ``"vectorized"`` (default) runs the columnar whole-array scan;
+            ``"scalar"`` runs the per-node reference loop.  Both return
+            identical results and statistics counters.
         """
         if params is None:
             params = QueryParams(k=k, update_index=update_index)
         query = check_node_index(query, self.n_nodes, "query")
         k = check_k(params.k, self.n_nodes, maximum=self.index.capacity)
+        scan_mode = check_membership(scan_mode, SCAN_MODES, "scan_mode")
+        return self._query_checked(query, k, params, scan_mode)
 
+    def query_many(
+        self,
+        queries: Sequence[int],
+        k: int = 10,
+        *,
+        update_index: bool = True,
+        params: Optional[QueryParams] = None,
+        scan_mode: str = "vectorized",
+    ) -> List[QueryResult]:
+        """Evaluate a workload of queries (Figures 7 and 8).
+
+        The batched path validates ``k``/``params``/``scan_mode`` once and
+        shares the columnar index views, the CSC transition and its cached
+        CSR transpose across all queries.  Per-query results and statistics
+        are identical to calling :meth:`query` in a loop.
+        """
+        if params is None:
+            params = QueryParams(k=k, update_index=update_index)
+        k = check_k(params.k, self.n_nodes, maximum=self.index.capacity)
+        scan_mode = check_membership(scan_mode, SCAN_MODES, "scan_mode")
+        return [
+            self._query_checked(
+                check_node_index(int(query), self.n_nodes, "query"), k, params, scan_mode
+            )
+            for query in queries
+        ]
+
+    # ------------------------------------------------------------------ #
+    # internals — query pipeline
+    # ------------------------------------------------------------------ #
+    def _query_checked(
+        self, query: int, k: int, params: QueryParams, scan_mode: str
+    ) -> QueryResult:
+        """Run one pre-validated query through PMPN plus the chosen scan."""
         stages = StageTimer()
         total_timer = Timer()
         with total_timer:
@@ -210,71 +279,112 @@ class ReverseTopKEngine:
                     query,
                     alpha=self.index.params.alpha,
                     tolerance=params.tolerance,
+                    transposed=self._transposed,
                 )
             proximity_to_q = pmpn.proximities
 
-            results: List[int] = []
-            n_candidates = 0
-            n_hits = 0
-            n_exact = 0
-            n_pruned = 0
-            n_refine_iterations = 0
-            n_refined_nodes = 0
-            n_fallbacks = 0
-
-            with stages.time("scan"):
-                for node in range(self.n_nodes):
-                    outcome = self._verify_node(
-                        node,
-                        float(proximity_to_q[node]),
-                        k,
-                        params,
-                    )
-                    if outcome.is_result:
-                        results.append(node)
-                    n_candidates += outcome.was_candidate
-                    n_hits += outcome.was_immediate_hit
-                    n_exact += outcome.used_exact_shortcut
-                    n_pruned += outcome.pruned_immediately
-                    n_refine_iterations += outcome.refinement_iterations
-                    n_refined_nodes += outcome.refinement_iterations > 0
-                    n_fallbacks += outcome.used_exact_fallback
+            if scan_mode == "vectorized":
+                nodes, tally = self._scan_vectorized(proximity_to_q, k, params, stages)
+            else:
+                nodes, tally = self._scan_scalar(proximity_to_q, k, params, stages)
 
         statistics = QueryStatistics(
-            n_results=len(results),
-            n_candidates=n_candidates,
-            n_hits=n_hits,
-            n_exact_shortcut=n_exact,
-            n_pruned_immediately=n_pruned,
-            n_refinement_iterations=n_refine_iterations,
-            n_refined_nodes=n_refined_nodes,
+            n_results=int(nodes.size),
+            n_candidates=tally.n_candidates,
+            n_hits=tally.n_hits,
+            n_exact_shortcut=tally.n_exact,
+            n_pruned_immediately=tally.n_pruned,
+            n_refinement_iterations=tally.n_refine_iterations,
+            n_refined_nodes=tally.n_refined_nodes,
             pmpn_iterations=pmpn.iterations,
             seconds=total_timer.elapsed,
             stage_seconds=stages.as_dict(),
-            n_exact_fallbacks=n_fallbacks,
+            n_exact_fallbacks=tally.n_fallbacks,
         )
         return QueryResult(
             query=query,
             k=k,
-            nodes=np.asarray(results, dtype=np.int64),
+            nodes=nodes,
             proximities_to_query=proximity_to_q,
             statistics=statistics,
         )
 
-    def query_many(
+    def _scan_vectorized(
         self,
-        queries: Sequence[int],
-        k: int = 10,
-        *,
-        update_index: bool = True,
-    ) -> List[QueryResult]:
-        """Evaluate a workload of queries sequentially (Figures 7 and 8)."""
-        return [
-            self.query(int(query), k, update_index=update_index) for query in queries
-        ]
+        proximity_to_q: np.ndarray,
+        k: int,
+        params: QueryParams,
+        stages: StageTimer,
+    ) -> Tuple[np.ndarray, "_ScanTally"]:
+        """Columnar scan: whole-array prune, exact shortcut, batched bound.
+
+        Only candidates left undecided by all three vectorized stages enter
+        the per-node refinement loop (timed as the separate ``refine`` stage).
+        """
+        tally = _ScanTally()
+        columns = self.index.columns
+        with stages.time("scan"):
+            survivors = proximity_to_q >= columns.lower[k - 1]
+            tally.n_pruned = self.n_nodes - int(np.count_nonzero(survivors))
+            exact_accepted = survivors & columns.is_exact
+            tally.n_exact = int(np.count_nonzero(exact_accepted))
+            candidates = np.flatnonzero(survivors & ~columns.is_exact)
+            tally.n_candidates = int(candidates.size)
+            if candidates.size:
+                upper = kth_upper_bounds_batch(
+                    columns.lower[:, candidates], columns.residual_mass[candidates], k
+                )
+                hits = proximity_to_q[candidates] >= upper
+            else:
+                hits = np.zeros(0, dtype=bool)
+            tally.n_hits = int(np.count_nonzero(hits))
+
+        refined_results: List[int] = []
+        with stages.time("refine"):
+            for node in candidates[~hits]:
+                outcome = self._refine_candidate(
+                    int(node), float(proximity_to_q[node]), k, params
+                )
+                tally.absorb_refinement(outcome)
+                if outcome.is_result:
+                    refined_results.append(int(node))
+
+        nodes = np.sort(
+            np.concatenate(
+                [
+                    np.flatnonzero(exact_accepted),
+                    candidates[hits],
+                    np.asarray(refined_results, dtype=np.int64),
+                ]
+            )
+        ).astype(np.int64)
+        return nodes, tally
+
+    def _scan_scalar(
+        self,
+        proximity_to_q: np.ndarray,
+        k: int,
+        params: QueryParams,
+        stages: StageTimer,
+    ) -> Tuple[np.ndarray, "_ScanTally"]:
+        """Reference scan: the per-node while-loop of Algorithm 4 over all nodes."""
+        tally = _ScanTally()
+        results: List[int] = []
+        with stages.time("scan"):
+            for node in range(self.n_nodes):
+                outcome = self._verify_node(
+                    node,
+                    float(proximity_to_q[node]),
+                    k,
+                    params,
+                )
+                if outcome.is_result:
+                    results.append(node)
+                tally.absorb(outcome)
+        return np.asarray(results, dtype=np.int64), tally
 
     # ------------------------------------------------------------------ #
-    # internals
+    # internals — per-node verification
     # ------------------------------------------------------------------ #
     def _verify_node(
         self,
@@ -303,22 +413,45 @@ class ReverseTopKEngine:
             outcome.used_exact_shortcut = True
             return outcome
 
-        outcome.was_candidate = True
+        # Candidate: run the first upper-bound check, then hand over to the
+        # shared refinement loop (also used by the vectorized scan).
         working = state if params.update_index else state.copy()
-        first_check = True
+        residual_mass = self._effective_residual_mass(working)
+        upper = kth_upper_bound(working.lower_bounds, residual_mass, k)
+        if proximity_to_query >= upper:
+            outcome.is_result = True
+            outcome.was_candidate = True
+            outcome.was_immediate_hit = True
+            return outcome
+        return self._refine_candidate(node, proximity_to_query, k, params, working=working)
+
+    def _refine_candidate(
+        self,
+        node: int,
+        proximity_to_query: float,
+        k: int,
+        params: QueryParams,
+        working: Optional[NodeState] = None,
+    ) -> "_NodeOutcome":
+        """Continue Algorithm 4 for a candidate whose first bound check failed.
+
+        The caller has already established that ``node`` survived the prune,
+        is not exact, and was not an immediate hit — i.e. the first loop
+        iteration of Algorithm 4 ran through its upper-bound check
+        unsuccessfully.  This picks up exactly where that iteration left off
+        (budget check, refinement, re-check), so outcomes and counters are
+        identical regardless of which scan produced the candidate.
+
+        Column sync happens once per refined candidate through the final
+        ``set_state`` write-back; nothing reads the columnar views between
+        refinement iterations of a single candidate.
+        """
+        if working is None:
+            state = self.index.state(node)
+            working = state if params.update_index else state.copy()
+        outcome = _NodeOutcome(was_candidate=True)
         refinements = 0
-        while proximity_to_query >= working.kth_lower_bound(k):
-            if working.is_exact:
-                outcome.is_result = True
-                break
-            residual_mass = self._effective_residual_mass(working)
-            upper = kth_upper_bound(working.lower_bounds, residual_mass, k)
-            if proximity_to_query >= upper:
-                outcome.is_result = True
-                if first_check:
-                    outcome.was_immediate_hit = True
-                break
-            first_check = False
+        while True:
             if refinements >= params.max_refinements:
                 # Refinement budget exhausted: decide exactly with one power
                 # method run instead of guessing (rare; counted in statistics).
@@ -333,9 +466,19 @@ class ReverseTopKEngine:
                 # No residue remains: the lower bounds are exact values now.
                 outcome.is_result = proximity_to_query >= working.kth_lower_bound(k)
                 break
+            if proximity_to_query < working.kth_lower_bound(k):
+                break
+            if working.is_exact:
+                outcome.is_result = True
+                break
+            residual_mass = self._effective_residual_mass(working)
+            upper = kth_upper_bound(working.lower_bounds, residual_mass, k)
+            if proximity_to_query >= upper:
+                outcome.is_result = True
+                break
 
         outcome.refinement_iterations = refinements
-        if params.update_index and refinements:
+        if params.update_index and (refinements or outcome.used_exact_fallback):
             self.index.set_state(node, working)
         return outcome
 
@@ -368,11 +511,7 @@ class ReverseTopKEngine:
 
     def _effective_residual_mass(self, state: NodeState) -> float:
         """Residue mass for the upper bound, including the hub rounding deficit."""
-        mass = state.residual_mass
-        if state.hub_ink and self.index.hub_deficit.size:
-            for hub, ink in state.hub_ink.items():
-                mass += ink * float(self.index.hub_deficit[self.index.hubs.position(hub)])
-        return mass
+        return self.index.state_residual_mass(state)
 
 
 @dataclass
@@ -386,3 +525,30 @@ class _NodeOutcome:
     used_exact_fallback: bool = False
     pruned_immediately: bool = False
     refinement_iterations: int = 0
+
+
+@dataclass
+class _ScanTally:
+    """Private accumulator for the counters of :class:`QueryStatistics`."""
+
+    n_candidates: int = 0
+    n_hits: int = 0
+    n_exact: int = 0
+    n_pruned: int = 0
+    n_refine_iterations: int = 0
+    n_refined_nodes: int = 0
+    n_fallbacks: int = 0
+
+    def absorb(self, outcome: _NodeOutcome) -> None:
+        """Tally one scalar-scan outcome (any of the per-node exit paths)."""
+        self.n_candidates += outcome.was_candidate
+        self.n_hits += outcome.was_immediate_hit
+        self.n_exact += outcome.used_exact_shortcut
+        self.n_pruned += outcome.pruned_immediately
+        self.absorb_refinement(outcome)
+
+    def absorb_refinement(self, outcome: _NodeOutcome) -> None:
+        """Tally the refinement counters of one candidate outcome."""
+        self.n_refine_iterations += outcome.refinement_iterations
+        self.n_refined_nodes += outcome.refinement_iterations > 0
+        self.n_fallbacks += outcome.used_exact_fallback

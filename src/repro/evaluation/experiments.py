@@ -176,11 +176,8 @@ def figure5_query_time(
     for k in k_values:
         for update, bucket in ((True, update_seconds), (False, no_update_seconds)):
             engine = ReverseTopKEngine(matrix, copy.deepcopy(reference_index))
-            times = [
-                engine.query(query, k, update_index=update).statistics.seconds
-                for query in workload
-            ]
-            bucket.append(float(np.mean(times)))
+            results = engine.query_many(list(workload), k, update_index=update)
+            bucket.append(float(np.mean([r.statistics.seconds for r in results])))
 
     data = {
         "k": list(k_values),
@@ -225,7 +222,7 @@ def figure6_pruning_power(
     results: List[float] = []
     for k in k_values:
         engine = ReverseTopKEngine(matrix, copy.deepcopy(reference_index))
-        stats = [engine.query(query, k, update_index=True).statistics for query in workload]
+        stats = [r.statistics for r in engine.query_many(list(workload), k, update_index=True)]
         candidates.append(float(np.mean([s.n_candidates for s in stats])))
         hits.append(float(np.mean([s.n_hits for s in stats])))
         results.append(float(np.mean([s.n_results for s in stats])))
@@ -274,8 +271,8 @@ def figure7_refinement_effect(
     for update in (True, False):
         engine = ReverseTopKEngine(matrix, copy.deepcopy(reference_index))
         prefix = "update" if update else "no_update"
-        for query in workload:
-            stats = engine.query(query, k, update_index=update).statistics
+        for result in engine.query_many(list(workload), k, update_index=update):
+            stats = result.statistics
             series[f"{prefix}_seconds"].append(stats.seconds)
             series[f"{prefix}_refinements"].append(float(stats.n_refinement_iterations))
 
@@ -419,10 +416,11 @@ def figure9_rounding_effect(
             exact_engine = ReverseTopKEngine(matrix, copy.deepcopy(exact_index))
             rounded_engine = ReverseTopKEngine(matrix, copy.deepcopy(rounded_index))
             values = [
-                jaccard_similarity(
-                    exact_engine.query(query, k).nodes, rounded_engine.query(query, k).nodes
+                jaccard_similarity(exact_result.nodes, rounded_result.nodes)
+                for exact_result, rounded_result in zip(
+                    exact_engine.query_many(list(workload), k),
+                    rounded_engine.query_many(list(workload), k),
                 )
-                for query in workload
             ]
             per_k.append(float(np.mean(values)))
         similarity[float(omega)] = per_k

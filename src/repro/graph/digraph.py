@@ -45,9 +45,11 @@ class DiGraph:
         "_adjacency",
         "_adjacency_csc",
         "_node_names",
+        "_name_to_id",
         "_out_degree",
         "_in_degree",
         "_out_weight",
+        "_is_weighted",
     )
 
     def __init__(
@@ -70,6 +72,8 @@ class DiGraph:
         self._out_degree: Optional[np.ndarray] = None
         self._in_degree: Optional[np.ndarray] = None
         self._out_weight: Optional[np.ndarray] = None
+        self._name_to_id: Optional[dict] = None
+        self._is_weighted: Optional[bool] = None
         if node_names is not None:
             names = list(node_names)
             if len(names) != matrix.shape[0]:
@@ -112,8 +116,12 @@ class DiGraph:
 
     @property
     def is_weighted(self) -> bool:
-        """``True`` when any edge weight differs from 1."""
-        return bool(self._adjacency.nnz) and not np.allclose(self._adjacency.data, 1.0)
+        """``True`` when any edge weight differs from 1 (computed once, cached)."""
+        if self._is_weighted is None:
+            self._is_weighted = bool(self._adjacency.nnz) and not np.allclose(
+                self._adjacency.data, 1.0
+            )
+        return self._is_weighted
 
     # ------------------------------------------------------------------ #
     # degrees
@@ -169,11 +177,17 @@ class DiGraph:
             yield int(target), float(weight)
 
     def has_edge(self, source: int, target: int) -> bool:
-        """Return whether the directed edge ``source -> target`` exists."""
+        """Return whether the directed edge ``source -> target`` exists.
+
+        Binary search over the node's sorted CSR index slice — ``O(log d)``
+        per lookup instead of a linear scan of the out-neighbour list.
+        """
         source = self._check_node(source)
         target = self._check_node(target)
         start, stop = self._adjacency.indptr[source], self._adjacency.indptr[source + 1]
-        return bool(np.isin(target, self._adjacency.indices[start:stop]))
+        row = self._adjacency.indices[start:stop]
+        position = int(np.searchsorted(row, target))
+        return position < row.size and int(row[position]) == target
 
     def edge_weight(self, source: int, target: int) -> float:
         """Return the weight of edge ``source -> target`` (0 when absent)."""
@@ -201,6 +215,11 @@ class DiGraph:
     def node_id(self, name: str) -> int:
         """Return the id of the node labelled ``name``.
 
+        The name→id mapping is built once on first use, so repeated lookups
+        cost ``O(1)`` instead of an ``O(n)`` scan of the label tuple.  When a
+        label occurs more than once, the first occurrence wins (matching the
+        previous ``tuple.index`` behaviour).
+
         Raises
         ------
         NodeNotFoundError
@@ -208,9 +227,14 @@ class DiGraph:
         """
         if self._node_names is None:
             raise NodeNotFoundError(name)
+        if self._name_to_id is None:
+            mapping: dict = {}
+            for node, label in enumerate(self._node_names):
+                mapping.setdefault(label, node)
+            self._name_to_id = mapping
         try:
-            return self._node_names.index(name)
-        except ValueError as exc:
+            return self._name_to_id[name]
+        except KeyError as exc:
             raise NodeNotFoundError(name) from exc
 
     # ------------------------------------------------------------------ #

@@ -139,6 +139,30 @@ class TestBuildIndex:
         assert row.shape == (small_index.n_nodes,)
         assert np.all(row >= 0)
 
+    def test_kth_lower_bounds_validates_against_capacity(self, small_index):
+        # Regression: the old check used ``max(n_nodes, k)`` as the node bound,
+        # which silently accepted any k above n_nodes; k must be validated
+        # against the index capacity K (the matrix row count) and nothing else.
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            small_index.kth_lower_bounds(small_index.capacity + 1)
+        with pytest.raises(InvalidParameterError):
+            small_index.kth_lower_bounds(0)
+        row = small_index.kth_lower_bounds(small_index.capacity)
+        assert row.shape == (small_index.n_nodes,)
+
+    def test_kth_lower_bounds_beyond_node_count(self):
+        # k may exceed the node count as long as it fits the capacity: the
+        # matrix stores K slots per node regardless of the graph size.
+        params = IndexParams(capacity=5, hub_budget=0)
+        states = [NodeState(lower_bounds=np.array([0.4, 0.2])) for _ in range(3)]
+        index = ReverseTopKIndex(
+            params, HubSet(()), sp.csc_matrix((3, 0)), np.zeros(0), states
+        )
+        np.testing.assert_array_equal(index.kth_lower_bounds(2), np.full(3, 0.2))
+        np.testing.assert_array_equal(index.kth_lower_bounds(4), np.zeros(3))
+
     def test_lower_bound_matrix_shape(self, small_index):
         matrix = small_index.lower_bound_matrix()
         assert matrix.shape == (small_index.capacity, small_index.n_nodes)
@@ -239,6 +263,20 @@ class TestIndexPersistence:
             np.testing.assert_allclose(restored.lower_bounds, state.lower_bounds)
             assert restored.is_hub == state.is_hub
 
+    def test_save_load_preserves_columnar_views(self, small_index, tmp_path):
+        path = tmp_path / "index.npz"
+        small_index.save(path)
+        loaded = ReverseTopKIndex.load(path)
+        np.testing.assert_allclose(
+            loaded.columns.lower, small_index.columns.lower
+        )
+        np.testing.assert_allclose(
+            loaded.columns.residual_mass, small_index.columns.residual_mass
+        )
+        np.testing.assert_array_equal(
+            loaded.columns.is_exact, small_index.columns.is_exact
+        )
+
     def test_loaded_index_answers_queries(self, small_index, small_transition, tmp_path):
         from repro.core import ReverseTopKEngine
 
@@ -254,3 +292,57 @@ class TestIndexPersistence:
 
         with pytest.raises(SerializationError):
             ReverseTopKIndex.load(tmp_path / "nope.npz")
+
+
+class TestColumnarViews:
+    def test_columns_match_per_node_state(self, small_index):
+        columns = small_index.columns
+        assert columns.lower.shape == (small_index.capacity, small_index.n_nodes)
+        for node, state in small_index.states():
+            for k in (1, 3, small_index.capacity):
+                assert columns.lower[k - 1, node] == state.kth_lower_bound(k)
+            assert columns.residual_mass[node] == pytest.approx(
+                small_index.effective_residual_mass(node)
+            )
+            assert columns.is_exact[node] == state.is_exact
+
+    def test_set_state_refreshes_columns(self, small_index):
+        index = copy.deepcopy(small_index)
+        node = next(v for v, s in index.states() if not s.is_exact)
+        replacement = NodeState(
+            lower_bounds=np.full(index.capacity, 0.123), residual={}, is_hub=False
+        )
+        index.set_state(node, replacement)
+        assert index.columns.lower[0, node] == pytest.approx(0.123)
+        assert index.columns.residual_mass[node] == 0.0
+        assert bool(index.columns.is_exact[node])
+
+    def test_sync_state_after_in_place_mutation(self, small_index, small_transition):
+        index = copy.deepcopy(small_index)
+        hub_mask = index.hubs.mask(index.n_nodes)
+        matrix = sp.csc_matrix(small_transition)
+        node = next(v for v, s in index.states() if not s.is_exact)
+        state = index.state(node)
+        before = index.columns.lower[:, node].copy()
+        assert refine_node_state(state, index, matrix, hub_mask)
+        # Without a sync the columns are allowed to lag ...
+        index.sync_state(node)
+        # ... after the sync they must reflect the refined bounds exactly.
+        np.testing.assert_array_equal(
+            index.columns.lower[:, node], state.lower_bounds[: index.capacity]
+        )
+        assert np.all(index.columns.lower[:, node] >= before - 1e-12)
+
+    def test_refine_node_state_syncs_when_node_given(self, small_index, small_transition):
+        index = copy.deepcopy(small_index)
+        hub_mask = index.hubs.mask(index.n_nodes)
+        matrix = sp.csc_matrix(small_transition)
+        node = next(v for v, s in index.states() if not s.is_exact)
+        state = index.state(node)
+        assert refine_node_state(state, index, matrix, hub_mask, node=node)
+        np.testing.assert_array_equal(
+            index.columns.lower[:, node], state.lower_bounds[: index.capacity]
+        )
+        assert index.columns.residual_mass[node] == pytest.approx(
+            index.effective_residual_mass(node)
+        )

@@ -150,6 +150,49 @@ class TestIndexUpdatePolicy:
         assert second <= first
 
 
+class TestScanModes:
+    _COUNTERS = (
+        "n_results",
+        "n_candidates",
+        "n_hits",
+        "n_exact_shortcut",
+        "n_pruned_immediately",
+        "n_refinement_iterations",
+        "n_refined_nodes",
+        "n_exact_fallbacks",
+        "pmpn_iterations",
+    )
+
+    @pytest.mark.parametrize("update_index", [True, False])
+    def test_vectorized_matches_scalar(self, small_transition, small_index, update_index):
+        vectorized = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        scalar = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        for query in (0, 7, 23, 42):
+            a = vectorized.query(query, 8, update_index=update_index, scan_mode="vectorized")
+            b = scalar.query(query, 8, update_index=update_index, scan_mode="scalar")
+            np.testing.assert_array_equal(a.nodes, b.nodes)
+            for counter in self._COUNTERS:
+                assert getattr(a.statistics, counter) == getattr(b.statistics, counter)
+
+    def test_vectorized_reports_refine_stage(self, small_transition, small_index):
+        engine = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        stats = engine.query(3, 5).statistics
+        assert "refine" in stats.stage_seconds
+
+    def test_invalid_scan_mode_rejected(self, engine):
+        with pytest.raises(InvalidParameterError):
+            engine.query(0, 3, scan_mode="turbo")
+
+    def test_query_many_scan_modes_agree(self, small_transition, small_index):
+        vectorized = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        scalar = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        for a, b in zip(
+            vectorized.query_many([0, 5, 9], k=4, scan_mode="vectorized"),
+            scalar.query_many([0, 5, 9], k=4, scan_mode="scalar"),
+        ):
+            np.testing.assert_array_equal(a.nodes, b.nodes)
+
+
 class TestQueryValidation:
     def test_k_exceeding_capacity_rejected(self, engine, small_params):
         with pytest.raises(InvalidParameterError):
