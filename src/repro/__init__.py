@@ -15,7 +15,10 @@ The package is organised in layers:
 * :mod:`repro.apps` — applications: spam detection, author popularity,
   product influence;
 * :mod:`repro.workloads`, :mod:`repro.evaluation` — workload generators and
-  the experiment harness that regenerates the paper's tables and figures.
+  the experiment harness that regenerates the paper's tables and figures;
+* :mod:`repro.serving` — the serving runtime: result caching, request
+  batching/dedup, thread/process parallel execution, and warm-start index
+  snapshots behind the :class:`ReverseTopKService` façade.
 
 Quickstart
 ----------
@@ -42,6 +45,12 @@ from .core import (
     brute_force_reverse_topk,
 )
 from .graph import DiGraph, transition_matrix, weighted_transition_matrix
+from .serving import (
+    ReverseTopKService,
+    ServiceConfig,
+    ServiceMetrics,
+    SnapshotManager,
+)
 from .exceptions import (
     ReproError,
     GraphError,
@@ -67,6 +76,10 @@ __all__ = [
     "DiGraph",
     "transition_matrix",
     "weighted_transition_matrix",
+    "ReverseTopKService",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SnapshotManager",
     "ReproError",
     "GraphError",
     "ConvergenceError",

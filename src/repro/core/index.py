@@ -45,6 +45,8 @@ from __future__ import annotations
 
 import io
 import os
+import tempfile
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -89,6 +91,12 @@ class ColumnarView:
 #: Bytes per stored floating-point value / index, used for size accounting.
 _VALUE_BYTES = 8
 _INDEX_BYTES = 8
+
+#: Process umask, captured once at import: os.umask is process-global and
+#: can only be read by setting it, so toggling it per save would race under
+#: the concurrent multi-thread saves :meth:`ReverseTopKIndex.save` supports.
+_UMASK = os.umask(0)
+os.umask(_UMASK)
 
 
 @dataclass
@@ -177,13 +185,14 @@ class ReverseTopKIndex:
         self.hub_deficit = np.asarray(hub_deficit, dtype=np.float64)
         self._states = states
         self.build_seconds = float(build_seconds)
+        self._version = 0
         if self.hub_matrix.shape[1] != len(hubs):
             raise ValueError(
                 f"hub matrix has {self.hub_matrix.shape[1]} columns but {len(hubs)} hubs"
             )
         if self.hub_deficit.size != len(hubs):
             raise ValueError("hub_deficit length must equal the number of hubs")
-        self._columns = self._build_columns()
+        self._columns: Optional[ColumnarView] = self._build_columns()
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -199,8 +208,25 @@ class ReverseTopKIndex:
         return self.params.capacity
 
     @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped on every state write-back.
+
+        The serving layer keys its result cache on ``(query, k, version)``:
+        any refinement persisted through :meth:`set_state` / :meth:`sync_state`
+        bumps the counter, so cache entries computed against older index
+        state stop matching and age out of the LRU.
+        """
+        return self._version
+
+    @property
     def columns(self) -> ColumnarView:
-        """The live :class:`ColumnarView` over this index (read-only arrays)."""
+        """The live :class:`ColumnarView` over this index (read-only arrays).
+
+        Rebuilt lazily after unpickling (the views are derived state and are
+        dropped from the pickle payload).
+        """
+        if self._columns is None:
+            self._columns = self._build_columns()
         return self._columns
 
     def state(self, node: int) -> NodeState:
@@ -240,11 +266,11 @@ class ReverseTopKIndex:
             raise InvalidParameterError(
                 f"k={k} exceeds the index capacity K={self.capacity}"
             )
-        return self._columns.lower[k - 1].copy()
+        return self.columns.lower[k - 1].copy()
 
     def lower_bound_matrix(self) -> np.ndarray:
         """Dense ``K x n`` matrix ``P̂`` (column ``u`` = top-K lower bounds of ``u``)."""
-        return self._columns.lower.copy()
+        return self.columns.lower.copy()
 
     # ------------------------------------------------------------------ #
     # approximate proximity reconstruction
@@ -308,7 +334,23 @@ class ReverseTopKIndex:
         return columns
 
     def _sync_column(self, node: int, state: NodeState) -> None:
-        self._write_column(self._columns, node, state)
+        # Every write-back is a visible index mutation: bump the version so
+        # version-keyed caches (the serving layer) stop serving stale answers.
+        self._version += 1
+        if self._columns is not None:
+            self._write_column(self._columns, node, state)
+
+    # ------------------------------------------------------------------ #
+    # pickling (process-pool workers)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Drop the derived columnar views; they are rebuilt lazily on access."""
+        state = self.__dict__.copy()
+        state["_columns"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def _write_column(self, columns: ColumnarView, node: int, state: NodeState) -> None:
         count = min(self.capacity, state.lower_bounds.size)
@@ -347,31 +389,69 @@ class ReverseTopKIndex:
     # persistence
     # ------------------------------------------------------------------ #
     def save(self, path: PathLike) -> None:
-        """Serialise the index to a ``.npz`` archive."""
+        """Serialise the index to a ``.npz`` archive, atomically.
+
+        The archive is first written to a uniquely-named temporary sibling
+        file (:func:`tempfile.mkstemp`, so concurrent saves — even of the
+        same path from several threads — never share a temp file) and then
+        moved into place with :func:`os.replace`.  A failure mid-write
+        (full disk, crash, interrupted process) therefore never corrupts an
+        existing snapshot at ``path`` — readers see either the old complete
+        archive or the new one, never a torn file.
+
+        Mirroring :func:`numpy.savez_compressed`, a ``.npz`` suffix is
+        appended to ``path`` when it is missing.
+        """
         path = Path(path)
+        if not path.name.endswith(".npz"):
+            path = path.with_name(path.name + ".npz")
         arrays = _states_to_arrays(self._states, self.capacity)
         hub_matrix = self.hub_matrix.tocoo()
         try:
-            np.savez_compressed(
-                path,
-                alpha=np.array([self.params.alpha]),
-                capacity=np.array([self.params.capacity]),
-                propagation_threshold=np.array([self.params.propagation_threshold]),
-                residue_threshold=np.array([self.params.residue_threshold]),
-                rounding_threshold=np.array([self.params.rounding_threshold]),
-                hub_budget=np.array([self.params.hub_budget]),
-                tolerance=np.array([self.params.tolerance]),
-                hubs=np.asarray(self.hubs.nodes, dtype=np.int64),
-                hub_deficit=self.hub_deficit,
-                hub_rows=hub_matrix.row.astype(np.int64),
-                hub_cols=hub_matrix.col.astype(np.int64),
-                hub_vals=hub_matrix.data.astype(np.float64),
-                hub_shape=np.asarray(self.hub_matrix.shape, dtype=np.int64),
-                build_seconds=np.array([self.build_seconds]),
-                **arrays,
+            descriptor, name = tempfile.mkstemp(
+                prefix=f"{path.name}.tmp-", dir=path.parent
             )
         except OSError as exc:
             raise SerializationError(f"cannot save index to {path}: {exc}") from exc
+        temporary = Path(name)
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                # mkstemp creates 0600 files; restore the umask-default mode
+                # the plain open() of np.savez would have produced, so other
+                # readers of a shared snapshot directory keep working.
+                os.fchmod(descriptor, 0o666 & ~_UMASK)
+                self._write_npz(handle, arrays, hub_matrix)
+                # Flush to disk before the rename: otherwise a crash can
+                # persist the replace but not the data, leaving a torn file.
+                handle.flush()
+                os.fsync(descriptor)
+            os.replace(temporary, path)
+        except OSError as exc:
+            raise SerializationError(f"cannot save index to {path}: {exc}") from exc
+        finally:
+            if temporary.exists():
+                temporary.unlink()
+
+    def _write_npz(self, handle, arrays, hub_matrix) -> None:
+        """Write the archive payload to an open binary file handle."""
+        np.savez_compressed(
+            handle,
+            alpha=np.array([self.params.alpha]),
+            capacity=np.array([self.params.capacity]),
+            propagation_threshold=np.array([self.params.propagation_threshold]),
+            residue_threshold=np.array([self.params.residue_threshold]),
+            rounding_threshold=np.array([self.params.rounding_threshold]),
+            hub_budget=np.array([self.params.hub_budget]),
+            tolerance=np.array([self.params.tolerance]),
+            hubs=np.asarray(self.hubs.nodes, dtype=np.int64),
+            hub_deficit=self.hub_deficit,
+            hub_rows=hub_matrix.row.astype(np.int64),
+            hub_cols=hub_matrix.col.astype(np.int64),
+            hub_vals=hub_matrix.data.astype(np.float64),
+            hub_shape=np.asarray(self.hub_matrix.shape, dtype=np.int64),
+            build_seconds=np.array([self.build_seconds]),
+            **arrays,
+        )
 
     @classmethod
     def load(cls, path: PathLike) -> "ReverseTopKIndex":
@@ -402,7 +482,9 @@ class ReverseTopKIndex:
                     states,
                     build_seconds=float(data["build_seconds"][0]),
                 )
-        except (OSError, KeyError, ValueError) as exc:
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+            # BadZipFile: a truncated/torn .npz that still begins with the
+            # zip magic — np.load raises it instead of ValueError.
             raise SerializationError(f"cannot load index from {path}: {exc}") from exc
 
     def __repr__(self) -> str:

@@ -263,6 +263,46 @@ class ReverseTopKEngine:
             for query in queries
         ]
 
+    def query_many_readonly(
+        self,
+        queries: Sequence[int],
+        k: int = 10,
+        *,
+        params: Optional[QueryParams] = None,
+        scan_mode: str = "vectorized",
+    ) -> List[QueryResult]:
+        """Shared-view batch entry point: evaluate ``queries`` without writes.
+
+        This is the serving-layer path: ``update_index`` is forced off, so the
+        call never mutates the index (refinement happens on per-candidate
+        working copies) and never bumps the index version.  Because every
+        touched structure — the columnar views, the CSC transition, the cached
+        CSR transpose — is only read, any number of threads may call this
+        concurrently on one shared engine, and process-pool workers may call
+        it on a pickled snapshot of the engine.
+
+        Results are identical to :meth:`query_many` with
+        ``update_index=False``.
+        """
+        if params is None:
+            params = QueryParams(k=k, update_index=False)
+        elif params.update_index:
+            raise QueryError(
+                "query_many_readonly requires params with update_index=False"
+            )
+        return self.query_many(queries, params=params, scan_mode=scan_mode)
+
+    # ------------------------------------------------------------------ #
+    # pickling (process-pool workers)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Ship only the transition and the index; derived caches rebuild."""
+        return {"transition": self.transition, "index": self.index}
+
+    def __setstate__(self, state: dict) -> None:
+        # __init__ re-derives the hub mask and the shared CSR transpose.
+        self.__init__(state["transition"], state["index"])
+
     # ------------------------------------------------------------------ #
     # internals — query pipeline
     # ------------------------------------------------------------------ #

@@ -278,6 +278,29 @@ class DiGraph:
         return self.subgraph(keep)
 
     # ------------------------------------------------------------------ #
+    # pickling (process-pool workers)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Pickle only the canonical adjacency and the node labels.
+
+        Derived caches (CSC transpose, degree vectors, name→id map, the
+        ``is_weighted`` flag) are dropped: they can be large, and every one
+        of them is rebuilt lazily on first use after unpickling.  This keeps
+        worker hand-off in the serving layer's process pool cheap.
+        """
+        return {"adjacency": self._adjacency, "node_names": self._node_names}
+
+    def __setstate__(self, state: dict) -> None:
+        self._adjacency = state["adjacency"]
+        self._node_names = state["node_names"]
+        self._adjacency_csc = None
+        self._out_degree = None
+        self._in_degree = None
+        self._out_weight = None
+        self._name_to_id = None
+        self._is_weighted = None
+
+    # ------------------------------------------------------------------ #
     # dunder methods
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

@@ -1,0 +1,110 @@
+"""Batch planning: dedup in-flight requests and group same-``k`` work.
+
+The scheduler turns a burst of ``(query, k)`` requests into an execution
+plan:
+
+* requests already answerable from the cache are split off as *hits*;
+* duplicate misses — the same ``(query, k)`` appearing more than once in the
+  burst — are collapsed so each unique pair is computed exactly once and
+  fanned back out to every requesting position ("in-flight dedup");
+* unique misses are grouped by ``k`` (the engine's batched
+  ``query_many``/``query_many_readonly`` path shares validation and the
+  columnar views across a same-``k`` group) and chopped into chunks of at
+  most ``max_batch_size`` queries, which are also the unit of work handed to
+  the parallel executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .._validation import check_positive_int
+from ..core.query import QueryResult
+
+#: One request: (query node, depth k).
+Request = Tuple[int, int]
+
+
+@dataclass
+class BatchPlan:
+    """Execution plan for one burst of requests.
+
+    Attributes
+    ----------
+    n_requests:
+        Total requests in the burst.
+    cached:
+        ``{position: result}`` for requests answered from the cache.
+    assignments:
+        ``{(query, k): [positions]}`` — every position waiting on each unique
+        computation (length > 1 means in-flight dedup saved work).
+    batches:
+        ``[(k, [queries])]`` chunks to execute; all queries in a chunk share
+        ``k`` and each chunk holds at most ``max_batch_size`` queries.
+    """
+
+    n_requests: int = 0
+    cached: Dict[int, QueryResult] = field(default_factory=dict)
+    assignments: Dict[Request, List[int]] = field(default_factory=dict)
+    batches: List[Tuple[int, List[int]]] = field(default_factory=list)
+
+    @property
+    def n_cache_hits(self) -> int:
+        """Requests served straight from the cache."""
+        return len(self.cached)
+
+    @property
+    def n_unique_misses(self) -> int:
+        """Distinct ``(query, k)`` pairs that must be computed."""
+        return len(self.assignments)
+
+    @property
+    def n_deduplicated(self) -> int:
+        """Requests avoided because an identical one is already in flight."""
+        return (self.n_requests - self.n_cache_hits) - self.n_unique_misses
+
+
+class BatchScheduler:
+    """Plans request bursts into deduplicated, same-``k``, bounded batches."""
+
+    def __init__(self, max_batch_size: int = 64) -> None:
+        self.max_batch_size = check_positive_int(max_batch_size, "max_batch_size")
+
+    def plan(
+        self,
+        requests: Sequence[Request],
+        lookup: Optional[Callable[[Request], Optional[QueryResult]]] = None,
+    ) -> BatchPlan:
+        """Build a :class:`BatchPlan` for ``requests``.
+
+        ``lookup`` is the cache probe (``None`` disables caching); it is
+        called once per request position so the cache's hit/miss counters
+        reflect the raw request stream, not the deduplicated one.
+        """
+        plan = BatchPlan(n_requests=len(requests))
+        order: List[Request] = []  # unique misses in first-seen order
+        for position, request in enumerate(requests):
+            request = (int(request[0]), int(request[1]))
+            result = lookup(request) if lookup is not None else None
+            if result is not None:
+                plan.cached[position] = result
+                continue
+            waiting = plan.assignments.get(request)
+            if waiting is None:
+                plan.assignments[request] = [position]
+                order.append(request)
+            else:
+                waiting.append(position)
+
+        # Group unique misses by k, preserving first-seen order within groups.
+        by_k: Dict[int, List[int]] = {}
+        for query, k in order:
+            by_k.setdefault(k, []).append(query)
+        for k, queries in by_k.items():
+            for start in range(0, len(queries), self.max_batch_size):
+                plan.batches.append((k, queries[start : start + self.max_batch_size]))
+        return plan
+
+    def __repr__(self) -> str:
+        return f"BatchScheduler(max_batch_size={self.max_batch_size})"

@@ -1,0 +1,141 @@
+"""LRU result cache for the serving layer.
+
+Entries are keyed on ``(query, k, index_version)``.  The index version is a
+monotonic counter bumped by every state write-back
+(:attr:`repro.core.ReverseTopKIndex.version`), so a refinement persisted into
+the index implicitly invalidates all earlier answers: lookups always use the
+*current* version, stale entries simply never match again and age out of the
+LRU order.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from .._validation import check_non_negative_int
+from ..core.query import QueryResult
+
+#: Cache key: (query node, depth k, index version at lookup time).
+CacheKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a cache's counters.
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookup outcomes since construction (or the last :meth:`ResultCache.clear`).
+    insertions:
+        Number of entries ever stored.
+    evictions:
+        Entries displaced by the LRU policy (capacity pressure only; stale
+        versions are not proactively evicted, they age out).
+    size / capacity:
+        Current and maximum entry counts.
+    """
+
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when no lookups yet)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counter snapshot suitable for JSON metrics output."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Thread-safe LRU cache mapping :data:`CacheKey` to :class:`QueryResult`.
+
+    A capacity of ``0`` disables caching entirely (every lookup misses, puts
+    are dropped), which lets the service expose a single code path.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = check_non_negative_int(capacity, "capacity")
+        self._entries: "OrderedDict[Hashable, QueryResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+
+    def get(self, key: CacheKey) -> Optional[QueryResult]:
+        """Return the cached result for ``key`` (marking it most-recent), or None."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return result
+
+    def put(self, key: CacheKey, result: QueryResult) -> None:
+        """Store ``result`` under ``key``, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = result
+                return
+            self._entries[key] = result
+            self._insertions += 1
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._insertions = self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ResultCache(size={stats.size}/{stats.capacity}, "
+            f"hits={stats.hits}, misses={stats.misses})"
+        )

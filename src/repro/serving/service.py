@@ -1,0 +1,411 @@
+"""The :class:`ReverseTopKService` façade — cache, batch, fan out, measure.
+
+The service owns a :class:`ReverseTopKEngine` and serves request bursts
+through a fixed pipeline:
+
+1. **cache** — each ``(query, k)`` is probed against the LRU result cache
+   under the *current* index version;
+2. **dedup + batch** — cache misses are deduplicated in-flight and grouped
+   into same-``k`` batches (:class:`BatchScheduler`);
+3. **execute** — batches run through the read-only engine entry point,
+   optionally fanned across a thread or process pool
+   (:class:`ParallelExecutor`);
+4. **measure** — per-query latencies, cache counters, dedup savings and
+   worker timings accumulate into the :meth:`ReverseTopKService.metrics`
+   snapshot.
+
+Serving never mutates the index.  Refinements that *should* persist go
+through :meth:`ReverseTopKService.refine`, which bumps the index version and
+thereby invalidates every cached answer computed against the older state.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import scipy.sparse as sp
+
+from .._validation import (
+    check_membership,
+    check_node_index,
+    check_non_negative_int,
+    check_positive_int,
+)
+from ..core.config import IndexParams
+from ..core.query import SCAN_MODES, QueryResult, ReverseTopKEngine
+from ..graph.digraph import DiGraph
+from ..utils.timer import LatencyStats, Timer
+from ..workloads.queries import QueryWorkload
+from .batching import BatchScheduler, Request
+from .cache import CacheStats, ResultCache
+from .parallel import BACKENDS, ParallelExecutor
+from .snapshot import SnapshotManager
+
+PathLikeOrManager = Union[str, "SnapshotManager"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving pipeline.
+
+    Attributes
+    ----------
+    cache_capacity:
+        Maximum entries in the LRU result cache; ``0`` disables caching.
+    max_batch_size:
+        Largest same-``k`` batch handed to the executor in one task.
+    n_workers:
+        Worker count for parallel batch execution; ``0`` or ``1`` runs
+        batches sequentially in-process.
+    backend:
+        ``"thread"`` (shared engine) or ``"process"`` (snapshot per worker).
+    scan_mode:
+        Scan implementation forwarded to the engine (``"vectorized"`` /
+        ``"scalar"``).
+    """
+
+    cache_capacity: int = 1024
+    max_batch_size: int = 64
+    n_workers: int = 0
+    backend: str = "thread"
+    scan_mode: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.cache_capacity, "cache_capacity")
+        check_positive_int(self.max_batch_size, "max_batch_size")
+        check_non_negative_int(self.n_workers, "n_workers")
+        check_membership(self.backend, BACKENDS, "backend")
+        check_membership(self.scan_mode, SCAN_MODES, "scan_mode")
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Immutable snapshot of the service counters (the metrics "endpoint").
+
+    Attributes
+    ----------
+    n_requests:
+        Requests received (cache hits included).
+    n_cache_hits / n_deduplicated:
+        Requests answered from cache / collapsed onto an in-flight duplicate.
+    n_engine_queries:
+        Queries actually evaluated by the engine.
+    n_batches:
+        Executor tasks dispatched.
+    n_refinements:
+        ``update_index=True`` refinement queries served.
+    index_version:
+        The index mutation counter at snapshot time.
+    serve_seconds:
+        Wall-clock total across all ``serve`` calls.
+    worker_seconds:
+        Summed busy time across executor workers (> ``serve_seconds`` means
+        real parallel overlap).
+    cache:
+        The underlying :class:`CacheStats`.
+    latency:
+        Summary of per-query engine latencies (:meth:`LatencyStats.as_dict`).
+    """
+
+    n_requests: int
+    n_cache_hits: int
+    n_deduplicated: int
+    n_engine_queries: int
+    n_batches: int
+    n_refinements: int
+    index_version: int
+    serve_seconds: float
+    worker_seconds: float
+    cache: CacheStats
+    latency: Dict[str, float]
+
+    @property
+    def throughput_qps(self) -> float:
+        """Requests served per wall-clock second (0.0 before any serve)."""
+        return self.n_requests / self.serve_seconds if self.serve_seconds else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "n_requests": self.n_requests,
+            "n_cache_hits": self.n_cache_hits,
+            "n_deduplicated": self.n_deduplicated,
+            "n_engine_queries": self.n_engine_queries,
+            "n_batches": self.n_batches,
+            "n_refinements": self.n_refinements,
+            "index_version": self.index_version,
+            "serve_seconds": self.serve_seconds,
+            "worker_seconds": self.worker_seconds,
+            "throughput_qps": self.throughput_qps,
+            "cache": self.cache.as_dict(),
+            "latency": self.latency,
+        }
+
+
+class _ReadWriteLock:
+    """Many concurrent readers xor one writer.
+
+    ``serve`` holds the read side while its batches scan the index's columnar
+    views; ``refine`` holds the write side while persisting state write-backs
+    that rewrite those views in place.  Without this exclusion a scanning
+    thread could observe a half-updated column (new lower bounds with the old
+    residual mass) and return a wrong, then cached, answer.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            # Writer preference: new readers also yield to a *queued* writer,
+            # otherwise overlapping serve bursts could keep the reader count
+            # above zero forever and starve refine() indefinitely.
+            while self._writing or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+class ReverseTopKService:
+    """Cached, batched, parallel serving façade over a reverse top-k engine.
+
+    Typical usage::
+
+        service = ReverseTopKService.from_graph(graph, snapshot_dir="snapshots")
+        results = service.serve([(42, 10), (7, 10), (42, 10)])  # third is a hit
+        print(service.metrics().as_dict())
+
+    Answers are always identical to direct ``engine.query`` calls: caching,
+    deduplication and parallel fan-out only change *when* and *how often*
+    the engine runs, never what it computes.
+    """
+
+    def __init__(
+        self,
+        engine: ReverseTopKEngine,
+        config: Optional[ServiceConfig] = None,
+        *,
+        warm_started: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServiceConfig()
+        self.warm_started = bool(warm_started)
+        self._cache = ResultCache(self.config.cache_capacity)
+        self._scheduler = BatchScheduler(self.config.max_batch_size)
+        self._executor = ParallelExecutor(
+            engine, n_workers=self.config.n_workers, backend=self.config.backend
+        )
+        self._lock = threading.Lock()
+        self._index_lock = _ReadWriteLock()
+        self._latency = LatencyStats()
+        self._n_requests = 0
+        self._n_cache_hits = 0
+        self._n_deduplicated = 0
+        self._n_engine_queries = 0
+        self._n_batches = 0
+        self._n_refinements = 0
+        self._serve_seconds = 0.0
+        self._worker_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(
+        cls,
+        graph: DiGraph,
+        params: Optional[IndexParams] = None,
+        *,
+        config: Optional[ServiceConfig] = None,
+        snapshot_dir: Optional[PathLikeOrManager] = None,
+        transition: Optional[sp.spmatrix] = None,
+    ) -> "ReverseTopKService":
+        """Build (or warm-start) a service for ``graph``.
+
+        With ``snapshot_dir`` the index is loaded from a content-addressed
+        snapshot when one matches ``(graph, params)`` — cold-start becomes a
+        single archive read — and otherwise built once and archived for the
+        next start.  ``service.warm_started`` records which path ran.
+        """
+        from ..graph.transition import transition_matrix
+
+        matrix = transition if transition is not None else transition_matrix(graph)
+        if snapshot_dir is None:
+            engine = ReverseTopKEngine.build(graph, params, transition=matrix)
+            return cls(engine, config)
+        manager = (
+            snapshot_dir
+            if isinstance(snapshot_dir, SnapshotManager)
+            else SnapshotManager(snapshot_dir)
+        )
+        index, from_snapshot = manager.load_or_build(
+            graph, params, transition=matrix
+        )
+        engine = ReverseTopKEngine(matrix, index)
+        return cls(engine, config, warm_started=from_snapshot)
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def query(self, query: int, k: int = 10) -> QueryResult:
+        """Serve a single request through the full pipeline."""
+        return self.serve([(query, k)])[0]
+
+    def serve(self, requests: Sequence[Request]) -> List[QueryResult]:
+        """Serve a burst of ``(query, k)`` requests, preserving order.
+
+        The burst goes through cache lookup, in-flight dedup, same-``k``
+        batching, and (when configured) parallel fan-out.  Duplicate
+        requests receive the *same* :class:`QueryResult` object.
+        """
+        requests = [(int(q), int(k)) for q, k in requests]
+        for query, _ in requests:
+            check_node_index(query, self.engine.n_nodes, "query")
+        use_cache = self.config.cache_capacity > 0
+        worker_seconds = 0.0
+        engine_latency = LatencyStats()
+        with Timer() as wall, self._index_lock.read():
+            # Read the version only once the read lock is held: a refine()
+            # completing in between would otherwise let this burst probe (and
+            # repopulate) the cache under the already-dead version key.
+            version = self.engine.index.version
+            lookup = (
+                (lambda request: self._cache.get((request[0], request[1], version)))
+                if use_cache
+                else None
+            )
+            plan = self._scheduler.plan(requests, lookup)
+            answered: Dict[int, QueryResult] = dict(plan.cached)
+            # All batches dispatch together: heterogeneous-k bursts (and
+            # same-k overflow chunks) fan across the pool concurrently.
+            groups, reports = self._executor.run_many(
+                plan.batches, scan_mode=self.config.scan_mode
+            )
+            worker_seconds += sum(report.seconds for report in reports)
+            for (k, queries), batch_results in zip(plan.batches, groups):
+                for query, result in zip(queries, batch_results):
+                    engine_latency.record(result.statistics.seconds)
+                    if use_cache:
+                        self._cache.put((query, k, version), result)
+                    for position in plan.assignments[(query, k)]:
+                        answered[position] = result
+
+        with self._lock:
+            self._n_requests += plan.n_requests
+            self._n_cache_hits += plan.n_cache_hits
+            self._n_deduplicated += plan.n_deduplicated
+            self._n_engine_queries += plan.n_unique_misses
+            self._n_batches += len(plan.batches)
+            self._serve_seconds += wall.elapsed
+            self._worker_seconds += worker_seconds
+            self._latency.merge(engine_latency)
+        return [answered[position] for position in range(len(requests))]
+
+    def serve_workload(self, workload: QueryWorkload) -> List[QueryResult]:
+        """Serve every query of a :class:`QueryWorkload` at its depth ``k``."""
+        return self.serve([(query, workload.k) for query in workload])
+
+    # ------------------------------------------------------------------ #
+    # index refinement (the only write path)
+    # ------------------------------------------------------------------ #
+    def refine(self, query: int, k: int = 10) -> QueryResult:
+        """Evaluate one query with ``update_index=True`` (persisting bounds).
+
+        Any refinement written back bumps the index version: cached answers
+        computed against the older state stop matching and age out.  Process
+        pool workers hold pickled snapshots, so their pool is discarded and
+        respawned lazily against the updated index.
+
+        Refinement takes the write side of the index lock, so it never
+        rewrites the columnar views while an in-flight ``serve`` batch is
+        scanning them (thread workers share those arrays).
+        """
+        with self._index_lock.write():
+            version = self.engine.index.version
+            result = self.engine.query(
+                query, k, update_index=True, scan_mode=self.config.scan_mode
+            )
+            # Discard stale process snapshots *before* releasing the write
+            # lock: once a serve() burst can enter, it must find either the
+            # old version with the old pool or the new version with a fresh
+            # pool — never new-version results computed on stale workers.
+            if (
+                self.engine.index.version != version
+                and self.config.backend == "process"
+            ):
+                self._executor.invalidate()
+        with self._lock:
+            self._n_refinements += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    # metrics / lifecycle
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> ServiceMetrics:
+        """A consistent snapshot of every service counter."""
+        with self._lock:
+            return ServiceMetrics(
+                n_requests=self._n_requests,
+                n_cache_hits=self._n_cache_hits,
+                n_deduplicated=self._n_deduplicated,
+                n_engine_queries=self._n_engine_queries,
+                n_batches=self._n_batches,
+                n_refinements=self._n_refinements,
+                index_version=self.engine.index.version,
+                serve_seconds=self._serve_seconds,
+                worker_seconds=self._worker_seconds,
+                cache=self._cache.stats(),
+                latency=self._latency.as_dict(),
+            )
+
+    def clear_cache(self) -> None:
+        """Drop every cached answer (counters reset too)."""
+        self._cache.clear()
+
+    def close(self) -> None:
+        """Release the executor's worker pool (idempotent)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ReverseTopKService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReverseTopKService(n_nodes={self.engine.n_nodes}, "
+            f"cache={self.config.cache_capacity}, "
+            f"batch={self.config.max_batch_size}, "
+            f"workers={self.config.n_workers}/{self.config.backend})"
+        )

@@ -1,0 +1,198 @@
+"""Warm-start snapshots: content-addressed on-disk index archives.
+
+Cold start is the dominant serving cost — building the LBI index runs
+batched BCA over every node.  The :class:`SnapshotManager` removes it from
+the steady state: an index built for ``(graph, params, transition)`` is
+stored under a name derived from a SHA-256 over the graph's canonical CSR
+arrays, every :class:`IndexParams` field, and the transition matrix the
+index was built against, so a service restart with the *same* inputs loads
+the archive instead of rebuilding, while any change to any of them produces
+a different key and triggers a clean rebuild (never a silently mismatched
+index).
+
+Archives are written through :meth:`ReverseTopKIndex.save`, which is atomic
+(temp file + ``os.replace``): a crash mid-store can never corrupt an
+existing snapshot, and a corrupted or unreadable archive is treated as a
+miss, not an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import fields
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import scipy.sparse as sp
+
+from ..core.config import IndexParams
+from ..core.index import ReverseTopKIndex
+from ..core.lbi import build_index
+from ..exceptions import SerializationError
+from ..graph.digraph import DiGraph
+
+PathLike = Union[str, os.PathLike]
+
+#: Hex digest length used in snapshot file names (collision-safe in practice).
+_KEY_CHARS = 32
+
+
+def graph_fingerprint(graph: DiGraph) -> str:
+    """SHA-256 over the graph's canonical CSR arrays (and labels, if any).
+
+    :class:`DiGraph` canonicalises its adjacency at construction (sorted
+    indices, duplicates summed, explicit zeros removed), so two graphs built
+    from equivalent edge sets hash identically regardless of input order.
+    """
+    adjacency = graph.adjacency
+    digest = hashlib.sha256()
+    digest.update(f"digraph:{adjacency.shape[0]}:{adjacency.nnz}".encode())
+    digest.update(adjacency.indptr.tobytes())
+    digest.update(adjacency.indices.tobytes())
+    digest.update(adjacency.data.tobytes())
+    if graph.node_names is not None:
+        for name in graph.node_names:
+            digest.update(name.encode())
+            digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def transition_fingerprint(matrix: sp.spmatrix) -> str:
+    """SHA-256 over a transition matrix's canonical CSR arrays."""
+    # Copy before canonicalising: csr_matrix(csr) shares the caller's arrays
+    # and sum_duplicates/sort_indices would otherwise mutate them in place.
+    canonical = sp.csr_matrix(matrix, copy=True)
+    canonical.sum_duplicates()
+    canonical.sort_indices()
+    digest = hashlib.sha256()
+    digest.update(f"transition:{canonical.shape[0]}:{canonical.nnz}".encode())
+    digest.update(canonical.indptr.tobytes())
+    digest.update(canonical.indices.tobytes())
+    digest.update(canonical.data.tobytes())
+    return digest.hexdigest()
+
+
+def params_fingerprint(params: IndexParams) -> str:
+    """SHA-256 over every :class:`IndexParams` field, in declaration order.
+
+    Iterating ``dataclasses.fields`` means a future parameter added to
+    ``IndexParams`` automatically changes the key — an old snapshot can
+    never be mistaken for one built under the new parameter.
+    """
+    digest = hashlib.sha256()
+    for spec in fields(params):
+        digest.update(f"{spec.name}={getattr(params, spec.name)!r};".encode())
+    return digest.hexdigest()
+
+
+def snapshot_key(
+    graph: DiGraph,
+    params: IndexParams,
+    transition: Optional[sp.spmatrix] = None,
+) -> str:
+    """The combined content key for ``(graph, params, transition)``.
+
+    The transition matrix the index was built against participates in the
+    key: an index built for, say, the weighted transition must never be
+    warm-started for the unweighted one.  ``None`` means "the graph's
+    default transition" and hashes as a fixed marker, so callers that let
+    :func:`build_index` derive the matrix stay consistent with each other
+    (but use a different key than callers passing the same matrix
+    explicitly — a spurious rebuild at worst, never a wrong hit).
+    """
+    digest = hashlib.sha256()
+    digest.update(graph_fingerprint(graph).encode())
+    digest.update(params_fingerprint(params).encode())
+    if transition is None:
+        digest.update(b"default-transition")
+    else:
+        digest.update(transition_fingerprint(transition).encode())
+    return digest.hexdigest()[:_KEY_CHARS]
+
+
+class SnapshotManager:
+    """Loads and stores content-addressed index snapshots in one directory."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(
+        self,
+        graph: DiGraph,
+        params: IndexParams,
+        transition: Optional[sp.spmatrix] = None,
+    ) -> Path:
+        """The archive path a ``(graph, params, transition)`` snapshot lives at."""
+        return self.directory / f"lbi-{snapshot_key(graph, params, transition)}.npz"
+
+    def load(
+        self,
+        graph: DiGraph,
+        params: IndexParams,
+        transition: Optional[sp.spmatrix] = None,
+    ) -> Optional[ReverseTopKIndex]:
+        """Load the snapshot for ``(graph, params, transition)``; ``None`` on any miss.
+
+        A missing, truncated, or otherwise unreadable archive is a miss —
+        the caller rebuilds and overwrites it.
+        """
+        return self._read_archive(self.path_for(graph, params, transition))
+
+    def _read_archive(self, path: Path) -> Optional[ReverseTopKIndex]:
+        if not path.exists():
+            return None
+        try:
+            return ReverseTopKIndex.load(path)
+        except SerializationError:
+            return None
+
+    def store(
+        self,
+        index: ReverseTopKIndex,
+        graph: DiGraph,
+        params: Optional[IndexParams] = None,
+        *,
+        transition: Optional[sp.spmatrix] = None,
+    ) -> Path:
+        """Persist ``index`` under its content key (atomic write)."""
+        path = self.path_for(
+            graph, params if params is not None else index.params, transition
+        )
+        index.save(path)
+        return path
+
+    def load_or_build(
+        self,
+        graph: DiGraph,
+        params: Optional[IndexParams] = None,
+        *,
+        transition: Optional[sp.spmatrix] = None,
+        store_on_miss: bool = True,
+    ) -> Tuple[ReverseTopKIndex, bool]:
+        """Warm-start: return ``(index, from_snapshot)`` for ``(graph, params)``.
+
+        On a hit the archived index is loaded; on a miss the index is built
+        (and, with ``store_on_miss``, archived for the next start).  The key
+        is computed from the *effective* parameters — ``params.for_graph``
+        clamps capacity and hub budget to the graph, exactly as
+        :func:`build_index` does — so the snapshot matches what a fresh
+        build would produce.
+        """
+        effective = (params if params is not None else IndexParams()).for_graph(
+            graph.n_nodes
+        )
+        # Hash the content key once; a cold start would otherwise pay the
+        # graph/transition fingerprinting twice (load, then store).
+        path = self.path_for(graph, effective, transition)
+        cached = self._read_archive(path)
+        if cached is not None:
+            return cached, True
+        index = build_index(graph, effective, transition=transition)
+        if store_on_miss:
+            index.save(path)
+        return index, False
+
+    def __repr__(self) -> str:
+        return f"SnapshotManager(directory={str(self.directory)!r})"

@@ -8,7 +8,7 @@ from .sparsetools import (
     sparse_vector_from_dict,
     l1_norm,
 )
-from .timer import Timer
+from .timer import LatencyStats, StageTimer, Timer
 
 __all__ = [
     "ensure_rng",
@@ -17,5 +17,7 @@ __all__ = [
     "sparse_top_k",
     "sparse_vector_from_dict",
     "l1_norm",
+    "LatencyStats",
+    "StageTimer",
     "Timer",
 ]

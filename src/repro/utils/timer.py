@@ -1,10 +1,17 @@
-"""A tiny wall-clock timer used by the evaluation harness and benchmarks."""
+"""Wall-clock timers and latency accumulators for the harness and the service.
+
+:class:`Timer` and :class:`StageTimer` measure individual code sections;
+:class:`LatencyStats` aggregates many per-request measurements into the
+summary statistics (count, mean, tail percentiles) that the serving layer's
+metrics endpoint and the throughput benchmarks report.
+"""
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 
 class Timer:
@@ -73,6 +80,113 @@ class StageTimer:
     def as_dict(self) -> Dict[str, float]:
         """Return stage totals in insertion order."""
         return {name: self.stages[name] for name in self._order}
+
+
+class LatencyStats:
+    """Accumulator for per-request latencies: count, mean and tail percentiles.
+
+    Samples are kept (as float seconds) so percentiles are exact under the
+    nearest-rank definition; at serving-benchmark scale (thousands of
+    requests) the memory cost is negligible.
+
+    Examples
+    --------
+    >>> stats = LatencyStats()
+    >>> for ms in (1, 2, 3, 4, 100):
+    ...     stats.record(ms / 1000)
+    >>> stats.count
+    5
+    >>> stats.p50
+    0.003
+    """
+
+    def __init__(self, samples: Iterable[float] = ()) -> None:
+        self._samples: List[float] = [float(s) for s in samples]
+        self._sorted: List[float] | None = None
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (in seconds)."""
+        self._samples.append(float(seconds))
+        self._sorted = None
+
+    def merge(self, other: "LatencyStats") -> "LatencyStats":
+        """Fold another accumulator's samples into this one (returns self)."""
+        self._samples.extend(other._samples)
+        self._sorted = None
+        return self
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples, in seconds."""
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean latency (0.0 when empty)."""
+        return self.total / len(self._samples) if self._samples else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile ``p`` in [0, 100] (0.0 when empty)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = min(len(self._sorted), max(1, math.ceil(p / 100.0 * len(self._sorted))))
+        return self._sorted[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        """Median latency."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency."""
+        return self.percentile(99)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary suitable for JSON metrics output."""
+        return {
+            "count": float(self.count),
+            "total_seconds": self.total,
+            "mean_seconds": self.mean,
+            "min_seconds": self.min,
+            "max_seconds": self.max,
+            "p50_seconds": self.p50,
+            "p95_seconds": self.p95,
+            "p99_seconds": self.p99,
+        }
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyStats(count={self.count}, mean={self.mean:.6f}s, "
+            f"p50={self.p50:.6f}s, p95={self.p95:.6f}s, p99={self.p99:.6f}s)"
+        )
 
 
 class _StageContext:

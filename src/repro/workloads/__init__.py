@@ -3,16 +3,21 @@
 from .queries import (
     uniform_query_workload,
     degree_weighted_query_workload,
+    zipfian_query_workload,
     all_nodes_workload,
     QueryWorkload,
 )
+from .replay import ReplayReport, replay
 from .sweep import ParameterSweep, SweepPoint
 
 __all__ = [
     "uniform_query_workload",
     "degree_weighted_query_workload",
+    "zipfian_query_workload",
     "all_nodes_workload",
     "QueryWorkload",
+    "ReplayReport",
+    "replay",
     "ParameterSweep",
     "SweepPoint",
 ]

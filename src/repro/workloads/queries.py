@@ -83,6 +83,48 @@ def degree_weighted_query_workload(
     return QueryWorkload(queries.astype(np.int64), k, f"degree-weighted ({direction})")
 
 
+def zipfian_query_workload(
+    graph: DiGraph | int,
+    n_queries: int,
+    *,
+    k: int = 10,
+    exponent: float = 1.1,
+    hot_fraction: float = 0.05,
+    seed: SeedLike = 0,
+) -> QueryWorkload:
+    """Sample a skewed, repeat-heavy query stream (serving-cache workload).
+
+    Real query traffic is Zipf-like: a small hot set receives most requests.
+    A random permutation of the nodes is ranked, the top
+    ``ceil(hot_fraction * n)`` ranks form the eligible pool, and queries are
+    drawn with probability proportional to ``rank^-exponent`` — so the same
+    hot queries repeat many times, which is exactly what a result cache and
+    in-flight dedup exploit.
+
+    Parameters
+    ----------
+    exponent:
+        Zipf exponent ``s > 0``; larger means more skew.
+    hot_fraction:
+        Fraction of the node population eligible as queries (at least one).
+    """
+    n_nodes = graph if isinstance(graph, int) else graph.n_nodes
+    n_queries = check_positive_int(n_queries, "n_queries")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    rng = ensure_rng(seed)
+    pool_size = max(1, int(np.ceil(hot_fraction * n_nodes)))
+    pool = rng.permutation(n_nodes)[:pool_size]
+    weights = 1.0 / np.arange(1, pool_size + 1, dtype=np.float64) ** exponent
+    probabilities = weights / weights.sum()
+    queries = rng.choice(pool, size=n_queries, p=probabilities)
+    return QueryWorkload(
+        queries.astype(np.int64), k, f"zipfian (s={exponent}, hot={hot_fraction})"
+    )
+
+
 def all_nodes_workload(graph: DiGraph | int, *, k: int = 10) -> QueryWorkload:
     """Every node exactly once, in id order (the Figure 8 cumulative workload)."""
     n_nodes = graph if isinstance(graph, int) else graph.n_nodes

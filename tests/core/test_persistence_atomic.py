@@ -1,0 +1,149 @@
+"""Atomic snapshot writes and pickling of the index and the engine."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import ReverseTopKEngine, ReverseTopKIndex
+from repro.exceptions import SerializationError
+
+
+class TestAtomicSave:
+    def test_save_appends_npz_suffix(self, small_index, tmp_path):
+        small_index.save(tmp_path / "index")
+        assert (tmp_path / "index.npz").exists()
+
+    def test_failed_write_preserves_existing_snapshot(
+        self, small_index, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "index.npz"
+        small_index.save(path)
+        good_bytes = path.read_bytes()
+
+        def torn_write(handle, **arrays):
+            handle.write(b"torn partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", torn_write)
+        with pytest.raises(SerializationError):
+            small_index.save(path)
+        # The existing archive is untouched and still loads.
+        assert path.read_bytes() == good_bytes
+        loaded = ReverseTopKIndex.load(path)
+        assert loaded.n_nodes == small_index.n_nodes
+
+    def test_failed_write_leaves_no_temp_files(
+        self, small_index, tmp_path, monkeypatch
+    ):
+        def failing_write(handle, **arrays):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", failing_write)
+        with pytest.raises(SerializationError):
+            small_index.save(tmp_path / "index.npz")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_save_leaves_no_temp_files(self, small_index, tmp_path):
+        small_index.save(tmp_path / "index.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["index.npz"]
+
+    def test_saved_file_has_umask_default_mode(self, small_index, tmp_path):
+        import os
+
+        path = tmp_path / "index.npz"
+        small_index.save(path)
+        umask = os.umask(0)
+        os.umask(umask)
+        # Not mkstemp's private 0600: other readers of a shared snapshot
+        # directory must keep working, as with a plain open()-based write.
+        assert path.stat().st_mode & 0o777 == 0o666 & ~umask
+
+    def test_concurrent_saves_of_same_path_are_safe(self, small_index, tmp_path):
+        import threading
+
+        path = tmp_path / "index.npz"
+        errors = []
+
+        def save():
+            try:
+                small_index.save(path)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=save) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        loaded = ReverseTopKIndex.load(path)  # whoever won, the archive is whole
+        assert loaded.n_nodes == small_index.n_nodes
+        assert [p.name for p in tmp_path.iterdir()] == ["index.npz"]
+
+    def test_load_truncated_archive_raises_serialization_error(
+        self, small_index, tmp_path
+    ):
+        # A torn write can leave a file that still starts with the zip magic;
+        # np.load raises BadZipFile for it, which must surface as our error.
+        path = tmp_path / "index.npz"
+        small_index.save(path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(SerializationError):
+            ReverseTopKIndex.load(path)
+
+
+class TestIndexPickling:
+    def test_round_trip_preserves_states_and_columns(self, small_index):
+        clone = pickle.loads(pickle.dumps(small_index))
+        assert clone.n_nodes == small_index.n_nodes
+        assert clone.capacity == small_index.capacity
+        assert clone.version == small_index.version
+        for node, state in small_index.states():
+            restored = clone.state(node)
+            assert restored.residual == state.residual
+            assert restored.retained == state.retained
+            assert restored.hub_ink == state.hub_ink
+            np.testing.assert_array_equal(restored.lower_bounds, state.lower_bounds)
+        # Columnar views are dropped from the payload and rebuilt lazily.
+        np.testing.assert_array_equal(
+            clone.columns.lower, small_index.columns.lower
+        )
+        np.testing.assert_array_equal(
+            clone.columns.residual_mass, small_index.columns.residual_mass
+        )
+        np.testing.assert_array_equal(
+            clone.columns.is_exact, small_index.columns.is_exact
+        )
+
+    def test_pickle_payload_excludes_columns(self, small_index):
+        state = small_index.__getstate__()
+        assert state["_columns"] is None
+
+    def test_unpickled_index_still_refines(self, small_index, small_transition):
+        clone = pickle.loads(pickle.dumps(small_index))
+        engine = ReverseTopKEngine(small_transition, clone)
+        before = clone.version
+        for query in range(engine.n_nodes):
+            engine.query(query, clone.capacity, update_index=True)
+        assert clone.version > before  # write-backs work after unpickling
+
+
+class TestEnginePickling:
+    def test_round_trip_answers_identically(self, small_index, small_transition):
+        engine = ReverseTopKEngine(small_transition, small_index)
+        clone = pickle.loads(pickle.dumps(engine))
+        for query in (0, 3, 11):
+            expected = engine.query(query, 5, update_index=False)
+            actual = clone.query(query, 5, update_index=False)
+            np.testing.assert_array_equal(actual.nodes, expected.nodes)
+            np.testing.assert_array_equal(
+                actual.proximities_to_query, expected.proximities_to_query
+            )
+
+    def test_derived_caches_rebuilt(self, small_index, small_transition):
+        engine = ReverseTopKEngine(small_transition, small_index)
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone._transposed.shape == engine._transposed.shape
+        np.testing.assert_array_equal(clone._hub_mask, engine._hub_mask)

@@ -184,3 +184,40 @@ class TestTransformations:
         graph = DiGraph(matrix)
         trimmed = graph.largest_out_component_heuristic()
         assert trimmed.n_nodes == 2
+
+
+class TestPickling:
+    def test_round_trip_preserves_structure(self, triangle):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(triangle))
+        assert clone == triangle
+        assert clone.node_names == triangle.node_names
+        assert clone.is_weighted == triangle.is_weighted
+
+    def test_payload_drops_derived_caches(self, triangle):
+        # Warm every lazy cache, then check none of it ships in the pickle.
+        triangle.in_degree
+        triangle.out_weight
+        triangle.node_id("b")
+        triangle.is_weighted
+        state = triangle.__getstate__()
+        assert set(state) == {"adjacency", "node_names"}
+
+    def test_caches_rebuild_after_unpickling(self, triangle):
+        import pickle
+
+        triangle.node_id("c")  # warm the name map on the original
+        clone = pickle.loads(pickle.dumps(triangle))
+        np.testing.assert_array_equal(clone.in_degree, triangle.in_degree)
+        np.testing.assert_array_equal(clone.out_degree, triangle.out_degree)
+        assert clone.node_id("c") == triangle.node_id("c")
+        assert clone.in_neighbors(0).tolist() == triangle.in_neighbors(0).tolist()
+
+    def test_unnamed_graph_round_trip(self):
+        import pickle
+
+        graph = ring_graph(6)
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone == graph
+        assert clone.node_names is None

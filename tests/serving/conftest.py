@@ -1,0 +1,18 @@
+"""Fixtures for the serving-layer tests: a small shared read-only engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ReverseTopKEngine
+
+
+@pytest.fixture(scope="module")
+def serving_engine(small_web_graph, small_transition, small_index):
+    """An engine over the shared small index.
+
+    Serving-layer code paths are read-only (``update_index=False``), so the
+    session-scoped index fixture can be shared; tests that refine must build
+    their own engine from a deep copy.
+    """
+    return ReverseTopKEngine(small_transition, small_index)

@@ -1,0 +1,57 @@
+"""Tests for the batch scheduler: dedup, same-k grouping, chunking."""
+
+import pytest
+
+from repro.serving import BatchScheduler
+
+
+class TestBatchScheduler:
+    def test_unique_requests_one_batch_per_k(self):
+        plan = BatchScheduler(8).plan([(1, 5), (2, 5), (3, 7)])
+        assert plan.n_requests == 3
+        assert plan.n_cache_hits == 0
+        assert plan.n_deduplicated == 0
+        assert sorted(plan.batches) == [(5, [1, 2]), (7, [3])]
+
+    def test_duplicates_collapse_to_one_computation(self):
+        plan = BatchScheduler(8).plan([(1, 5), (1, 5), (2, 5), (1, 5)])
+        assert plan.n_unique_misses == 2
+        assert plan.n_deduplicated == 2
+        assert plan.assignments[(1, 5)] == [0, 1, 3]
+        assert plan.assignments[(2, 5)] == [2]
+        assert plan.batches == [(5, [1, 2])]
+
+    def test_same_query_different_k_not_deduplicated(self):
+        plan = BatchScheduler(8).plan([(1, 5), (1, 7)])
+        assert plan.n_unique_misses == 2
+        assert plan.n_deduplicated == 0
+
+    def test_cache_lookup_splits_hits(self):
+        cached = {(2, 5): "hit"}
+        plan = BatchScheduler(8).plan(
+            [(1, 5), (2, 5), (2, 5)], lookup=lambda r: cached.get(r)
+        )
+        assert plan.cached == {1: "hit", 2: "hit"}
+        assert plan.n_cache_hits == 2
+        assert plan.n_unique_misses == 1
+        assert plan.batches == [(5, [1])]
+
+    def test_chunking_respects_max_batch_size(self):
+        requests = [(q, 5) for q in range(10)]
+        plan = BatchScheduler(4).plan(requests)
+        assert [len(queries) for _, queries in plan.batches] == [4, 4, 2]
+        flattened = [q for _, queries in plan.batches for q in queries]
+        assert flattened == list(range(10))
+
+    def test_first_seen_order_preserved(self):
+        plan = BatchScheduler(8).plan([(9, 5), (3, 5), (9, 5), (1, 5)])
+        assert plan.batches == [(5, [9, 3, 1])]
+
+    def test_empty_burst(self):
+        plan = BatchScheduler(8).plan([])
+        assert plan.n_requests == 0
+        assert plan.batches == []
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(0)

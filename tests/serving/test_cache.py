@@ -1,0 +1,95 @@
+"""Tests for the version-keyed LRU result cache."""
+
+import threading
+
+import pytest
+
+from repro.serving import ResultCache
+
+
+def _key(query, k=10, version=0):
+    return (query, k, version)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get(_key(1)) is None
+        cache.put(_key(1), "r1")
+        assert cache.get(_key(1)) == "r1"
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put(_key(1), "r1")
+        cache.put(_key(2), "r2")
+        cache.get(_key(1))  # touch 1 so 2 becomes LRU
+        cache.put(_key(3), "r3")
+        assert cache.get(_key(2)) is None
+        assert cache.get(_key(1)) == "r1"
+        assert cache.get(_key(3)) == "r3"
+        assert cache.stats().evictions == 1
+
+    def test_put_existing_key_updates_value(self):
+        cache = ResultCache(2)
+        cache.put(_key(1), "old")
+        cache.put(_key(1), "new")
+        assert len(cache) == 1
+        assert cache.get(_key(1)) == "new"
+
+    def test_version_in_key_separates_entries(self):
+        cache = ResultCache(4)
+        cache.put(_key(1, version=0), "v0")
+        assert cache.get(_key(1, version=1)) is None
+        cache.put(_key(1, version=1), "v1")
+        assert cache.get(_key(1, version=0)) == "v0"
+        assert cache.get(_key(1, version=1)) == "v1"
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(0)
+        cache.put(_key(1), "r1")
+        assert cache.get(_key(1)) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+    def test_clear_resets_entries_and_counters(self):
+        cache = ResultCache(4)
+        cache.put(_key(1), "r1")
+        cache.get(_key(1))
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.insertions) == (0, 0, 0)
+
+    def test_contains(self):
+        cache = ResultCache(4)
+        cache.put(_key(9), "r")
+        assert _key(9) in cache
+        assert _key(8) not in cache
+
+    def test_concurrent_access_is_safe(self):
+        cache = ResultCache(64)
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(200):
+                    key = _key((offset * 200 + i) % 100)
+                    cache.put(key, i)
+                    cache.get(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64

@@ -1,0 +1,360 @@
+"""Tests for the ReverseTopKService façade and the parallel executor."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import ReverseTopKEngine
+from repro.exceptions import QueryError
+from repro.serving import (
+    ParallelExecutor,
+    ReverseTopKService,
+    ServiceConfig,
+)
+from repro.workloads import replay, uniform_query_workload, zipfian_query_workload
+
+
+def _fresh_service(serving_engine, **overrides):
+    return ReverseTopKService(serving_engine, ServiceConfig(**overrides))
+
+
+class TestServiceAnswers:
+    def test_single_query_matches_engine(self, serving_engine):
+        service = _fresh_service(serving_engine)
+        expected = serving_engine.query(3, 5, update_index=False)
+        actual = service.query(3, 5)
+        np.testing.assert_array_equal(actual.nodes, expected.nodes)
+        np.testing.assert_array_equal(
+            actual.proximities_to_query, expected.proximities_to_query
+        )
+
+    def test_burst_preserves_request_order(self, serving_engine):
+        service = _fresh_service(serving_engine)
+        requests = [(5, 5), (2, 5), (5, 5), (9, 3)]
+        results = service.serve(requests)
+        assert [(r.query, r.k) for r in results] == requests
+
+    def test_duplicates_share_one_result_object(self, serving_engine):
+        service = _fresh_service(serving_engine)
+        first, second = service.serve([(4, 5), (4, 5)])
+        assert first is second
+
+    def test_cached_hit_returns_identical_result(self, serving_engine):
+        service = _fresh_service(serving_engine)
+        cold = service.query(6, 5)
+        warm = service.query(6, 5)
+        assert warm is cold
+        metrics = service.metrics()
+        assert metrics.n_cache_hits == 1
+        assert metrics.n_engine_queries == 1
+
+    def test_cache_disabled_recomputes(self, serving_engine):
+        service = _fresh_service(serving_engine, cache_capacity=0)
+        service.query(6, 5)
+        service.query(6, 5)
+        metrics = service.metrics()
+        assert metrics.n_cache_hits == 0
+        assert metrics.n_engine_queries == 2
+
+    def test_mixed_k_burst(self, serving_engine):
+        service = _fresh_service(serving_engine)
+        results = service.serve([(1, 3), (1, 5), (2, 3)])
+        expected_3 = serving_engine.query(1, 3, update_index=False)
+        expected_5 = serving_engine.query(1, 5, update_index=False)
+        np.testing.assert_array_equal(results[0].nodes, expected_3.nodes)
+        np.testing.assert_array_equal(results[1].nodes, expected_5.nodes)
+        assert service.metrics().n_batches == 2
+
+    def test_invalid_query_node_rejected(self, serving_engine):
+        service = _fresh_service(serving_engine)
+        with pytest.raises(Exception):
+            service.serve([(serving_engine.n_nodes + 5, 5)])
+
+    def test_serve_workload(self, serving_engine, small_web_graph):
+        service = _fresh_service(serving_engine)
+        workload = uniform_query_workload(small_web_graph, 12, k=5, seed=3)
+        results = service.serve_workload(workload)
+        assert len(results) == 12
+        for query, result in zip(workload, results):
+            expected = serving_engine.query(query, 5, update_index=False)
+            np.testing.assert_array_equal(result.nodes, expected.nodes)
+
+
+class TestParallelBackends:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_matches_sequential(self, serving_engine, backend):
+        queries = list(range(0, 20))
+        sequential = serving_engine.query_many_readonly(queries, 5)
+        with ParallelExecutor(serving_engine, n_workers=3, backend=backend) as executor:
+            parallel, reports = executor.run(queries, 5)
+        assert len(parallel) == len(sequential)
+        for seq, par in zip(sequential, parallel):
+            np.testing.assert_array_equal(par.nodes, seq.nodes)
+        assert sum(report.n_queries for report in reports) == len(queries)
+        assert len(reports) == 3
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_run_many_matches_direct_queries(self, serving_engine, backend):
+        batches = [(5, list(range(0, 8))), (3, list(range(8, 12))), (5, [1])]
+        with ParallelExecutor(serving_engine, n_workers=3, backend=backend) as executor:
+            groups, reports = executor.run_many(batches)
+        assert [len(group) for group in groups] == [8, 4, 1]
+        for (k, queries), group in zip(batches, groups):
+            expected = serving_engine.query_many_readonly(queries, k)
+            for direct, result in zip(expected, group):
+                np.testing.assert_array_equal(result.nodes, direct.nodes)
+        assert sum(report.n_queries for report in reports) == 13
+
+    def test_run_many_sequential_and_edge_cases(self, serving_engine):
+        executor = ParallelExecutor(serving_engine, n_workers=0)
+        groups, reports = executor.run_many([(5, [1, 2]), (3, [4])])
+        assert len(groups) == 2 and len(reports) == 2
+        assert executor.run_many([]) == ([], [])
+        # A single batch degrades to run(), which splits across workers.
+        single, single_reports = executor.run_many([(5, [1, 2, 3])])
+        assert len(single) == 1 and len(single[0]) == 3
+
+    def test_sequential_fallback_single_report(self, serving_engine):
+        executor = ParallelExecutor(serving_engine, n_workers=0)
+        results, reports = executor.run([1, 2, 3], 5)
+        assert len(results) == 3
+        assert len(reports) == 1
+
+    def test_empty_batch(self, serving_engine):
+        executor = ParallelExecutor(serving_engine, n_workers=2)
+        results, reports = executor.run([], 5)
+        assert results == [] and reports == []
+
+    def test_invalid_backend_rejected(self, serving_engine):
+        with pytest.raises(Exception):
+            ParallelExecutor(serving_engine, backend="fiber")
+
+    def test_service_with_thread_workers(self, serving_engine):
+        service = _fresh_service(serving_engine, n_workers=2, max_batch_size=4)
+        requests = [(q, 5) for q in range(10)]
+        results = service.serve(requests)
+        for (query, k), result in zip(requests, results):
+            expected = serving_engine.query(query, k, update_index=False)
+            np.testing.assert_array_equal(result.nodes, expected.nodes)
+        service.close()
+
+
+class TestReadonlyEntryPoint:
+    def test_does_not_mutate_index_or_version(self, serving_engine):
+        before = serving_engine.index.version
+        lower_before = serving_engine.index.lower_bound_matrix()
+        serving_engine.query_many_readonly(list(range(10)), 5)
+        assert serving_engine.index.version == before
+        np.testing.assert_array_equal(
+            serving_engine.index.lower_bound_matrix(), lower_before
+        )
+
+    def test_rejects_update_params(self, serving_engine):
+        from repro.core import QueryParams
+
+        with pytest.raises(QueryError):
+            serving_engine.query_many_readonly(
+                [1], params=QueryParams(k=5, update_index=True)
+            )
+
+
+class TestVersioningAndInvalidation:
+    def test_refinement_bumps_version(self, small_transition, small_index):
+        engine = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        before = engine.index.version
+        # Refine every node at full depth: at least one candidate will be
+        # written back on a fresh (unwarmed) index.
+        for query in range(engine.n_nodes):
+            engine.query(query, engine.index.capacity, update_index=True)
+        assert engine.index.version > before
+
+    def test_sync_state_bumps_version(self, small_transition, small_index):
+        index = copy.deepcopy(small_index)
+        before = index.version
+        index.sync_state(0)
+        assert index.version == before + 1
+
+    def test_version_bump_invalidates_cached_answers(
+        self, small_transition, small_index
+    ):
+        engine = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        service = ReverseTopKService(engine)
+        service.query(3, 5)
+        assert service.metrics().n_engine_queries == 1
+        # Persisting any refinement bumps the version ⇒ the old entry no
+        # longer matches and the answer is recomputed.
+        engine.index.sync_state(0)
+        service.query(3, 5)
+        metrics = service.metrics()
+        assert metrics.n_engine_queries == 2
+        assert metrics.n_cache_hits == 0
+
+    def test_concurrent_serve_and_refine_stay_correct(
+        self, small_transition, small_index
+    ):
+        # refine() rewrites the shared columnar views; serve batches scan
+        # them from worker threads.  The service's read/write lock must keep
+        # the two apart so every served answer equals the direct answer
+        # (membership is exact, so it is refinement-state independent).
+        import threading
+
+        engine = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        reference = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        service = ReverseTopKService(
+            engine, ServiceConfig(cache_capacity=0, n_workers=2, max_batch_size=4)
+        )
+        n = engine.n_nodes
+        errors = []
+
+        def refiner():
+            try:
+                for query in range(n):
+                    service.refine(query, engine.index.capacity)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def server():
+            try:
+                for _ in range(5):
+                    requests = [(q, 5) for q in range(0, n, 3)]
+                    for (query, k), result in zip(requests, service.serve(requests)):
+                        expected = reference.query(query, k, update_index=False)
+                        np.testing.assert_array_equal(result.nodes, expected.nodes)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=refiner)] + [
+            threading.Thread(target=server) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service.close()
+        assert not errors
+
+    def test_refine_counts_and_answers(self, small_transition, small_index):
+        engine = ReverseTopKEngine(small_transition, copy.deepcopy(small_index))
+        service = ReverseTopKService(engine)
+        expected = ReverseTopKEngine(
+            small_transition, copy.deepcopy(small_index)
+        ).query(4, 5, update_index=True)
+        result = service.refine(4, 5)
+        np.testing.assert_array_equal(result.nodes, expected.nodes)
+        assert service.metrics().n_refinements == 1
+
+
+class TestReadWriteLock:
+    def test_queued_writer_blocks_new_readers(self):
+        import threading
+        import time
+
+        from repro.serving.service import _ReadWriteLock
+
+        lock = _ReadWriteLock()
+        order = []
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+
+        def long_reader():
+            with lock.read():
+                reader_in.set()
+                release_reader.wait(5)
+
+        def writer():
+            with lock.write():
+                order.append("writer")
+
+        def late_reader():
+            with lock.read():
+                order.append("reader")
+
+        threads = [threading.Thread(target=long_reader)]
+        threads[0].start()
+        assert reader_in.wait(5)
+        threads.append(threading.Thread(target=writer))
+        threads[1].start()
+        time.sleep(0.05)  # let the writer queue up behind the reader
+        threads.append(threading.Thread(target=late_reader))
+        threads[2].start()
+        time.sleep(0.05)
+        # Neither may proceed while the first reader is inside and a writer
+        # is queued — in particular the late reader must NOT slip past.
+        assert order == []
+        release_reader.set()
+        for thread in threads:
+            thread.join(5)
+        assert order[0] == "writer"
+        assert sorted(order) == ["reader", "writer"]
+
+
+class TestMetrics:
+    def test_counters_add_up(self, serving_engine):
+        service = _fresh_service(serving_engine)
+        service.serve([(1, 5), (2, 5), (1, 5)])  # 2 unique + 1 dedup
+        service.serve([(1, 5), (3, 5)])  # 1 hit + 1 unique
+        metrics = service.metrics()
+        assert metrics.n_requests == 5
+        assert metrics.n_cache_hits == 1
+        assert metrics.n_deduplicated == 1
+        assert metrics.n_engine_queries == 3
+        assert metrics.latency["count"] == 3
+        assert metrics.serve_seconds > 0
+        assert metrics.throughput_qps > 0
+
+    def test_as_dict_is_json_ready(self, serving_engine):
+        import json
+
+        service = _fresh_service(serving_engine)
+        service.serve([(1, 5)])
+        payload = json.dumps(service.metrics().as_dict())
+        assert "throughput_qps" in payload
+
+    def test_clear_cache(self, serving_engine):
+        service = _fresh_service(serving_engine)
+        service.query(2, 5)
+        service.clear_cache()
+        service.query(2, 5)
+        assert service.metrics().n_engine_queries == 2
+
+
+class TestReplayDriver:
+    def test_replay_matches_direct_queries(self, serving_engine, small_web_graph):
+        service = _fresh_service(serving_engine)
+        workload = zipfian_query_workload(small_web_graph, 40, k=5, seed=7)
+        report = replay(service, workload, burst_size=8)
+        assert report.n_requests == 40
+        assert report.n_bursts == 5
+        assert report.throughput_qps > 0
+        for query, result in zip(workload, report.results):
+            expected = serving_engine.query(query, 5, update_index=False)
+            np.testing.assert_array_equal(result.nodes, expected.nodes)
+        # A zipf workload repeats queries, so the cache must have fired.
+        assert report.metrics.n_cache_hits + report.metrics.n_deduplicated > 0
+
+    def test_replay_single_burst(self, serving_engine, small_web_graph):
+        service = _fresh_service(serving_engine)
+        workload = uniform_query_workload(small_web_graph, 6, k=5, seed=1)
+        report = replay(service, workload, burst_size=len(workload))
+        assert report.n_bursts == 1
+
+
+class TestFromGraphWarmStart:
+    def test_snapshot_round_trip(self, tmp_path, small_web_graph, small_params):
+        cold = ReverseTopKService.from_graph(
+            small_web_graph, small_params, snapshot_dir=tmp_path
+        )
+        warm = ReverseTopKService.from_graph(
+            small_web_graph, small_params, snapshot_dir=tmp_path
+        )
+        assert not cold.warm_started
+        assert warm.warm_started
+        np.testing.assert_array_equal(
+            warm.query(5, 5).nodes, cold.query(5, 5).nodes
+        )
+
+    def test_without_snapshot_dir(self, small_web_graph, small_params):
+        service = ReverseTopKService.from_graph(small_web_graph, small_params)
+        assert not service.warm_started
+        assert len(service.query(1, 5)) >= 0

@@ -1,0 +1,197 @@
+"""Tests for content-addressed warm-start snapshots."""
+
+import numpy as np
+
+from repro.core import IndexParams, ReverseTopKEngine, build_index
+from repro.graph import DiGraph, ring_graph
+from repro.serving import (
+    SnapshotManager,
+    graph_fingerprint,
+    params_fingerprint,
+    snapshot_key,
+)
+
+
+class TestFingerprints:
+    def test_graph_fingerprint_deterministic(self, small_web_graph):
+        assert graph_fingerprint(small_web_graph) == graph_fingerprint(small_web_graph)
+
+    def test_graph_fingerprint_distinguishes_graphs(self):
+        assert graph_fingerprint(ring_graph(8)) != graph_fingerprint(ring_graph(9))
+
+    def test_graph_fingerprint_sees_labels(self):
+        plain = ring_graph(4)
+        labelled = DiGraph(plain.adjacency, [f"n{i}" for i in range(4)])
+        assert graph_fingerprint(plain) != graph_fingerprint(labelled)
+
+    def test_params_fingerprint_sensitive_to_every_field(self):
+        base = IndexParams(capacity=10, hub_budget=2)
+        assert params_fingerprint(base) == params_fingerprint(
+            IndexParams(capacity=10, hub_budget=2)
+        )
+        assert params_fingerprint(base) != params_fingerprint(
+            IndexParams(capacity=11, hub_budget=2)
+        )
+        assert params_fingerprint(base) != params_fingerprint(
+            IndexParams(capacity=10, hub_budget=3)
+        )
+
+    def test_transition_fingerprint_does_not_mutate_input(self):
+        import scipy.sparse as sp
+
+        from repro.serving.snapshot import transition_fingerprint
+
+        # Duplicate, unsorted entries: canonicalisation must work on a copy.
+        matrix = sp.csr_matrix(
+            (
+                np.array([1.0, 2.0, 3.0]),
+                (np.array([0, 0, 1]), np.array([1, 1, 0])),
+            ),
+            shape=(2, 2),
+        )
+        data_before = matrix.data.copy()
+        indptr_before = matrix.indptr.copy()
+        transition_fingerprint(matrix)
+        np.testing.assert_array_equal(matrix.data, data_before)
+        np.testing.assert_array_equal(matrix.indptr, indptr_before)
+
+    def test_snapshot_key_combines_both(self, small_web_graph):
+        a = snapshot_key(small_web_graph, IndexParams(capacity=10, hub_budget=2))
+        b = snapshot_key(small_web_graph, IndexParams(capacity=12, hub_budget=2))
+        assert a != b
+
+    def test_snapshot_key_sees_transition(self, small_web_graph, small_transition):
+        params = IndexParams(capacity=10, hub_budget=2)
+        default = snapshot_key(small_web_graph, params)
+        explicit = snapshot_key(small_web_graph, params, small_transition)
+        reweighted = snapshot_key(small_web_graph, params, small_transition * 0.5)
+        assert default != explicit  # explicit matrix never collides with marker
+        assert explicit != reweighted
+        assert explicit == snapshot_key(small_web_graph, params, small_transition)
+
+    def test_different_transition_is_a_miss(
+        self, tmp_path, small_web_graph, small_transition, small_params
+    ):
+        # An index built for one transition must never warm-start an engine
+        # paired with a different one.
+        manager = SnapshotManager(tmp_path)
+        manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        other = (small_transition * 0.5).tocsc()
+        _, hit = manager.load_or_build(small_web_graph, small_params, transition=other)
+        assert not hit
+
+
+class TestSnapshotManager:
+    def test_miss_then_hit(self, tmp_path, small_web_graph, small_transition, small_params):
+        manager = SnapshotManager(tmp_path / "snaps")
+        index, from_snapshot = manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        assert not from_snapshot
+        reloaded, second = manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        assert second
+        np.testing.assert_allclose(
+            reloaded.columns.lower, index.columns.lower
+        )
+
+    def test_loaded_index_answers_like_fresh_build(
+        self, tmp_path, small_web_graph, small_transition, small_params
+    ):
+        manager = SnapshotManager(tmp_path)
+        fresh = build_index(small_web_graph, small_params, transition=small_transition)
+        manager.store(fresh, small_web_graph, transition=small_transition)
+        loaded, hit = manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        assert hit
+        expected = ReverseTopKEngine(small_transition, fresh).query(
+            3, 5, update_index=False
+        )
+        actual = ReverseTopKEngine(small_transition, loaded).query(
+            3, 5, update_index=False
+        )
+        np.testing.assert_array_equal(actual.nodes, expected.nodes)
+
+    def test_different_params_different_archives(
+        self, tmp_path, small_web_graph, small_transition
+    ):
+        manager = SnapshotManager(tmp_path)
+        a = IndexParams(capacity=8, hub_budget=2)
+        b = IndexParams(capacity=12, hub_budget=2)
+        manager.load_or_build(small_web_graph, a, transition=small_transition)
+        _, hit = manager.load_or_build(small_web_graph, b, transition=small_transition)
+        assert not hit
+        assert len(list(manager.directory.glob("lbi-*.npz"))) == 2
+
+    def test_corrupted_archive_is_a_miss(
+        self, tmp_path, small_web_graph, small_transition, small_params
+    ):
+        manager = SnapshotManager(tmp_path)
+        index, _ = manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        path = manager.path_for(
+            small_web_graph,
+            small_params.for_graph(small_web_graph.n_nodes),
+            small_transition,
+        )
+        path.write_bytes(b"not an npz archive")
+        rebuilt, hit = manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        assert not hit
+        assert rebuilt.n_nodes == index.n_nodes
+        # The rebuild re-archived a valid snapshot over the corrupted file.
+        _, hit_again = manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        assert hit_again
+
+    def test_truncated_archive_is_a_miss(
+        self, tmp_path, small_web_graph, small_transition, small_params
+    ):
+        manager = SnapshotManager(tmp_path)
+        index, _ = manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        path = manager.path_for(
+            small_web_graph,
+            small_params.for_graph(small_web_graph.n_nodes),
+            small_transition,
+        )
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])  # torn but zip-magic-led
+        rebuilt, hit = manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        assert not hit
+        assert rebuilt.n_nodes == index.n_nodes
+
+    def test_store_on_miss_false_leaves_no_archive(
+        self, tmp_path, small_web_graph, small_transition, small_params
+    ):
+        manager = SnapshotManager(tmp_path)
+        manager.load_or_build(
+            small_web_graph,
+            small_params,
+            transition=small_transition,
+            store_on_miss=False,
+        )
+        assert not list(manager.directory.glob("*.npz"))
+
+    def test_key_uses_effective_params(self, tmp_path, small_transition, small_web_graph):
+        # Defaults get clamped by for_graph; the snapshot must be found again
+        # whether the caller passes the raw or the clamped parameters.
+        manager = SnapshotManager(tmp_path)
+        raw = IndexParams()  # capacity 200 clamps to n_nodes
+        manager.load_or_build(small_web_graph, raw, transition=small_transition)
+        _, hit = manager.load_or_build(
+            small_web_graph,
+            raw.for_graph(small_web_graph.n_nodes),
+            transition=small_transition,
+        )
+        assert hit

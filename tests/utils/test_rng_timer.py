@@ -85,3 +85,85 @@ class TestStageTimer:
         stages.add("later", 1.0)
         stages.add("earlier", 1.0)
         assert list(stages.as_dict()) == ["later", "earlier"]
+
+
+class TestLatencyStats:
+    def test_empty_is_all_zero(self):
+        from repro.utils.timer import LatencyStats
+
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.p50 == 0.0
+        assert stats.p99 == 0.0
+
+    def test_count_mean_min_max(self):
+        from repro.utils.timer import LatencyStats
+
+        stats = LatencyStats()
+        for value in (0.010, 0.020, 0.030):
+            stats.record(value)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(0.020)
+        assert stats.min == pytest.approx(0.010)
+        assert stats.max == pytest.approx(0.030)
+        assert stats.total == pytest.approx(0.060)
+
+    def test_nearest_rank_percentiles(self):
+        from repro.utils.timer import LatencyStats
+
+        stats = LatencyStats((i / 1000 for i in range(1, 101)))  # 1..100 ms
+        assert stats.p50 == pytest.approx(0.050)
+        assert stats.p95 == pytest.approx(0.095)
+        assert stats.p99 == pytest.approx(0.099)
+        assert stats.percentile(100) == pytest.approx(0.100)
+        assert stats.percentile(0) == pytest.approx(0.001)
+
+    def test_tail_percentiles_catch_outliers(self):
+        from repro.utils.timer import LatencyStats
+
+        stats = LatencyStats([0.001] * 99 + [1.0])
+        assert stats.p50 == pytest.approx(0.001)
+        assert stats.percentile(100) == pytest.approx(1.0)
+
+    def test_percentile_out_of_range_rejected(self):
+        from repro.utils.timer import LatencyStats
+
+        with pytest.raises(ValueError):
+            LatencyStats([0.1]).percentile(101)
+
+    def test_merge_combines_samples(self):
+        from repro.utils.timer import LatencyStats
+
+        a = LatencyStats([0.010, 0.020])
+        b = LatencyStats([0.030])
+        merged = a.merge(b)
+        assert merged is a
+        assert a.count == 3
+        assert b.count == 1  # the source accumulator is untouched
+        assert a.max == pytest.approx(0.030)
+
+    def test_record_after_percentile_invalidates_sort_cache(self):
+        from repro.utils.timer import LatencyStats
+
+        stats = LatencyStats([0.030, 0.010])
+        assert stats.p50 == pytest.approx(0.010)
+        stats.record(0.001)
+        assert stats.p50 == pytest.approx(0.010)
+        assert stats.min == pytest.approx(0.001)
+
+    def test_as_dict_keys(self):
+        from repro.utils.timer import LatencyStats
+
+        payload = LatencyStats([0.5]).as_dict()
+        assert payload["count"] == 1
+        assert set(payload) == {
+            "count",
+            "total_seconds",
+            "mean_seconds",
+            "min_seconds",
+            "max_seconds",
+            "p50_seconds",
+            "p95_seconds",
+            "p99_seconds",
+        }

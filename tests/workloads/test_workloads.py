@@ -82,3 +82,47 @@ class TestParameterSweep:
             ParameterSweep({})
         with pytest.raises(ValueError):
             ParameterSweep({"k": []})
+
+
+class TestZipfianWorkload:
+    def test_reproducible(self, small_web_graph):
+        from repro.workloads import zipfian_query_workload
+
+        a = zipfian_query_workload(small_web_graph, 50, seed=5)
+        b = zipfian_query_workload(small_web_graph, 50, seed=5)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_repeat_heavy(self, small_web_graph):
+        from repro.workloads import zipfian_query_workload
+
+        workload = zipfian_query_workload(
+            small_web_graph, 200, seed=1, hot_fraction=0.1
+        )
+        unique = len(set(workload.queries.tolist()))
+        # Far fewer unique queries than requests: that is the point.
+        assert unique <= len(workload) // 3
+
+    def test_hot_pool_bounds_queries(self):
+        from repro.workloads import zipfian_query_workload
+
+        workload = zipfian_query_workload(1000, 100, seed=2, hot_fraction=0.02)
+        assert len(set(workload.queries.tolist())) <= 20
+        assert workload.queries.min() >= 0
+        assert workload.queries.max() < 1000
+
+    def test_more_skew_fewer_uniques(self):
+        from repro.workloads import zipfian_query_workload
+
+        mild = zipfian_query_workload(500, 300, seed=3, exponent=0.5, hot_fraction=0.2)
+        steep = zipfian_query_workload(500, 300, seed=3, exponent=2.0, hot_fraction=0.2)
+        assert len(set(steep.queries.tolist())) < len(set(mild.queries.tolist()))
+
+    def test_invalid_parameters_rejected(self):
+        from repro.workloads import zipfian_query_workload
+
+        with pytest.raises(ValueError):
+            zipfian_query_workload(100, 10, exponent=0.0)
+        with pytest.raises(ValueError):
+            zipfian_query_workload(100, 10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            zipfian_query_workload(100, 10, hot_fraction=1.5)
