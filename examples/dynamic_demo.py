@@ -1,0 +1,124 @@
+"""Dynamic-graph demo: query, mutate, query again — without rebuilding.
+
+Run with::
+
+    python examples/dynamic_demo.py
+
+The script walks through the dynamic subsystem on top of the serving
+runtime:
+
+1. build a dynamic service over a synthetic web graph,
+2. serve a query burst (populating the result cache),
+3. apply an update batch (edge insert + delete + weight change) and watch
+   the maintainer invalidate only the affected index states,
+4. re-serve the same burst: cached answers from the old graph generation
+   are gone, the recomputed ones match a from-scratch engine exactly,
+5. apply a no-op batch (weight changes under the unweighted walk) and watch
+   the cache stay warm.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import (
+    DynamicReverseTopKService,
+    GraphUpdate,
+    IndexParams,
+    ReverseTopKEngine,
+    ServiceConfig,
+    build_index,
+)
+from repro.graph import copying_web_graph
+from repro.utils.timer import Timer
+
+
+def main() -> None:
+    graph = copying_web_graph(600, out_degree=6, seed=42)
+    params = IndexParams(capacity=50, hub_budget=10)
+    config = ServiceConfig(cache_capacity=256, max_batch_size=32)
+    print(f"graph: {graph.n_nodes} nodes, {graph.n_edges} edges")
+
+    # 1. One service, built once — it will survive every mutation below.
+    with Timer() as build_timer:
+        service = DynamicReverseTopKService.from_graph(graph, params, config=config)
+    print(f"initial build: {build_timer.elapsed:.2f}s")
+
+    # 2. Serve a burst; repeats hit the version-keyed cache.
+    requests = [(q, 10) for q in (7, 42, 7, 99, 42, 7)]
+    before = service.serve(requests)
+    metrics = service.metrics()
+    print(
+        f"\nserved {metrics.n_requests} requests "
+        f"({metrics.n_cache_hits} cache hits, "
+        f"{metrics.n_engine_queries} engine queries)"
+    )
+
+    # 3. The graph churns: a link appears, one vanishes, one drifts.
+    u, v, _ = next(service.graph.base.edges())
+    batch = [
+        GraphUpdate.add(7, 550),
+        GraphUpdate.remove(u, v),
+        GraphUpdate.set_weight(*next(iter([(s, t) for s, t, _ in graph.edges() if (s, t) != (u, v)])), 2.5),
+    ]
+    version_before = service.engine.index.version
+    with Timer() as update_timer:
+        report = service.apply_updates(batch)
+    print(
+        f"\napplied {len(batch)} updates in {update_timer.elapsed * 1e3:.0f}ms: "
+        f"{report.n_changed_columns} transition columns changed, "
+        f"{report.n_invalidated}/{service.engine.n_nodes} states invalidated, "
+        f"{report.n_rematerialized} re-expanded, "
+        f"full_rebuild={report.full_rebuild}"
+    )
+    print(
+        f"index version {version_before} -> {service.engine.index.version} "
+        f"(old cache generation retired)"
+    )
+
+    # 4. Same burst again: answers are recomputed on the new graph and match
+    #    a from-scratch engine bit for bit.
+    after = service.serve(requests)
+    changed = sum(
+        not np.array_equal(a.nodes, b.nodes) for a, b in zip(before, after)
+    )
+    fresh = ReverseTopKEngine(
+        service.engine.transition,
+        build_index(
+            service.graph.base,
+            params.for_graph(graph.n_nodes),
+            hubs=service.engine.index.hubs,
+            transition=service.engine.transition,
+        ),
+    )
+    for (query, k), served in zip(requests, after):
+        direct = fresh.query(query, k, update_index=False)
+        np.testing.assert_array_equal(served.nodes, direct.nodes)
+    print(
+        f"\nre-served the burst: {changed} answers changed with the graph, "
+        f"all bit-identical to a from-scratch rebuild"
+    )
+
+    # 5. Weight changes don't move the unweighted random walk: the service
+    #    detects the no-op and keeps every cached answer alive.
+    engine_queries = service.metrics().n_engine_queries
+    edges = [(s, t) for s, t, _ in service.graph.base.edges()]
+    noop = service.apply_updates(
+        [GraphUpdate.set_weight(s, t, 3.0) for s, t in edges[:3]]
+    )
+    service.serve(requests)
+    metrics = service.metrics()
+    print(
+        f"\nno-op batch (weight-only churn): changed={noop.changed}, "
+        f"engine queries {engine_queries} -> {metrics.n_engine_queries} "
+        f"(cache stayed warm)"
+    )
+    print(f"\nupdate metrics: {service.update_metrics().as_dict()}")
+    service.close()
+
+
+if __name__ == "__main__":
+    main()

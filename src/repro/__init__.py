@@ -18,7 +18,10 @@ The package is organised in layers:
   the experiment harness that regenerates the paper's tables and figures;
 * :mod:`repro.serving` — the serving runtime: result caching, request
   batching/dedup, thread/process parallel execution, and warm-start index
-  snapshots behind the :class:`ReverseTopKService` façade.
+  snapshots behind the :class:`ReverseTopKService` façade;
+* :mod:`repro.dynamic` — the dynamic-graph subsystem: a delta overlay over
+  the immutable CSR, incremental index maintenance with conservative state
+  invalidation, and the :class:`DynamicReverseTopKService` update path.
 
 Quickstart
 ----------
@@ -51,6 +54,13 @@ from .serving import (
     ServiceMetrics,
     SnapshotManager,
 )
+from .dynamic import (
+    DynamicGraph,
+    DynamicReverseTopKService,
+    GraphUpdate,
+    IndexMaintainer,
+    MaintenanceReport,
+)
 from .exceptions import (
     ReproError,
     GraphError,
@@ -80,6 +90,11 @@ __all__ = [
     "ServiceConfig",
     "ServiceMetrics",
     "SnapshotManager",
+    "DynamicGraph",
+    "DynamicReverseTopKService",
+    "GraphUpdate",
+    "IndexMaintainer",
+    "MaintenanceReport",
     "ReproError",
     "GraphError",
     "ConvergenceError",

@@ -29,7 +29,7 @@ Modules
 
 from .config import IndexParams, QueryParams
 from .hubs import select_hubs_by_degree, select_hubs_greedy, HubSet
-from .lbi import build_index, refine_node_state
+from .lbi import build_index, rebuild_node_state, refine_node_state
 from .index import ReverseTopKIndex, NodeState, ColumnarView
 from .pmpn import proximity_to_node, PMPNResult
 from .bounds import kth_upper_bound, kth_upper_bounds_batch, staircase_levels
@@ -48,6 +48,7 @@ __all__ = [
     "select_hubs_greedy",
     "HubSet",
     "build_index",
+    "rebuild_node_state",
     "refine_node_state",
     "ReverseTopKIndex",
     "NodeState",

@@ -254,6 +254,62 @@ class ReverseTopKIndex:
         """Iterate over ``(node, state)`` pairs."""
         return enumerate(self._states)
 
+    def replace_contents(
+        self,
+        *,
+        hubs: Optional[HubSet] = None,
+        hub_matrix: Optional[sp.spmatrix] = None,
+        hub_deficit: Optional[np.ndarray] = None,
+        states: Optional[List[NodeState]] = None,
+    ) -> None:
+        """Swap index components wholesale after dynamic-graph maintenance.
+
+        The dynamic subsystem mutates the index *in place* rather than
+        producing a new object, so every holder of a reference (the engine,
+        the serving façade, metrics snapshots) keeps observing the same
+        index and — crucially — the same monotonic :attr:`version` counter:
+        a freshly constructed index would restart at version 0 and collide
+        with cache entries keyed under the old generation.
+
+        All given components are validated together (hub matrix width and
+        deficit length against the hub count, state count against the node
+        count), the columnar views are rebuilt in one pass, and the version
+        is bumped exactly once — one maintenance application, one cache
+        generation.
+        """
+        new_hubs = hubs if hubs is not None else self.hubs
+        new_matrix = (
+            hub_matrix.tocsc() if hub_matrix is not None else self.hub_matrix
+        )
+        new_deficit = (
+            np.asarray(hub_deficit, dtype=np.float64)
+            if hub_deficit is not None
+            else self.hub_deficit
+        )
+        if new_matrix.shape[0] != self.n_nodes:
+            raise ValueError(
+                f"hub matrix has {new_matrix.shape[0]} rows but the index "
+                f"covers {self.n_nodes} nodes"
+            )
+        if new_matrix.shape[1] != len(new_hubs):
+            raise ValueError(
+                f"hub matrix has {new_matrix.shape[1]} columns but "
+                f"{len(new_hubs)} hubs"
+            )
+        if new_deficit.size != len(new_hubs):
+            raise ValueError("hub_deficit length must equal the number of hubs")
+        if states is not None and len(states) != len(self._states):
+            raise ValueError(
+                f"expected {len(self._states)} states, got {len(states)}"
+            )
+        self.hubs = new_hubs
+        self.hub_matrix = new_matrix
+        self.hub_deficit = new_deficit
+        if states is not None:
+            self._states = list(states)
+        self._version += 1
+        self._columns = self._build_columns()
+
     def kth_lower_bounds(self, k: int) -> np.ndarray:
         """The k-th row of ``P̂`` across all nodes — the primary pruning signal.
 

@@ -160,6 +160,19 @@ def _compute_hub_matrix(
     return hub_matrix, deficits, exact_top_k
 
 
+def default_hub_selection(graph: DiGraph, params: IndexParams) -> HubSet:
+    """The hub set :func:`build_index` selects by default for a graph.
+
+    One shared definition of the default policy (the degree heuristic of
+    §4.1.1, or no hubs when the budget is zero): the dynamic maintainer's
+    ``"reselect"`` mode must make exactly the same choice as a from-scratch
+    build, or its bit-identity guarantee silently breaks.
+    """
+    if params.hub_budget > 0:
+        return select_hubs_by_degree(graph, params.hub_budget)
+    return HubSet(())
+
+
 def initial_node_state(node: int, is_hub: bool) -> NodeState:
     """Fresh BCA state for ``node``: one unit of residue ink at the node itself.
 
@@ -238,8 +251,8 @@ def build_index(
     params = params.for_graph(n)
 
     if hubs is None:
-        if params.hub_budget > 0 and graph is not None:
-            hubs = select_hubs_by_degree(graph, params.hub_budget)
+        if graph is not None:
+            hubs = default_hub_selection(graph, params)
         elif params.hub_budget > 0:
             hubs = _select_hubs_from_matrix(matrix, params.hub_budget)
         else:
@@ -272,6 +285,33 @@ def build_index(
     return ReverseTopKIndex(
         params, hubs, hub_matrix, hub_deficit, states, build_seconds=timer.elapsed
     )
+
+
+def rebuild_node_state(
+    node: int,
+    transition: sp.csc_matrix,
+    hub_mask: np.ndarray,
+    params: IndexParams,
+    expansion: _HubExpansion,
+) -> NodeState:
+    """From-scratch BCA state for one non-hub node — the invalidation fallback.
+
+    The dynamic-graph maintainer calls this for every node whose buffered
+    state touched a mutated transition column: the state is reset to one unit
+    of residue ink and re-refined exactly as :func:`build_index` would, so
+    the result is bit-identical to the state a full rebuild on ``transition``
+    produces.  ``expansion`` must wrap the hub matrix computed for the *new*
+    transition.
+    """
+    if hub_mask[node]:
+        raise ValueError(
+            f"node {node} is a hub; hub states are rebuilt from the exact "
+            "hub proximities, not with BCA"
+        )
+    state = initial_node_state(node, False)
+    run_node_bca(state, transition, hub_mask, params)
+    materialize_lower_bounds(state, expansion, params.capacity)
+    return state
 
 
 def refine_node_state(

@@ -198,6 +198,20 @@ class ReverseTopKEngine:
         """Number of nodes covered by the engine."""
         return self.transition.shape[0]
 
+    def rebind(
+        self,
+        transition: sp.spmatrix,
+        index: Optional[ReverseTopKIndex] = None,
+    ) -> None:
+        """Point the engine at a new transition matrix (dynamic maintenance).
+
+        Re-derives every transition-dependent cache — the hub mask and the
+        shared CSR transpose PMPN iterates with — exactly as construction
+        does.  The index defaults to the engine's current one, which the
+        maintainer mutates in place so version-keyed caches stay monotonic.
+        """
+        self.__init__(transition, index if index is not None else self.index)
+
     # ------------------------------------------------------------------ #
     # query evaluation
     # ------------------------------------------------------------------ #

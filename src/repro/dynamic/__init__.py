@@ -1,0 +1,45 @@
+"""Dynamic-graph subsystem: incremental updates with index delta-maintenance.
+
+The paper builds its reverse top-k index once over a static graph; real
+proximity graphs (co-authorship, recommendation, spam links — the §6
+applications) churn continuously.  This package keeps a built index — and a
+live serving façade on top of it — consistent with a stream of edge
+mutations at a fraction of rebuild cost:
+
+``graph``
+    :class:`DynamicGraph` — a delta overlay buffering insertions, deletions
+    and weight changes over the immutable CSR, with periodic compaction;
+    :class:`GraphUpdate` describes one mutation.
+``maintainer``
+    :class:`IndexMaintainer` — recomputes only the affected transition
+    columns, conservatively invalidates the BCA states whose trajectories
+    read them, re-expands hub-dependent lower bounds, and escalates to a
+    full rebuild past a staleness threshold.  The maintained index stays
+    bit-identical to a from-scratch build on the current graph.
+``service``
+    :class:`DynamicReverseTopKService` — applies update batches under the
+    serving write lock, retiring exactly one cache generation per effective
+    batch and re-archiving warm-start snapshots under the new graph's
+    content key.
+"""
+
+from .graph import DynamicGraph, GraphUpdate, UPDATE_OPS
+from .maintainer import (
+    DEFAULT_REBUILD_RATIO,
+    HUB_POLICIES,
+    IndexMaintainer,
+    MaintenanceReport,
+)
+from .service import DynamicReverseTopKService, UpdateMetrics
+
+__all__ = [
+    "DEFAULT_REBUILD_RATIO",
+    "HUB_POLICIES",
+    "DynamicGraph",
+    "DynamicReverseTopKService",
+    "GraphUpdate",
+    "IndexMaintainer",
+    "MaintenanceReport",
+    "UPDATE_OPS",
+    "UpdateMetrics",
+]

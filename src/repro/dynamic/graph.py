@@ -1,0 +1,308 @@
+"""Mutable edge-level view over an immutable :class:`DiGraph`.
+
+:class:`DiGraph` is deliberately immutable — every algorithm in the package
+assumes a frozen CSR.  Real proximity graphs churn, though, so the dynamic
+subsystem wraps the frozen graph in a :class:`DynamicGraph`: a **delta
+overlay** that buffers edge insertions, deletions and weight changes as a
+sparse ``{(source, target): weight}`` dictionary on top of the base CSR,
+with periodic **compaction** folding the overlay into a fresh canonical CSR
+(:meth:`DiGraph.with_edges`).
+
+Reads (:meth:`DynamicGraph.has_edge`, :meth:`DynamicGraph.edge_weight`,
+effective edge count) resolve through the overlay first, so the wrapper is
+always consistent with the buffered mutations; :meth:`materialize` produces
+the effective immutable graph on demand (cached until the next mutation).
+
+Two properties matter for the index maintainer downstream:
+
+* **touched sources** — the set of source nodes with buffered mutations
+  since the last :meth:`drain` is tracked separately from the overlay, so
+  auto-compaction never loses the information which transition columns may
+  have changed;
+* **no-op elision** — an overlay entry that restores an edge to its exact
+  base weight (add-then-remove, or a weight change back to the original) is
+  dropped, keeping both the overlay and the eventual invalidation minimal.
+
+The wrapper is *not* thread-safe; the dynamic serving layer serializes all
+mutations behind its writer-preferring index lock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from .._validation import check_node_index, check_positive_int
+from ..exceptions import GraphError
+from ..graph.digraph import DiGraph
+
+#: Accepted update kinds.
+UPDATE_OPS = ("add", "remove", "set_weight")
+
+
+@dataclass(frozen=True)
+class GraphUpdate:
+    """One buffered edge mutation.
+
+    Attributes
+    ----------
+    op:
+        ``"add"`` (edge must not exist), ``"remove"`` (edge must exist) or
+        ``"set_weight"`` (edge must exist; weight replaced).
+    source / target:
+        Endpoint node ids.
+    weight:
+        New edge weight for ``add`` / ``set_weight``; ignored for ``remove``.
+    """
+
+    op: str
+    source: int
+    target: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.op not in UPDATE_OPS:
+            raise GraphError(
+                f"update op must be one of {UPDATE_OPS}, got {self.op!r}"
+            )
+        if self.op != "remove" and not (
+            self.weight > 0 and math.isfinite(self.weight)
+        ):
+            raise GraphError(
+                f"{self.op} update weight must be positive and finite, "
+                f"got {self.weight}"
+            )
+
+    # Convenience constructors keep call sites readable.
+    @classmethod
+    def add(cls, source: int, target: int, weight: float = 1.0) -> "GraphUpdate":
+        """An edge insertion."""
+        return cls("add", int(source), int(target), float(weight))
+
+    @classmethod
+    def remove(cls, source: int, target: int) -> "GraphUpdate":
+        """An edge deletion."""
+        return cls("remove", int(source), int(target))
+
+    @classmethod
+    def set_weight(cls, source: int, target: int, weight: float) -> "GraphUpdate":
+        """A weight change on an existing edge."""
+        return cls("set_weight", int(source), int(target), float(weight))
+
+    @classmethod
+    def coerce(cls, item: "GraphUpdate | Tuple") -> "GraphUpdate":
+        """Accept ``GraphUpdate`` instances or ``(op, source, target[, weight])`` tuples."""
+        if isinstance(item, GraphUpdate):
+            return item
+        return cls(*item)
+
+
+class DynamicGraph:
+    """Buffered edge mutations over an immutable base :class:`DiGraph`.
+
+    Parameters
+    ----------
+    base:
+        The initial frozen graph.  The node set is fixed for the lifetime of
+        the wrapper — dynamics are edge-level (matching the paper's §6
+        application graphs, whose node populations are stable across the
+        update horizon while edges churn).
+    compaction_threshold:
+        Once the overlay holds this many entries, the next mutation folds it
+        into a fresh base CSR automatically (overlay reads cost ``O(1)`` per
+        edge but materialization cost grows with the overlay, so unbounded
+        buffering would degrade).
+    """
+
+    def __init__(self, base: DiGraph, *, compaction_threshold: int = 4096) -> None:
+        self._base = base
+        self._threshold = check_positive_int(
+            compaction_threshold, "compaction_threshold"
+        )
+        self._overlay: Dict[Tuple[int, int], float] = {}
+        self._touched_since_drain: Set[int] = set()
+        self._materialized: Optional[DiGraph] = base
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def base(self) -> DiGraph:
+        """The frozen graph the overlay currently builds on (last compaction)."""
+        return self._base
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes (fixed at construction)."""
+        return self._base.n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        """Effective number of edges (base plus buffered net insertions)."""
+        count = self._base.n_edges
+        for (source, target), weight in self._overlay.items():
+            in_base = self._base.has_edge(source, target)
+            if weight == 0.0 and in_base:
+                count -= 1
+            elif weight > 0.0 and not in_base:
+                count += 1
+        return count
+
+    @property
+    def pending_updates(self) -> int:
+        """Number of buffered (non-elided) overlay entries."""
+        return len(self._overlay)
+
+    @property
+    def touched_sources(self) -> np.ndarray:
+        """Sorted ids of sources mutated since the last :meth:`drain`."""
+        return np.asarray(sorted(self._touched_since_drain), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # reads (overlay-first)
+    # ------------------------------------------------------------------ #
+    def edge_weight(self, source: int, target: int) -> float:
+        """Effective weight of ``source -> target`` (0 when absent)."""
+        source = check_node_index(source, self.n_nodes, "source")
+        target = check_node_index(target, self.n_nodes, "target")
+        buffered = self._overlay.get((source, target))
+        if buffered is not None:
+            return buffered
+        return self._base.edge_weight(source, target)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether ``source -> target`` exists in the effective graph."""
+        return self.edge_weight(source, target) > 0.0
+
+    # ------------------------------------------------------------------ #
+    # mutations
+    # ------------------------------------------------------------------ #
+    def add_edge(self, source: int, target: int, weight: float = 1.0) -> None:
+        """Insert a new edge; raises :class:`GraphError` if it already exists."""
+        if not (weight > 0 and math.isfinite(weight)):
+            raise GraphError(
+                f"edge weight must be positive and finite, got {weight}"
+            )
+        if self.has_edge(source, target):
+            raise GraphError(
+                f"edge {source} -> {target} already exists "
+                "(use set_weight to change it)"
+            )
+        self._buffer(int(source), int(target), float(weight))
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Delete an existing edge; raises :class:`GraphError` when absent."""
+        if not self.has_edge(source, target):
+            raise GraphError(f"cannot remove missing edge {source} -> {target}")
+        self._buffer(int(source), int(target), 0.0)
+
+    def set_weight(self, source: int, target: int, weight: float) -> None:
+        """Change the weight of an existing edge."""
+        if not (weight > 0 and math.isfinite(weight)):
+            raise GraphError(
+                f"edge weight must be positive and finite, got {weight} "
+                "(delete via remove_edge)"
+            )
+        if not self.has_edge(source, target):
+            raise GraphError(
+                f"cannot set weight of missing edge {source} -> {target} "
+                "(use add_edge)"
+            )
+        self._buffer(int(source), int(target), float(weight))
+
+    def apply_update(self, update: "GraphUpdate | Tuple") -> None:
+        """Apply one :class:`GraphUpdate` (or an ``(op, u, v[, w])`` tuple)."""
+        update = GraphUpdate.coerce(update)
+        if update.op == "add":
+            self.add_edge(update.source, update.target, update.weight)
+        elif update.op == "remove":
+            self.remove_edge(update.source, update.target)
+        else:
+            self.set_weight(update.source, update.target, update.weight)
+
+    def apply_updates(self, updates: Iterable["GraphUpdate | Tuple"]) -> int:
+        """Apply a batch of updates; returns how many were applied."""
+        count = 0
+        for update in updates:
+            self.apply_update(update)
+            count += 1
+        return count
+
+    def _buffer(self, source: int, target: int, weight: float) -> None:
+        source = check_node_index(source, self.n_nodes, "source")
+        target = check_node_index(target, self.n_nodes, "target")
+        self._materialized = None
+        self._touched_since_drain.add(source)
+        base_weight = self._base.edge_weight(source, target)
+        if weight == base_weight:
+            # The overlay entry would restore the base exactly: elide it.
+            self._overlay.pop((source, target), None)
+        else:
+            self._overlay[(source, target)] = weight
+        if len(self._overlay) >= self._threshold:
+            self.compact()
+
+    # ------------------------------------------------------------------ #
+    # materialization / compaction
+    # ------------------------------------------------------------------ #
+    def materialize(self) -> DiGraph:
+        """The effective immutable graph (cached until the next mutation)."""
+        if self._materialized is None:
+            removed = [
+                edge for edge, weight in self._overlay.items() if weight == 0.0
+            ]
+            added = [
+                (source, target, weight)
+                for (source, target), weight in self._overlay.items()
+                if weight > 0.0
+            ]
+            self._materialized = self._base.with_edges(added, removed)
+        return self._materialized
+
+    def compact(self) -> DiGraph:
+        """Fold the overlay into a fresh canonical base CSR and return it.
+
+        Touched-source bookkeeping survives compaction: the maintainer still
+        learns about every column mutated since its last :meth:`drain`, even
+        when auto-compaction fired in between.
+        """
+        self._base = self.materialize()
+        self._overlay.clear()
+        return self._base
+
+    def mark_touched(self, sources: Iterable[int]) -> None:
+        """Re-register ``sources`` as mutated since the last :meth:`drain`.
+
+        Recovery hook: when index maintenance fails *after* a drain already
+        cleared the touched set, the caller puts the sources back so the
+        next maintenance pass re-examines those columns instead of serving
+        stale bounds forever.
+        """
+        for source in sources:
+            self._touched_since_drain.add(
+                check_node_index(int(source), self.n_nodes, "source")
+            )
+
+    def drain(self) -> Tuple[DiGraph, np.ndarray]:
+        """Compact and hand over ``(graph, touched_sources)`` for maintenance.
+
+        This is the index maintainer's entry point: the returned graph is
+        the new base CSR and the returned ids cover every source whose
+        transition column may differ from the previous drain (a conservative
+        superset — elided no-ops are already dropped, but e.g. a weight
+        change under an unweighted walk is only filtered later, by the
+        column-level diff).
+        """
+        graph = self.compact()
+        touched = self.touched_sources
+        self._touched_since_drain.clear()
+        return graph, touched
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges}, "
+            f"pending={self.pending_updates})"
+        )

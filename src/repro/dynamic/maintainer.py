@@ -1,0 +1,408 @@
+"""Delta-maintenance of the reverse top-k index under graph updates.
+
+A full index rebuild runs batched BCA from *every* node — the dominant cost
+the paper's offline phase pays once (Table 2).  Under churn that cost would
+recur per update batch.  :class:`IndexMaintainer` avoids it with
+**conservative invalidation**, built on one observation about batched BCA
+(Algorithm 1): the trajectory of node ``u``'s refinement reads only the
+transition columns of nodes that *propagated* ink, and every propagating
+node retains an ``alpha`` share — so the set of columns ever read is covered
+by the support of ``u``'s retained/residual ink.  If none of those columns
+changed, a from-scratch run on the new graph replays the identical
+trajectory and lands in the bit-identical state.
+
+``apply()`` therefore:
+
+1. recomputes only the transition columns of the touched sources
+   (:func:`~repro.graph.transition.rebuild_transition_columns`, bit-identical
+   to a full rebuild) and diffs them against the old matrix;
+2. resolves the hub set under the configured policy — ``"pinned"`` (default)
+   keeps the current hubs, since a changed hub *set* poisons every state
+   (the hub mask steers every trajectory) and the tie-heavy degree
+   heuristic flips on single-edge changes; ``"reselect"`` follows the
+   heuristic and degenerates to a full rebuild whenever it moves;
+3. recomputes the exact hub proximity columns ``P_H`` (they depend globally
+   on the graph) and notes which hub columns actually changed;
+4. **invalidates** every non-hub state whose residue/retained support
+   touches a changed column — those are reset and re-refined from scratch
+   (:func:`~repro.core.lbi.rebuild_node_state`); if the stale fraction
+   reaches ``rebuild_ratio``, a full rebuild is cheaper and runs instead;
+5. **re-materializes** the lower bounds of kept states whose hub ink refers
+   to a changed hub column (the dicts are still exact; only the ``P_H``
+   expansion moved);
+6. swaps the new components into the index *in place*
+   (:meth:`~repro.core.index.ReverseTopKIndex.replace_contents`) — one
+   version bump, so the serving layer's result cache drops exactly one
+   generation — and rebinds the engine's transition caches.
+
+The invariant all of this preserves: after ``apply()``, the maintained index
+is **bit-identical** to ``build_index`` run from scratch on the new graph
+*under the maintained hub set* (states, columnar views, and therefore every
+query answer and statistics counter), as long as no query-time refinement
+was persisted in between — under ``"reselect"`` that hub set is exactly the
+default build's, so the equivalence is unconditional.  With persisted
+refinements the kept states remain *valid* BCA states on the new graph, so
+answers still match a fresh engine (same hub set) exactly.  Across
+*different* hub sets answers agree except on floating-point knife-edge
+ties, where the kth value and the query proximity coincide to the last ulp
+and the decision legitimately depends on the rounding path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Set
+
+import numpy as np
+
+from .._validation import check_positive_float
+from ..core.config import IndexParams
+from ..core.hubs import HubSet
+from ..core.index import NodeState
+from ..core.lbi import (
+    _HubExpansion,
+    _compute_hub_matrix,
+    build_index,
+    default_hub_selection,
+    materialize_lower_bounds,
+    rebuild_node_state,
+)
+from ..core.query import ReverseTopKEngine
+from ..graph.digraph import DiGraph
+from ..graph.transition import rebuild_transition_columns
+from ..utils.timer import Timer
+
+#: Default stale-state fraction past which a full rebuild wins.
+DEFAULT_REBUILD_RATIO = 0.25
+
+#: Hub policies: keep the built hub set across applies, or re-select each time.
+HUB_POLICIES = ("pinned", "reselect")
+
+HubSelector = Callable[[DiGraph, IndexParams], HubSet]
+
+
+# The default selector IS build_index's default (one shared definition, so
+# the "reselect" policy can never drift from what a from-scratch build does).
+_degree_hub_selector = default_hub_selection
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """What one :meth:`IndexMaintainer.apply` call did, and what it cost.
+
+    Attributes
+    ----------
+    n_touched_sources:
+        Sources the caller reported as mutated since the last apply.
+    n_changed_columns:
+        Transition columns that actually differ after the column-level diff.
+    n_invalidated:
+        Non-hub states reset and re-refined from scratch.
+    n_rematerialized:
+        Kept states whose lower bounds were re-expanded against the new
+        hub columns.
+    n_hub_columns:
+        Hub proximity columns recomputed.
+    staleness:
+        Invalidated fraction of the non-hub population (what the rebuild
+        threshold is compared against).
+    hub_set_changed / full_rebuild:
+        Whether the applied hub set differs from the previous one, and
+        whether the escape hatch to a from-scratch :func:`build_index` ran
+        (hub re-selection under the ``"reselect"`` policy, or staleness).
+    changed:
+        ``False`` for a pure no-op (every recomputed column bit-identical):
+        the index, its version, and every cached answer stay valid.
+    index_version:
+        The index version after this application.
+    seconds:
+        Wall-clock cost of the application.
+    """
+
+    n_touched_sources: int
+    n_changed_columns: int
+    n_invalidated: int
+    n_rematerialized: int
+    n_hub_columns: int
+    staleness: float
+    hub_set_changed: bool
+    full_rebuild: bool
+    changed: bool
+    index_version: int
+    seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "n_touched_sources": self.n_touched_sources,
+            "n_changed_columns": self.n_changed_columns,
+            "n_invalidated": self.n_invalidated,
+            "n_rematerialized": self.n_rematerialized,
+            "n_hub_columns": self.n_hub_columns,
+            "staleness": self.staleness,
+            "hub_set_changed": self.hub_set_changed,
+            "full_rebuild": self.full_rebuild,
+            "changed": self.changed,
+            "index_version": self.index_version,
+            "seconds": self.seconds,
+        }
+
+
+class IndexMaintainer:
+    """Keeps a :class:`ReverseTopKEngine` consistent with a mutating graph.
+
+    Parameters
+    ----------
+    engine:
+        The engine to maintain.  Its index is mutated in place and its
+        transition caches are rebound on every effective application.
+    rebuild_ratio:
+        Stale-state fraction (of the non-hub population) at which the
+        incremental path gives up and rebuilds from scratch.  ``1.0``
+        disables the escape hatch (except for hub-set changes, which always
+        rebuild); small values make the maintainer eager to rebuild.
+    weighted:
+        Whether the engine's transition is the weighted variant (§5.4); the
+        column recomputation must replay the same arithmetic.
+    hub_policy:
+        ``"pinned"`` (the default) keeps the index's hub set fixed for the
+        maintainer's lifetime — even full rebuilds reuse it.  The degree
+        heuristic is tie-heavy: a single edge near the budget boundary flips
+        the selected set, and since a changed hub *set* poisons every
+        trajectory, re-selecting per batch degenerates to rebuild-per-batch
+        under steady churn.  Hubs are a performance choice, not a
+        correctness one — any hub set yields exact answers up to
+        floating-point knife-edge ties — so pinning trades slowly-drifting
+        hub quality for stable incremental cost (refresh by rebuilding the
+        service when drift accumulates).  ``"reselect"`` follows the degree
+        heuristic every apply, which keeps the maintained index bit-identical
+        to a *default* from-scratch build (the strictest equivalence mode,
+        used by the property tests) at the price of frequent rebuilds.
+    hub_selector:
+        Override for the selection heuristic itself.  The default mirrors
+        :func:`build_index`'s degree-based choice; a custom selector must be
+        deterministic.
+    """
+
+    def __init__(
+        self,
+        engine: ReverseTopKEngine,
+        *,
+        rebuild_ratio: float = DEFAULT_REBUILD_RATIO,
+        weighted: bool = False,
+        hub_policy: str = "pinned",
+        hub_selector: Optional[HubSelector] = None,
+    ) -> None:
+        self.engine = engine
+        self.rebuild_ratio = check_positive_float(rebuild_ratio, "rebuild_ratio")
+        if self.rebuild_ratio > 1.0:
+            raise ValueError(
+                f"rebuild_ratio must be in (0, 1], got {self.rebuild_ratio}"
+            )
+        if hub_policy not in HUB_POLICIES:
+            raise ValueError(
+                f"hub_policy must be one of {HUB_POLICIES}, got {hub_policy!r}"
+            )
+        self.weighted = bool(weighted)
+        self.hub_policy = hub_policy
+        self.hub_selector = (
+            hub_selector if hub_selector is not None else _degree_hub_selector
+        )
+
+    # ------------------------------------------------------------------ #
+    # application
+    # ------------------------------------------------------------------ #
+    def apply(
+        self, graph: DiGraph, touched_sources: Iterable[int]
+    ) -> MaintenanceReport:
+        """Bring the engine up to date with ``graph``.
+
+        ``graph`` is the post-mutation graph (same node count as the index);
+        ``touched_sources`` lists every node whose out-edges may have changed
+        since the previous application — a conservative superset is fine,
+        the column diff filters no-ops.  Typically both come straight from
+        :meth:`DynamicGraph.drain`.
+        """
+        index = self.engine.index
+        if graph.n_nodes != index.n_nodes:
+            raise ValueError(
+                f"graph has {graph.n_nodes} nodes but the index covers "
+                f"{index.n_nodes} (dynamic updates are edge-level)"
+            )
+        params = index.params
+        old_hubs = index.hubs
+        with Timer() as timer:
+            touched = np.unique(np.asarray(list(touched_sources), dtype=np.int64))
+            new_transition, changed = rebuild_transition_columns(
+                self.engine.transition, graph, touched, weighted=self.weighted
+            )
+            if self.hub_policy == "reselect":
+                new_hubs = self.hub_selector(graph, params)
+            else:
+                new_hubs = index.hubs
+            reselected = new_hubs.nodes != index.hubs.nodes
+            if changed.size == 0 and not reselected:
+                # Bit-identical transition, same hubs: a fresh build (under
+                # this hub set) would reproduce the current index exactly.
+                # Nothing to do — and critically no version bump, so cached
+                # answers stay live.
+                outcome = (0, 0, 0, 0.0, False)
+                effective = False
+            elif reselected:
+                outcome = self._full_rebuild(graph, new_transition, new_hubs)
+                effective = True
+            else:
+                outcome = self._incremental(graph, new_transition, changed, new_hubs)
+                effective = True
+        invalidated, rematerialized, hub_columns, staleness, rebuilt = outcome
+        hub_set_changed = index.hubs.nodes != old_hubs.nodes
+        return MaintenanceReport(
+            n_touched_sources=int(touched.size),
+            n_changed_columns=int(changed.size) if effective else 0,
+            n_invalidated=invalidated,
+            n_rematerialized=rematerialized,
+            n_hub_columns=hub_columns,
+            staleness=staleness,
+            hub_set_changed=hub_set_changed,
+            full_rebuild=rebuilt,
+            changed=effective,
+            index_version=index.version,
+            seconds=timer.elapsed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _full_rebuild(self, graph, transition, hubs):
+        """Escape hatch: rebuild everything, splice into the live index."""
+        index = self.engine.index
+        fresh = build_index(graph, index.params, hubs=hubs, transition=transition)
+        index.replace_contents(
+            hubs=fresh.hubs,
+            hub_matrix=fresh.hub_matrix,
+            hub_deficit=fresh.hub_deficit,
+            states=[state for _, state in fresh.states()],
+        )
+        self.engine.rebind(transition)
+        n_non_hub = index.n_nodes - len(hubs)
+        return n_non_hub, 0, len(hubs), 1.0, True
+
+    def _incremental(self, graph, transition, changed, hubs):
+        """The delta path: targeted invalidation plus hub re-expansion."""
+        index = self.engine.index
+        params = index.params
+        n = index.n_nodes
+        changed_mask = np.zeros(n, dtype=bool)
+        changed_mask[changed] = True
+
+        invalid = [
+            node
+            for node, state in index.states()
+            if not state.is_hub and _touches(node, state, changed_mask)
+        ]
+        n_non_hub = max(1, n - len(hubs))
+        staleness = len(invalid) / n_non_hub
+        if staleness >= self.rebuild_ratio:
+            # The rebuild keeps the same hub set: "pinned" means pinned
+            # (reselect refreshed it above), so the maintained index is
+            # always bit-identical to a from-scratch build under the
+            # maintainer's hub configuration — including every answer on
+            # floating-point knife-edge ties, which genuinely depend on the
+            # hub set's rounding path.
+            count, _, hub_columns, _, rebuilt = self._full_rebuild(
+                graph, transition, hubs
+            )
+            return count, 0, hub_columns, staleness, rebuilt
+
+        hub_matrix, hub_deficit, hub_top_k = _compute_hub_matrix(
+            transition, hubs, params
+        )
+        changed_hubs = _changed_hub_columns(index, hubs, hub_matrix, hub_deficit)
+        hub_mask = hubs.mask(n)
+        expansion = _HubExpansion(n, hubs, hub_matrix)
+
+        states = [state for _, state in index.states()]
+        for hub in hubs:
+            states[hub] = NodeState(
+                hub_ink={int(hub): 1.0},
+                is_hub=True,
+                lower_bounds=hub_top_k[int(hub)].copy(),
+            )
+        invalid_set = set(invalid)
+        for node in invalid:
+            states[node] = rebuild_node_state(
+                node, transition, hub_mask, params, expansion
+            )
+        rematerialized = 0
+        if changed_hubs:
+            for node, state in enumerate(states):
+                if state.is_hub or node in invalid_set or not state.hub_ink:
+                    continue
+                if changed_hubs.intersection(state.hub_ink):
+                    # The dicts are still exact; only the hub expansion the
+                    # lower bounds were materialized through has moved.
+                    materialize_lower_bounds(state, expansion, params.capacity)
+                    rematerialized += 1
+
+        index.replace_contents(
+            hubs=hubs,
+            hub_matrix=hub_matrix,
+            hub_deficit=hub_deficit,
+            states=states,
+        )
+        self.engine.rebind(transition)
+        return len(invalid), rematerialized, len(hubs), staleness, False
+
+
+def _touches(node: int, state: NodeState, changed_mask: np.ndarray) -> bool:
+    """Conservative test: did this state's trajectory read a changed column?
+
+    Every node that ever propagated ink appears in ``retained`` (it keeps an
+    ``alpha`` share), so the retained support covers all columns read.  The
+    residual support and the node itself are included as an extra margin —
+    they cost nothing and keep the test obviously safe for hand-constructed
+    states.
+    """
+    if changed_mask[node]:
+        return True
+    for key in state.retained:
+        if changed_mask[key]:
+            return True
+    for key in state.residual:
+        if changed_mask[key]:
+            return True
+    return False
+
+
+def _changed_hub_columns(
+    index, hubs: HubSet, hub_matrix, hub_deficit: np.ndarray
+) -> Set[int]:
+    """Hub ids whose rounded proximity column (or deficit) actually moved.
+
+    Kept states whose hub ink only references unchanged hubs keep their
+    lower bounds verbatim — re-expanding them against bit-identical columns
+    would reproduce the same values at full cost.
+    """
+    old_matrix = index.hub_matrix
+    changed: Set[int] = set()
+    for position, hub in enumerate(hubs):
+        if float(hub_deficit[position]) != float(index.hub_deficit[position]):
+            changed.add(int(hub))
+            continue
+        old_start, old_stop = (
+            old_matrix.indptr[position],
+            old_matrix.indptr[position + 1],
+        )
+        start, stop = hub_matrix.indptr[position], hub_matrix.indptr[position + 1]
+        if (
+            stop - start != old_stop - old_start
+            or not np.array_equal(
+                hub_matrix.indices[start:stop],
+                old_matrix.indices[old_start:old_stop],
+            )
+            or not np.array_equal(
+                hub_matrix.data[start:stop], old_matrix.data[old_start:old_stop]
+            )
+        ):
+            changed.add(int(hub))
+    return changed

@@ -13,6 +13,7 @@ from .transition import (
     DanglingPolicy,
     transition_matrix,
     weighted_transition_matrix,
+    rebuild_transition_columns,
     is_column_stochastic,
 )
 from .generators import (
@@ -37,6 +38,7 @@ __all__ = [
     "DanglingPolicy",
     "transition_matrix",
     "weighted_transition_matrix",
+    "rebuild_transition_columns",
     "is_column_stochastic",
     "erdos_renyi_graph",
     "scale_free_graph",

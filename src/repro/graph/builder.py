@@ -9,6 +9,7 @@ domain objects (authors, hosts, products).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,14 +35,38 @@ class GraphBuilder:
     (3, 2)
     """
 
-    def __init__(self, *, allow_self_loops: bool = True) -> None:
+    #: Accepted duplicate-edge policies.
+    ON_DUPLICATE = ("sum", "last", "error")
+
+    def __init__(
+        self, *, allow_self_loops: bool = True, on_duplicate: str = "sum"
+    ) -> None:
+        if on_duplicate not in self.ON_DUPLICATE:
+            raise GraphError(
+                f"on_duplicate must be one of {self.ON_DUPLICATE}, got {on_duplicate!r}"
+            )
         self._ids: Dict[Hashable, int] = {}
         self._sources: List[int] = []
         self._targets: List[int] = []
         self._weights: List[float] = []
         self._allow_self_loops = allow_self_loops
+        self._on_duplicate = on_duplicate
+        # Position of each (source, target) pair in the edge lists; only
+        # needed (and maintained) when duplicates are not simply summed.
+        self._edge_positions: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------ #
+    @property
+    def on_duplicate(self) -> str:
+        """How repeated insertions of the same edge are resolved.
+
+        ``"sum"`` (the default, and the historical behaviour) lets CSR
+        construction sum the weights; ``"last"`` keeps only the most recent
+        weight; ``"error"`` raises :class:`GraphError` on the second
+        insertion of any ``(source, target)`` pair.
+        """
+        return self._on_duplicate
+
     def add_node(self, key: Hashable) -> int:
         """Register ``key`` as a node (idempotent) and return its integer id."""
         if key not in self._ids:
@@ -49,13 +74,32 @@ class GraphBuilder:
         return self._ids[key]
 
     def add_edge(self, source: Hashable, target: Hashable, weight: float = 1.0) -> None:
-        """Add a directed edge ``source -> target`` with the given weight."""
-        if weight < 0:
-            raise GraphError(f"edge weight must be non-negative, got {weight}")
+        """Add a directed edge ``source -> target`` with the given weight.
+
+        Repeated insertions of the same pair follow the builder's
+        ``on_duplicate`` policy (sum weights, keep the last, or raise).
+        """
+        if not (weight >= 0 and math.isfinite(weight)):
+            raise GraphError(
+                f"edge weight must be non-negative and finite, got {weight}"
+            )
         if source == target and not self._allow_self_loops:
             return
-        self._sources.append(self.add_node(source))
-        self._targets.append(self.add_node(target))
+        source_id = self.add_node(source)
+        target_id = self.add_node(target)
+        if self._on_duplicate != "sum":
+            position = self._edge_positions.get((source_id, target_id))
+            if position is not None:
+                if self._on_duplicate == "error":
+                    raise GraphError(
+                        f"duplicate edge {source!r} -> {target!r} "
+                        f"(builder has on_duplicate='error')"
+                    )
+                self._weights[position] = float(weight)  # "last" wins
+                return
+            self._edge_positions[(source_id, target_id)] = len(self._sources)
+        self._sources.append(source_id)
+        self._targets.append(target_id)
         self._weights.append(float(weight))
 
     def add_edges(self, edges: Iterable[Edge | WeightedEdge]) -> None:
@@ -93,8 +137,10 @@ class GraphBuilder:
     def build(self, *, node_names: Optional[Sequence[str]] = None) -> DiGraph:
         """Freeze the accumulated edges into an immutable :class:`DiGraph`.
 
-        Duplicate edges are merged by summing weights.  When ``node_names`` is
-        omitted, the string form of each node key becomes its label.
+        Under the default ``on_duplicate="sum"`` policy duplicate edges are
+        merged by summing weights (``"last"`` and ``"error"`` resolve them at
+        insertion time instead).  When ``node_names`` is omitted, the string
+        form of each node key becomes its label.
         """
         n = len(self._ids)
         if n == 0:

@@ -13,6 +13,7 @@ unweighted graph stores an implicit weight of ``1.0`` per edge.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -62,6 +63,10 @@ class DiGraph:
             raise GraphError(
                 f"adjacency must be square, got shape {matrix.shape}"
             )
+        if matrix.nnz and not np.isfinite(matrix.data).all():
+            # NaN slips through ordering comparisons (NaN < 0 is False) and
+            # poisons every downstream proximity; Inf breaks normalization.
+            raise GraphError("edge weights must be finite")
         if matrix.nnz and matrix.data.min() < 0:
             raise GraphError("edge weights must be non-negative")
         matrix.sum_duplicates()
@@ -245,15 +250,91 @@ class DiGraph:
         return DiGraph(self._adjacency.T.tocsr(), self._node_names)
 
     def subgraph(self, nodes: Iterable[int]) -> "DiGraph":
-        """Return the induced subgraph on ``nodes`` (relabelled 0..len-1)."""
+        """Return the induced subgraph on ``nodes`` (relabelled 0..len-1).
+
+        An empty ``nodes`` iterable yields the empty (0-node) graph rather
+        than relying on SciPy's empty fancy-indexing behaviour, which has
+        varied across versions.
+        """
         ids = np.asarray(sorted(set(int(v) for v in nodes)), dtype=np.int64)
-        if ids.size and (ids[0] < 0 or ids[-1] >= self.n_nodes):
+        if ids.size == 0:
+            names: Optional[Sequence[str]] = (
+                () if self._node_names is not None else None
+            )
+            return DiGraph(sp.csr_matrix((0, 0)), names)
+        if ids[0] < 0 or ids[-1] >= self.n_nodes:
             raise GraphError("subgraph nodes outside the graph's node range")
         sub = self._adjacency[ids][:, ids]
-        names = None
+        sub_names = None
         if self._node_names is not None:
-            names = [self._node_names[i] for i in ids]
-        return DiGraph(sub, names)
+            sub_names = [self._node_names[i] for i in ids]
+        return DiGraph(sub, sub_names)
+
+    def with_edges(
+        self,
+        added: Iterable[Tuple[int, int] | Tuple[int, int, float]] = (),
+        removed: Iterable[Tuple[int, int]] = (),
+    ) -> "DiGraph":
+        """Return a new validated graph with edges removed and/or set.
+
+        Parameters
+        ----------
+        added:
+            Iterable of ``(source, target)`` or ``(source, target, weight)``
+            items.  Each item *sets* the edge weight: a missing edge is
+            inserted, an existing one is overwritten (last occurrence wins).
+            Weights must be strictly positive — deleting goes through
+            ``removed``.
+        removed:
+            Iterable of ``(source, target)`` edges to delete; every edge must
+            exist in this graph.
+
+        The node set (and any node labels) is preserved; an edge may not
+        appear in both lists.  This is the compaction primitive of the
+        dynamic-graph overlay, but is independently useful for one-shot
+        edits of an otherwise immutable graph.
+        """
+        removed_edges: list = []
+        for edge in removed:
+            source, target = edge
+            source = self._check_node(int(source))
+            target = self._check_node(int(target))
+            if not self.has_edge(source, target):
+                raise GraphError(
+                    f"cannot remove missing edge {source} -> {target}"
+                )
+            removed_edges.append((source, target))
+        removed_set = set(removed_edges)
+        set_edges: list = []
+        for edge in added:
+            if len(edge) == 2:
+                source, target = edge  # type: ignore[misc]
+                weight = 1.0
+            elif len(edge) == 3:
+                source, target, weight = edge  # type: ignore[misc]
+            else:
+                raise GraphError(f"added edges must be 2- or 3-tuples, got {edge!r}")
+            source = self._check_node(int(source))
+            target = self._check_node(int(target))
+            weight = float(weight)
+            if not (weight > 0 and math.isfinite(weight)):
+                raise GraphError(
+                    f"added edge weight must be positive and finite, got "
+                    f"{weight} for {source} -> {target} (delete via 'removed')"
+                )
+            if (source, target) in removed_set:
+                raise GraphError(
+                    f"edge {source} -> {target} appears in both added and removed"
+                )
+            set_edges.append((source, target, weight))
+        if not removed_edges and not set_edges:
+            return self
+        matrix = self._adjacency.tolil(copy=True)
+        for source, target in removed_edges:
+            matrix[source, target] = 0.0
+        for source, target, weight in set_edges:
+            matrix[source, target] = weight
+        return DiGraph(matrix.tocsr(), self._node_names)
 
     def with_self_loops_on_dangling(self) -> "DiGraph":
         """Return a copy where every dangling node gets a self-loop.

@@ -149,6 +149,132 @@ def weighted_transition_matrix(
     return _canonical(matrix.tocsc())
 
 
+def rebuild_transition_columns(
+    transition: sp.csc_matrix,
+    graph: DiGraph,
+    sources: "np.ndarray | Tuple[int, ...] | list",
+    *,
+    weighted: bool = False,
+    dangling: DanglingPolicy | str = DanglingPolicy.SELF_LOOP,
+) -> Tuple[sp.csc_matrix, np.ndarray]:
+    """Recompute only the transition columns of ``sources`` against ``graph``.
+
+    This is the delta-maintenance path of the dynamic-graph subsystem: after
+    a batch of edge mutations only the columns of the touched source nodes
+    can differ, so instead of rebuilding the whole matrix the new columns are
+    computed from ``graph`` and spliced into ``transition``.
+
+    The per-column arithmetic replays :func:`transition_matrix` (or the
+    weighted variant) operation for operation — ``1/OD(j)`` for the uniform
+    walk, ``(1/W(j)) * w_{j,i}`` for the weighted one, a unit self-loop for
+    dangling columns — so the spliced matrix is **bit-identical** to a full
+    rebuild on ``graph``.  That guarantee is what lets the index maintainer
+    keep unaffected BCA states verbatim.
+
+    Parameters
+    ----------
+    transition:
+        The current (canonical CSC) transition matrix, built for the graph
+        *before* the mutations.
+    graph:
+        The graph *after* the mutations (same node count).
+    sources:
+        Node ids whose out-edges may have changed (a superset is fine).
+    weighted:
+        Replay :func:`weighted_transition_matrix` instead of the uniform walk.
+    dangling:
+        Only :attr:`DanglingPolicy.SELF_LOOP` is supported — the ``SINK``
+        policy changes the matrix shape, which delta maintenance cannot do.
+
+    Returns
+    -------
+    (matrix, changed):
+        The spliced column-stochastic CSC matrix and the sorted array of
+        sources whose column actually differs from ``transition`` (sources
+        whose recomputed column is bit-identical are dropped — e.g. a weight
+        change under the unweighted walk).
+    """
+    dangling = DanglingPolicy(dangling)
+    if dangling is not DanglingPolicy.SELF_LOOP:
+        raise GraphError(
+            "rebuild_transition_columns supports only the SELF_LOOP dangling "
+            f"policy, got {dangling.value!r}"
+        )
+    n = graph.n_nodes
+    old = sp.csc_matrix(transition)
+    if old.shape != (n, n):
+        raise GraphError(
+            f"transition shape {old.shape} does not match the graph ({n} nodes)"
+        )
+    source_ids = np.unique(np.asarray(list(sources), dtype=np.int64))
+    if source_ids.size and (source_ids[0] < 0 or source_ids[-1] >= n):
+        raise GraphError("sources outside the graph's node range")
+
+    adjacency = graph.adjacency  # CSR, canonical: sorted indices, no zeros
+    normalizer = graph.out_weight if weighted else graph.out_degree.astype(np.float64)
+    replacements = {}
+    changed = []
+    for j in source_ids.tolist():
+        start, stop = adjacency.indptr[j], adjacency.indptr[j + 1]
+        if start == stop:
+            indices = np.array([j], dtype=old.indices.dtype)
+            data = np.array([1.0], dtype=np.float64)
+        else:
+            indices = adjacency.indices[start:stop].astype(old.indices.dtype)
+            # Same rounding as the full builders: a diagonal-scale matmul
+            # multiplies each entry by the precomputed reciprocal.
+            inverse = 1.0 / normalizer[j]
+            if weighted:
+                data = inverse * adjacency.data[start:stop]
+            else:
+                data = np.full(indices.size, inverse, dtype=np.float64)
+        old_start, old_stop = old.indptr[j], old.indptr[j + 1]
+        same = (
+            old_stop - old_start == indices.size
+            and np.array_equal(old.indices[old_start:old_stop], indices)
+            and np.array_equal(old.data[old_start:old_stop], data)
+        )
+        if same:
+            continue
+        replacements[j] = (indices, data)
+        changed.append(j)
+
+    if not replacements:
+        return old, np.asarray([], dtype=np.int64)
+
+    # Splice by contiguous spans, not per column: the unchanged stretches
+    # between changed columns are copied as single slices, so the assembly
+    # cost scales with the number of *changed* columns, not with n.
+    column_indices = []
+    column_data = []
+    counts = np.diff(old.indptr).astype(np.int64)
+    previous = 0
+    for j in changed:  # already sorted (subset of the sorted source_ids)
+        if previous < j:
+            span = slice(old.indptr[previous], old.indptr[j])
+            column_indices.append(old.indices[span])
+            column_data.append(old.data[span])
+        indices, data = replacements[j]
+        column_indices.append(indices)
+        column_data.append(data)
+        counts[j] = indices.size
+        previous = j + 1
+    if previous < n:
+        span = slice(old.indptr[previous], old.indptr[n])
+        column_indices.append(old.indices[span])
+        column_data.append(old.data[span])
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(old.indptr.dtype)
+    matrix = sp.csc_matrix(
+        (
+            np.concatenate(column_data),
+            np.concatenate(column_indices),
+            indptr,
+        ),
+        shape=(n, n),
+    )
+    return matrix, np.asarray(changed, dtype=np.int64)
+
+
 def is_column_stochastic(matrix: sp.spmatrix, *, atol: float = 1e-9) -> bool:
     """Check that every column of ``matrix`` sums to 1 (within ``atol``).
 

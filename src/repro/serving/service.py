@@ -257,12 +257,32 @@ class ReverseTopKService:
         single archive read — and otherwise built once and archived for the
         next start.  ``service.warm_started`` records which path ran.
         """
+        engine, _, warm_started = cls._prepare_engine(
+            graph, params, snapshot_dir, transition
+        )
+        return cls(engine, config, warm_started=warm_started)
+
+    @staticmethod
+    def _prepare_engine(
+        graph: DiGraph,
+        params: Optional[IndexParams],
+        snapshot_dir: Optional[PathLikeOrManager],
+        transition: Optional[sp.spmatrix],
+    ) -> Tuple[ReverseTopKEngine, Optional["SnapshotManager"], bool]:
+        """Shared warm-start wiring behind every ``from_graph`` classmethod.
+
+        Returns ``(engine, snapshot_manager, warm_started)``; the manager is
+        ``None`` when no snapshot directory was configured.  Kept in one
+        place so the static and dynamic service façades can never drift in
+        how they derive the transition, coerce the snapshot manager, or
+        decide between archive load and fresh build.
+        """
         from ..graph.transition import transition_matrix
 
         matrix = transition if transition is not None else transition_matrix(graph)
         if snapshot_dir is None:
             engine = ReverseTopKEngine.build(graph, params, transition=matrix)
-            return cls(engine, config)
+            return engine, None, False
         manager = (
             snapshot_dir
             if isinstance(snapshot_dir, SnapshotManager)
@@ -271,8 +291,7 @@ class ReverseTopKService:
         index, from_snapshot = manager.load_or_build(
             graph, params, transition=matrix
         )
-        engine = ReverseTopKEngine(matrix, index)
-        return cls(engine, config, warm_started=from_snapshot)
+        return ReverseTopKEngine(matrix, index), manager, from_snapshot
 
     # ------------------------------------------------------------------ #
     # serving
@@ -355,18 +374,26 @@ class ReverseTopKService:
             result = self.engine.query(
                 query, k, update_index=True, scan_mode=self.config.scan_mode
             )
-            # Discard stale process snapshots *before* releasing the write
-            # lock: once a serve() burst can enter, it must find either the
-            # old version with the old pool or the new version with a fresh
-            # pool — never new-version results computed on stale workers.
-            if (
-                self.engine.index.version != version
-                and self.config.backend == "process"
-            ):
-                self._executor.invalidate()
+            self._discard_stale_workers(version)
         with self._lock:
             self._n_refinements += 1
         return result
+
+    def _discard_stale_workers(self, version_before: int) -> None:
+        """Respawn process-pool snapshots after an index mutation.
+
+        Must run *before* the write side of the index lock is released: once
+        a ``serve()`` burst can enter, it must find either the old version
+        with the old pool or the new version with a fresh pool — never
+        new-version results computed on stale workers.  Thread workers share
+        the live engine and never go stale.  Shared by :meth:`refine` and
+        the dynamic subsystem's graph-update path.
+        """
+        if (
+            self.engine.index.version != version_before
+            and self.config.backend == "process"
+        ):
+            self._executor.invalidate()
 
     # ------------------------------------------------------------------ #
     # metrics / lifecycle

@@ -7,10 +7,20 @@ from .queries import (
     all_nodes_workload,
     QueryWorkload,
 )
+from .churn import (
+    ChurnWorkload,
+    QueryEvent,
+    UpdateEvent,
+    churn_workload,
+)
 from .replay import ReplayReport, replay
 from .sweep import ParameterSweep, SweepPoint
 
 __all__ = [
+    "ChurnWorkload",
+    "QueryEvent",
+    "UpdateEvent",
+    "churn_workload",
     "uniform_query_workload",
     "degree_weighted_query_workload",
     "zipfian_query_workload",

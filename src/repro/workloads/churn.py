@@ -1,0 +1,231 @@
+"""Churn workloads: interleaved query/update event streams for dynamic graphs.
+
+A churn workload models a serving node's real life: mostly queries, with
+periodic bursts of graph mutations (new links, retracted links, weight
+drift).  The generator simulates the graph's evolution while emitting
+events, so every update in the stream is valid against the graph state at
+the moment it arrives — insertions target absent edges, deletions and
+weight changes target present ones.
+
+Events come in two shapes: :class:`QueryEvent` (one ``(query, k)`` request)
+and :class:`UpdateEvent` (one batch of
+:class:`~repro.dynamic.graph.GraphUpdate` mutations, applied atomically).
+Drivers iterate the stream and dispatch on the event type — see
+``benchmarks/bench_dynamic_updates.py`` and ``examples/dynamic_demo.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..graph.digraph import DiGraph
+from ..utils.rng import SeedLike, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dynamic imports serving)
+    from ..dynamic.graph import GraphUpdate
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One reverse top-k request in a churn stream."""
+
+    query: int
+    k: int
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One atomic batch of edge mutations in a churn stream."""
+
+    updates: Tuple["GraphUpdate", ...]
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+ChurnEvent = Union[QueryEvent, UpdateEvent]
+
+
+@dataclass(frozen=True)
+class ChurnWorkload:
+    """An ordered stream of query and update events over one graph.
+
+    Attributes
+    ----------
+    events:
+        The events, in arrival order.
+    k:
+        The reverse top-k depth shared by the query events.
+    description:
+        Human-readable provenance.
+    """
+
+    events: Tuple[ChurnEvent, ...]
+    k: int
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ChurnEvent]:
+        return iter(self.events)
+
+    @property
+    def n_queries(self) -> int:
+        """Number of query events."""
+        return sum(1 for event in self.events if isinstance(event, QueryEvent))
+
+    @property
+    def n_update_batches(self) -> int:
+        """Number of update batches."""
+        return sum(1 for event in self.events if isinstance(event, UpdateEvent))
+
+    @property
+    def n_updates(self) -> int:
+        """Total individual edge mutations across all batches."""
+        return sum(
+            len(event) for event in self.events if isinstance(event, UpdateEvent)
+        )
+
+    def queries(self) -> List[Tuple[int, int]]:
+        """The ``(query, k)`` requests in stream order (updates skipped)."""
+        return [
+            (event.query, event.k)
+            for event in self.events
+            if isinstance(event, QueryEvent)
+        ]
+
+
+def churn_workload(
+    graph: DiGraph,
+    n_queries: int,
+    n_update_batches: int,
+    *,
+    k: int = 10,
+    batch_size: int = 4,
+    add_fraction: float = 0.45,
+    remove_fraction: float = 0.35,
+    hot_fraction: float = 0.05,
+    zipf_exponent: float = 1.1,
+    seed: SeedLike = 0,
+) -> ChurnWorkload:
+    """Generate an interleaved query/update stream for ``graph``.
+
+    Update batches are spread evenly through the query stream (an update
+    every ``n_queries / n_update_batches`` requests, approximately), so the
+    stream alternates serving phases with maintenance phases the way a
+    queue-draining server would experience them.
+
+    Parameters
+    ----------
+    n_queries / n_update_batches:
+        Stream composition; batches hold ``batch_size`` mutations each.
+    add_fraction / remove_fraction:
+        Mutation mix; the remainder are weight changes on existing edges
+        (weight changes are no-ops under the unweighted walk — a realistic
+        share of update traffic that good maintenance should shrug off).
+    hot_fraction / zipf_exponent:
+        Queries are drawn Zipf-style from a small hot pool (see
+        :func:`~repro.workloads.queries.zipfian_query_workload`), the
+        traffic shape caches exploit.
+    seed:
+        Deterministic stream for a given seed.
+
+    Notes
+    -----
+    The generator tracks the evolving edge set, so emitted updates are
+    always valid in arrival order; self-loops are never inserted and an
+    edge's last outgoing position may be deleted (the transition layer's
+    dangling policy covers that).
+    """
+    from ..dynamic.graph import GraphUpdate
+
+    n_queries = check_positive_int(n_queries, "n_queries")
+    if n_update_batches < 0:
+        raise ValueError(
+            f"n_update_batches must be non-negative, got {n_update_batches}"
+        )
+    if n_update_batches > n_queries:
+        # Update events slot in after query positions; more batches than
+        # queries would silently collapse onto the same slots.
+        raise ValueError(
+            f"n_update_batches ({n_update_batches}) must not exceed "
+            f"n_queries ({n_queries})"
+        )
+    batch_size = check_positive_int(batch_size, "batch_size")
+    if add_fraction < 0 or remove_fraction < 0 or add_fraction + remove_fraction > 1:
+        raise ValueError(
+            "add_fraction and remove_fraction must be non-negative and sum to <= 1"
+        )
+    rng = ensure_rng(seed)
+    n = graph.n_nodes
+
+    # Evolving edge set: list for O(1) sampling, set for O(1) membership.
+    edge_list: List[Tuple[int, int]] = [(u, v) for u, v, _ in graph.edges()]
+    edge_set = set(edge_list)
+
+    def random_absent_edge() -> Tuple[int, int] | None:
+        for _ in range(64):  # rejection sampling; graphs here are sparse
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if u != v and (u, v) not in edge_set:
+                return u, v
+        return None
+
+    def make_update() -> "GraphUpdate | None":
+        roll = float(rng.random())
+        if roll < add_fraction or not edge_list:
+            edge = random_absent_edge()
+            if edge is None:
+                return None
+            edge_set.add(edge)
+            edge_list.append(edge)
+            return GraphUpdate.add(*edge)
+        if roll < add_fraction + remove_fraction:
+            position = int(rng.integers(0, len(edge_list)))
+            edge = edge_list[position]
+            edge_list[position] = edge_list[-1]
+            edge_list.pop()
+            edge_set.discard(edge)
+            return GraphUpdate.remove(*edge)
+        position = int(rng.integers(0, len(edge_list)))
+        u, v = edge_list[position]
+        return GraphUpdate.set_weight(u, v, float(rng.uniform(0.5, 2.0)))
+
+    # Zipf-style hot query pool, mirroring zipfian_query_workload.
+    pool_size = max(1, int(np.ceil(hot_fraction * n)))
+    pool = rng.permutation(n)[:pool_size]
+    weights = 1.0 / np.arange(1, pool_size + 1, dtype=np.float64) ** zipf_exponent
+    probabilities = weights / weights.sum()
+    query_nodes = rng.choice(pool, size=n_queries, p=probabilities)
+
+    # Evenly spaced update positions inside the query stream.
+    if n_update_batches:
+        spacing = n_queries / n_update_batches
+        update_after = {int(np.floor((i + 1) * spacing)) - 1 for i in range(n_update_batches)}
+    else:
+        update_after = set()
+
+    events: List[ChurnEvent] = []
+    for position, query in enumerate(query_nodes):
+        events.append(QueryEvent(int(query), k))
+        if position in update_after:
+            batch = []
+            for _ in range(batch_size):
+                update = make_update()
+                if update is not None:
+                    batch.append(update)
+            if batch:
+                events.append(UpdateEvent(tuple(batch)))
+    return ChurnWorkload(
+        events=tuple(events),
+        k=k,
+        description=(
+            f"churn (queries={n_queries}, batches={n_update_batches}x{batch_size}, "
+            f"add={add_fraction}, remove={remove_fraction})"
+        ),
+    )

@@ -346,3 +346,23 @@ class TestColumnarViews:
         assert index.columns.residual_mass[node] == pytest.approx(
             index.effective_residual_mass(node)
         )
+
+
+class TestReplaceContentsValidation:
+    def test_wrong_row_count_hub_matrix_rejected(self, small_web_graph):
+        import pytest
+        import scipy.sparse as sp
+
+        from repro.core import IndexParams, build_index
+        from repro.graph import transition_matrix
+
+        matrix = transition_matrix(small_web_graph)
+        index = build_index(
+            small_web_graph,
+            IndexParams(capacity=5, hub_budget=2).for_graph(small_web_graph.n_nodes),
+            transition=matrix,
+        )
+        n_hubs = len(index.hubs)
+        truncated = sp.csc_matrix((index.n_nodes - 1, n_hubs))
+        with pytest.raises(ValueError, match="rows"):
+            index.replace_contents(hub_matrix=truncated)

@@ -1,0 +1,194 @@
+"""Unit tests for the DynamicGraph delta overlay and GraphUpdate."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicGraph, GraphUpdate
+from repro.exceptions import GraphError
+from repro.graph import from_edges, ring_graph
+
+
+@pytest.fixture()
+def dynamic() -> DynamicGraph:
+    return DynamicGraph(from_edges([(0, 1), (1, 2), (2, 0), (2, 3)], n_nodes=5))
+
+
+class TestGraphUpdate:
+    def test_constructors(self):
+        assert GraphUpdate.add(1, 2).op == "add"
+        assert GraphUpdate.add(1, 2).weight == 1.0
+        assert GraphUpdate.remove(1, 2).op == "remove"
+        assert GraphUpdate.set_weight(1, 2, 3.0).weight == 3.0
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(GraphError):
+            GraphUpdate("merge", 0, 1)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(GraphError):
+            GraphUpdate.add(0, 1, 0.0)
+        with pytest.raises(GraphError):
+            GraphUpdate.set_weight(0, 1, -1.0)
+
+    def test_coerce_accepts_tuples(self):
+        update = GraphUpdate.coerce(("add", 0, 1, 2.0))
+        assert update == GraphUpdate.add(0, 1, 2.0)
+        assert GraphUpdate.coerce(update) is update
+
+
+class TestOverlayReads:
+    def test_reads_pass_through_before_mutations(self, dynamic):
+        assert dynamic.has_edge(0, 1)
+        assert not dynamic.has_edge(1, 0)
+        assert dynamic.edge_weight(2, 3) == 1.0
+        assert dynamic.n_nodes == 5
+        assert dynamic.n_edges == 4
+
+    def test_overlay_shadows_base(self, dynamic):
+        dynamic.set_weight(0, 1, 5.0)
+        dynamic.remove_edge(1, 2)
+        dynamic.add_edge(3, 4)
+        assert dynamic.edge_weight(0, 1) == 5.0
+        assert not dynamic.has_edge(1, 2)
+        assert dynamic.has_edge(3, 4)
+        # the base stays frozen until compaction
+        assert dynamic.base.edge_weight(0, 1) == 1.0
+        assert dynamic.base.has_edge(1, 2)
+
+    def test_effective_edge_count(self, dynamic):
+        dynamic.add_edge(3, 4)
+        assert dynamic.n_edges == 5
+        dynamic.remove_edge(0, 1)
+        assert dynamic.n_edges == 4
+        dynamic.set_weight(2, 0, 9.0)  # weight change: no count change
+        assert dynamic.n_edges == 4
+
+
+class TestMutationValidation:
+    def test_add_existing_edge_rejected(self, dynamic):
+        with pytest.raises(GraphError, match="already exists"):
+            dynamic.add_edge(0, 1)
+
+    def test_add_buffered_edge_rejected(self, dynamic):
+        dynamic.add_edge(3, 4)
+        with pytest.raises(GraphError, match="already exists"):
+            dynamic.add_edge(3, 4)
+
+    def test_remove_missing_edge_rejected(self, dynamic):
+        with pytest.raises(GraphError, match="missing edge"):
+            dynamic.remove_edge(4, 0)
+
+    def test_remove_already_removed_edge_rejected(self, dynamic):
+        dynamic.remove_edge(0, 1)
+        with pytest.raises(GraphError, match="missing edge"):
+            dynamic.remove_edge(0, 1)
+
+    def test_set_weight_on_missing_edge_rejected(self, dynamic):
+        with pytest.raises(GraphError, match="missing edge"):
+            dynamic.set_weight(4, 0, 2.0)
+
+    def test_non_positive_weights_rejected(self, dynamic):
+        with pytest.raises(GraphError):
+            dynamic.add_edge(3, 4, 0.0)
+        with pytest.raises(GraphError):
+            dynamic.set_weight(0, 1, -2.0)
+
+    def test_out_of_range_nodes_rejected(self, dynamic):
+        with pytest.raises(Exception):
+            dynamic.add_edge(0, 99)
+
+
+class TestElision:
+    def test_add_then_remove_is_a_noop_entry(self, dynamic):
+        dynamic.add_edge(3, 4)
+        assert dynamic.pending_updates == 1
+        dynamic.remove_edge(3, 4)
+        assert dynamic.pending_updates == 0
+        # ...but the touched set still reports the source conservatively
+        assert 3 in dynamic.touched_sources
+
+    def test_weight_restored_to_base_elides(self, dynamic):
+        dynamic.set_weight(0, 1, 5.0)
+        dynamic.set_weight(0, 1, 1.0)
+        assert dynamic.pending_updates == 0
+        assert dynamic.materialize() == dynamic.base
+
+
+class TestMaterializationAndCompaction:
+    def test_materialize_reflects_overlay(self, dynamic):
+        dynamic.add_edge(3, 4, 2.0)
+        dynamic.remove_edge(1, 2)
+        graph = dynamic.materialize()
+        assert graph.has_edge(3, 4)
+        assert graph.edge_weight(3, 4) == 2.0
+        assert not graph.has_edge(1, 2)
+        assert graph.n_nodes == 5
+
+    def test_materialize_is_cached(self, dynamic):
+        dynamic.add_edge(3, 4)
+        assert dynamic.materialize() is dynamic.materialize()
+        dynamic.remove_edge(0, 1)
+        assert dynamic.materialize().n_edges == 4
+
+    def test_compact_folds_overlay_into_base(self, dynamic):
+        dynamic.add_edge(3, 4)
+        base = dynamic.compact()
+        assert dynamic.pending_updates == 0
+        assert dynamic.base is base
+        assert base.has_edge(3, 4)
+
+    def test_auto_compaction_at_threshold(self):
+        dynamic = DynamicGraph(ring_graph(20), compaction_threshold=3)
+        dynamic.add_edge(0, 5)
+        dynamic.add_edge(1, 6)
+        assert dynamic.pending_updates == 2
+        dynamic.add_edge(2, 7)  # hits the threshold
+        assert dynamic.pending_updates == 0
+        assert dynamic.base.has_edge(2, 7)
+        # touched sources survive auto-compaction
+        assert dynamic.touched_sources.tolist() == [0, 1, 2]
+
+    def test_drain_returns_graph_and_touched(self, dynamic):
+        dynamic.add_edge(3, 4)
+        dynamic.remove_edge(0, 1)
+        graph, touched = dynamic.drain()
+        assert graph.has_edge(3, 4) and not graph.has_edge(0, 1)
+        assert touched.tolist() == [0, 3]
+        assert dynamic.pending_updates == 0
+        # a second drain reports nothing new
+        graph_again, touched_again = dynamic.drain()
+        assert graph_again == graph
+        assert touched_again.size == 0
+
+    def test_apply_updates_batch(self, dynamic):
+        count = dynamic.apply_updates(
+            [
+                GraphUpdate.add(3, 4),
+                ("remove", 1, 2),
+                GraphUpdate.set_weight(2, 0, 4.0),
+            ]
+        )
+        assert count == 3
+        graph = dynamic.materialize()
+        assert graph.has_edge(3, 4)
+        assert not graph.has_edge(1, 2)
+        assert graph.edge_weight(2, 0) == 4.0
+
+    def test_repr(self, dynamic):
+        dynamic.add_edge(3, 4)
+        assert "pending=1" in repr(dynamic)
+
+
+class TestNonFiniteWeights:
+    def test_update_constructors_reject_nan(self):
+        with pytest.raises(GraphError, match="finite"):
+            GraphUpdate.add(0, 1, float("nan"))
+        with pytest.raises(GraphError, match="finite"):
+            GraphUpdate.set_weight(0, 1, float("inf"))
+
+    def test_mutators_reject_nan(self, dynamic):
+        with pytest.raises(GraphError, match="finite"):
+            dynamic.add_edge(3, 4, float("nan"))
+        with pytest.raises(GraphError, match="finite"):
+            dynamic.set_weight(0, 1, float("inf"))
+        assert dynamic.pending_updates == 0

@@ -115,3 +115,71 @@ class TestFromEdges:
         graph = from_edges([(0, 0), (0, 1)], allow_self_loops=False)
         assert not graph.has_edge(0, 0)
         assert graph.has_edge(0, 1)
+
+
+class TestOnDuplicatePolicy:
+    def test_sum_is_the_default(self):
+        builder = GraphBuilder()
+        assert builder.on_duplicate == "sum"
+        builder.add_edge(0, 1, 1.0)
+        builder.add_edge(0, 1, 3.0)
+        assert builder.build().edge_weight(0, 1) == pytest.approx(4.0)
+
+    def test_last_keeps_most_recent_weight(self):
+        builder = GraphBuilder(on_duplicate="last")
+        builder.add_edge(0, 1, 1.0)
+        builder.add_edge(0, 1, 3.0)
+        builder.add_edge(0, 1, 0.5)
+        graph = builder.build()
+        assert graph.n_edges == 1
+        assert graph.edge_weight(0, 1) == pytest.approx(0.5)
+
+    def test_last_does_not_double_count_edges(self):
+        builder = GraphBuilder(on_duplicate="last")
+        builder.add_edge("a", "b")
+        builder.add_edge("a", "b", 2.0)
+        builder.add_edge("b", "c")
+        assert builder.n_edges == 2
+
+    def test_error_raises_on_second_insertion(self):
+        builder = GraphBuilder(on_duplicate="error")
+        builder.add_edge("a", "b")
+        with pytest.raises(GraphError, match="duplicate edge"):
+            builder.add_edge("a", "b", 2.0)
+
+    def test_error_allows_distinct_edges(self):
+        builder = GraphBuilder(on_duplicate="error")
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 0)
+        builder.add_edge(0, 2)
+        assert builder.build().n_edges == 3
+
+    def test_reverse_direction_is_not_a_duplicate(self):
+        builder = GraphBuilder(on_duplicate="last")
+        builder.add_edge(0, 1, 1.0)
+        builder.add_edge(1, 0, 9.0)
+        graph = builder.build()
+        assert graph.edge_weight(0, 1) == pytest.approx(1.0)
+        assert graph.edge_weight(1, 0) == pytest.approx(9.0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(on_duplicate="mean")
+
+    def test_policies_agree_without_duplicates(self):
+        edges = [("a", "b", 1.0), ("b", "c", 2.0), ("c", "a", 0.5)]
+        graphs = []
+        for policy in GraphBuilder.ON_DUPLICATE:
+            builder = GraphBuilder(on_duplicate=policy)
+            builder.add_edges(edges)
+            graphs.append(builder.build())
+        assert graphs[0] == graphs[1] == graphs[2]
+
+
+class TestNonFiniteWeights:
+    def test_add_edge_rejects_nan_and_inf(self):
+        builder = GraphBuilder()
+        with pytest.raises(GraphError, match="finite"):
+            builder.add_edge("a", "b", float("nan"))
+        with pytest.raises(GraphError, match="finite"):
+            builder.add_edge("a", "b", float("inf"))

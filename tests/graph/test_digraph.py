@@ -221,3 +221,137 @@ class TestPickling:
         clone = pickle.loads(pickle.dumps(graph))
         assert clone == graph
         assert clone.node_names is None
+
+
+class TestWithEdges:
+    def test_add_new_edge(self, triangle):
+        updated = triangle.with_edges(added=[(0, 2, 4.0)])
+        assert updated.has_edge(0, 2)
+        assert updated.edge_weight(0, 2) == pytest.approx(4.0)
+        assert updated.n_edges == triangle.n_edges + 1
+        # the original is untouched (immutability preserved)
+        assert not triangle.has_edge(0, 2)
+
+    def test_default_weight_is_one(self, triangle):
+        updated = triangle.with_edges(added=[(0, 2)])
+        assert updated.edge_weight(0, 2) == pytest.approx(1.0)
+
+    def test_overwrite_existing_edge(self, triangle):
+        updated = triangle.with_edges(added=[(0, 1, 7.5)])
+        assert updated.n_edges == triangle.n_edges
+        assert updated.edge_weight(0, 1) == pytest.approx(7.5)
+
+    def test_last_added_occurrence_wins(self, triangle):
+        updated = triangle.with_edges(added=[(0, 2, 1.0), (0, 2, 9.0)])
+        assert updated.edge_weight(0, 2) == pytest.approx(9.0)
+
+    def test_remove_edge(self, triangle):
+        updated = triangle.with_edges(removed=[(0, 1)])
+        assert not updated.has_edge(0, 1)
+        assert updated.n_edges == triangle.n_edges - 1
+        assert updated.n_nodes == triangle.n_nodes
+
+    def test_remove_missing_edge_rejected(self, triangle):
+        with pytest.raises(GraphError, match="missing edge"):
+            triangle.with_edges(removed=[(0, 2)])
+
+    def test_added_and_removed_conflict_rejected(self, triangle):
+        with pytest.raises(GraphError, match="both added and removed"):
+            triangle.with_edges(added=[(0, 1, 2.0)], removed=[(0, 1)])
+
+    def test_zero_weight_rejected(self, triangle):
+        with pytest.raises(GraphError, match="positive"):
+            triangle.with_edges(added=[(0, 2, 0.0)])
+
+    def test_out_of_range_nodes_rejected(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.with_edges(added=[(0, 99)])
+        with pytest.raises(NodeNotFoundError):
+            triangle.with_edges(removed=[(99, 0)])
+
+    def test_bad_tuple_arity_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.with_edges(added=[(0, 1, 2.0, 3.0)])
+
+    def test_no_changes_returns_self(self, triangle):
+        assert triangle.with_edges() is triangle
+
+    def test_names_preserved(self, triangle):
+        updated = triangle.with_edges(added=[(0, 2)])
+        assert updated.node_names == triangle.node_names
+
+    def test_matches_direct_construction(self, triangle):
+        updated = triangle.with_edges(added=[(0, 2, 4.0)], removed=[(1, 2)])
+        expected = np.array(
+            [
+                [0.0, 1.0, 4.0],
+                [0.0, 0.0, 0.0],
+                [3.0, 0.0, 0.0],
+            ]
+        )
+        assert updated == DiGraph(expected)
+
+
+class TestEmptyGraphEdgeCases:
+    def test_subgraph_of_no_nodes(self, triangle):
+        empty = triangle.subgraph([])
+        assert empty.n_nodes == 0
+        assert empty.n_edges == 0
+        assert len(empty) == 0
+
+    def test_subgraph_of_no_nodes_keeps_empty_names(self, triangle):
+        assert triangle.subgraph([]).node_names == ()
+
+    def test_subgraph_of_unnamed_graph_has_no_names(self):
+        graph = ring_graph(4)
+        assert graph.subgraph([]).node_names is None
+
+    def test_empty_graph_properties(self, triangle):
+        empty = triangle.subgraph([])
+        assert empty.dangling_nodes().size == 0
+        assert not empty.is_weighted
+        assert empty.out_degree.size == 0
+        assert empty.in_degree.size == 0
+        assert list(empty.edges()) == []
+        assert 0 not in empty
+
+    def test_empty_graph_transformations(self, triangle):
+        empty = triangle.subgraph([])
+        assert empty.reverse().n_nodes == 0
+        assert empty.with_self_loops_on_dangling().n_nodes == 0
+        assert empty.largest_out_component_heuristic().n_nodes == 0
+        assert empty.subgraph([]) == empty
+
+    def test_empty_graph_rejects_node_access(self, triangle):
+        empty = triangle.subgraph([])
+        with pytest.raises(NodeNotFoundError):
+            empty.out_neighbors(0)
+        with pytest.raises(GraphError):
+            empty.subgraph([0])
+
+    def test_empty_graph_pickle_round_trip(self, triangle):
+        import pickle
+
+        empty = triangle.subgraph([])
+        clone = pickle.loads(pickle.dumps(empty))
+        assert clone == empty
+        assert clone.n_nodes == 0
+
+    def test_direct_empty_construction(self):
+        empty = DiGraph(sp.csr_matrix((0, 0)))
+        assert empty.n_nodes == 0
+        assert repr(empty) == "DiGraph(n_nodes=0, n_edges=0)"
+
+
+class TestNonFiniteWeights:
+    def test_constructor_rejects_nan_and_inf(self):
+        with pytest.raises(GraphError, match="finite"):
+            DiGraph(np.array([[0.0, float("nan")], [0.0, 0.0]]))
+        with pytest.raises(GraphError, match="finite"):
+            DiGraph(np.array([[0.0, float("inf")], [0.0, 0.0]]))
+
+    def test_with_edges_rejects_nan_weight(self, triangle):
+        with pytest.raises(GraphError, match="finite"):
+            triangle.with_edges(added=[(0, 2, float("nan"))])
+        with pytest.raises(GraphError, match="finite"):
+            triangle.with_edges(added=[(0, 2, float("inf"))])

@@ -123,3 +123,124 @@ class TestIsColumnStochastic:
         import scipy.sparse as sp
 
         assert is_column_stochastic(sp.identity(4, format="csc"))
+
+
+class TestRebuildTransitionColumns:
+    """The delta path must splice columns bit-identically to a full rebuild."""
+
+    def _assert_bit_identical(self, spliced, full):
+        assert spliced.shape == full.shape
+        np.testing.assert_array_equal(spliced.indptr, full.indptr)
+        np.testing.assert_array_equal(spliced.indices, full.indices)
+        np.testing.assert_array_equal(spliced.data, full.data)
+
+    def test_insertion_splice_equals_full_rebuild(self):
+        from repro.graph import rebuild_transition_columns, ring_graph
+
+        graph = ring_graph(6)
+        old = transition_matrix(graph)
+        new_graph = graph.with_edges(added=[(0, 3), (2, 5)])
+        spliced, changed = rebuild_transition_columns(old, new_graph, [0, 2])
+        self._assert_bit_identical(spliced, transition_matrix(new_graph))
+        assert sorted(changed.tolist()) == [0, 2]
+        assert is_column_stochastic(spliced)
+
+    def test_deletion_creating_dangling_node_gets_self_loop(self):
+        from repro.graph import from_edges, rebuild_transition_columns
+
+        graph = from_edges([(0, 1), (1, 2), (2, 0)])
+        old = transition_matrix(graph)
+        new_graph = graph.with_edges(removed=[(1, 2)])  # node 1 now dangling
+        spliced, changed = rebuild_transition_columns(old, new_graph, [1])
+        self._assert_bit_identical(spliced, transition_matrix(new_graph))
+        assert changed.tolist() == [1]
+        assert spliced[1, 1] == 1.0
+
+    def test_superset_of_sources_filters_unchanged_columns(self):
+        from repro.graph import rebuild_transition_columns, ring_graph
+
+        graph = ring_graph(5)
+        old = transition_matrix(graph)
+        new_graph = graph.with_edges(added=[(0, 2)])
+        spliced, changed = rebuild_transition_columns(
+            old, new_graph, range(graph.n_nodes)
+        )
+        self._assert_bit_identical(spliced, transition_matrix(new_graph))
+        assert changed.tolist() == [0]
+
+    def test_weight_change_is_a_noop_for_the_unweighted_walk(self):
+        from repro.graph import rebuild_transition_columns, ring_graph
+
+        graph = ring_graph(5)
+        old = transition_matrix(graph)
+        new_graph = graph.with_edges(added=[(0, 1, 3.0)])  # 0->1 exists; reweight
+        spliced, changed = rebuild_transition_columns(old, new_graph, [0])
+        assert changed.size == 0
+        self._assert_bit_identical(spliced, old)
+
+    def test_weighted_splice_equals_full_weighted_rebuild(self):
+        from repro.graph import rebuild_transition_columns
+
+        graph = DiGraph(
+            np.array(
+                [
+                    [0.0, 3.0, 1.0],
+                    [1.0, 0.0, 2.0],
+                    [1.0, 0.5, 0.0],
+                ]
+            )
+        )
+        old = weighted_transition_matrix(graph)
+        new_graph = graph.with_edges(added=[(0, 1, 5.0)], removed=[(2, 0)])
+        spliced, changed = rebuild_transition_columns(
+            old, new_graph, [0, 2], weighted=True
+        )
+        self._assert_bit_identical(spliced, weighted_transition_matrix(new_graph))
+        assert sorted(changed.tolist()) == [0, 2]
+
+    def test_sink_policy_rejected(self):
+        from repro.graph import DanglingPolicy, rebuild_transition_columns, ring_graph
+
+        graph = ring_graph(4)
+        with pytest.raises(GraphError):
+            rebuild_transition_columns(
+                transition_matrix(graph), graph, [0], dangling=DanglingPolicy.SINK
+            )
+
+    def test_shape_mismatch_rejected(self):
+        from repro.graph import rebuild_transition_columns, ring_graph
+
+        with pytest.raises(GraphError):
+            rebuild_transition_columns(
+                transition_matrix(ring_graph(4)), ring_graph(5), [0]
+            )
+
+    def test_out_of_range_sources_rejected(self):
+        from repro.graph import rebuild_transition_columns, ring_graph
+
+        graph = ring_graph(4)
+        with pytest.raises(GraphError):
+            rebuild_transition_columns(transition_matrix(graph), graph, [7])
+
+    def test_random_mutations_match_full_rebuild(self):
+        from repro.graph import erdos_renyi_graph, rebuild_transition_columns
+
+        rng = np.random.default_rng(5)
+        graph = erdos_renyi_graph(30, 0.12, seed=2)
+        for _ in range(10):
+            edges = [(u, v) for u, v, _ in graph.edges()]
+            removed = []
+            if edges:
+                removed.append(edges[int(rng.integers(0, len(edges)))])
+            added = []
+            for _ in range(3):
+                u, v = int(rng.integers(0, 30)), int(rng.integers(0, 30))
+                if u != v and not graph.has_edge(u, v) and (u, v) not in added:
+                    added.append((u, v))
+            new_graph = graph.with_edges(added=added, removed=removed)
+            touched = {u for u, _ in added} | {u for u, _ in removed}
+            spliced, _ = rebuild_transition_columns(
+                transition_matrix(graph), new_graph, touched
+            )
+            self._assert_bit_identical(spliced, transition_matrix(new_graph))
+            graph = new_graph

@@ -1,0 +1,229 @@
+"""Property test: delta maintenance never diverges from a from-scratch build.
+
+For random small graphs and random sequences of update batches (insertions,
+deletions, weight changes — applied through the full
+``DynamicGraph.drain()`` → ``IndexMaintainer.apply()`` pipeline), the
+maintained engine must stay **bit-identical** to an engine rebuilt from
+scratch on the final graph under the maintained hub set: per-node BCA
+states, the columnar views, and every reverse top-k answer including its
+statistics counters.  Under the ``"reselect"`` hub policy that hub set is
+exactly what a default build selects, so the equivalence is unconditional.
+Whether any given sequence rides the incremental path, re-materializes hub
+expansions, or trips the full-rebuild escape hatch is irrelevant — the
+invariant holds across all of them, which is exactly why the escape
+hatches are safe.
+
+A second property covers the serving layer: answers served through the
+dynamic façade (cache + batching) across updates match direct queries on a
+fresh engine, and effective updates retire cached answers.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IndexParams, ReverseTopKEngine, build_index
+from repro.dynamic import DynamicGraph, DynamicReverseTopKService, IndexMaintainer
+from repro.graph import DiGraph, transition_matrix
+from repro.serving import ServiceConfig
+
+#: Counter fields of QueryStatistics that must match bit-for-bit (timings
+#: excluded — they are wall-clock measurements, not answers).
+COUNTER_FIELDS = (
+    "n_results",
+    "n_candidates",
+    "n_hits",
+    "n_exact_shortcut",
+    "n_pruned_immediately",
+    "n_refinement_iterations",
+    "n_refined_nodes",
+    "pmpn_iterations",
+    "n_exact_fallbacks",
+)
+
+
+@st.composite
+def dynamic_cases(draw):
+    """A random small graph plus a random valid update-batch sequence."""
+    n = draw(st.integers(min_value=4, max_value=12))
+    density = draw(st.floats(min_value=0.15, max_value=0.45))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < density
+    np.fill_diagonal(mask, False)
+    if not mask.any():
+        mask[0, 1] = True
+    graph = DiGraph(sp.csr_matrix(mask.astype(float)))
+    capacity = min(5, n)
+    hub_budget = draw(st.integers(min_value=0, max_value=2))
+    hub_policy = draw(st.sampled_from(["pinned", "reselect"]))
+    rebuild_ratio = draw(st.sampled_from([0.05, 0.5, 1.0]))
+    n_batches = draw(st.integers(min_value=1, max_value=3))
+    batch_sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=4),
+            min_size=n_batches,
+            max_size=n_batches,
+        )
+    )
+    op_seed = draw(st.integers(min_value=0, max_value=10_000))
+    return graph, capacity, hub_budget, hub_policy, rebuild_ratio, batch_sizes, op_seed
+
+
+def random_batch(dynamic: DynamicGraph, rng, size: int):
+    """Apply up to ``size`` random valid mutations; return them as updates."""
+    from repro.dynamic import GraphUpdate
+
+    n = dynamic.n_nodes
+    updates = []
+    for _ in range(size * 8):
+        if len(updates) >= size:
+            break
+        roll = rng.random()
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if roll < 0.45:
+            if u != v and not dynamic.has_edge(u, v):
+                updates.append(GraphUpdate.add(u, v, float(rng.uniform(0.5, 2.0))))
+                dynamic.apply_update(updates[-1])
+        elif roll < 0.8:
+            if dynamic.has_edge(u, v) and dynamic.n_edges > 1:
+                updates.append(GraphUpdate.remove(u, v))
+                dynamic.apply_update(updates[-1])
+        else:
+            if dynamic.has_edge(u, v):
+                updates.append(
+                    GraphUpdate.set_weight(u, v, float(rng.uniform(0.5, 2.0)))
+                )
+                dynamic.apply_update(updates[-1])
+    return updates
+
+
+class TestDynamicEquivalence:
+    @given(dynamic_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_maintained_index_bit_identical_to_scratch_build(self, case):
+        graph, capacity, hub_budget, hub_policy, rebuild_ratio, batch_sizes, op_seed = case
+        params = IndexParams(capacity=capacity, hub_budget=hub_budget).for_graph(
+            graph.n_nodes
+        )
+        matrix = transition_matrix(graph)
+        engine = ReverseTopKEngine(
+            matrix, build_index(graph, params, transition=matrix)
+        )
+        maintainer = IndexMaintainer(
+            engine, rebuild_ratio=rebuild_ratio, hub_policy=hub_policy
+        )
+        dynamic = DynamicGraph(graph)
+        rng = np.random.default_rng(op_seed)
+        for size in batch_sizes:
+            random_batch(dynamic, rng, size)
+            new_graph, touched = dynamic.drain()
+            maintainer.apply(new_graph, touched)
+
+        # The equivalence target: a from-scratch build under the maintained
+        # hub set.  Under "reselect" that set *is* the default selection, so
+        # the comparison is against a plain default build.
+        final_matrix = transition_matrix(dynamic.base)
+        fresh = ReverseTopKEngine(
+            final_matrix,
+            build_index(
+                dynamic.base,
+                params,
+                hubs=engine.index.hubs,
+                transition=final_matrix,
+            ),
+        )
+        if hub_policy == "reselect":
+            default = ReverseTopKEngine.build(dynamic.base, params)
+            assert engine.index.hubs.nodes == default.index.hubs.nodes
+
+        # 1. state-level bit identity
+        assert engine.index.hubs.nodes == fresh.index.hubs.nodes
+        for (node, kept), (_, rebuilt) in zip(
+            engine.index.states(), fresh.index.states()
+        ):
+            assert kept.residual == rebuilt.residual, node
+            assert kept.retained == rebuilt.retained, node
+            assert kept.hub_ink == rebuilt.hub_ink, node
+            assert kept.iterations == rebuilt.iterations, node
+            np.testing.assert_array_equal(kept.lower_bounds, rebuilt.lower_bounds)
+
+        # 2. columnar-view bit identity
+        np.testing.assert_array_equal(
+            engine.index.columns.lower, fresh.index.columns.lower
+        )
+        np.testing.assert_array_equal(
+            engine.index.columns.residual_mass,
+            fresh.index.columns.residual_mass,
+        )
+        np.testing.assert_array_equal(
+            engine.index.columns.is_exact, fresh.index.columns.is_exact
+        )
+
+        # 3. every answer and its statistics counters, at every depth probed
+        k = int(np.random.default_rng(op_seed + 1).integers(1, capacity + 1))
+        for query in range(graph.n_nodes):
+            maintained = engine.query(query, k, update_index=False)
+            scratch = fresh.query(query, k, update_index=False)
+            np.testing.assert_array_equal(maintained.nodes, scratch.nodes)
+            np.testing.assert_array_equal(
+                maintained.proximities_to_query, scratch.proximities_to_query
+            )
+            for field in COUNTER_FIELDS:
+                assert getattr(maintained.statistics, field) == getattr(
+                    scratch.statistics, field
+                ), (query, field)
+
+    @given(dynamic_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_served_answers_track_updates(self, case):
+        graph, capacity, hub_budget, hub_policy, rebuild_ratio, batch_sizes, op_seed = case
+        params = IndexParams(capacity=capacity, hub_budget=hub_budget).for_graph(
+            graph.n_nodes
+        )
+        matrix = transition_matrix(graph)
+        engine = ReverseTopKEngine(
+            matrix, build_index(graph, params, transition=matrix)
+        )
+        maintainer = IndexMaintainer(
+            engine, rebuild_ratio=rebuild_ratio, hub_policy=hub_policy
+        )
+        config = ServiceConfig(cache_capacity=64, max_batch_size=4, n_workers=0)
+        rng = np.random.default_rng(op_seed)
+        requests = [
+            (int(q), int(k))
+            for q, k in zip(
+                rng.integers(0, graph.n_nodes, size=6),
+                rng.integers(1, capacity + 1, size=6),
+            )
+        ]
+        with DynamicReverseTopKService(
+            engine, config, graph=graph, maintainer=maintainer
+        ) as service:
+            service.serve(requests)  # populate the cache pre-update
+            for size in batch_sizes:
+                # Generate the batch against a scratch overlay of the same
+                # base state, then push it through the real update path.
+                scratch = DynamicGraph(service.graph.base)
+                updates = random_batch(scratch, rng, size)
+                if updates:
+                    service.apply_updates(updates)
+            served = service.serve(requests)
+            final_matrix = transition_matrix(service.graph.base)
+            reference = ReverseTopKEngine(
+                final_matrix,
+                build_index(
+                    service.graph.base,
+                    params,
+                    hubs=service.engine.index.hubs,
+                    transition=final_matrix,
+                ),
+            )
+            for (query, k), result in zip(requests, served):
+                direct = reference.query(query, k, update_index=False)
+                np.testing.assert_array_equal(result.nodes, direct.nodes)
+                np.testing.assert_array_equal(
+                    result.proximities_to_query, direct.proximities_to_query
+                )

@@ -126,3 +126,73 @@ class TestZipfianWorkload:
             zipfian_query_workload(100, 10, hot_fraction=0.0)
         with pytest.raises(ValueError):
             zipfian_query_workload(100, 10, hot_fraction=1.5)
+
+
+class TestChurnWorkload:
+    def _graph(self):
+        from repro.graph import copying_web_graph
+
+        return copying_web_graph(60, out_degree=3, seed=17)
+
+    def test_composition_and_determinism(self):
+        from repro.workloads import QueryEvent, UpdateEvent, churn_workload
+
+        graph = self._graph()
+        a = churn_workload(graph, 30, 5, k=6, batch_size=3, seed=4)
+        b = churn_workload(graph, 30, 5, k=6, batch_size=3, seed=4)
+        assert a.events == b.events
+        assert a.n_queries == 30
+        assert a.n_update_batches == 5
+        assert a.n_updates <= 15
+        assert all(
+            isinstance(event, (QueryEvent, UpdateEvent)) for event in a
+        )
+        assert all(event.k == 6 for event in a if isinstance(event, QueryEvent))
+        assert len(a.queries()) == 30
+
+    def test_updates_are_valid_in_stream_order(self):
+        from repro.dynamic import DynamicGraph
+        from repro.workloads import UpdateEvent, churn_workload
+
+        graph = self._graph()
+        workload = churn_workload(graph, 40, 8, batch_size=4, seed=9)
+        dynamic = DynamicGraph(graph)
+        for event in workload:
+            if isinstance(event, UpdateEvent):
+                dynamic.apply_updates(event.updates)  # raises if invalid
+        assert dynamic.n_edges > 0
+
+    def test_update_batches_are_interleaved(self):
+        from repro.workloads import UpdateEvent, churn_workload
+
+        workload = churn_workload(self._graph(), 40, 4, seed=5)
+        positions = [
+            position
+            for position, event in enumerate(workload)
+            if isinstance(event, UpdateEvent)
+        ]
+        assert len(positions) == 4
+        # spread through the stream, not clumped at either end
+        assert positions[0] < len(workload) / 2
+        assert positions[-1] > len(workload) / 2
+
+    def test_zero_update_batches(self):
+        from repro.workloads import churn_workload
+
+        workload = churn_workload(self._graph(), 10, 0, seed=6)
+        assert workload.n_update_batches == 0
+        assert workload.n_queries == 10
+
+    def test_invalid_fractions_rejected(self):
+        from repro.workloads import churn_workload
+
+        with pytest.raises(ValueError):
+            churn_workload(self._graph(), 10, 2, add_fraction=0.8, remove_fraction=0.5)
+        with pytest.raises(ValueError):
+            churn_workload(self._graph(), 10, -1)
+
+    def test_more_batches_than_queries_rejected(self):
+        from repro.workloads import churn_workload
+
+        with pytest.raises(ValueError, match="must not exceed"):
+            churn_workload(self._graph(), 2, 5, seed=1)
