@@ -10,8 +10,8 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.core import IndexParams
-from repro.core.lbi import bca_iteration, initial_node_state
+from repro.core import IndexParams, PropagationKernel
+from repro.core.propagation import initial_node_state
 from repro.evaluation.tables import format_table
 from repro.rwr import bca_proximity_vector, push_proximity_vector
 from repro.utils.timer import Timer
@@ -22,11 +22,15 @@ N_SOURCES = 20
 
 
 def _batched_until_target(matrix, source, params):
+    # The batched rule as the index uses it: single-source steps through the
+    # propagation kernel's scalar backend (the paper's Eq. 8-9 loop).
+    kernel = PropagationKernel(
+        matrix, np.zeros(matrix.shape[0], dtype=bool), params, backend="scalar"
+    )
     state = initial_node_state(source, False)
-    hub_mask = np.zeros(matrix.shape[0], dtype=bool)
     iterations = 0
     while state.residual_mass > RESIDUE_TARGET and iterations < 10_000:
-        if not bca_iteration(state, matrix, hub_mask, params):
+        if not kernel.step(state):
             break
         iterations += 1
     return iterations

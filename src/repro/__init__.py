@@ -43,6 +43,9 @@ from .core import (
     QueryResult,
     QueryStatistics,
     build_index,
+    build_index_parallel,
+    BuildReport,
+    PropagationKernel,
     kth_upper_bounds_batch,
     proximity_to_node,
     brute_force_reverse_topk,
@@ -80,6 +83,9 @@ __all__ = [
     "QueryResult",
     "QueryStatistics",
     "build_index",
+    "build_index_parallel",
+    "BuildReport",
+    "PropagationKernel",
     "kth_upper_bounds_batch",
     "proximity_to_node",
     "brute_force_reverse_topk",

@@ -27,9 +27,10 @@ Modules
     Theorem 1 storage estimate and Proposition 3 rounding-error bound.
 """
 
-from .config import IndexParams, QueryParams
-from .hubs import select_hubs_by_degree, select_hubs_greedy, HubSet
-from .lbi import build_index, rebuild_node_state, refine_node_state
+from .config import IndexParams, QueryParams, PROPAGATION_BACKENDS
+from .hubs import degree_union_hubs, select_hubs_by_degree, select_hubs_greedy, HubSet
+from .lbi import build_index, build_index_parallel, rebuild_node_state, refine_node_state
+from .propagation import BuildReport, PropagationKernel
 from .index import ReverseTopKIndex, NodeState, ColumnarView
 from .pmpn import proximity_to_node, PMPNResult
 from .bounds import kth_upper_bound, kth_upper_bounds_batch, staircase_levels
@@ -44,10 +45,15 @@ from .estimates import predicted_index_bytes, rounding_error_bound
 __all__ = [
     "IndexParams",
     "QueryParams",
+    "PROPAGATION_BACKENDS",
+    "degree_union_hubs",
     "select_hubs_by_degree",
     "select_hubs_greedy",
     "HubSet",
+    "BuildReport",
+    "PropagationKernel",
     "build_index",
+    "build_index_parallel",
     "rebuild_node_state",
     "refine_node_state",
     "ReverseTopKIndex",

@@ -22,6 +22,17 @@ from .._validation import (
     check_probability,
 )
 
+#: Accepted ink-propagation backends (see :mod:`repro.core.propagation`):
+#: the dict-based per-neighbour reference loop and the blocked multi-source
+#: dense engine.
+PROPAGATION_BACKENDS = ("scalar", "vectorized")
+
+#: Default multi-source block width of the vectorized backend.  The working
+#: set is roughly ``41 * block_size * n_nodes`` bytes: five float64 planes
+#: (residual, retained, amounts, shares and the per-iteration arrivals
+#: product) plus one bool active mask.  Shrink it for very large graphs.
+DEFAULT_BLOCK_SIZE = 256
+
 
 @dataclass(frozen=True)
 class IndexParams:
@@ -50,6 +61,19 @@ class IndexParams:
         vectors (and for PMPN at query time).
     max_index_iterations:
         Safety cap on batched BCA iterations per node.
+    backend:
+        Ink-propagation backend (:data:`PROPAGATION_BACKENDS`):
+        ``"vectorized"`` (default) runs blocked multi-source BCA over dense
+        arrays; ``"scalar"`` is the dict-based reference loop, bit-identical
+        to the seed implementation.
+    block_size:
+        ``B`` — number of source nodes the vectorized backend advances
+        together.  Larger blocks amortize the per-iteration sparse product
+        over more sources at the cost of ``O(block_size * n)`` memory
+        (roughly ``41 * block_size * n`` bytes, see
+        :data:`DEFAULT_BLOCK_SIZE`).  Per-source results are bitwise
+        independent of the block size, so it never participates in snapshot
+        content keys.
     """
 
     alpha: float = 0.15
@@ -60,6 +84,8 @@ class IndexParams:
     hub_budget: int = 50
     tolerance: float = 1e-10
     max_index_iterations: int = 10_000
+    backend: str = "vectorized"
+    block_size: int = DEFAULT_BLOCK_SIZE
 
     def __post_init__(self) -> None:
         check_probability(self.alpha, "alpha")
@@ -71,6 +97,11 @@ class IndexParams:
             raise ValueError("hub_budget must be non-negative")
         check_positive_float(self.tolerance, "tolerance")
         check_positive_int(self.max_index_iterations, "max_index_iterations")
+        if self.backend not in PROPAGATION_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {PROPAGATION_BACKENDS}, got {self.backend!r}"
+            )
+        check_positive_int(self.block_size, "block_size")
 
     def for_graph(self, n_nodes: int) -> "IndexParams":
         """Clamp the capacity and hub budget to the graph size.

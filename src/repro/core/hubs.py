@@ -68,24 +68,44 @@ class HubSet:
         return mask
 
 
+def degree_union_hubs(
+    in_degree: np.ndarray, out_degree: np.ndarray, budget: int
+) -> HubSet:
+    """Union of the ``budget`` top in-degree and top out-degree nodes.
+
+    The single shared implementation of the §4.1.1 selection — including its
+    tie-break (primary key descending degree, secondary ascending node id,
+    via one ``lexsort`` per direction) — used both by the graph-based
+    :func:`select_hubs_by_degree` and by the transition-matrix-based selector
+    in :mod:`repro.core.lbi`, so the two can never drift apart on graphs
+    with degree ties.
+    """
+    in_degree = np.asarray(in_degree)
+    out_degree = np.asarray(out_degree)
+    n = in_degree.size
+    if out_degree.size != n:
+        raise ValueError(
+            f"in_degree has {n} entries but out_degree has {out_degree.size}"
+        )
+    budget = min(check_non_negative_int(budget, "budget"), n)
+    if budget == 0:
+        return HubSet(())
+    # lexsort: primary key descending degree, secondary ascending node id.
+    by_in = np.lexsort((np.arange(n), -in_degree))[:budget]
+    by_out = np.lexsort((np.arange(n), -out_degree))[:budget]
+    return HubSet.from_iterable(np.concatenate([by_in, by_out]).tolist())
+
+
 def select_hubs_by_degree(graph: DiGraph, budget: int) -> HubSet:
     """Degree-based hub selection (the paper's method, §4.1.1).
 
     Returns the union of the ``budget`` highest in-degree and the ``budget``
-    highest out-degree nodes.  Ties are broken by node id for determinism.
-    The resulting hub set has between ``budget`` and ``2 * budget`` nodes
-    (matching the ``|H|`` column of Table 2, which is always below ``2B``).
+    highest out-degree nodes.  Ties are broken by node id for determinism
+    (see :func:`degree_union_hubs`).  The resulting hub set has between
+    ``budget`` and ``2 * budget`` nodes (matching the ``|H|`` column of
+    Table 2, which is always below ``2B``).
     """
-    budget = check_non_negative_int(budget, "budget")
-    if budget == 0:
-        return HubSet(())
-    budget = min(budget, graph.n_nodes)
-    in_degree = graph.in_degree
-    out_degree = graph.out_degree
-    # lexsort: primary key descending degree, secondary ascending node id.
-    by_in = np.lexsort((np.arange(graph.n_nodes), -in_degree))[:budget]
-    by_out = np.lexsort((np.arange(graph.n_nodes), -out_degree))[:budget]
-    return HubSet.from_iterable(np.concatenate([by_in, by_out]).tolist())
+    return degree_union_hubs(graph.in_degree, graph.out_degree, budget)
 
 
 def select_hubs_greedy(

@@ -185,6 +185,10 @@ class ReverseTopKIndex:
         self.hub_deficit = np.asarray(hub_deficit, dtype=np.float64)
         self._states = states
         self.build_seconds = float(build_seconds)
+        #: Per-phase cost breakdown of the build that produced this index
+        #: (a :class:`repro.core.propagation.BuildReport`); ``None`` for
+        #: indexes loaded from disk or assembled by hand.
+        self.build_report = None
         self._version = 0
         if self.hub_matrix.shape[1] != len(hubs):
             raise ValueError(
@@ -499,6 +503,8 @@ class ReverseTopKIndex:
             rounding_threshold=np.array([self.params.rounding_threshold]),
             hub_budget=np.array([self.params.hub_budget]),
             tolerance=np.array([self.params.tolerance]),
+            backend=np.array([self.params.backend]),
+            block_size=np.array([self.params.block_size]),
             hubs=np.asarray(self.hubs.nodes, dtype=np.int64),
             hub_deficit=self.hub_deficit,
             hub_rows=hub_matrix.row.astype(np.int64),
@@ -515,6 +521,19 @@ class ReverseTopKIndex:
         path = Path(path)
         try:
             with np.load(path, allow_pickle=False) as data:
+                # Archives written before the propagation-kernel layer lack
+                # the backend fields.  Their states were built by the seed
+                # loop, which the scalar backend preserves bit-identically —
+                # defaulting to "vectorized" would hand the dynamic
+                # maintainer a mixed index that matches neither backend's
+                # from-scratch build.
+                extras = {}
+                if "backend" in data:
+                    extras["backend"] = str(data["backend"][0])
+                else:
+                    extras["backend"] = "scalar"
+                if "block_size" in data:
+                    extras["block_size"] = int(data["block_size"][0])
                 params = IndexParams(
                     alpha=float(data["alpha"][0]),
                     capacity=int(data["capacity"][0]),
@@ -523,6 +542,7 @@ class ReverseTopKIndex:
                     rounding_threshold=float(data["rounding_threshold"][0]),
                     hub_budget=int(data["hub_budget"][0]),
                     tolerance=float(data["tolerance"][0]),
+                    **extras,
                 )
                 hubs = HubSet.from_iterable(data["hubs"].tolist())
                 shape = tuple(int(x) for x in data["hub_shape"])

@@ -15,13 +15,23 @@ For every node ``u`` the indexer runs a *batched* adaptation of BCA:
 Hub proximity vectors are computed exactly with the power method, rounded
 (entries below ``omega`` zeroed) and stored as the columns of ``P_H``.
 
-The same single-iteration primitive (:func:`bca_iteration`) doubles as the
-candidate-refinement step of the online query (Algorithm 4, line 13).
+All ink movement is delegated to the unified propagation layer
+(:mod:`repro.core.propagation`): construction runs the
+:class:`~repro.core.propagation.PropagationKernel` over every non-hub node —
+with the ``"vectorized"`` backend that is a blocked multi-source engine, with
+``"scalar"`` the seed's per-node dict loop — and query-time refinement
+(Algorithm 4, line 13) advances candidate states through the same kernel as
+a block of one.  :func:`build_index_parallel` shards the node range across a
+process pool and merges the per-shard states into one index; per-source
+bitwise determinism of the kernel makes the result identical to a serial
+build under the same backend.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -29,99 +39,24 @@ import scipy.sparse as sp
 from ..graph.digraph import DiGraph
 from ..graph.transition import transition_matrix
 from ..utils.sparsetools import top_k_descending
-from ..utils.timer import Timer
+from ..utils.timer import StageTimer
 from ..rwr.power_method import proximity_vector
 from .config import IndexParams
-from .hubs import HubSet, select_hubs_by_degree
+from .hubs import HubSet, degree_union_hubs, select_hubs_by_degree
 from .index import NodeState, ReverseTopKIndex
 
-
-def bca_iteration(
-    state: NodeState,
-    transition: sp.csc_matrix,
-    hub_mask: np.ndarray,
-    params: IndexParams,
-    *,
-    propagation_threshold: Optional[float] = None,
-) -> bool:
-    """Run one batched BCA iteration in place (Eq. 6, 8, 9).
-
-    Returns ``True`` when at least one node propagated ink, ``False`` when no
-    non-hub node holds ``eta`` or more residue (the state cannot be refined
-    further at this threshold).  ``propagation_threshold`` overrides the
-    configured ``eta`` for a single step — query-time refinement lowers it
-    adaptively so candidates can always be decided.
-    """
-    eta = params.propagation_threshold if propagation_threshold is None else propagation_threshold
-    alpha = params.alpha
-    active = [(node, amount) for node, amount in state.residual.items() if amount >= eta]
-    if not active:
-        return False
-
-    residual = state.residual
-    retained = state.retained
-    hub_ink = state.hub_ink
-    indptr, indices, data = transition.indptr, transition.indices, transition.data
-    for node, amount in active:
-        # Consume exactly the snapshot amount (Eq. 9 operates on r_{t-1});
-        # ink pushed to this node by earlier members of the same batch stays
-        # as residue for the next iteration.
-        remaining = residual.get(node, 0.0) - amount
-        if remaining > 1e-18:
-            residual[node] = remaining
-        else:
-            residual.pop(node, None)
-        retained[node] = retained.get(node, 0.0) + alpha * amount
-        # ...and push the rest to out-neighbours (transition column = node).
-        start, stop = indptr[node], indptr[node + 1]
-        if start == stop:
-            # Dangling nodes never occur with the default self-loop policy,
-            # but guard anyway: the (1-alpha) share is simply lost as residue.
-            continue
-        share = (1.0 - alpha) * amount
-        for neighbor, weight in zip(indices[start:stop], data[start:stop]):
-            portion = share * weight
-            if hub_mask[neighbor]:
-                hub_ink[int(neighbor)] = hub_ink.get(int(neighbor), 0.0) + portion
-            else:
-                residual[int(neighbor)] = residual.get(int(neighbor), 0.0) + portion
-    state.iterations += 1
-    return True
-
-
-def materialize_lower_bounds(
-    state: NodeState, index_like: "_HubExpansion", capacity: int
-) -> None:
-    """Recompute ``state.lower_bounds`` from the current ``w`` and ``s`` (Eq. 7)."""
-    vector = index_like.expand(state)
-    state.lower_bounds = top_k_descending(vector, capacity)
-
-
-class _HubExpansion:
-    """Expands a node state into a dense approximate proximity vector.
-
-    Thin helper shared by index construction (before the
-    :class:`ReverseTopKIndex` exists) and by query-time refinement (where the
-    index itself provides the hub matrix).
-    """
-
-    def __init__(self, n_nodes: int, hubs: HubSet, hub_matrix: sp.csc_matrix) -> None:
-        self.n_nodes = n_nodes
-        self.hubs = hubs
-        self.hub_matrix = hub_matrix
-
-    def expand(self, state: NodeState) -> np.ndarray:
-        vector = np.zeros(self.n_nodes, dtype=np.float64)
-        for target, value in state.retained.items():
-            vector[target] += value
-        for hub, ink in state.hub_ink.items():
-            position = self.hubs.position(hub)
-            start, stop = (
-                self.hub_matrix.indptr[position],
-                self.hub_matrix.indptr[position + 1],
-            )
-            vector[self.hub_matrix.indices[start:stop]] += ink * self.hub_matrix.data[start:stop]
-        return vector
+# Propagation primitives live in the kernel layer; re-exported here because
+# this module is their historical home (tests and benchmarks import them
+# from ``repro.core.lbi``).
+from .propagation import (  # noqa: F401  (re-exports)
+    BuildReport,
+    PropagationKernel,
+    _HubExpansion,
+    bca_iteration,
+    initial_node_state,
+    materialize_lower_bounds,
+    run_node_bca,
+)
 
 
 def _compute_hub_matrix(
@@ -173,70 +108,14 @@ def default_hub_selection(graph: DiGraph, params: IndexParams) -> HubSet:
     return HubSet(())
 
 
-def initial_node_state(node: int, is_hub: bool) -> NodeState:
-    """Fresh BCA state for ``node``: one unit of residue ink at the node itself.
-
-    Hub nodes do not run BCA; their state simply references their own exact
-    hub column (``s = e_node``), so the reconstructed vector is ``P_H e_node``.
-    """
-    if is_hub:
-        return NodeState(hub_ink={int(node): 1.0}, is_hub=True)
-    return NodeState(residual={int(node): 1.0})
-
-
-def run_node_bca(
-    state: NodeState,
-    transition: sp.csc_matrix,
-    hub_mask: np.ndarray,
-    params: IndexParams,
-    *,
-    max_iterations: Optional[int] = None,
-) -> NodeState:
-    """Run batched BCA on ``state`` until the residue drops below ``delta``.
-
-    The loop also stops when no node reaches the propagation threshold or the
-    iteration cap is hit, whichever comes first.
-    """
-    if max_iterations is None:
-        max_iterations = params.max_index_iterations
-    while state.residual_mass > params.residue_threshold and state.iterations < max_iterations:
-        if not bca_iteration(state, transition, hub_mask, params):
-            break
-    return state
-
-
-def build_index(
+def _resolve_build_inputs(
     graph: DiGraph | sp.spmatrix,
-    params: Optional[IndexParams] = None,
-    *,
-    hubs: Optional[HubSet] = None,
-    transition: Optional[sp.spmatrix] = None,
-    nodes: Optional[Sequence[int]] = None,
-    progress: Optional[Callable[[int, int], None]] = None,
-) -> ReverseTopKIndex:
-    """Build the reverse top-k index for a graph (Algorithm 1).
-
-    Parameters
-    ----------
-    graph:
-        Either a :class:`~repro.graph.digraph.DiGraph` or a pre-built
-        column-stochastic transition matrix.
-    params:
-        Index construction parameters; defaults to the paper's settings,
-        clamped to the graph size.
-    hubs:
-        Pre-selected hub set; defaults to the degree heuristic of §4.1.1 with
-        ``params.hub_budget``.
-    transition:
-        Pre-computed transition matrix (overrides the graph's default,
-        unweighted one — pass the weighted matrix for co-authorship graphs).
-    nodes:
-        Restrict indexing to a subset of nodes (used by incremental tests);
-        other nodes receive an un-refined state with a single unit of residue.
-    progress:
-        Optional callback ``(done, total)`` invoked after each node, so long
-        builds can report progress.
-    """
+    params: Optional[IndexParams],
+    hubs: Optional[HubSet],
+    transition: Optional[sp.spmatrix],
+    backend: Optional[str],
+) -> Tuple[sp.csc_matrix, int, IndexParams, HubSet]:
+    """Shared preamble of the serial and parallel builders."""
     if isinstance(graph, DiGraph):
         matrix = transition if transition is not None else transition_matrix(graph)
         n = graph.n_nodes
@@ -249,6 +128,10 @@ def build_index(
     if params is None:
         params = IndexParams()
     params = params.for_graph(n)
+    if backend is not None and backend != params.backend:
+        # replace() re-runs IndexParams.__post_init__, which rejects unknown
+        # backends — no separate membership check needed here.
+        params = replace(params, backend=backend)
 
     if hubs is None:
         if graph is not None:
@@ -257,33 +140,242 @@ def build_index(
             hubs = _select_hubs_from_matrix(matrix, params.hub_budget)
         else:
             hubs = HubSet(())
+    return matrix, n, params, hubs
 
-    timer = Timer()
-    with timer:
-        hub_matrix, hub_deficit, hub_top_k = _compute_hub_matrix(matrix, hubs, params)
-        hub_mask = hubs.mask(n)
-        expansion = _HubExpansion(n, hubs, hub_matrix)
 
-        target_nodes = range(n) if nodes is None else [int(v) for v in nodes]
-        target_set = set(target_nodes)
+def _assemble_index(
+    params: IndexParams,
+    hubs: HubSet,
+    hub_matrix: sp.csc_matrix,
+    hub_deficit: np.ndarray,
+    hub_top_k: Dict[int, np.ndarray],
+    built: Dict[int, NodeState],
+    hub_mask: np.ndarray,
+    kernel: PropagationKernel,
+    n: int,
+    n_targets: int,
+    stages: StageTimer,
+    hub_progress: Optional[Callable[[int], None]],
+) -> ReverseTopKIndex:
+    """Merge hub states, built states and untargeted placeholders into an index."""
+    with stages.time("materialize"):
         states: List[NodeState] = []
-        done = 0
         for node in range(n):
-            state = initial_node_state(node, hub_mask[node])
-            if state.is_hub:
+            if hub_mask[node]:
                 # Hubs carry their exact (un-rounded) top-K proximities.
+                state = initial_node_state(node, True)
                 state.lower_bounds = hub_top_k[node].copy()
+                if hub_progress is not None:
+                    hub_progress(node)
+            elif node in built:
+                state = built[node]
             else:
-                if node in target_set:
-                    run_node_bca(state, matrix, hub_mask, params)
-                materialize_lower_bounds(state, expansion, params.capacity)
+                # Untargeted node: an un-refined unit of residue, trivially
+                # materialized (all-zero lower bounds).
+                state = initial_node_state(node, False)
+                materialize_lower_bounds(state, kernel.expansion, params.capacity)
             states.append(state)
-            if progress is not None and node in target_set:
-                done += 1
-                progress(done, len(target_set))
 
-    return ReverseTopKIndex(
-        params, hubs, hub_matrix, hub_deficit, states, build_seconds=timer.elapsed
+    report = BuildReport(
+        backend=params.backend,
+        block_size=params.block_size,
+        n_nodes=n,
+        n_targets=n_targets,
+        stage_seconds=stages.as_dict(),
+    )
+    index = ReverseTopKIndex(
+        params,
+        hubs,
+        hub_matrix,
+        hub_deficit,
+        states,
+        build_seconds=report.build_seconds,
+    )
+    index.build_report = report
+    return index
+
+
+def build_index(
+    graph: DiGraph | sp.spmatrix,
+    params: Optional[IndexParams] = None,
+    *,
+    hubs: Optional[HubSet] = None,
+    transition: Optional[sp.spmatrix] = None,
+    nodes: Optional[Sequence[int]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    backend: Optional[str] = None,
+) -> ReverseTopKIndex:
+    """Build the reverse top-k index for a graph (Algorithm 1).
+
+    Parameters
+    ----------
+    graph:
+        Either a :class:`~repro.graph.digraph.DiGraph` or a pre-built
+        column-stochastic transition matrix.
+    params:
+        Index construction parameters; defaults to the paper's settings,
+        clamped to the graph size.  ``params.backend`` selects the
+        propagation backend and ``params.block_size`` the vectorized block
+        width.
+    hubs:
+        Pre-selected hub set; defaults to the degree heuristic of §4.1.1 with
+        ``params.hub_budget``.
+    transition:
+        Pre-computed transition matrix (overrides the graph's default,
+        unweighted one — pass the weighted matrix for co-authorship graphs).
+    nodes:
+        Restrict indexing to a subset of nodes (used by incremental tests);
+        other nodes receive an un-refined state with a single unit of residue.
+    progress:
+        Optional callback ``(done, total)`` invoked once per target node, so
+        long builds can report progress.
+    backend:
+        Per-call override of ``params.backend`` (recorded on the returned
+        index's parameters).
+
+    The returned index carries a :class:`~repro.core.propagation.BuildReport`
+    as ``index.build_report``: per-phase seconds for the exact hub proximity
+    computation (``hub_matrix``), ink propagation (``bca``) and lower-bound
+    materialization (``materialize``), which sum to ``index.build_seconds``.
+    """
+    matrix, n, params, hubs = _resolve_build_inputs(
+        graph, params, hubs, transition, backend
+    )
+
+    stages = StageTimer()
+    with stages.time("hub_matrix"):
+        hub_matrix, hub_deficit, hub_top_k = _compute_hub_matrix(matrix, hubs, params)
+    hub_mask = hubs.mask(n)
+    kernel = PropagationKernel(
+        matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+    )
+
+    target_nodes = range(n) if nodes is None else [int(v) for v in nodes]
+    target_set = set(target_nodes)
+    total = len(target_set)
+    done = 0
+
+    def advance(node: int) -> None:
+        nonlocal done
+        if progress is not None and node in target_set:
+            done += 1
+            progress(done, total)
+
+    bca_sources = [node for node in range(n) if not hub_mask[node] and node in target_set]
+    built = dict(zip(bca_sources, kernel.run(bca_sources, stages=stages, on_done=advance)))
+    return _assemble_index(
+        params,
+        hubs,
+        hub_matrix,
+        hub_deficit,
+        hub_top_k,
+        built,
+        hub_mask,
+        kernel,
+        n,
+        total,
+        stages,
+        advance,
+    )
+
+
+#: Per-process kernel for parallel builds, installed by the pool initializer
+#: so the (identical, read-only) matrices ship once per worker instead of
+#: once per shard, and per-shard task payloads are just source-id lists.
+_WORKER_KERNEL: Optional[PropagationKernel] = None
+
+
+def _init_shard_worker(
+    matrix: sp.csc_matrix,
+    hub_mask: np.ndarray,
+    params: IndexParams,
+    hubs: HubSet,
+    hub_matrix: sp.csc_matrix,
+) -> None:
+    global _WORKER_KERNEL
+    _WORKER_KERNEL = PropagationKernel(
+        matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+    )
+
+
+def _bca_shard(sources: List[int]) -> Tuple[List[int], List[NodeState]]:
+    """Process-pool worker: run the shared kernel over one shard of sources."""
+    return sources, _WORKER_KERNEL.run(sources)
+
+
+def build_index_parallel(
+    graph: DiGraph | sp.spmatrix,
+    params: Optional[IndexParams] = None,
+    *,
+    hubs: Optional[HubSet] = None,
+    transition: Optional[sp.spmatrix] = None,
+    n_workers: int = 2,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> ReverseTopKIndex:
+    """Build the index with the node range sharded across a process pool.
+
+    The exact hub proximity matrix is computed once in the parent; each
+    worker runs the :class:`~repro.core.propagation.PropagationKernel` over a
+    contiguous shard of the non-hub node range, and the parent merges the
+    per-shard states into one :class:`ReverseTopKIndex`.  Because the kernel
+    is bitwise deterministic per source, the merged index is **identical** to
+    a serial :func:`build_index` under the same parameters.
+
+    ``progress`` fires once per completed *shard* (with node counts), not per
+    node — workers do not stream per-node completions across the pool.  With
+    ``n_workers <= 1`` this falls back to the serial builder.
+    """
+    if n_workers <= 1:
+        return build_index(
+            graph, params, hubs=hubs, transition=transition, progress=progress
+        )
+
+    matrix, n, params, hubs = _resolve_build_inputs(graph, params, hubs, transition, None)
+    stages = StageTimer()
+    with stages.time("hub_matrix"):
+        hub_matrix, hub_deficit, hub_top_k = _compute_hub_matrix(matrix, hubs, params)
+    hub_mask = hubs.mask(n)
+    kernel = PropagationKernel(
+        matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+    )
+
+    bca_sources = [node for node in range(n) if not hub_mask[node]]
+    # More shards than workers (4x) keeps the pool load-balanced when shard
+    # convergence times are uneven; shard payloads are just source-id lists,
+    # the matrices ship once per worker through the initializer.
+    shards = [
+        shard.tolist()
+        for shard in np.array_split(
+            np.asarray(bca_sources, dtype=np.int64), 4 * n_workers
+        )
+        if shard.size
+    ]
+    built: Dict[int, NodeState] = {}
+    done = 0
+    with stages.time("bca"):
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_shard_worker,
+            initargs=(matrix, hub_mask, params, hubs, hub_matrix),
+        ) as pool:
+            for sources, states in pool.map(_bca_shard, shards):
+                built.update(zip(sources, states))
+                done += len(sources)
+                if progress is not None:
+                    progress(done, len(bca_sources))
+    return _assemble_index(
+        params,
+        hubs,
+        hub_matrix,
+        hub_deficit,
+        hub_top_k,
+        built,
+        hub_mask,
+        kernel,
+        n,
+        n,
+        stages,
+        None,
     )
 
 
@@ -300,18 +392,22 @@ def rebuild_node_state(
     state touched a mutated transition column: the state is reset to one unit
     of residue ink and re-refined exactly as :func:`build_index` would, so
     the result is bit-identical to the state a full rebuild on ``transition``
-    produces.  ``expansion`` must wrap the hub matrix computed for the *new*
-    transition.
+    produces (under the same propagation backend).  ``expansion`` must wrap
+    the hub matrix computed for the *new* transition.
     """
     if hub_mask[node]:
         raise ValueError(
             f"node {node} is a hub; hub states are rebuilt from the exact "
             "hub proximities, not with BCA"
         )
-    state = initial_node_state(node, False)
-    run_node_bca(state, transition, hub_mask, params)
-    materialize_lower_bounds(state, expansion, params.capacity)
-    return state
+    kernel = PropagationKernel(
+        transition,
+        hub_mask,
+        params,
+        hubs=expansion.hubs,
+        hub_matrix=expansion.hub_matrix,
+    )
+    return kernel.run([node])[0]
 
 
 def refine_node_state(
@@ -322,11 +418,13 @@ def refine_node_state(
     *,
     adaptive: bool = True,
     node: Optional[int] = None,
+    kernel: Optional[PropagationKernel] = None,
 ) -> bool:
     """One refinement step used by the online query (Algorithm 4, line 13).
 
-    Applies a single batched BCA iteration to ``state`` and refreshes its
-    top-K lower bounds.  With ``adaptive=True`` (the default for query-time
+    Applies a single batched BCA iteration to ``state`` (through the
+    propagation kernel, as a block of one source) and refreshes its top-K
+    lower bounds.  With ``adaptive=True`` (the default for query-time
     refinement) the propagation threshold is lowered to the largest remaining
     residue when no node reaches the configured ``eta``, so refinement always
     makes progress while any residue remains — this is what lets Algorithm 4
@@ -336,6 +434,9 @@ def refine_node_state(
     node (the update-index query policy refines states in place), the index's
     columnar views are refreshed too, so the vectorized scan of later queries
     prunes with the tightened bounds.
+
+    ``kernel`` lets hot callers (the query engine) reuse one prepared kernel
+    across refinements instead of re-deriving it per call.
 
     Returns ``False`` only when the state holds no residue at all (it is
     already exact).
@@ -348,13 +449,18 @@ def refine_node_state(
             # maximum propagates, so each step still moves a whole batch of
             # ink instead of degenerating into single-node pushes.
             threshold = largest * 0.5
-    progressed = bca_iteration(
-        state, transition, hub_mask, index.params, propagation_threshold=threshold
-    )
+    if kernel is None:
+        kernel = PropagationKernel(
+            transition,
+            hub_mask,
+            index.params,
+            hubs=index.hubs,
+            hub_matrix=index.hub_matrix,
+        )
+    progressed = kernel.step(state, propagation_threshold=threshold)
     if not progressed:
         return False
-    expansion = _HubExpansion(index.hub_matrix.shape[0], index.hubs, index.hub_matrix)
-    materialize_lower_bounds(state, expansion, index.params.capacity)
+    kernel.materialize(state)
     if node is not None and state is index.state(node):
         index.sync_state(node)
     return True
@@ -365,14 +471,13 @@ def _select_hubs_from_matrix(matrix: sp.csc_matrix, budget: int) -> HubSet:
 
     Column ``j`` of the transition matrix lists the out-neighbours of ``j``;
     rows list in-edges.  The non-zero counts therefore give out- and
-    in-degrees without needing the original graph object.
+    in-degrees without needing the original graph object.  Tie-breaking is
+    shared with :func:`~repro.core.hubs.select_hubs_by_degree` through
+    :func:`~repro.core.hubs.degree_union_hubs` so the two selectors cannot
+    drift.
     """
     csc = matrix.tocsc()
     out_degree = np.diff(csc.indptr)
     csr = matrix.tocsr()
     in_degree = np.diff(csr.indptr)
-    n = matrix.shape[0]
-    budget = min(budget, n)
-    by_out = np.lexsort((np.arange(n), -out_degree))[:budget]
-    by_in = np.lexsort((np.arange(n), -in_degree))[:budget]
-    return HubSet.from_iterable(np.concatenate([by_in, by_out]).tolist())
+    return degree_union_hubs(in_degree, out_degree, budget)

@@ -1,0 +1,616 @@
+"""Unified ink-propagation kernel: one layer, two backends (Algorithm 1 core).
+
+Every component that moves BCA ink — offline index construction, the dynamic
+maintainer's invalidation rebuilds, and query-time candidate refinement —
+goes through one :class:`PropagationKernel` instead of hand-rolling the
+propagation loop.  The kernel offers two interchangeable backends selected
+via :attr:`IndexParams.backend`:
+
+``"scalar"``
+    The original dict-based per-neighbour loop (:func:`bca_iteration`), kept
+    bit-identical to the seed implementation.  It remains the reference for
+    equivalence tests and the fallback for pathological parameters.
+
+``"vectorized"``
+    A blocked multi-source engine.  The residual / retained / hub-ink state
+    of a block of ``B`` source nodes is held as dense ``(n, B)`` float64
+    arrays and *all* sources advance together per iteration with a single
+    sparse-dense product ``A @ ((1-alpha) * active)`` — eta-thresholding,
+    alpha retention and the hub-mask split are whole-array operations.
+    Sources that converge are spilled into :class:`NodeState` objects and
+    their block column is refilled from the pending worklist, so stragglers
+    never hold the whole block hostage.
+
+Per-source bitwise determinism
+------------------------------
+Each block column only ever reads and writes its own column: element-wise
+operations are element-wise, row/column reductions are per-column, and
+SciPy's sparse-dense product accumulates each output column independently in
+ascending matrix-column order.  A source therefore produces the *bit-identical*
+trajectory no matter which other sources share its block — which is what lets
+the dynamic maintainer rebuild invalidated nodes as one block, and the
+parallel snapshot builder shard the node range across processes, while both
+stay bit-identical to a serial from-scratch build under the same backend.
+
+The vectorized and scalar backends agree to floating-point accumulation
+order: reconstructed proximity vectors match within ``1e-12`` with identical
+top-K node sets (enforced by a Hypothesis property test), but are not
+bitwise equal — accumulation order across a batch necessarily differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..utils.sparsetools import top_k_descending
+from ..utils.timer import StageTimer
+from .config import PROPAGATION_BACKENDS, IndexParams
+from .hubs import HubSet
+from .index import NodeState
+
+#: Progress hook invoked with the source node id as each source converges.
+SourceCallback = Callable[[int], None]
+
+
+def _column_to_dict(
+    column: np.ndarray, labels: Optional[np.ndarray] = None
+) -> Dict[int, float]:
+    """Sparse ``{index: value}`` view of a dense column (optionally relabelled)."""
+    positions = np.flatnonzero(column)
+    if not positions.size:
+        return {}
+    keys = positions if labels is None else labels[positions]
+    return dict(zip(keys.tolist(), column[positions].tolist()))
+
+
+def _columns_to_dicts(
+    matrix: np.ndarray, columns: np.ndarray, labels: Optional[np.ndarray] = None
+) -> List[Dict[int, float]]:
+    """Per-column sparse dicts for a batch of columns, in one numpy pass."""
+    sub = matrix.T[columns]  # (m, n): one gathered, C-contiguous row per column
+    rows, entries = np.nonzero(sub)
+    keys = entries if labels is None else labels[entries]
+    keys = keys.tolist()
+    values = sub[rows, entries].tolist()
+    counts = np.bincount(rows, minlength=columns.size).tolist()
+    dicts: List[Dict[int, float]] = []
+    start = 0
+    for count in counts:
+        stop = start + count
+        dicts.append(dict(zip(keys[start:stop], values[start:stop])))
+        start = stop
+    return dicts
+
+
+def _batched_top_k(vectors: np.ndarray, k: int) -> np.ndarray:
+    """Column-wise :func:`top_k_descending`: ``(k, m)`` for an ``(n, m)`` input.
+
+    Produces exactly the values ``top_k_descending`` would per column — the
+    ``k`` largest entries in descending order, zero-padded below ``k``.
+    """
+    n, m = vectors.shape
+    if k >= n:
+        ordered = np.sort(vectors, axis=0)[::-1]
+        if k > n:
+            ordered = np.vstack([ordered, np.zeros((k - n, m), dtype=np.float64)])
+        return ordered
+    largest = np.partition(vectors, n - k, axis=0)[n - k :]
+    return np.sort(largest, axis=0)[::-1]
+
+
+# ----------------------------------------------------------------------- #
+# scalar primitives (the seed implementation, moved here verbatim)
+# ----------------------------------------------------------------------- #
+def bca_iteration(
+    state: NodeState,
+    transition: sp.csc_matrix,
+    hub_mask: np.ndarray,
+    params: IndexParams,
+    *,
+    propagation_threshold: Optional[float] = None,
+) -> bool:
+    """Run one batched BCA iteration in place (Eq. 6, 8, 9).
+
+    Returns ``True`` when at least one node propagated ink, ``False`` when no
+    non-hub node holds ``eta`` or more residue (the state cannot be refined
+    further at this threshold).  ``propagation_threshold`` overrides the
+    configured ``eta`` for a single step — query-time refinement lowers it
+    adaptively so candidates can always be decided.
+    """
+    eta = params.propagation_threshold if propagation_threshold is None else propagation_threshold
+    alpha = params.alpha
+    active = [(node, amount) for node, amount in state.residual.items() if amount >= eta]
+    if not active:
+        return False
+
+    residual = state.residual
+    retained = state.retained
+    hub_ink = state.hub_ink
+    indptr, indices, data = transition.indptr, transition.indices, transition.data
+    for node, amount in active:
+        # Consume exactly the snapshot amount (Eq. 9 operates on r_{t-1});
+        # ink pushed to this node by earlier members of the same batch stays
+        # as residue for the next iteration.
+        remaining = residual.get(node, 0.0) - amount
+        if remaining > 1e-18:
+            residual[node] = remaining
+        else:
+            residual.pop(node, None)
+        retained[node] = retained.get(node, 0.0) + alpha * amount
+        # ...and push the rest to out-neighbours (transition column = node).
+        start, stop = indptr[node], indptr[node + 1]
+        if start == stop:
+            # Dangling nodes never occur with the default self-loop policy,
+            # but guard anyway: the (1-alpha) share is simply lost as residue.
+            continue
+        share = (1.0 - alpha) * amount
+        for neighbor, weight in zip(indices[start:stop], data[start:stop]):
+            portion = share * weight
+            if hub_mask[neighbor]:
+                hub_ink[int(neighbor)] = hub_ink.get(int(neighbor), 0.0) + portion
+            else:
+                residual[int(neighbor)] = residual.get(int(neighbor), 0.0) + portion
+    state.iterations += 1
+    return True
+
+
+def initial_node_state(node: int, is_hub: bool) -> NodeState:
+    """Fresh BCA state for ``node``: one unit of residue ink at the node itself.
+
+    Hub nodes do not run BCA; their state simply references their own exact
+    hub column (``s = e_node``), so the reconstructed vector is ``P_H e_node``.
+    """
+    if is_hub:
+        return NodeState(hub_ink={int(node): 1.0}, is_hub=True)
+    return NodeState(residual={int(node): 1.0})
+
+
+def run_node_bca(
+    state: NodeState,
+    transition: sp.csc_matrix,
+    hub_mask: np.ndarray,
+    params: IndexParams,
+    *,
+    max_iterations: Optional[int] = None,
+) -> NodeState:
+    """Run batched BCA on ``state`` until the residue drops below ``delta``.
+
+    The loop also stops when no node reaches the propagation threshold or the
+    iteration cap is hit, whichever comes first.
+    """
+    if max_iterations is None:
+        max_iterations = params.max_index_iterations
+    while state.residual_mass > params.residue_threshold and state.iterations < max_iterations:
+        if not bca_iteration(state, transition, hub_mask, params):
+            break
+    return state
+
+
+class _HubExpansion:
+    """Expands a node state into a dense approximate proximity vector.
+
+    Thin helper shared by index construction (before the
+    :class:`ReverseTopKIndex` exists) and by query-time refinement (where the
+    index itself provides the hub matrix).
+    """
+
+    def __init__(self, n_nodes: int, hubs: HubSet, hub_matrix: sp.csc_matrix) -> None:
+        self.n_nodes = n_nodes
+        self.hubs = hubs
+        self.hub_matrix = hub_matrix
+
+    def expand(self, state: NodeState) -> np.ndarray:
+        vector = np.zeros(self.n_nodes, dtype=np.float64)
+        for target, value in state.retained.items():
+            vector[target] += value
+        for hub, ink in state.hub_ink.items():
+            position = self.hubs.position(hub)
+            start, stop = (
+                self.hub_matrix.indptr[position],
+                self.hub_matrix.indptr[position + 1],
+            )
+            vector[self.hub_matrix.indices[start:stop]] += ink * self.hub_matrix.data[start:stop]
+        return vector
+
+
+def materialize_lower_bounds(
+    state: NodeState, index_like: _HubExpansion, capacity: int
+) -> None:
+    """Recompute ``state.lower_bounds`` from the current ``w`` and ``s`` (Eq. 7)."""
+    vector = index_like.expand(state)
+    state.lower_bounds = top_k_descending(vector, capacity)
+
+
+# ----------------------------------------------------------------------- #
+# build report
+# ----------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BuildReport:
+    """Per-phase cost breakdown of one index build.
+
+    Attributes
+    ----------
+    backend:
+        Propagation backend the build ran with.
+    block_size:
+        Multi-source block width (meaningful for the vectorized backend).
+    n_nodes / n_targets:
+        Graph size and how many nodes were actually (re)indexed.
+    stage_seconds:
+        Seconds per phase: ``hub_matrix`` (exact hub proximities + rounding),
+        ``bca`` (ink propagation) and ``materialize`` (hub expansion and
+        top-K extraction).  For parallel builds the worker-side propagation
+        and materialization are both accounted under ``bca`` (the pool's
+        wall-clock), and ``materialize`` covers only the parent-side merge.
+    """
+
+    backend: str
+    block_size: int
+    n_nodes: int
+    n_targets: int
+    stage_seconds: Dict[str, float]
+
+    @property
+    def build_seconds(self) -> float:
+        """Total build cost — exactly the sum of the recorded phases."""
+        return float(sum(self.stage_seconds.values()))
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "backend": self.backend,
+            "block_size": self.block_size,
+            "n_nodes": self.n_nodes,
+            "n_targets": self.n_targets,
+            "stage_seconds": dict(self.stage_seconds),
+            "build_seconds": self.build_seconds,
+        }
+
+
+# ----------------------------------------------------------------------- #
+# the kernel
+# ----------------------------------------------------------------------- #
+class PropagationKernel:
+    """One entry point for all BCA ink movement over a fixed transition matrix.
+
+    Parameters
+    ----------
+    transition:
+        Column-stochastic CSC transition matrix.
+    hub_mask:
+        Boolean mask marking hub nodes (ink arriving there is parked).
+    params:
+        :class:`IndexParams`; ``params.backend`` selects the implementation
+        and ``params.block_size`` bounds the vectorized block width.
+    hubs / hub_matrix:
+        The hub set and its proximity columns ``P_H``.  When given, states
+        produced by :meth:`run` have their top-K lower bounds materialized;
+        without them the kernel only propagates (callers materialize later).
+    backend:
+        Optional override of ``params.backend`` for this kernel instance.
+    """
+
+    def __init__(
+        self,
+        transition: sp.spmatrix,
+        hub_mask: np.ndarray,
+        params: IndexParams,
+        *,
+        hubs: Optional[HubSet] = None,
+        hub_matrix: Optional[sp.csc_matrix] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.transition = sp.csc_matrix(transition)
+        self.hub_mask = np.asarray(hub_mask, dtype=bool)
+        self.params = params
+        self.backend = params.backend if backend is None else backend
+        if self.backend not in PROPAGATION_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {PROPAGATION_BACKENDS}, got {self.backend!r}"
+            )
+        self.hubs = hubs
+        self.hub_matrix = hub_matrix.tocsc() if hub_matrix is not None else None
+        self.expansion: Optional[_HubExpansion] = None
+        if self.hubs is not None and self.hub_matrix is not None:
+            self.expansion = _HubExpansion(self.n_nodes, self.hubs, self.hub_matrix)
+        self._hub_nodes = np.flatnonzero(self.hub_mask)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes covered by the transition matrix."""
+        return self.transition.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # full runs (index construction, invalidation rebuilds)
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        sources: Sequence[int],
+        *,
+        stages: Optional[StageTimer] = None,
+        on_done: Optional[SourceCallback] = None,
+    ) -> List[NodeState]:
+        """Run BCA to convergence from every (non-hub) source node.
+
+        Returns one :class:`NodeState` per source, aligned with ``sources``.
+        ``stages`` accumulates ``bca`` / ``materialize`` phase timings;
+        ``on_done`` fires once per source as it converges (progress hook).
+        """
+        sources = [int(source) for source in sources]
+        for source in sources:
+            if self.hub_mask[source]:
+                raise ValueError(
+                    f"node {source} is a hub; hub states are built from the "
+                    "exact hub proximities, not with BCA"
+                )
+        if stages is None:
+            stages = StageTimer()
+        stages.add("bca", 0.0)
+        stages.add("materialize", 0.0)
+        if not sources:
+            return []
+        if self.backend == "vectorized":
+            return self._run_vectorized(sources, stages, on_done)
+        return self._run_scalar(sources, stages, on_done)
+
+    def _run_scalar(
+        self,
+        sources: List[int],
+        stages: StageTimer,
+        on_done: Optional[SourceCallback],
+    ) -> List[NodeState]:
+        """Per-source reference path — bit-identical to the seed build loop."""
+        states: List[NodeState] = []
+        for source in sources:
+            state = initial_node_state(source, False)
+            with stages.time("bca"):
+                run_node_bca(state, self.transition, self.hub_mask, self.params)
+            if self.expansion is not None:
+                with stages.time("materialize"):
+                    materialize_lower_bounds(state, self.expansion, self.params.capacity)
+            states.append(state)
+            if on_done is not None:
+                on_done(source)
+        return states
+
+    def _run_vectorized(
+        self,
+        sources: List[int],
+        stages: StageTimer,
+        on_done: Optional[SourceCallback],
+    ) -> List[NodeState]:
+        """Blocked multi-source engine: dense ``(n, B)`` state, one product per step."""
+        params = self.params
+        n = self.n_nodes
+        eta = params.propagation_threshold
+        delta = params.residue_threshold
+        alpha = params.alpha
+        scale = 1.0 - alpha
+        max_iterations = params.max_index_iterations
+        hub_nodes = self._hub_nodes
+        block = max(1, min(int(params.block_size), len(sources)))
+
+        residual = np.zeros((n, block), dtype=np.float64)
+        retained = np.zeros((n, block), dtype=np.float64)
+        hub_ink = np.zeros((hub_nodes.size, block), dtype=np.float64)
+        iterations = np.zeros(block, dtype=np.int64)
+        column_source = np.full(block, -1, dtype=np.int64)
+        # Reused per-pass work planes — the hot loop allocates nothing but
+        # the sparse product's output.
+        active = np.zeros((n, block), dtype=bool)
+        amounts = np.zeros((n, block), dtype=np.float64)
+        shares = np.zeros((n, block), dtype=np.float64)
+
+        results: Dict[int, NodeState] = {}
+        next_source = 0
+
+        def refill(columns: np.ndarray) -> None:
+            """Load the next pending sources into a batch of freed columns."""
+            nonlocal next_source
+            take = min(len(sources) - next_source, columns.size)
+            fill, park = columns[:take], columns[take:]
+            if take:
+                fresh = np.asarray(
+                    sources[next_source : next_source + take], dtype=np.int64
+                )
+                next_source += take
+                residual[:, fill] = 0.0
+                retained[:, fill] = 0.0
+                hub_ink[:, fill] = 0.0
+                residual[fresh, fill] = 1.0
+                iterations[fill] = 0
+                column_source[fill] = fresh
+            column_source[park] = -1
+
+        refill(np.arange(block))
+
+        while True:
+            live = column_source >= 0
+            if not live.any():
+                break
+            with stages.time("bca"):
+                np.greater_equal(residual, eta, out=active)
+                if not live.all():
+                    active[:, ~live] = False
+                has_active = active.any(axis=0)
+                mass = residual.sum(axis=0)
+                stepping = live & has_active & (mass > delta) & (iterations < max_iterations)
+            finished = live & ~stepping
+            if finished.any():
+                # Spill every converged source in one batch and refill the
+                # freed columns; the next pass re-evaluates the fresh ones.
+                with stages.time("materialize"):
+                    columns = np.flatnonzero(finished)
+                    self._spill_columns(
+                        columns, column_source, residual, retained, hub_ink,
+                        iterations, hub_nodes, results, on_done,
+                    )
+                    refill(columns)
+                continue
+            with stages.time("bca"):
+                # Snapshot the propagating amounts (Eq. 9 operates on r_{t-1})
+                # and advance every live source with one sparse-dense product.
+                np.multiply(residual, active, out=amounts)
+                residual -= amounts
+                np.multiply(amounts, scale, out=shares)
+                if live.all():
+                    arrivals = self.transition @ shares
+                    if hub_nodes.size:
+                        hub_ink += arrivals[hub_nodes, :]
+                        arrivals[hub_nodes, :] = 0.0
+                    residual += arrivals
+                else:
+                    # Drain phase: the worklist is exhausted and some columns
+                    # are parked all-zero — restrict the product to the live
+                    # columns so tail stragglers stop paying for the whole
+                    # block.  Per-column results are unchanged bit for bit.
+                    columns = np.flatnonzero(stepping)
+                    arrivals = self.transition @ shares[:, columns]
+                    if hub_nodes.size:
+                        hub_ink[:, columns] += arrivals[hub_nodes, :]
+                        arrivals[hub_nodes, :] = 0.0
+                    residual[:, columns] += arrivals
+                np.multiply(amounts, alpha, out=amounts)
+                retained += amounts
+                iterations[stepping] += 1
+
+        return [results[source] for source in sources]
+
+    def _spill_columns(
+        self,
+        columns: np.ndarray,
+        column_source: np.ndarray,
+        residual: np.ndarray,
+        retained: np.ndarray,
+        hub_ink: np.ndarray,
+        iterations: np.ndarray,
+        hub_nodes: np.ndarray,
+        results: Dict[int, NodeState],
+        on_done: Optional[SourceCallback],
+    ) -> None:
+        """Convert a batch of converged dense columns back into NodeStates."""
+        bounds: Optional[np.ndarray] = None
+        if self.hub_matrix is not None:
+            # Reproduce _HubExpansion.expand's accumulation order exactly
+            # (retained first, then one hub column at a time in ascending
+            # position order): states whose hub-ink dicts are in ascending
+            # order — everything this backend produces — re-materialize
+            # through expand() to the bit-identical lower bounds, which the
+            # dynamic maintainer's hub re-expansion path relies on.
+            vectors = retained[:, columns]  # fancy index: a fresh array
+            matrix = self.hub_matrix
+            for position in range(matrix.shape[1]):
+                ink = hub_ink[position, columns]
+                if not ink.any():
+                    continue
+                start, stop = matrix.indptr[position], matrix.indptr[position + 1]
+                vectors[matrix.indices[start:stop], :] += (
+                    ink[None, :] * matrix.data[start:stop, None]
+                )
+            bounds = _batched_top_k(vectors, self.params.capacity)
+        residual_dicts = _columns_to_dicts(residual, columns)
+        retained_dicts = _columns_to_dicts(retained, columns)
+        ink_dicts = _columns_to_dicts(hub_ink, columns, hub_nodes)
+        for position, column in enumerate(columns.tolist()):
+            source = int(column_source[column])
+            state = NodeState(
+                residual=residual_dicts[position],
+                retained=retained_dicts[position],
+                hub_ink=ink_dicts[position],
+                iterations=int(iterations[column]),
+            )
+            if bounds is not None:
+                state.lower_bounds = bounds[:, position].copy()
+            results[source] = state
+            if on_done is not None:
+                on_done(source)
+
+    # ------------------------------------------------------------------ #
+    # single steps (query-time refinement: a block of one source)
+    # ------------------------------------------------------------------ #
+    #: Minimum residue-support fraction of ``n`` at which the dense
+    #: single-source step pays off; sparser states fall back to the dict
+    #: iteration, whose cost scales with the active set instead of ``n``.
+    _DENSE_STEP_FRACTION = 1 / 32
+
+    def step(
+        self,
+        state: NodeState,
+        *,
+        propagation_threshold: Optional[float] = None,
+    ) -> bool:
+        """Advance ``state`` by one batched BCA iteration (Algorithm 4, line 13).
+
+        Returns ``True`` when ink moved, ``False`` when no node reaches the
+        threshold.  The vectorized backend treats the state as a block of one
+        source through the same dense code path as :meth:`run` — but only
+        once the residue support is a sizable fraction of the graph; a dense
+        pass over all ``n`` nodes (and a sparse product over every stored
+        edge) for a handful of active residues would make query-time
+        refinement orders of magnitude slower than the dict iteration on
+        large graphs.  Both paths implement the identical batched rule
+        (Eq. 8-9); they differ only in floating-point accumulation order.
+        """
+        if (
+            self.backend == "vectorized"
+            and len(state.residual) >= self.n_nodes * self._DENSE_STEP_FRACTION
+        ):
+            return self._step_vectorized(state, propagation_threshold)
+        return bca_iteration(
+            state,
+            self.transition,
+            self.hub_mask,
+            self.params,
+            propagation_threshold=propagation_threshold,
+        )
+
+    def _step_vectorized(
+        self, state: NodeState, propagation_threshold: Optional[float]
+    ) -> bool:
+        eta = (
+            self.params.propagation_threshold
+            if propagation_threshold is None
+            else propagation_threshold
+        )
+        if not state.residual:
+            return False
+        n = self.n_nodes
+        residual = np.zeros(n, dtype=np.float64)
+        keys = np.fromiter(state.residual.keys(), dtype=np.int64, count=len(state.residual))
+        residual[keys] = np.fromiter(
+            state.residual.values(), dtype=np.float64, count=len(state.residual)
+        )
+        active = residual >= eta
+        if not active.any():
+            return False
+        alpha = self.params.alpha
+        amounts = np.where(active, residual, 0.0)
+        arrivals = self.transition @ ((1.0 - alpha) * amounts)
+        residual -= amounts
+        kept = alpha * amounts
+        for node in np.flatnonzero(active):
+            state.retained[int(node)] = state.retained.get(int(node), 0.0) + float(kept[node])
+        hub_nodes = self._hub_nodes
+        if hub_nodes.size:
+            for hub in hub_nodes[arrivals[hub_nodes] != 0.0]:
+                state.hub_ink[int(hub)] = state.hub_ink.get(int(hub), 0.0) + float(
+                    arrivals[hub]
+                )
+            arrivals[hub_nodes] = 0.0
+        residual += arrivals
+        state.residual = _column_to_dict(residual)
+        state.iterations += 1
+        return True
+
+    def materialize(self, state: NodeState) -> None:
+        """Refresh ``state.lower_bounds`` through the kernel's hub expansion."""
+        if self.expansion is None:
+            raise ValueError(
+                "kernel was constructed without hubs/hub_matrix; it cannot "
+                "materialize lower bounds"
+            )
+        materialize_lower_bounds(state, self.expansion, self.params.capacity)

@@ -55,6 +55,7 @@ from .config import IndexParams, QueryParams
 from .index import NodeState, ReverseTopKIndex
 from .lbi import build_index, refine_node_state
 from .pmpn import proximity_to_node
+from .propagation import PropagationKernel
 
 #: Accepted scan-phase implementations: the columnar pipeline and the
 #: per-node reference loop (kept for equivalence testing and benchmarks).
@@ -172,6 +173,16 @@ class ReverseTopKEngine:
         self._hub_mask = index.hubs.mask(self.transition.shape[0])
         # PMPN iterates with A^T; transpose once and share it across queries.
         self._transposed = self.transition.T.tocsr()
+        # Candidate refinement advances states through the shared propagation
+        # kernel (a block of one source); prepared once per (transition,
+        # index) binding, like the other derived caches.
+        self._kernel = PropagationKernel(
+            self.transition,
+            self._hub_mask,
+            index.params,
+            hubs=index.hubs,
+            hub_matrix=index.hub_matrix,
+        )
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -513,7 +524,8 @@ class ReverseTopKEngine:
                 outcome.used_exact_fallback = True
                 break
             progressed = refine_node_state(
-                working, self.index, self.transition, self._hub_mask
+                working, self.index, self.transition, self._hub_mask,
+                kernel=self._kernel,
             )
             refinements += 1
             if not progressed:

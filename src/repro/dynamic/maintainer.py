@@ -25,8 +25,10 @@ trajectory and lands in the bit-identical state.
    on the graph) and notes which hub columns actually changed;
 4. **invalidates** every non-hub state whose residue/retained support
    touches a changed column — those are reset and re-refined from scratch
-   (:func:`~repro.core.lbi.rebuild_node_state`); if the stale fraction
-   reaches ``rebuild_ratio``, a full rebuild is cheaper and runs instead;
+   as one :class:`~repro.core.propagation.PropagationKernel` run (a blocked
+   multi-source rebuild under the vectorized backend); if the stale
+   fraction reaches ``rebuild_ratio``, a full rebuild is cheaper and runs
+   instead;
 5. **re-materializes** the lower bounds of kept states whose hub ink refers
    to a changed hub column (the dicts are still exact; only the ``P_H``
    expansion moved);
@@ -60,12 +62,13 @@ from ..core.config import IndexParams
 from ..core.hubs import HubSet
 from ..core.index import NodeState
 from ..core.lbi import (
-    _HubExpansion,
     _compute_hub_matrix,
     build_index,
     default_hub_selection,
+)
+from ..core.propagation import (
+    PropagationKernel,
     materialize_lower_bounds,
-    rebuild_node_state,
 )
 from ..core.query import ReverseTopKEngine
 from ..graph.digraph import DiGraph
@@ -319,7 +322,10 @@ class IndexMaintainer:
         )
         changed_hubs = _changed_hub_columns(index, hubs, hub_matrix, hub_deficit)
         hub_mask = hubs.mask(n)
-        expansion = _HubExpansion(n, hubs, hub_matrix)
+        kernel = PropagationKernel(
+            transition, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+        )
+        expansion = kernel.expansion
 
         states = [state for _, state in index.states()]
         for hub in hubs:
@@ -329,10 +335,12 @@ class IndexMaintainer:
                 lower_bounds=hub_top_k[int(hub)].copy(),
             )
         invalid_set = set(invalid)
-        for node in invalid:
-            states[node] = rebuild_node_state(
-                node, transition, hub_mask, params, expansion
-            )
+        # All invalidated nodes are re-refined as one kernel run — with the
+        # vectorized backend that is a blocked multi-source rebuild instead
+        # of one BCA loop per node.  Per-source bitwise determinism of the
+        # kernel keeps the result identical to a from-scratch build.
+        for node, fresh in zip(invalid, kernel.run(invalid)):
+            states[node] = fresh
         rematerialized = 0
         if changed_hubs:
             for node, state in enumerate(states):

@@ -22,6 +22,7 @@ is part of the paper's contribution rather than prior work.
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass
 from typing import Optional
 
@@ -94,19 +95,25 @@ def bca_proximity_vector(
     residual[source] = 1.0
     total_residual = 1.0
 
-    # Lazy-deletion max-heap keyed by (-residue, node).
-    heap: list[tuple[float, int]] = [(-1.0, source)]
+    # Lazy-deletion max-heap keyed by (-residue, sequence, node).  Every
+    # residue update pushes a fresh entry with a new sequence number and
+    # records it as the node's latest; a popped entry whose sequence is not
+    # the latest is stale and simply skipped (its node already has a newer,
+    # accurately-keyed entry in the heap).  Identifying staleness by value
+    # (the old ``np.isclose(rtol=0.5)`` heuristic) could both drop fresh
+    # entries and process stale ones out of max-residue order whenever a
+    # residue drifted by around half between push and pop.
+    counter = itertools.count()
+    latest: dict[int, int] = {source: next(counter)}
+    heap: list[tuple[float, int, int]] = [(-1.0, latest[source], source)]
     pushes = 0
     while total_residual > residue_threshold and heap and pushes < max_pushes:
-        negative, node = heapq.heappop(heap)
+        _, sequence, node = heapq.heappop(heap)
+        if latest.get(node) != sequence:
+            continue
+        del latest[node]
         amount = residual[node]
-        if amount <= 0 or not np.isclose(-negative, amount, rtol=0.5):
-            # Stale heap entry; re-insert the fresh value if it is non-zero.
-            if amount > 0:
-                heapq.heappush(heap, (-amount, node))
-                # Avoid infinite loop on a single stale node.
-                if len(heap) == 1 and -heap[0][0] <= 0:
-                    break
+        if amount <= 0:
             continue
         pushes += 1
         residual[node] = 0.0
@@ -119,7 +126,10 @@ def bca_proximity_vector(
             residual[neighbors] += shares
             total_residual += float(shares.sum())
             for neighbor in neighbors:
-                heapq.heappush(heap, (-residual[neighbor], int(neighbor)))
+                neighbor = int(neighbor)
+                sequence = next(counter)
+                latest[neighbor] = sequence
+                heapq.heappush(heap, (-residual[neighbor], sequence, neighbor))
     return BCAResult(retained, residual, pushes)
 
 

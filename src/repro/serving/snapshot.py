@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import os
-from dataclasses import fields
+from dataclasses import fields, replace
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
@@ -28,7 +28,7 @@ import scipy.sparse as sp
 
 from ..core.config import IndexParams
 from ..core.index import ReverseTopKIndex
-from ..core.lbi import build_index
+from ..core.lbi import build_index, build_index_parallel
 from ..exceptions import SerializationError
 from ..graph.digraph import DiGraph
 
@@ -73,15 +73,26 @@ def transition_fingerprint(matrix: sp.spmatrix) -> str:
     return digest.hexdigest()
 
 
+#: IndexParams fields that provably cannot change index *contents* and are
+#: therefore excluded from the snapshot key.  ``block_size`` only shapes the
+#: vectorized backend's working memory: per-source trajectories are bitwise
+#: independent of the block composition (a tested kernel invariant), so
+#: retuning it must not invalidate every warm-start archive.
+_CONTENT_NEUTRAL_FIELDS = frozenset({"block_size"})
+
+
 def params_fingerprint(params: IndexParams) -> str:
-    """SHA-256 over every :class:`IndexParams` field, in declaration order.
+    """SHA-256 over every content-affecting :class:`IndexParams` field.
 
     Iterating ``dataclasses.fields`` means a future parameter added to
     ``IndexParams`` automatically changes the key — an old snapshot can
-    never be mistaken for one built under the new parameter.
+    never be mistaken for one built under the new parameter — unless it is
+    explicitly declared content-neutral (:data:`_CONTENT_NEUTRAL_FIELDS`).
     """
     digest = hashlib.sha256()
     for spec in fields(params):
+        if spec.name in _CONTENT_NEUTRAL_FIELDS:
+            continue
         digest.update(f"{spec.name}={getattr(params, spec.name)!r};".encode())
     return digest.hexdigest()
 
@@ -178,7 +189,33 @@ class SnapshotManager:
         is computed from the *effective* parameters — ``params.for_graph``
         clamps capacity and hub budget to the graph, exactly as
         :func:`build_index` does — so the snapshot matches what a fresh
-        build would produce.
+        build would produce.  One shared implementation with
+        :meth:`build_or_load` (the serial case), so the two contracts can
+        never drift.
+        """
+        return self.build_or_load(
+            graph, params, transition=transition, store_on_miss=store_on_miss
+        )
+
+    def build_or_load(
+        self,
+        graph: DiGraph,
+        params: Optional[IndexParams] = None,
+        *,
+        transition: Optional[sp.spmatrix] = None,
+        parallel: Optional[int] = None,
+        store_on_miss: bool = True,
+    ) -> Tuple[ReverseTopKIndex, bool]:
+        """Warm-start with an optionally parallel cold path.
+
+        Identical contract to :meth:`load_or_build` — ``(index,
+        from_snapshot)`` under the content key of the *effective* parameters
+        — but on a miss the index is built with the non-hub node range
+        sharded across ``parallel`` worker processes
+        (:func:`~repro.core.lbi.build_index_parallel`); the per-shard states
+        are merged into one :class:`ReverseTopKIndex` that is bit-identical
+        to a serial build, so hits and misses, parallel or not, all produce
+        the same archive.  ``parallel=None`` (or ``<= 1``) builds serially.
         """
         effective = (params if params is not None else IndexParams()).for_graph(
             graph.n_nodes
@@ -188,8 +225,21 @@ class SnapshotManager:
         path = self.path_for(graph, effective, transition)
         cached = self._read_archive(path)
         if cached is not None:
+            if cached.params.block_size != effective.block_size:
+                # block_size is content-neutral (excluded from the key) but
+                # sizes every downstream kernel's dense working set: a hit
+                # must honor the caller's retune, not resurrect the width
+                # the archive happened to be built with.
+                cached.params = replace(
+                    cached.params, block_size=effective.block_size
+                )
             return cached, True
-        index = build_index(graph, effective, transition=transition)
+        if parallel is not None and parallel > 1:
+            index = build_index_parallel(
+                graph, effective, transition=transition, n_workers=parallel
+            )
+        else:
+            index = build_index(graph, effective, transition=transition)
         if store_on_miss:
             index.save(path)
         return index, False

@@ -115,6 +115,61 @@ class TestDegreeHubSelection:
         ).nodes
 
 
+class TestSelectorParityOnDegreeTies:
+    """Graph- and matrix-based selectors share one tie-break (degree_union_hubs)."""
+
+    @staticmethod
+    def _matrix_selection(graph, budget):
+        from repro.core.lbi import _select_hubs_from_matrix
+        from repro.graph import transition_matrix
+
+        return _select_hubs_from_matrix(transition_matrix(graph), budget)
+
+    def test_ring_all_degrees_tied(self):
+        # Every node of a ring has in-degree = out-degree = 1: the selection
+        # is decided purely by the tie-break, which must be shared.
+        from repro.graph import ring_graph
+
+        graph = ring_graph(12)
+        for budget in (1, 3, 5, 12):
+            assert (
+                select_hubs_by_degree(graph, budget).nodes
+                == self._matrix_selection(graph, budget).nodes
+            )
+
+    def test_tie_heavy_custom_graph(self):
+        # Two groups of nodes with identical degrees, budget cutting through
+        # the tie — exactly where a drifting secondary sort key would show.
+        import scipy.sparse as sp
+
+        from repro.graph import DiGraph
+
+        edges = []
+        for u in (0, 1, 2, 3):  # tied out-degree 2
+            edges += [(u, 4), (u, 5)]
+        for u in (6, 7):  # tied out-degree 1, pointing at tied receivers
+            edges += [(u, 8)]
+        edges += [(4, 0), (5, 1), (8, 6)]
+        rows, cols = zip(*edges)
+        adjacency = sp.csr_matrix(
+            (np.ones(len(edges)), (rows, cols)), shape=(9, 9)
+        )
+        graph = DiGraph(adjacency)
+        for budget in range(1, 9):
+            assert (
+                select_hubs_by_degree(graph, budget).nodes
+                == self._matrix_selection(graph, budget).nodes
+            ), budget
+
+    def test_parity_on_generated_graphs(self, small_web_graph, small_trust_graph):
+        for graph in (small_web_graph, small_trust_graph):
+            for budget in (2, 5, 9):
+                assert (
+                    select_hubs_by_degree(graph, budget).nodes
+                    == self._matrix_selection(graph, budget).nodes
+                )
+
+
 class TestGreedyHubSelection:
     def test_returns_requested_count(self, small_web_graph, small_transition):
         hubs = select_hubs_greedy(small_web_graph, small_transition, 5, seed=1)

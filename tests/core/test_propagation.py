@@ -1,0 +1,370 @@
+"""Tests for the unified propagation-kernel layer and the build report."""
+
+import copy
+from dataclasses import replace
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    IndexParams,
+    PropagationKernel,
+    ReverseTopKEngine,
+    build_index,
+    build_index_parallel,
+    rebuild_node_state,
+    refine_node_state,
+)
+from repro.core.index import ReverseTopKIndex
+from repro.core.lbi import _compute_hub_matrix
+from repro.core.propagation import (
+    _HubExpansion,
+    initial_node_state,
+    materialize_lower_bounds,
+    run_node_bca,
+)
+
+
+def _states_bit_identical(a, b):
+    assert a.residual == b.residual
+    assert a.retained == b.retained
+    assert a.hub_ink == b.hub_ink
+    assert a.iterations == b.iterations
+    assert a.is_hub == b.is_hub
+    np.testing.assert_array_equal(a.lower_bounds, b.lower_bounds)
+
+
+@pytest.fixture(scope="module")
+def kernel_inputs(small_web_graph, small_transition, small_params):
+    from repro.core.lbi import default_hub_selection
+
+    params = small_params.for_graph(small_web_graph.n_nodes)
+    hubs = default_hub_selection(small_web_graph, params)
+    hub_matrix, _, _ = _compute_hub_matrix(small_transition, hubs, params)
+    hub_mask = hubs.mask(small_web_graph.n_nodes)
+    return sp.csc_matrix(small_transition), hub_mask, params, hubs, hub_matrix
+
+
+class TestKernelBackends:
+    def test_scalar_backend_matches_seed_loop(self, kernel_inputs):
+        # The scalar backend IS the seed implementation: states produced by
+        # kernel.run must be bit-identical to driving the per-node primitives
+        # (initial state -> run_node_bca -> materialize) by hand.
+        matrix, hub_mask, params, hubs, hub_matrix = kernel_inputs
+        kernel = PropagationKernel(
+            matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix,
+            backend="scalar",
+        )
+        sources = [node for node in range(matrix.shape[0]) if not hub_mask[node]]
+        states = kernel.run(sources)
+        expansion = _HubExpansion(matrix.shape[0], hubs, hub_matrix)
+        for source, state in zip(sources, states):
+            reference = initial_node_state(source, False)
+            run_node_bca(reference, matrix, hub_mask, params)
+            materialize_lower_bounds(reference, expansion, params.capacity)
+            _states_bit_identical(state, reference)
+
+    def test_vectorized_block_composition_invariance(self, kernel_inputs):
+        # A source's trajectory must not depend on which other sources share
+        # its block: tiny blocks, huge blocks and single-source runs all
+        # produce bit-identical states.
+        matrix, hub_mask, params, hubs, hub_matrix = kernel_inputs
+        sources = [node for node in range(matrix.shape[0]) if not hub_mask[node]]
+
+        def build_with(block_size):
+            kernel = PropagationKernel(
+                matrix, hub_mask, replace(params, block_size=block_size),
+                hubs=hubs, hub_matrix=hub_matrix,
+            )
+            return kernel.run(sources)
+
+        wide = build_with(512)
+        narrow = build_with(2)
+        for a, b in zip(wide, narrow):
+            _states_bit_identical(a, b)
+        solo_kernel = PropagationKernel(
+            matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+        )
+        for source, state in zip(sources[:5], wide[:5]):
+            _states_bit_identical(state, solo_kernel.run([source])[0])
+
+    def test_vectorized_close_to_scalar(self, kernel_inputs):
+        matrix, hub_mask, params, hubs, hub_matrix = kernel_inputs
+        sources = [node for node in range(matrix.shape[0]) if not hub_mask[node]]
+        expansion = _HubExpansion(matrix.shape[0], hubs, hub_matrix)
+        vectorized = PropagationKernel(
+            matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+        ).run(sources)
+        scalar = PropagationKernel(
+            matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix,
+            backend="scalar",
+        ).run(sources)
+        for vec_state, sca_state in zip(vectorized, scalar):
+            np.testing.assert_allclose(
+                expansion.expand(vec_state), expansion.expand(sca_state),
+                rtol=0, atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                vec_state.lower_bounds, sca_state.lower_bounds, rtol=0, atol=1e-12
+            )
+            assert vec_state.iterations == sca_state.iterations
+
+    def test_rejects_hub_sources(self, kernel_inputs):
+        matrix, hub_mask, params, hubs, hub_matrix = kernel_inputs
+        kernel = PropagationKernel(
+            matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+        )
+        hub = int(np.flatnonzero(hub_mask)[0])
+        with pytest.raises(ValueError, match="hub"):
+            kernel.run([hub])
+
+    def test_rejects_unknown_backend(self, kernel_inputs):
+        matrix, hub_mask, params, hubs, hub_matrix = kernel_inputs
+        with pytest.raises(ValueError, match="backend"):
+            PropagationKernel(matrix, hub_mask, params, backend="gpu")
+        with pytest.raises(ValueError, match="backend"):
+            IndexParams(capacity=5, backend="gpu")
+
+    def test_step_equivalent_across_backends(self, kernel_inputs):
+        # One vectorized step from the same state content moves the same ink
+        # as one scalar step (within accumulation-order tolerance).
+        matrix, hub_mask, params, hubs, hub_matrix = kernel_inputs
+        source = int(np.flatnonzero(~hub_mask)[0])
+        vec_state = initial_node_state(source, False)
+        sca_state = initial_node_state(source, False)
+        vec_kernel = PropagationKernel(
+            matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+        )
+        sca_kernel = PropagationKernel(
+            matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix,
+            backend="scalar",
+        )
+        for _ in range(4):
+            progressed_vec = vec_kernel.step(vec_state)
+            progressed_sca = sca_kernel.step(sca_state)
+            assert progressed_vec == progressed_sca
+            if not progressed_vec:
+                break
+            assert vec_state.residual == pytest.approx(sca_state.residual, abs=1e-12)
+            assert vec_state.retained == pytest.approx(sca_state.retained, abs=1e-12)
+            assert vec_state.hub_ink == pytest.approx(sca_state.hub_ink, abs=1e-12)
+
+    def test_step_honours_propagation_threshold_override(self, kernel_inputs):
+        matrix, hub_mask, params, hubs, hub_matrix = kernel_inputs
+        source = int(np.flatnonzero(~hub_mask)[0])
+        state = initial_node_state(source, False)
+        state.residual = {source: params.propagation_threshold / 4}
+        kernel = PropagationKernel(
+            matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+        )
+        assert not kernel.step(state)
+        assert kernel.step(
+            state, propagation_threshold=params.propagation_threshold / 8
+        )
+
+    def test_materialize_requires_hub_info(self, kernel_inputs):
+        matrix, hub_mask, params, _, _ = kernel_inputs
+        kernel = PropagationKernel(matrix, hub_mask, params)
+        with pytest.raises(ValueError, match="materialize"):
+            kernel.materialize(initial_node_state(0, False))
+
+
+class TestBuildBackends:
+    def test_backend_override_recorded(self, small_web_graph, small_transition, small_params):
+        index = build_index(
+            small_web_graph, small_params, transition=small_transition,
+            backend="scalar",
+        )
+        assert index.params.backend == "scalar"
+        assert index.build_report.backend == "scalar"
+
+    def test_build_backends_agree_on_queries(
+        self, small_web_graph, small_transition, small_params
+    ):
+        vec = build_index(small_web_graph, small_params, transition=small_transition)
+        sca = build_index(
+            small_web_graph, small_params, transition=small_transition,
+            backend="scalar",
+        )
+        vec_engine = ReverseTopKEngine(small_transition, vec)
+        sca_engine = ReverseTopKEngine(small_transition, sca)
+        for query in (0, 7, 23, 59):
+            a = vec_engine.query(query, 5, update_index=False)
+            b = sca_engine.query(query, 5, update_index=False)
+            np.testing.assert_array_equal(a.nodes, b.nodes)
+
+    def test_rebuild_node_state_matches_build(
+        self, small_web_graph, small_transition, small_params
+    ):
+        for backend in ("vectorized", "scalar"):
+            index = build_index(
+                small_web_graph, small_params, transition=small_transition,
+                backend=backend,
+            )
+            hub_mask = index.hubs.mask(small_web_graph.n_nodes)
+            expansion = _HubExpansion(
+                small_web_graph.n_nodes, index.hubs, index.hub_matrix
+            )
+            matrix = sp.csc_matrix(small_transition)
+            for node in np.flatnonzero(~hub_mask)[:6]:
+                rebuilt = rebuild_node_state(
+                    int(node), matrix, hub_mask, index.params, expansion
+                )
+                _states_bit_identical(rebuilt, index.state(int(node)))
+
+    def test_refine_uses_index_backend(self, small_web_graph, small_transition, small_params):
+        # Whichever backend built the index, refinement routes through the
+        # kernel and keeps tightening bounds until the state is exact.
+        for backend in ("vectorized", "scalar"):
+            index = build_index(
+                small_web_graph, small_params, transition=small_transition,
+                backend=backend,
+            )
+            hub_mask = index.hubs.mask(small_web_graph.n_nodes)
+            matrix = sp.csc_matrix(small_transition)
+            node = next(v for v, s in index.states() if not s.is_exact)
+            state = index.state(node)
+            before = state.lower_bounds.copy()
+            for _ in range(10_000):
+                if not refine_node_state(state, index, matrix, hub_mask, node=node):
+                    break
+            assert state.is_exact
+            assert np.all(state.lower_bounds >= before - 1e-12)
+
+    def test_params_backend_round_trips_through_save(self, small_web_graph, small_transition, tmp_path):
+        params = IndexParams(capacity=10, hub_budget=3, backend="scalar", block_size=7)
+        index = build_index(small_web_graph, params, transition=small_transition)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = ReverseTopKIndex.load(path)
+        assert loaded.params.backend == "scalar"
+        assert loaded.params.block_size == 7
+        assert loaded.build_report is None
+
+
+class TestBuildProgressAndReport:
+    def test_progress_called_once_per_target_node(
+        self, small_web_graph, small_transition, small_params
+    ):
+        calls = []
+        build_index(
+            small_web_graph,
+            small_params,
+            transition=small_transition,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        n = small_web_graph.n_nodes
+        assert len(calls) == n
+        assert [done for done, _ in calls] == list(range(1, n + 1))
+        assert all(total == n for _, total in calls)
+
+    def test_progress_with_node_subset(self, small_web_graph, small_transition, small_params):
+        calls = []
+        targets = [3, 9, 27, 41]
+        build_index(
+            small_web_graph,
+            small_params,
+            transition=small_transition,
+            nodes=targets,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert len(calls) == len(targets)
+        assert calls[-1] == (len(targets), len(targets))
+
+    @pytest.mark.parametrize("backend", ["vectorized", "scalar"])
+    def test_report_phases_sum_to_build_seconds(
+        self, small_web_graph, small_transition, small_params, backend
+    ):
+        index = build_index(
+            small_web_graph, small_params, transition=small_transition,
+            backend=backend,
+        )
+        report = index.build_report
+        assert set(report.stage_seconds) == {"hub_matrix", "bca", "materialize"}
+        assert all(seconds >= 0.0 for seconds in report.stage_seconds.values())
+        assert report.build_seconds == pytest.approx(
+            sum(report.stage_seconds.values()), abs=0.0
+        )
+        assert index.build_seconds == report.build_seconds
+        assert report.n_nodes == small_web_graph.n_nodes
+        assert report.n_targets == small_web_graph.n_nodes
+        as_dict = report.as_dict()
+        assert as_dict["backend"] == backend
+        assert as_dict["build_seconds"] == report.build_seconds
+
+    def test_report_survives_deepcopy_not_reload(self, small_index):
+        clone = copy.deepcopy(small_index)
+        assert clone.build_report is not None
+        assert clone.build_report.build_seconds == small_index.build_report.build_seconds
+
+
+class TestParallelBuild:
+    def test_parallel_build_bit_identical_to_serial(
+        self, small_web_graph, small_transition, small_params
+    ):
+        serial = build_index(small_web_graph, small_params, transition=small_transition)
+        parallel = build_index_parallel(
+            small_web_graph, small_params, transition=small_transition, n_workers=2
+        )
+        assert parallel.hubs.nodes == serial.hubs.nodes
+        np.testing.assert_array_equal(
+            parallel.hub_matrix.toarray(), serial.hub_matrix.toarray()
+        )
+        for (node, a), (_, b) in zip(parallel.states(), serial.states()):
+            _states_bit_identical(a, b)
+        np.testing.assert_array_equal(
+            parallel.columns.lower, serial.columns.lower
+        )
+
+    def test_parallel_progress_reports_shards(self, small_web_graph, small_transition, small_params):
+        calls = []
+        build_index_parallel(
+            small_web_graph,
+            small_params,
+            transition=small_transition,
+            n_workers=2,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls
+        done, total = calls[-1]
+        assert done == total
+
+    def test_single_worker_falls_back_to_serial(
+        self, small_web_graph, small_transition, small_params
+    ):
+        index = build_index_parallel(
+            small_web_graph, small_params, transition=small_transition, n_workers=1
+        )
+        reference = build_index(
+            small_web_graph, small_params, transition=small_transition
+        )
+        for (_, a), (_, b) in zip(index.states(), reference.states()):
+            _states_bit_identical(a, b)
+
+
+class TestLegacyArchiveCompat:
+    def test_archive_without_backend_fields_loads_as_scalar(
+        self, small_web_graph, small_transition, small_params, tmp_path
+    ):
+        # Archives from before the kernel layer were built by the seed loop,
+        # which only the scalar backend preserves bit-identically: loading
+        # them as "vectorized" would hand the dynamic maintainer a mixed
+        # index matching neither backend's from-scratch build.
+        index = build_index(
+            small_web_graph, small_params, transition=small_transition,
+            backend="scalar",
+        )
+        path = tmp_path / "modern.npz"
+        index.save(path)
+        with np.load(path, allow_pickle=False) as data:
+            payload = {
+                name: data[name]
+                for name in data.files
+                if name not in ("backend", "block_size")
+            }
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **payload)
+        loaded = ReverseTopKIndex.load(legacy)
+        assert loaded.params.backend == "scalar"
+        assert loaded.params.block_size == IndexParams().block_size

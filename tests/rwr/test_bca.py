@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.rwr import bca_proximity_vector, proximity_column, push_proximity_vector
 
@@ -33,6 +34,97 @@ class TestBCAProximityVector:
     def test_push_budget_respected(self, small_transition):
         result = bca_proximity_vector(small_transition, 0, max_pushes=3)
         assert result.iterations <= 3
+
+
+def _near_half_update_transition() -> sp.csc_matrix:
+    """A cyclic transition engineered to trigger near-half residue updates.
+
+    Processing node 3 regrows the residues of already-processed nodes 0 and 1
+    to roughly half / one-and-a-half times the values their older heap
+    entries were pushed with — exactly the region where the old
+    ``np.isclose(rtol=0.5)`` staleness heuristic could misclassify an entry
+    (dropping a fresh one or processing a stale one out of max-residue
+    order).  Column ``j`` lists the out-distribution of node ``j``.
+    """
+    transition = np.zeros((5, 5))
+    transition[[1, 2, 3], 0] = (0.3, 0.4, 0.3)
+    transition[2, 1] = 1.0
+    transition[[3, 4], 2] = (0.55, 0.45)
+    transition[[0, 1], 3] = (0.5, 0.5)
+    transition[0, 4] = 1.0
+    return sp.csc_matrix(transition)
+
+
+def _reference_max_first(dense, source, alpha, max_pushes, residue_threshold):
+    """Independent Berkhin reference: always process the current max residue."""
+    n = dense.shape[0]
+    residual = np.zeros(n)
+    retained = np.zeros(n)
+    residual[source] = 1.0
+    total = 1.0
+    pushes = 0
+    while total > residue_threshold and pushes < max_pushes and residual.max() > 0:
+        node = int(np.argmax(residual))
+        amount = residual[node]
+        residual[node] = 0.0
+        retained[node] += alpha * amount
+        total -= amount
+        shares = (1.0 - alpha) * amount * dense[:, node]
+        residual += shares
+        total += float(shares.sum())
+        pushes += 1
+    return retained, residual
+
+
+class TestLazyDeletionHeapRegression:
+    """Sequence-numbered staleness detection (regression for the rtol=0.5 check)."""
+
+    def test_prefixes_follow_max_residue_discipline(self):
+        # Every push-budget prefix must match the reference trajectory that
+        # always processes the single largest residue: the value-based
+        # staleness heuristic broke this ordering once residues drifted by
+        # about half between push and pop.
+        transition = _near_half_update_transition()
+        dense = transition.toarray()
+        for budget in range(1, 25):
+            result = bca_proximity_vector(
+                transition, 0, alpha=0.3, residue_threshold=1e-12, max_pushes=budget
+            )
+            expected_retained, expected_residual = _reference_max_first(
+                dense, 0, 0.3, budget, 1e-12
+            )
+            np.testing.assert_allclose(
+                result.retained, expected_retained, rtol=0, atol=1e-13
+            )
+            np.testing.assert_allclose(
+                result.residual, expected_residual, rtol=0, atol=1e-13
+            )
+
+    def test_converges_exactly_on_near_half_graph(self):
+        transition = _near_half_update_transition()
+        exact = proximity_column(transition, 0, alpha=0.3)
+        result = bca_proximity_vector(
+            transition, 0, alpha=0.3, residue_threshold=1e-10
+        )
+        np.testing.assert_allclose(result.retained, exact, atol=1e-7)
+        # Ink conservation: retained plus outstanding residue is one unit.
+        total = result.retained.sum() + result.residual.sum()
+        assert total == pytest.approx(1.0, abs=1e-9)
+        assert result.residual_mass <= 1e-10 + 1e-15
+
+    def test_no_duplicate_processing_of_stale_entries(self):
+        # With sequence numbers a node is processed at most once per residue
+        # generation: on a two-node cycle the number of pushes needed to hit
+        # the threshold is exactly the analytic count, with no wasted pops.
+        transition = sp.csc_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        alpha = 0.5
+        threshold = 1e-6
+        result = bca_proximity_vector(
+            transition, 0, alpha=alpha, residue_threshold=threshold
+        )
+        # Residue halves on every push: 2^-k <= 1e-6 after exactly 20 pushes.
+        assert result.iterations == 20
+        assert result.residual_mass <= threshold
 
 
 class TestPushProximityVector:

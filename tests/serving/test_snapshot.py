@@ -195,3 +195,124 @@ class TestSnapshotManager:
             transition=small_transition,
         )
         assert hit
+
+
+class TestParallelBuildOrLoad:
+    def test_miss_builds_in_parallel_and_archives(
+        self, tmp_path, small_web_graph, small_transition, small_params
+    ):
+        manager = SnapshotManager(tmp_path)
+        index, hit = manager.build_or_load(
+            small_web_graph, small_params, transition=small_transition, parallel=2
+        )
+        assert not hit
+        assert index.n_nodes == small_web_graph.n_nodes
+        # The parallel cold path archives under the same content key a
+        # serial build would use, so the next start is a warm hit either way.
+        _, hit_serial = manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        assert hit_serial
+        _, hit_parallel = manager.build_or_load(
+            small_web_graph, small_params, transition=small_transition, parallel=2
+        )
+        assert hit_parallel
+
+    def test_parallel_build_bit_identical_to_serial_archive(
+        self, tmp_path, small_web_graph, small_transition, small_params
+    ):
+        manager = SnapshotManager(tmp_path / "parallel")
+        parallel, _ = manager.build_or_load(
+            small_web_graph, small_params, transition=small_transition, parallel=2
+        )
+        serial = build_index(small_web_graph, small_params, transition=small_transition)
+        for (node, a), (_, b) in zip(parallel.states(), serial.states()):
+            assert a.residual == b.residual, node
+            assert a.retained == b.retained, node
+            assert a.hub_ink == b.hub_ink, node
+            np.testing.assert_array_equal(a.lower_bounds, b.lower_bounds)
+        np.testing.assert_array_equal(
+            parallel.columns.lower, serial.columns.lower
+        )
+
+    def test_parallel_none_matches_load_or_build(
+        self, tmp_path, small_web_graph, small_transition, small_params
+    ):
+        manager = SnapshotManager(tmp_path)
+        index, hit = manager.build_or_load(
+            small_web_graph, small_params, transition=small_transition
+        )
+        assert not hit
+        reference, hit = manager.load_or_build(
+            small_web_graph, small_params, transition=small_transition
+        )
+        assert hit
+        assert reference.n_nodes == index.n_nodes
+
+    def test_parallel_answers_queries(self, tmp_path, small_web_graph, small_transition, small_params):
+        manager = SnapshotManager(tmp_path)
+        index, _ = manager.build_or_load(
+            small_web_graph, small_params, transition=small_transition, parallel=2
+        )
+        engine = ReverseTopKEngine(small_transition, index)
+        serial_engine = ReverseTopKEngine(
+            small_transition,
+            build_index(small_web_graph, small_params, transition=small_transition),
+        )
+        for query in (0, 13, 31):
+            a = engine.query(query, 5, update_index=False)
+            b = serial_engine.query(query, 5, update_index=False)
+            np.testing.assert_array_equal(a.nodes, b.nodes)
+
+
+class TestContentNeutralParams:
+    def test_block_size_excluded_from_snapshot_key(self, small_web_graph, small_transition):
+        # block_size cannot change index contents (per-source trajectories
+        # are bitwise block-independent), so retuning it must keep existing
+        # warm-start archives valid.
+        a = IndexParams(capacity=10, hub_budget=2, block_size=256)
+        b = IndexParams(capacity=10, hub_budget=2, block_size=32)
+        assert params_fingerprint(a) == params_fingerprint(b)
+        assert snapshot_key(small_web_graph, a, small_transition) == snapshot_key(
+            small_web_graph, b, small_transition
+        )
+
+    def test_backend_participates_in_snapshot_key(self, small_web_graph):
+        a = IndexParams(capacity=10, hub_budget=2, backend="vectorized")
+        b = IndexParams(capacity=10, hub_budget=2, backend="scalar")
+        assert params_fingerprint(a) != params_fingerprint(b)
+
+    def test_block_size_retune_hits_existing_archive(
+        self, tmp_path, small_web_graph, small_transition
+    ):
+        manager = SnapshotManager(tmp_path)
+        manager.build_or_load(
+            small_web_graph,
+            IndexParams(capacity=10, hub_budget=2, block_size=256),
+            transition=small_transition,
+        )
+        _, hit = manager.build_or_load(
+            small_web_graph,
+            IndexParams(capacity=10, hub_budget=2, block_size=16),
+            transition=small_transition,
+        )
+        assert hit
+
+    def test_warm_hit_honours_retuned_block_size(
+        self, tmp_path, small_web_graph, small_transition
+    ):
+        # A hit must not resurrect the archive's block width: the retune is
+        # exactly how operators cap the kernel's dense working set.
+        manager = SnapshotManager(tmp_path)
+        manager.build_or_load(
+            small_web_graph,
+            IndexParams(capacity=10, hub_budget=2, block_size=256),
+            transition=small_transition,
+        )
+        warm, hit = manager.build_or_load(
+            small_web_graph,
+            IndexParams(capacity=10, hub_budget=2, block_size=16),
+            transition=small_transition,
+        )
+        assert hit
+        assert warm.params.block_size == 16
