@@ -1,0 +1,172 @@
+"""Sharded-vs-monolithic serving: throughput and peak RSS.
+
+The acceptance contract of the partitioned index layer: memmap-backed
+sharded serving must answer **bit-identically** to the monolithic engine,
+stay within ``MAX_SLOWDOWN`` of its throughput, and hold **measurably less
+resident memory** — the whole point of the layout is that the ``(K, n)``
+columnar state and the per-node BCA dicts no longer have to live in the
+serving process.
+
+Peak RSS is a high-water mark, so the two scenarios cannot share a process:
+the benchmark builds both archives once (parent), then runs each scenario in
+a **fresh subprocess** that only *loads* its archive, serves the identical
+query workload through its engine, and reports throughput plus
+``ru_maxrss``.  Results land in ``benchmarks/results/sharded_query.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core import IndexParams
+from repro.graph import copying_web_graph, transition_matrix
+from repro.serving import SnapshotManager
+
+N_NODES = 2_000
+OUT_DEGREE = 5
+GRAPH_SEED = 3
+CAPACITY = 200
+HUB_BUDGET = 8
+ETA = 1e-5  # propagation threshold
+DELTA = 0.005  # low residue threshold -> dense, realistic per-node states
+K = 10
+N_QUERIES = 120
+N_SHARDS = 8
+MAX_SLOWDOWN = 2.0
+
+RESULTS_JSON = Path(__file__).resolve().parent / "results" / "sharded_query.json"
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+_CHILD_TEMPLATE = """
+import json, resource, sys
+import numpy as np
+from repro.core import IndexParams, ReverseTopKEngine, ReverseTopKIndex
+from repro.core import ShardedReverseTopKEngine, ShardedReverseTopKIndex
+from repro.graph import copying_web_graph, transition_matrix
+from repro.utils.timer import Timer
+
+mode = {mode!r}
+graph = copying_web_graph({n_nodes}, out_degree={out_degree}, seed={graph_seed})
+matrix = transition_matrix(graph)
+if mode == "monolithic":
+    index = ReverseTopKIndex.load({archive!r})
+    engine = ReverseTopKEngine(matrix, index)
+else:
+    index = ShardedReverseTopKIndex.load({archive!r}, memory_budget=0)
+    engine = ShardedReverseTopKEngine(matrix, index)
+
+queries = list(np.random.default_rng(11).integers(0, {n_nodes}, size={n_queries}))
+with Timer() as timer:
+    results = engine.query_many_readonly(queries, {k})
+
+def peak_rss_kb():
+    # ru_maxrss survives execve, so a child forked from a fat parent would
+    # report the parent's fork-time high-water mark; /proc VmHWM tracks the
+    # post-exec address space and is the honest per-process peak on Linux.
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM"):
+                    return float(line.split()[1])
+    except OSError:
+        pass
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+peak_kb = peak_rss_kb()
+answers = {{str(int(q)): [int(n) for n in r.nodes] for q, r in zip(queries, results)}}
+print("REPORT:" + json.dumps({{
+    "mode": mode,
+    "seconds": timer.elapsed,
+    "qps": len(queries) / timer.elapsed,
+    "peak_rss_mb": peak_kb / 1024.0,
+    "answers": answers,
+}}))
+"""
+
+
+def _run_child(mode: str, archive: str) -> dict:
+    script = _CHILD_TEMPLATE.format(
+        mode=mode,
+        archive=archive,
+        n_nodes=N_NODES,
+        out_degree=OUT_DEGREE,
+        graph_seed=GRAPH_SEED,
+        n_queries=N_QUERIES,
+        k=K,
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, env=env
+    )
+    assert proc.returncode == 0, proc.stderr
+    line = [l for l in proc.stdout.splitlines() if l.startswith("REPORT:")][0]
+    return json.loads(line[len("REPORT:"):])
+
+
+def test_sharded_query_throughput_and_rss(tmp_path):
+    graph = copying_web_graph(N_NODES, out_degree=OUT_DEGREE, seed=GRAPH_SEED)
+    matrix = transition_matrix(graph)
+    params = IndexParams(
+        capacity=CAPACITY,
+        hub_budget=HUB_BUDGET,
+        propagation_threshold=ETA,
+        residue_threshold=DELTA,
+    )
+    manager = SnapshotManager(tmp_path)
+
+    # Build both archives once in the parent; children only load.
+    index, _ = manager.build_or_load(graph, params, transition=matrix)
+    mono_archive = str(manager.path_for(graph, index.params, matrix))
+    sharded, _ = manager.build_or_load_sharded(
+        graph, params, transition=matrix, n_shards=N_SHARDS, memory_budget=0
+    )
+    layout = str(sharded.directory)
+
+    mono = _run_child("monolithic", mono_archive)
+    shard = _run_child("sharded", layout)
+
+    # Bit-identical answers, query by query.
+    assert mono["answers"] == shard["answers"]
+
+    slowdown = mono["qps"] / shard["qps"]
+    rss_saved_mb = mono["peak_rss_mb"] - shard["peak_rss_mb"]
+    record = {
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "capacity": CAPACITY,
+        "hub_budget": HUB_BUDGET,
+        "propagation_threshold": ETA,
+        "residue_threshold": DELTA,
+        "k": K,
+        "n_queries": N_QUERIES,
+        "n_shards": N_SHARDS,
+        "index_total_mb": sharded.total_bytes() / 2**20,
+        "monolithic": {key: mono[key] for key in ("seconds", "qps", "peak_rss_mb")},
+        "sharded_memmap": {
+            key: shard[key] for key in ("seconds", "qps", "peak_rss_mb")
+        },
+        "slowdown": slowdown,
+        "rss_saved_mb": rss_saved_mb,
+    }
+    RESULTS_JSON.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nsharded ({N_SHARDS} shards, memmap) vs monolithic on "
+        f"{graph.n_nodes}-node graph: {shard['qps']:.0f} vs {mono['qps']:.0f} qps "
+        f"({slowdown:.2f}x slowdown), peak RSS {shard['peak_rss_mb']:.1f} vs "
+        f"{mono['peak_rss_mb']:.1f} MB ({rss_saved_mb:.1f} MB saved)"
+    )
+
+    assert slowdown <= MAX_SLOWDOWN, (
+        f"memmap-backed sharded serving is {slowdown:.2f}x slower than the "
+        f"monolithic engine (allowed: {MAX_SLOWDOWN:.1f}x)"
+    )
+    assert rss_saved_mb > 0, (
+        f"sharded serving must hold measurably less memory; saved "
+        f"{rss_saved_mb:.2f} MB"
+    )

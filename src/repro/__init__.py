@@ -44,6 +44,9 @@ from .core import (
     QueryStatistics,
     build_index,
     build_index_parallel,
+    build_sharded_index,
+    ShardedReverseTopKEngine,
+    ShardedReverseTopKIndex,
     BuildReport,
     PropagationKernel,
     kth_upper_bounds_batch,
@@ -84,6 +87,9 @@ __all__ = [
     "QueryStatistics",
     "build_index",
     "build_index_parallel",
+    "build_sharded_index",
+    "ShardedReverseTopKEngine",
+    "ShardedReverseTopKIndex",
     "BuildReport",
     "PropagationKernel",
     "kth_upper_bounds_batch",

@@ -21,6 +21,9 @@ Modules
     Algorithm 3 — staircase upper bound for the k-th largest proximity.
 ``query``
     Algorithm 4 — the online reverse top-k query engine.
+``sharding``
+    Partitioned index shards (in-RAM or memmap-backed) with a query router
+    that answers bit-identically to the monolithic engine.
 ``baseline``
     Brute-force comparators: BF, IBF and FBF (§3, §5.3).
 ``estimates``
@@ -35,6 +38,13 @@ from .index import ReverseTopKIndex, NodeState, ColumnarView
 from .pmpn import proximity_to_node, PMPNResult
 from .bounds import kth_upper_bound, kth_upper_bounds_batch, staircase_levels
 from .query import ReverseTopKEngine, QueryResult, QueryStatistics, SCAN_MODES
+from .sharding import (
+    IndexShard,
+    ShardedReverseTopKEngine,
+    ShardedReverseTopKIndex,
+    build_sharded_index,
+    shard_boundaries,
+)
 from .baseline import (
     brute_force_reverse_topk,
     InfeasibleBruteForce,
@@ -65,6 +75,11 @@ __all__ = [
     "kth_upper_bounds_batch",
     "staircase_levels",
     "ReverseTopKEngine",
+    "IndexShard",
+    "ShardedReverseTopKEngine",
+    "ShardedReverseTopKIndex",
+    "build_sharded_index",
+    "shard_boundaries",
     "SCAN_MODES",
     "QueryResult",
     "QueryStatistics",

@@ -99,6 +99,23 @@ _UMASK = os.umask(0)
 os.umask(_UMASK)
 
 
+def effective_state_residual_mass(
+    state: "NodeState", hubs: HubSet, hub_deficit: np.ndarray
+) -> float:
+    """Effective residual mass of a state under a given hub configuration.
+
+    ``||r||_1`` plus the hub rounding-deficit correction (see the module
+    docstring).  Shared by the monolithic index and the sharded layout, so
+    every columnar ``residual_mass`` entry is computed by exactly one
+    definition regardless of where the state lives.
+    """
+    mass = state.residual_mass
+    if state.hub_ink and hub_deficit.size:
+        for hub, ink in state.hub_ink.items():
+            mass += ink * float(hub_deficit[hubs.position(hub)])
+    return mass
+
+
 @dataclass
 class NodeState:
     """Per-node BCA state: the column of ``R``, ``W``, ``S`` and ``P̂`` for one node.
@@ -373,11 +390,7 @@ class ReverseTopKIndex:
         the column sync so the columnar ``residual_mass`` vector holds exactly
         the value the per-node computation would produce.
         """
-        mass = state.residual_mass
-        if state.hub_ink and self.hub_deficit.size:
-            for hub, ink in state.hub_ink.items():
-                mass += ink * float(self.hub_deficit[self.hubs.position(hub)])
-        return mass
+        return effective_state_residual_mass(state, self.hubs, self.hub_deficit)
 
     # ------------------------------------------------------------------ #
     # columnar view maintenance

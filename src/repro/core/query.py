@@ -39,7 +39,7 @@ candidate count, immediate hits, refinement iterations, and stage timings
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -112,6 +112,12 @@ class QueryStatistics:
 class QueryResult:
     """Answer of a reverse top-k query.
 
+    The engine marks both arrays read-only before handing the result out:
+    one result object may be shared by a cache, several deduplicated
+    requesters and pickled process-pool transfers, so accidental in-place
+    mutation by any one holder must fail loudly instead of corrupting every
+    other holder's answer.
+
     Attributes
     ----------
     query:
@@ -133,11 +139,44 @@ class QueryResult:
     proximities_to_query: np.ndarray
     statistics: QueryStatistics
 
+    def __post_init__(self) -> None:
+        self._freeze()
+
+    def _freeze(self) -> None:
+        if isinstance(self.nodes, np.ndarray):
+            self.nodes.setflags(write=False)
+        if isinstance(self.proximities_to_query, np.ndarray):
+            self.proximities_to_query.setflags(write=False)
+
+    def __setstate__(self, state: dict) -> None:
+        # NumPy drops the read-only flag on unpickle, so results shipped
+        # back from process-pool workers would arrive writable — re-freeze
+        # on receipt, or one caller's in-place edit would corrupt the
+        # cache's pristine entry and every dedup sibling.
+        self.__dict__.update(state)
+        self._freeze()
+
     def __contains__(self, node: object) -> bool:
         return bool(np.isin(node, self.nodes))
 
     def __len__(self) -> int:
         return int(self.nodes.size)
+
+    def copy(self) -> "QueryResult":
+        """Defensive copy for fan-out to independent consumers.
+
+        The read-only result arrays are shared (they cannot be mutated
+        through either holder), but the statistics — whose ``stage_seconds``
+        dict is the one remaining mutable field — are duplicated, so no two
+        consumers can observe each other's modifications.
+        """
+        return replace(
+            self,
+            statistics=replace(
+                self.statistics,
+                stage_seconds=dict(self.statistics.stage_seconds),
+            ),
+        )
 
     def ranked(self) -> List[tuple[int, float]]:
         """Result nodes with their proximity to the query, strongest first."""
@@ -366,6 +405,10 @@ class ReverseTopKEngine:
             stage_seconds=stages.as_dict(),
             n_exact_fallbacks=tally.n_fallbacks,
         )
+        # QueryResult freezes the answer arrays on construction (and again
+        # on unpickle): results are shared across caches, deduplicated
+        # requesters and worker transfers, and a silent in-place edit by one
+        # holder would corrupt every other holder's answer.
         return QueryResult(
             query=query,
             k=k,

@@ -1,0 +1,1374 @@
+"""Partitioned index shards with a query router (out-of-core serving).
+
+The monolithic :class:`~repro.core.index.ReverseTopKIndex` keeps the whole
+``(K, n)`` columnar state — plus every per-node BCA state dict — resident in
+one process.  That caps the graph size a single serving process can hold well
+short of the ROADMAP's "millions of users" target.  This module partitions
+the index the same way PR 4 already shards its *construction*:
+
+``IndexShard``
+    One contiguous node range ``[start, stop)`` holding that range's slice of
+    the columnar views (lower-bound matrix columns, effective-residual-mass
+    vector, exactness mask) and its node states.  A shard is backed either
+
+    * **in RAM** — plain writable arrays plus a materialised state list, or
+    * **by the on-disk layout** — the columnar slices and the flattened
+      state arrays are ``np.memmap`` views over per-shard ``.npy`` files
+      opened read-only, and states are materialised lazily, per node, by
+      slicing single rows out of the mapped arrays.
+
+    The on-disk layout is **immutable**: a refinement write-back promotes the
+    owning shard's columnar arrays into RAM (copy-on-write) instead of
+    mutating files that are content-addressed by the snapshot layer.  Written
+    states live in a per-shard overlay consulted before the lazy arrays.
+
+``ShardedReverseTopKIndex``
+    The partitioned index: global hub data (hub set, hub proximity matrix,
+    rounding deficits) shared across ``P`` contiguous shards, plus the same
+    node-level API the query engine consumes on the monolithic index
+    (``state`` / ``set_state`` / ``sync_state`` / ``states`` /
+    ``replace_contents`` / ``version``).  Reads and write-backs route to the
+    owning shard; the mutation version stays **global** — one counter, bumped
+    exactly like the monolithic index, so the serving layer's version-keyed
+    cache behaves identically.
+
+``ShardedReverseTopKEngine``
+    The query router: PMPN runs once globally (proximities to the query do
+    not partition), then Algorithm 4's vectorized scan — whole-array prune,
+    exact shortcut, batched staircase bound — runs **per shard** over that
+    shard's columnar slice, sequentially or fanned across a thread pool.
+    Per-shard outcomes concatenate in shard order (node ranges are contiguous
+    and ascending), so candidates refine in exactly the monolithic scan
+    order and answers, statistics counters, and refinement write-backs are
+    bit-identical to :class:`~repro.core.query.ReverseTopKEngine` on the
+    equivalent monolithic index.
+
+``build_sharded_index``
+    Constructs the sharded layout directly — each shard's states are built
+    (optionally on PR 4's process-pool shard workers) and written out before
+    the next shard starts, so peak memory is one shard plus the hub matrix
+    and there is **no monolithic merge step**.
+
+Bit-identity argument, in one place: the staircase bound, prune comparison
+and exactness shortcut are all column-local (no cross-node arithmetic), so
+evaluating them on a column slice yields the same floats as on the full
+matrix; per-shard candidate lists concatenated in shard order reproduce the
+monolithic ascending candidate order; and refinement operates on the same
+:class:`NodeState` values through the same kernel.  ``float64`` round-trips
+through ``.npy``/``.npz`` files are bitwise exact, so memmap-backed shards
+scan the same values an in-RAM shard holds.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import zipfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import (
+    check_node_index,
+    check_non_negative_int,
+    check_positive_int,
+)
+from ..exceptions import InvalidParameterError, SerializationError
+from ..graph.digraph import DiGraph
+from .config import IndexParams
+from .hubs import HubSet
+from .index import (
+    _UMASK,
+    ColumnarView,
+    NodeState,
+    ReverseTopKIndex,
+    _states_to_arrays,
+    effective_state_residual_mass,
+)
+from .propagation import PropagationKernel, initial_node_state
+from .query import ReverseTopKEngine, _ScanTally
+from .bounds import kth_upper_bounds_batch
+from .lbi import (
+    _bca_shard,
+    _compute_hub_matrix,
+    _init_shard_worker,
+    _resolve_build_inputs,
+)
+
+PathLike = Union[str, os.PathLike]
+
+#: Accepted shard backings.
+SHARD_BACKINGS = ("ram", "memmap")
+
+#: On-disk layout format version (bumped on incompatible layout changes).
+_LAYOUT_VERSION = 1
+
+#: Name of the layout's global metadata archive.  It is written *last*:
+#: a directory without a readable meta archive is a torn layout and is
+#: treated as a snapshot miss, never loaded partially.
+_META_NAME = "sharded-meta.npz"
+
+#: Bytes per stored value/index in the resident-size estimate (mirrors the
+#: monolithic index's Table 2 accounting).
+_VALUE_BYTES = 8
+_INDEX_BYTES = 8
+
+#: Flattened per-shard state arrays (the :func:`_states_to_arrays` layout).
+#: Each is persisted as its own ``.npy`` file so shards can memmap them and
+#: materialise *single nodes* by slicing — loading a whole shard's states
+#: because one candidate needed refinement would erode the memory budget.
+_STATE_ARRAY_NAMES = (
+    "residual_indptr",
+    "residual_keys",
+    "residual_values",
+    "retained_indptr",
+    "retained_keys",
+    "retained_values",
+    "hub_ink_indptr",
+    "hub_ink_keys",
+    "hub_ink_values",
+    "lower_bounds",
+    "iterations",
+    "is_hub",
+)
+
+
+def shard_boundaries(n_nodes: int, n_shards: int) -> np.ndarray:
+    """Contiguous, balanced node-range boundaries: ``P + 1`` ascending offsets.
+
+    Shard ``i`` covers ``[boundaries[i], boundaries[i + 1])``.  Sizes differ
+    by at most one (the first ``n_nodes % P`` shards get the extra node), and
+    ``n_shards`` is clamped to ``n_nodes`` so no shard is ever empty.
+    """
+    check_positive_int(n_nodes, "n_nodes")
+    check_positive_int(n_shards, "n_shards")
+    n_shards = min(n_shards, n_nodes)
+    base, extra = divmod(n_nodes, n_shards)
+    sizes = np.full(n_shards, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.concatenate([[0], np.cumsum(sizes)])
+
+
+def _shard_stem(ordinal: int) -> str:
+    return f"shard-{ordinal:05d}"
+
+
+def _atomic_write(path: Path, writer: Callable) -> None:
+    """Write a file via a uniquely-named temp sibling plus ``os.replace``."""
+    try:
+        descriptor, name = tempfile.mkstemp(prefix=f"{path.name}.tmp-", dir=path.parent)
+    except OSError as exc:
+        raise SerializationError(f"cannot write {path}: {exc}") from exc
+    temporary = Path(name)
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            os.fchmod(descriptor, 0o666 & ~_UMASK)
+            writer(handle)
+            handle.flush()
+            os.fsync(descriptor)
+        os.replace(temporary, path)
+    except OSError as exc:
+        raise SerializationError(f"cannot write {path}: {exc}") from exc
+    finally:
+        if temporary.exists():
+            temporary.unlink()
+
+
+class IndexShard:
+    """One contiguous node-range slice of a sharded reverse top-k index.
+
+    Constructed through :meth:`from_states` (in-RAM backing) or
+    :meth:`from_layout` (memmap backing over the immutable on-disk layout).
+    Node indices at this level are *local* (``0 .. stop - start``); the
+    owning :class:`ShardedReverseTopKIndex` translates.
+    """
+
+    def __init__(self, start: int, stop: int, capacity: int) -> None:
+        if stop <= start:
+            raise InvalidParameterError(
+                f"shard range [{start}, {stop}) must be non-empty"
+            )
+        self.start = int(start)
+        self.stop = int(stop)
+        self.capacity = int(capacity)
+        self.backing = "ram"
+        self.directory: Optional[Path] = None
+        self.ordinal: int = 0
+        # Columnar slice (None = not yet opened for memmap shards).
+        self._lower: Optional[np.ndarray] = None
+        self._mass: Optional[np.ndarray] = None
+        self._exact: Optional[np.ndarray] = None
+        # State storage: a full list (RAM) or lazy flattened arrays plus a
+        # write overlay (memmap).
+        self._states: Optional[List[NodeState]] = None
+        self._state_arrays: Optional[Dict[str, np.ndarray]] = None
+        self._overlay: Dict[int, NodeState] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_states(
+        cls,
+        start: int,
+        stop: int,
+        capacity: int,
+        states: Sequence[NodeState],
+        mass_of: Callable[[NodeState], float],
+    ) -> "IndexShard":
+        """In-RAM shard over ``states`` (one per node of the range, in order)."""
+        shard = cls(start, stop, capacity)
+        if len(states) != shard.n_nodes:
+            raise InvalidParameterError(
+                f"shard [{start}, {stop}) needs {shard.n_nodes} states, "
+                f"got {len(states)}"
+            )
+        shard._states = list(states)
+        shard._lower = np.zeros((capacity, shard.n_nodes), dtype=np.float64)
+        shard._mass = np.zeros(shard.n_nodes, dtype=np.float64)
+        shard._exact = np.zeros(shard.n_nodes, dtype=bool)
+        for local, state in enumerate(shard._states):
+            shard._write_column(local, state, mass_of(state))
+        return shard
+
+    @classmethod
+    def from_columns(
+        cls,
+        start: int,
+        stop: int,
+        capacity: int,
+        columns: ColumnarView,
+        states: Sequence[NodeState],
+    ) -> "IndexShard":
+        """In-RAM shard adopting pre-built columnar slices (copied)."""
+        shard = cls(start, stop, capacity)
+        if len(states) != shard.n_nodes:
+            raise InvalidParameterError(
+                f"shard [{start}, {stop}) needs {shard.n_nodes} states, "
+                f"got {len(states)}"
+            )
+        shard._states = list(states)
+        shard._lower = np.array(columns.lower, dtype=np.float64, copy=True)
+        shard._mass = np.array(columns.residual_mass, dtype=np.float64, copy=True)
+        shard._exact = np.array(columns.is_exact, dtype=bool, copy=True)
+        return shard
+
+    @classmethod
+    def from_layout(
+        cls, directory: PathLike, ordinal: int, start: int, stop: int, capacity: int
+    ) -> "IndexShard":
+        """Memmap shard over the immutable layout files in ``directory``.
+
+        Nothing is opened here; columnar memmaps and state arrays load
+        lazily on first access, so constructing a sharded index from a large
+        layout is O(P) metadata work.
+        """
+        shard = cls(start, stop, capacity)
+        shard.backing = "memmap"
+        shard.directory = Path(directory)
+        shard.ordinal = int(ordinal)
+        suffixes = ["lower.npy", "mass.npy", "exact.npy"]
+        suffixes += [f"states.{name}.npy" for name in _STATE_ARRAY_NAMES]
+        for suffix in suffixes:
+            path = shard.directory / f"{_shard_stem(ordinal)}.{suffix}"
+            if not path.exists():
+                raise SerializationError(f"sharded layout is missing {path}")
+        return shard
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in this shard's range."""
+        return self.stop - self.start
+
+    @property
+    def is_promoted(self) -> bool:
+        """Whether a write-back copied this shard's columns into RAM."""
+        return self.backing == "memmap" and self._lower is not None and (
+            self._lower.flags.writeable
+        )
+
+    @property
+    def columns(self) -> ColumnarView:
+        """This shard's columnar slice (read-only for callers)."""
+        self._ensure_columns()
+        return ColumnarView(
+            lower=self._lower, residual_mass=self._mass, is_exact=self._exact
+        )
+
+    def _ensure_columns(self) -> None:
+        if self._lower is not None:
+            return
+        stem = _shard_stem(self.ordinal)
+        try:
+            lower = np.load(self.directory / f"{stem}.lower.npy", mmap_mode="r")
+            mass = np.load(self.directory / f"{stem}.mass.npy", mmap_mode="r")
+            exact = np.load(self.directory / f"{stem}.exact.npy", mmap_mode="r")
+        except (OSError, ValueError) as exc:
+            raise SerializationError(
+                f"cannot open shard {self.ordinal} columns under {self.directory}: {exc}"
+            ) from exc
+        if lower.shape != (self.capacity, self.n_nodes):
+            raise SerializationError(
+                f"shard {self.ordinal} lower matrix has shape {lower.shape}, "
+                f"expected {(self.capacity, self.n_nodes)}"
+            )
+        # Concurrent read-side opens are benign duplicates, but the guard
+        # field (_lower) must be published *last*: a reader that sees it set
+        # must never find the companions still None.
+        self._mass = mass
+        self._exact = exact
+        self._lower = lower
+
+    def _ensure_state_arrays(self) -> Dict[str, np.ndarray]:
+        """Open the per-array state memmaps (lazy; O(1) resident memory).
+
+        The arrays stay memory-mapped: :meth:`_materialize_state` slices one
+        node's rows out of them, so only the pages a refinement candidate
+        actually touches ever become resident — states are lazy *per node*,
+        not per shard.
+        """
+        if self._state_arrays is None:
+            stem = _shard_stem(self.ordinal)
+            arrays: Dict[str, np.ndarray] = {}
+            try:
+                for name in _STATE_ARRAY_NAMES:
+                    arrays[name] = np.load(
+                        self.directory / f"{stem}.states.{name}.npy", mmap_mode="r"
+                    )
+            except (OSError, ValueError) as exc:
+                raise SerializationError(
+                    f"cannot open shard states under {self.directory}: {exc}"
+                ) from exc
+            self._state_arrays = arrays
+        return self._state_arrays
+
+    # ------------------------------------------------------------------ #
+    # state access
+    # ------------------------------------------------------------------ #
+    def state(self, local: int) -> NodeState:
+        """The state of local node ``local`` (materialised lazily on memmap).
+
+        Lazy shards *pin* the materialised state in the overlay: the
+        monolithic index's contract is that ``state()`` returns the stored
+        mutable object (callers mutate it in place and call ``sync_state``),
+        so repeated reads must observe one identity — an ephemeral copy
+        would silently drop in-place mutations.  Only nodes actually read
+        through this path (refinement candidates) are pinned; the scan never
+        touches states, and bulk iteration uses :meth:`iter_states`.
+        """
+        if self._states is not None:
+            return self._states[local]
+        overlaid = self._overlay.get(local)
+        if overlaid is not None:
+            return overlaid
+        state = self._materialize_state(local)
+        self._overlay[local] = state
+        return state
+
+    def iter_states(self) -> Iterator[NodeState]:
+        """States of the range in node order (overlay-aware, non-pinning).
+
+        Bulk consumers (persistence, maintenance materialisation) read every
+        state once by value; pinning them all would defeat the lazy backing.
+        """
+        if self._states is not None:
+            yield from self._states
+            return
+        for local in range(self.n_nodes):
+            overlaid = self._overlay.get(local)
+            yield overlaid if overlaid is not None else self._materialize_state(local)
+
+    def _materialize_state(self, local: int) -> NodeState:
+        arrays = self._ensure_state_arrays()
+        parts: Dict[str, Dict[int, float]] = {}
+        for name in ("residual", "retained", "hub_ink"):
+            indptr = arrays[f"{name}_indptr"]
+            lo, hi = int(indptr[local]), int(indptr[local + 1])
+            parts[name] = {
+                int(key): float(value)
+                for key, value in zip(
+                    arrays[f"{name}_keys"][lo:hi], arrays[f"{name}_values"][lo:hi]
+                )
+            }
+        return NodeState(
+            residual=parts["residual"],
+            retained=parts["retained"],
+            hub_ink=parts["hub_ink"],
+            lower_bounds=np.array(arrays["lower_bounds"][local], dtype=np.float64),
+            iterations=int(arrays["iterations"][local]),
+            is_hub=bool(arrays["is_hub"][local]),
+        )
+
+    def set_state(self, local: int, state: NodeState, mass: float) -> None:
+        """Store a state write-back and refresh its column.
+
+        Memmap shards promote their columnar arrays to RAM first (the disk
+        layout is immutable) and record the state in the overlay.
+        """
+        if self._states is not None:
+            self._states[local] = state
+        else:
+            self._overlay[local] = state
+        self._promote_columns()
+        self._write_column(local, state, mass)
+
+    def _promote_columns(self) -> None:
+        """Copy-on-write: make the columnar arrays private and writable."""
+        self._ensure_columns()
+        if not self._lower.flags.writeable:
+            self._lower = np.array(self._lower, dtype=np.float64, copy=True)
+            self._mass = np.array(self._mass, dtype=np.float64, copy=True)
+            self._exact = np.array(self._exact, dtype=bool, copy=True)
+
+    def _write_column(self, local: int, state: NodeState, mass: float) -> None:
+        count = min(self.capacity, state.lower_bounds.size)
+        self._lower[:count, local] = state.lower_bounds[:count]
+        self._lower[count:, local] = 0.0
+        self._mass[local] = mass
+        self._exact[local] = state.is_exact
+
+    # ------------------------------------------------------------------ #
+    # accounting / persistence
+    # ------------------------------------------------------------------ #
+    def stored_entries(self) -> int:
+        """Total sparse state entries in this shard (for size accounting).
+
+        A lazy shard answers by peeking at the on-disk index pointers
+        *without* populating the state-array cache — size accounting (the
+        layout meta records it) must not force the whole shard resident.
+        """
+        if self._states is not None:
+            return sum(state.stored_entries() for state in self._states)
+        # Overlaid write-backs supersede their on-disk rows: count the disk
+        # totals (an O(1) memmap peek at the indptr tails), then swap each
+        # overlaid node's disk entries for its live state's.
+        arrays = self._ensure_state_arrays()
+        total = sum(
+            int(arrays[f"{name}_indptr"][-1])
+            for name in ("residual", "retained", "hub_ink")
+        )
+        for local, state in self._overlay.items():
+            on_disk = sum(
+                int(
+                    arrays[f"{name}_indptr"][local + 1]
+                    - arrays[f"{name}_indptr"][local]
+                )
+                for name in ("residual", "retained", "hub_ink")
+            )
+            total += state.stored_entries() - on_disk
+        return total
+
+    def resident_bytes(self) -> int:
+        """Rough bytes this shard currently keeps in RAM (not on disk)."""
+        total = 0
+        if self._lower is not None and (
+            self.backing == "ram" or self._lower.flags.writeable
+        ):
+            total += self._lower.nbytes + self._mass.nbytes + self._exact.nbytes
+        if self._states is not None:
+            entries = sum(state.stored_entries() for state in self._states)
+            total += entries * (_VALUE_BYTES + _INDEX_BYTES)
+            total += self.n_nodes * self.capacity * _VALUE_BYTES
+        if self._state_arrays is not None:
+            # Memmapped state arrays are backed by the page cache, not the
+            # process heap; only materialised (heap) arrays count.
+            total += sum(
+                array.nbytes
+                for array in self._state_arrays.values()
+                if not isinstance(array, np.memmap)
+            )
+        for state in self._overlay.values():
+            total += state.stored_entries() * (_VALUE_BYTES + _INDEX_BYTES)
+            total += self.capacity * _VALUE_BYTES
+        return total
+
+    def write(self, directory: PathLike, ordinal: int) -> None:
+        """Persist this shard's columnar slices and state arrays (atomic)."""
+        directory = Path(directory)
+        stem = _shard_stem(ordinal)
+        columns = self.columns
+        lower = np.ascontiguousarray(columns.lower, dtype=np.float64)
+        mass = np.ascontiguousarray(columns.residual_mass, dtype=np.float64)
+        exact = np.ascontiguousarray(columns.is_exact, dtype=bool)
+        states = list(self.iter_states())
+        arrays = _states_to_arrays(states, self.capacity)
+        _atomic_write(
+            directory / f"{stem}.lower.npy", lambda handle: np.save(handle, lower)
+        )
+        _atomic_write(
+            directory / f"{stem}.mass.npy", lambda handle: np.save(handle, mass)
+        )
+        _atomic_write(
+            directory / f"{stem}.exact.npy", lambda handle: np.save(handle, exact)
+        )
+        for name in _STATE_ARRAY_NAMES:
+            array = arrays[name]
+            _atomic_write(
+                directory / f"{stem}.states.{name}.npy",
+                lambda handle, array=array: np.save(handle, array),
+            )
+
+    # ------------------------------------------------------------------ #
+    # pickling (process-pool workers)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Ship paths for clean memmap shards, arrays for everything else.
+
+        A clean disk-backed shard pickles to its directory reference only —
+        process-pool workers reopen the memmaps locally and share the page
+        cache instead of receiving a full copy of the arrays.
+        """
+        state = self.__dict__.copy()
+        if self.backing == "memmap":
+            # State memmaps never ship (np.memmap pickles by value); the
+            # receiver reopens them lazily.  Columns ship only once promoted
+            # — a promoted shard's RAM copies are the authoritative values.
+            state["_state_arrays"] = None
+            if not self.is_promoted:
+                state["_lower"] = None
+                state["_mass"] = None
+                state["_exact"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexShard([{self.start}, {self.stop}), backing={self.backing!r}"
+            f"{', promoted' if self.is_promoted else ''})"
+        )
+
+
+class ShardedReverseTopKIndex:
+    """A reverse top-k index partitioned into contiguous node-range shards.
+
+    Exposes the node-level surface the query engine and the dynamic
+    maintainer consume on :class:`~repro.core.index.ReverseTopKIndex`
+    (``state`` / ``set_state`` / ``sync_state`` / ``states`` /
+    ``replace_contents`` / ``kth_lower_bounds`` / ``version``), routing each
+    call to the owning shard.  Hub data is global — every shard's states
+    reference the same hub proximity matrix — and so is the mutation
+    version: one counter, bumped once per write-back exactly like the
+    monolithic index, which keeps the serving layer's version-keyed cache
+    semantics unchanged.
+    """
+
+    def __init__(
+        self,
+        params: IndexParams,
+        hubs: HubSet,
+        hub_matrix: sp.spmatrix,
+        hub_deficit: np.ndarray,
+        shards: Sequence[IndexShard],
+        *,
+        build_seconds: float = 0.0,
+        directory: Optional[Path] = None,
+    ) -> None:
+        self.params = params
+        self.hubs = hubs
+        self.hub_matrix = hub_matrix.tocsc()
+        self.hub_deficit = np.asarray(hub_deficit, dtype=np.float64)
+        self.shards: List[IndexShard] = list(shards)
+        self.build_seconds = float(build_seconds)
+        #: Layout directory the shards were loaded from (``None`` for pure
+        #: in-RAM indexes); informational — persistence always takes an
+        #: explicit target.
+        self.directory = directory
+        self._version = 0
+        if not self.shards:
+            raise InvalidParameterError("a sharded index needs at least one shard")
+        expected = 0
+        for shard in self.shards:
+            if shard.start != expected:
+                raise InvalidParameterError(
+                    f"shard ranges must be contiguous from 0; found a shard "
+                    f"starting at {shard.start} where {expected} was expected"
+                )
+            expected = shard.stop
+        self._boundaries = np.array(
+            [shard.start for shard in self.shards] + [expected], dtype=np.int64
+        )
+        if self.hub_matrix.shape[1] != len(hubs):
+            raise ValueError(
+                f"hub matrix has {self.hub_matrix.shape[1]} columns but "
+                f"{len(hubs)} hubs"
+            )
+        if self.hub_deficit.size != len(hubs):
+            raise ValueError("hub_deficit length must equal the number of hubs")
+        if self.hub_matrix.shape[0] not in (0, expected):
+            raise ValueError(
+                f"hub matrix has {self.hub_matrix.shape[0]} rows but the "
+                f"shards cover {expected} nodes"
+            )
+
+    # ------------------------------------------------------------------ #
+    # basic accessors (monolithic-index surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of indexed nodes across all shards."""
+        return int(self._boundaries[-1])
+
+    @property
+    def n_shards(self) -> int:
+        """Number of partitions ``P``."""
+        return len(self.shards)
+
+    @property
+    def capacity(self) -> int:
+        """The maximum k supported by this index (``K``)."""
+        return self.params.capacity
+
+    @property
+    def version(self) -> int:
+        """Global monotonic mutation counter (see the monolithic index)."""
+        return self._version
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """``P + 1`` ascending shard-range offsets (copy)."""
+        return self._boundaries.copy()
+
+    def shard_of(self, node: int) -> Tuple[IndexShard, int]:
+        """The shard owning ``node`` and the node's local offset within it."""
+        node = check_node_index(node, self.n_nodes)
+        ordinal = int(np.searchsorted(self._boundaries, node, side="right")) - 1
+        shard = self.shards[ordinal]
+        return shard, node - shard.start
+
+    def state(self, node: int) -> NodeState:
+        """The state of ``node``, routed to (and materialised by) its shard."""
+        shard, local = self.shard_of(node)
+        return shard.state(local)
+
+    def set_state(self, node: int, state: NodeState) -> None:
+        """Persist a state write-back into the owning shard (version bump)."""
+        shard, local = self.shard_of(node)
+        shard.set_state(local, state, self.state_residual_mass(state))
+        self._version += 1
+
+    def sync_state(self, node: int) -> None:
+        """Refresh the owning shard's column for ``node`` (version bump)."""
+        shard, local = self.shard_of(node)
+        state = shard.state(local)
+        shard.set_state(local, state, self.state_residual_mass(state))
+        self._version += 1
+
+    def states(self) -> Iterable[Tuple[int, NodeState]]:
+        """Iterate ``(node, state)`` pairs in node order across shards."""
+        for shard in self.shards:
+            for local, state in enumerate(shard.iter_states()):
+                yield shard.start + local, state
+
+    def state_residual_mass(self, state: NodeState) -> float:
+        """Effective residual mass of a (possibly detached) state."""
+        return effective_state_residual_mass(state, self.hubs, self.hub_deficit)
+
+    def effective_residual_mass(self, node: int) -> float:
+        """Residue mass of ``node``'s state, including the rounding deficit."""
+        return self.state_residual_mass(self.state(node))
+
+    def kth_lower_bounds(self, k: int) -> np.ndarray:
+        """The k-th lower bound of every node, concatenated across shards."""
+        k = check_positive_int(k, "k")
+        if k > self.capacity:
+            raise InvalidParameterError(
+                f"k={k} exceeds the index capacity K={self.capacity}"
+            )
+        return np.concatenate(
+            [np.asarray(shard.columns.lower[k - 1]) for shard in self.shards]
+        )
+
+    def replace_contents(
+        self,
+        *,
+        hubs: Optional[HubSet] = None,
+        hub_matrix: Optional[sp.spmatrix] = None,
+        hub_deficit: Optional[np.ndarray] = None,
+        states: Optional[List[NodeState]] = None,
+    ) -> None:
+        """Swap index components wholesale after dynamic-graph maintenance.
+
+        Mirrors :meth:`ReverseTopKIndex.replace_contents`: all components are
+        validated together, every shard is rebuilt (in RAM — the immutable
+        disk layout, if any, is now stale and must be re-persisted by the
+        snapshot layer under the new graph's content key), and the global
+        version is bumped exactly once.  Shard boundaries are preserved, so
+        maintenance invalidations land in their owning shards.
+        """
+        new_hubs = hubs if hubs is not None else self.hubs
+        new_matrix = hub_matrix.tocsc() if hub_matrix is not None else self.hub_matrix
+        new_deficit = (
+            np.asarray(hub_deficit, dtype=np.float64)
+            if hub_deficit is not None
+            else self.hub_deficit
+        )
+        if new_matrix.shape[0] != self.n_nodes:
+            raise ValueError(
+                f"hub matrix has {new_matrix.shape[0]} rows but the index "
+                f"covers {self.n_nodes} nodes"
+            )
+        if new_matrix.shape[1] != len(new_hubs):
+            raise ValueError(
+                f"hub matrix has {new_matrix.shape[1]} columns but "
+                f"{len(new_hubs)} hubs"
+            )
+        if new_deficit.size != len(new_hubs):
+            raise ValueError("hub_deficit length must equal the number of hubs")
+        if states is not None and len(states) != self.n_nodes:
+            raise ValueError(f"expected {self.n_nodes} states, got {len(states)}")
+        if states is None:
+            states = [state for _, state in self.states()]
+        self.hubs = new_hubs
+        self.hub_matrix = new_matrix
+        self.hub_deficit = new_deficit
+        mass_of = self.state_residual_mass
+        rebuilt = [
+            IndexShard.from_states(
+                shard.start,
+                shard.stop,
+                self.capacity,
+                states[shard.start : shard.stop],
+                mass_of,
+            )
+            for shard in self.shards
+        ]
+        self.shards = rebuilt
+        self.directory = None
+        self._version += 1
+
+    def adopt(self, fresh: "ShardedReverseTopKIndex") -> None:
+        """Swap in another sharded index's components, in place.
+
+        The dynamic maintainer's full-rebuild escape hatch builds a fresh
+        sharded index for the new graph and splices it into the *live*
+        object, so every holder of a reference (engine, serving façade)
+        keeps observing the same index and the same monotonic version
+        counter — bumped exactly once, like :meth:`replace_contents`.
+        """
+        if fresh.n_nodes != self.n_nodes:
+            raise ValueError(
+                f"cannot adopt an index over {fresh.n_nodes} nodes into one "
+                f"covering {self.n_nodes}"
+            )
+        self.params = fresh.params
+        self.hubs = fresh.hubs
+        self.hub_matrix = fresh.hub_matrix
+        self.hub_deficit = fresh.hub_deficit
+        self.shards = list(fresh.shards)
+        self._boundaries = fresh._boundaries.copy()
+        self.directory = fresh.directory
+        self._version += 1
+
+    # ------------------------------------------------------------------ #
+    # size accounting
+    # ------------------------------------------------------------------ #
+    def storage_bytes(self) -> Dict[str, int]:
+        """Approximate logical storage per component (Table 2 accounting)."""
+        lower = self.capacity * self.n_nodes * _VALUE_BYTES
+        state_entries = sum(shard.stored_entries() for shard in self.shards)
+        state_bytes = state_entries * (_VALUE_BYTES + _INDEX_BYTES)
+        hub_bytes = self.hub_matrix.nnz * (_VALUE_BYTES + _INDEX_BYTES)
+        return {
+            "lower_bounds": lower,
+            "bca_state": state_bytes,
+            "hub_matrix": hub_bytes,
+            "total": lower + state_bytes + hub_bytes,
+        }
+
+    def total_bytes(self) -> int:
+        """Total approximate logical index size in bytes."""
+        return self.storage_bytes()["total"]
+
+    def resident_bytes(self) -> int:
+        """Rough bytes currently held in RAM across shards and hub data.
+
+        Memmap-backed shards whose columns and states were never touched
+        contribute nothing; the gap between this and :meth:`total_bytes` is
+        what the partitioned layout saves a serving process.
+        """
+        hub_bytes = self.hub_matrix.nnz * (_VALUE_BYTES + _INDEX_BYTES)
+        return hub_bytes + sum(shard.resident_bytes() for shard in self.shards)
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_index(
+        cls,
+        index: ReverseTopKIndex,
+        n_shards: int,
+        *,
+        directory: Optional[PathLike] = None,
+        memory_budget: Optional[int] = None,
+    ) -> "ShardedReverseTopKIndex":
+        """Partition a monolithic index into ``n_shards`` contiguous shards.
+
+        ``memory_budget`` (bytes) selects the backing: ``None`` keeps every
+        shard in RAM; otherwise, when the index's approximate size exceeds
+        the budget the layout is persisted under ``directory`` and loaded
+        back memmap-backed (``directory`` is then required).
+        """
+        boundaries = shard_boundaries(index.n_nodes, n_shards)
+        columns = index.columns
+        all_states = [state for _, state in index.states()]
+        shards = [
+            IndexShard.from_columns(
+                int(start),
+                int(stop),
+                index.capacity,
+                ColumnarView(
+                    lower=columns.lower[:, start:stop],
+                    residual_mass=columns.residual_mass[start:stop],
+                    is_exact=columns.is_exact[start:stop],
+                ),
+                all_states[start:stop],
+            )
+            for start, stop in zip(boundaries[:-1], boundaries[1:])
+        ]
+        sharded = cls(
+            index.params,
+            index.hubs,
+            index.hub_matrix,
+            index.hub_deficit,
+            shards,
+            build_seconds=index.build_seconds,
+        )
+        if _resolve_backing(sharded.total_bytes(), memory_budget) == "memmap":
+            path = _require_directory(directory, memory_budget)
+            sharded.persist(path)
+            return cls.load(path, memory_budget=memory_budget)
+        return sharded
+
+    def to_index(self) -> ReverseTopKIndex:
+        """Materialise the equivalent monolithic index (RAM-heavy; tests)."""
+        states = [state for _, state in self.states()]
+        index = ReverseTopKIndex(
+            self.params,
+            self.hubs,
+            self.hub_matrix,
+            self.hub_deficit,
+            states,
+            build_seconds=self.build_seconds,
+        )
+        return index
+
+    # ------------------------------------------------------------------ #
+    # persistence (the on-disk layout)
+    # ------------------------------------------------------------------ #
+    def persist(self, directory: PathLike) -> Path:
+        """Write the full sharded layout under ``directory``.
+
+        Per-shard files first, the global ``sharded-meta.npz`` last — a torn
+        write leaves a directory without a readable meta archive, which
+        :meth:`load` rejects, so readers never observe a partial layout.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for ordinal, shard in enumerate(self.shards):
+            shard.write(directory, ordinal)
+        self._write_meta(directory)
+        return directory
+
+    def _write_meta(self, directory: Path) -> None:
+        """Write (and thereby seal) the layout's global metadata archive."""
+        hub_matrix = self.hub_matrix.tocoo()
+        params = self.params
+        meta = {
+            "layout_version": np.array([_LAYOUT_VERSION], dtype=np.int64),
+            "boundaries": self._boundaries,
+            "alpha": np.array([params.alpha]),
+            "capacity": np.array([params.capacity]),
+            "propagation_threshold": np.array([params.propagation_threshold]),
+            "residue_threshold": np.array([params.residue_threshold]),
+            "rounding_threshold": np.array([params.rounding_threshold]),
+            "hub_budget": np.array([params.hub_budget]),
+            "tolerance": np.array([params.tolerance]),
+            "backend": np.array([params.backend]),
+            "block_size": np.array([params.block_size]),
+            "hubs": np.asarray(self.hubs.nodes, dtype=np.int64),
+            "hub_deficit": self.hub_deficit,
+            "hub_rows": hub_matrix.row.astype(np.int64),
+            "hub_cols": hub_matrix.col.astype(np.int64),
+            "hub_vals": hub_matrix.data.astype(np.float64),
+            "hub_shape": np.asarray(self.hub_matrix.shape, dtype=np.int64),
+            "build_seconds": np.array([self.build_seconds]),
+            "total_bytes": np.array([self.total_bytes()], dtype=np.int64),
+        }
+        _atomic_write(
+            directory / _META_NAME,
+            lambda handle: np.savez_compressed(handle, **meta),
+        )
+
+    @classmethod
+    def load(
+        cls, directory: PathLike, *, memory_budget: Optional[int] = None
+    ) -> "ShardedReverseTopKIndex":
+        """Load a layout written by :meth:`persist`.
+
+        ``memory_budget`` decides the backing exactly as at build time:
+        ``None`` materialises every shard into RAM; with a budget the shards
+        stay memmap-backed (lazy columns, per-node lazy states) whenever the
+        recorded index size exceeds it.
+        """
+        directory = Path(directory)
+        meta_path = directory / _META_NAME
+        try:
+            with np.load(meta_path, allow_pickle=False) as data:
+                if int(data["layout_version"][0]) != _LAYOUT_VERSION:
+                    raise SerializationError(
+                        f"unsupported sharded layout version "
+                        f"{int(data['layout_version'][0])} at {directory}"
+                    )
+                params = IndexParams(
+                    alpha=float(data["alpha"][0]),
+                    capacity=int(data["capacity"][0]),
+                    propagation_threshold=float(data["propagation_threshold"][0]),
+                    residue_threshold=float(data["residue_threshold"][0]),
+                    rounding_threshold=float(data["rounding_threshold"][0]),
+                    hub_budget=int(data["hub_budget"][0]),
+                    tolerance=float(data["tolerance"][0]),
+                    backend=str(data["backend"][0]),
+                    block_size=int(data["block_size"][0]),
+                )
+                hubs = HubSet.from_iterable(data["hubs"].tolist())
+                shape = tuple(int(x) for x in data["hub_shape"])
+                hub_matrix = sp.coo_matrix(
+                    (data["hub_vals"], (data["hub_rows"], data["hub_cols"])),
+                    shape=shape,
+                ).tocsc()
+                hub_deficit = np.array(data["hub_deficit"], dtype=np.float64)
+                boundaries = np.array(data["boundaries"], dtype=np.int64)
+                build_seconds = float(data["build_seconds"][0])
+                total_bytes = int(data["total_bytes"][0])
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+            raise SerializationError(
+                f"cannot load sharded layout from {directory}: {exc}"
+            ) from exc
+        shards = [
+            IndexShard.from_layout(
+                directory, ordinal, int(start), int(stop), params.capacity
+            )
+            for ordinal, (start, stop) in enumerate(
+                zip(boundaries[:-1], boundaries[1:])
+            )
+        ]
+        sharded = cls(
+            params,
+            hubs,
+            hub_matrix,
+            hub_deficit,
+            shards,
+            build_seconds=build_seconds,
+            directory=directory,
+        )
+        if _resolve_backing(total_bytes, memory_budget) == "ram":
+            sharded._materialize_all()
+        return sharded
+
+    def _materialize_all(self) -> None:
+        """Promote every shard to a plain in-RAM shard (no lazy storage)."""
+        self.shards = [
+            IndexShard.from_columns(
+                shard.start,
+                shard.stop,
+                self.capacity,
+                shard.columns,
+                list(shard.iter_states()),
+            )
+            for shard in self.shards
+        ]
+        # Boundaries are unchanged; keep the recorded directory so callers
+        # can tell where this index came from.
+
+    def __repr__(self) -> str:
+        backings = {shard.backing for shard in self.shards}
+        return (
+            f"ShardedReverseTopKIndex(n_nodes={self.n_nodes}, "
+            f"K={self.capacity}, hubs={len(self.hubs)}, "
+            f"shards={self.n_shards}, backing={'/'.join(sorted(backings))})"
+        )
+
+
+def _resolve_backing(total_bytes: int, memory_budget: Optional[int]) -> str:
+    """Pick the shard backing for an index of ``total_bytes`` under a budget.
+
+    ``None`` budget means "hold everything in RAM" (the monolithic default);
+    otherwise the index goes out-of-core exactly when it does not fit.  A
+    budget of ``0`` therefore always selects the memmap layout.
+    """
+    if memory_budget is None:
+        return "ram"
+    check_non_negative_int(memory_budget, "memory_budget")
+    return "ram" if total_bytes <= memory_budget else "memmap"
+
+
+def _require_directory(
+    directory: Optional[PathLike], memory_budget: Optional[int]
+) -> Path:
+    if directory is None:
+        raise InvalidParameterError(
+            f"memory_budget={memory_budget} requires the memmap layout, "
+            "which needs a directory (pass directory=..., or configure a "
+            "snapshot_dir on the service)"
+        )
+    return Path(directory)
+
+
+# ----------------------------------------------------------------------- #
+# direct sharded construction (no monolithic merge step)
+# ----------------------------------------------------------------------- #
+def build_sharded_index(
+    graph: Union[DiGraph, sp.spmatrix],
+    params: Optional[IndexParams] = None,
+    *,
+    hubs: Optional[HubSet] = None,
+    transition: Optional[sp.spmatrix] = None,
+    n_shards: int = 4,
+    directory: Optional[PathLike] = None,
+    memory_budget: Optional[int] = None,
+    n_workers: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> ShardedReverseTopKIndex:
+    """Build a sharded index shard-by-shard, without a monolithic merge.
+
+    The exact hub proximity matrix is computed once; then each contiguous
+    node range is built in turn — non-hub sources through the propagation
+    kernel (optionally on ``n_workers`` process-pool workers, reusing the
+    parallel shard build of :func:`~repro.core.lbi.build_index_parallel`'s
+    worker functions), hub nodes from their exact top-K proximities — and,
+    whenever a ``memory_budget`` is given, written straight to the layout
+    before the next range starts, so peak build memory is one shard plus the
+    hub matrix.  The backing is then decided from the sealed layout's
+    *recorded* total (exactly :meth:`ShardedReverseTopKIndex.load`'s rule):
+    an index that fits the budget is materialised back into RAM, one that
+    does not stays memmap-backed.
+
+    The kernel is bitwise deterministic per source, so the resulting shards
+    hold exactly the states (and columnar values) a serial
+    :func:`~repro.core.lbi.build_index` would produce for the same range.
+
+    ``progress`` fires once per completed shard with ``(done_nodes, total)``.
+    """
+    from ..utils.timer import Timer
+
+    matrix, n, params, hubs = _resolve_build_inputs(
+        graph, params, hubs, transition, None
+    )
+    with Timer() as timer:
+        hub_matrix, hub_deficit, hub_top_k = _compute_hub_matrix(matrix, hubs, params)
+        hub_mask = hubs.mask(n)
+        boundaries = shard_boundaries(n, n_shards)
+        ranges = list(zip(boundaries[:-1], boundaries[1:]))
+
+        # State sizes are unknown until the build runs, so a budgeted build
+        # always streams to the layout first and decides RAM vs memmap from
+        # the *recorded* total afterwards — the exact rule :meth:`load`
+        # applies, so a cold build and a warm start of the same layout can
+        # never resolve the same budget to opposite backings.  A directory
+        # without a budget means "build in RAM but archive the layout".
+        budgeted = memory_budget is not None
+        if budgeted:
+            target = _require_directory(directory, memory_budget)
+        else:
+            target = Path(directory) if directory is not None else None
+        if target is not None:
+            target.mkdir(parents=True, exist_ok=True)
+
+        def assemble(start: int, stop: int, built: Dict[int, NodeState]) -> List[NodeState]:
+            states: List[NodeState] = []
+            for node in range(start, stop):
+                if hub_mask[node]:
+                    state = initial_node_state(node, True)
+                    state.lower_bounds = hub_top_k[int(node)].copy()
+                else:
+                    state = built[node]
+                states.append(state)
+            return states
+
+        mass_of = lambda state: effective_state_residual_mass(  # noqa: E731
+            state, hubs, hub_deficit
+        )
+        shards: List[IndexShard] = []
+        done = 0
+
+        def finish_range(ordinal: int, start: int, stop: int, built: Dict[int, NodeState]) -> None:
+            nonlocal done
+            shard = IndexShard.from_states(
+                int(start), int(stop), params.capacity, assemble(start, stop, built), mass_of
+            )
+            if target is not None:
+                shard.write(target, ordinal)
+                if budgeted:
+                    # Stream out-of-core: keep only the lazy view; whether
+                    # the finished index fits the budget is decided from the
+                    # sealed layout's recorded total below.
+                    shard = IndexShard.from_layout(
+                        target, ordinal, int(start), int(stop), params.capacity
+                    )
+            shards.append(shard)
+            done += stop - start
+            if progress is not None:
+                progress(done, n)
+
+        if n_workers is not None and n_workers > 1:
+            source_lists = [
+                [node for node in range(start, stop) if not hub_mask[node]]
+                for start, stop in ranges
+            ]
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_shard_worker,
+                initargs=(matrix, hub_mask, params, hubs, hub_matrix),
+            ) as pool:
+                for (start, stop), (sources, states) in zip(
+                    ranges, pool.map(_bca_shard, source_lists)
+                ):
+                    finish_range(
+                        len(shards), start, stop, dict(zip(sources, states))
+                    )
+        else:
+            kernel = PropagationKernel(
+                matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+            )
+            for start, stop in ranges:
+                sources = [
+                    node for node in range(start, stop) if not hub_mask[node]
+                ]
+                built = dict(zip(sources, kernel.run(sources)))
+                finish_range(len(shards), start, stop, built)
+
+    sharded = ShardedReverseTopKIndex(
+        params,
+        hubs,
+        hub_matrix,
+        hub_deficit,
+        shards,
+        build_seconds=timer.elapsed,
+        directory=target,
+    )
+    if target is not None:
+        # Seal the layout: the per-shard files streamed out above become
+        # loadable only once the meta archive lands (written last, atomically).
+        sharded._write_meta(target)
+        if budgeted and _resolve_backing(sharded.total_bytes(), memory_budget) == "ram":
+            # The finished index fits the budget after all: serve it from
+            # RAM (the layout stays on disk for the next warm start).
+            sharded._materialize_all()
+    return sharded
+
+
+# ----------------------------------------------------------------------- #
+# the query router
+# ----------------------------------------------------------------------- #
+class ShardedReverseTopKEngine(ReverseTopKEngine):
+    """Algorithm 4 over a :class:`ShardedReverseTopKIndex`.
+
+    PMPN (the exact proximities to the query) runs once, globally; the
+    vectorized scan then visits each shard's columnar slice — sequentially,
+    or fanned across a thread pool when ``scan_workers > 1`` (the scan phase
+    is pure reads over disjoint slices, and the NumPy kernels release the
+    GIL).  Undecided candidates refine through the inherited per-node
+    pipeline, whose index accesses route to the owning shard.
+
+    Answers, statistics counters and refinement write-backs are bit-identical
+    to the monolithic :class:`~repro.core.query.ReverseTopKEngine` over the
+    equivalent unpartitioned index (property-tested).
+    """
+
+    def __init__(
+        self,
+        transition: sp.spmatrix,
+        index: ShardedReverseTopKIndex,
+        *,
+        scan_workers: int = 0,
+    ) -> None:
+        self.scan_workers = check_non_negative_int(scan_workers, "scan_workers")
+        self._scan_pool: Optional[ThreadPoolExecutor] = None
+        self._scan_pool_lock = threading.Lock()
+        super().__init__(transition, index)
+
+    @classmethod
+    def build(
+        cls,
+        graph: Union[DiGraph, sp.spmatrix],
+        params: Optional[IndexParams] = None,
+        *,
+        transition: Optional[sp.spmatrix] = None,
+        hubs: Optional[HubSet] = None,
+        n_shards: int = 4,
+        directory: Optional[PathLike] = None,
+        memory_budget: Optional[int] = None,
+        n_workers: Optional[int] = None,
+        scan_workers: int = 0,
+    ) -> "ShardedReverseTopKEngine":
+        """Build a sharded index for ``graph`` and wrap it in a router."""
+        if isinstance(graph, DiGraph):
+            from ..graph.transition import transition_matrix
+
+            matrix = transition if transition is not None else transition_matrix(graph)
+        else:
+            matrix = graph if transition is None else transition
+        index = build_sharded_index(
+            graph,
+            params,
+            hubs=hubs,
+            transition=matrix,
+            n_shards=n_shards,
+            directory=directory,
+            memory_budget=memory_budget,
+            n_workers=n_workers,
+        )
+        return cls(matrix, index, scan_workers=scan_workers)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def rebind(
+        self,
+        transition: sp.spmatrix,
+        index: Optional[ShardedReverseTopKIndex] = None,
+    ) -> None:
+        """Re-derive transition caches, preserving the scan-pool setting."""
+        workers = self.scan_workers
+        self.close()
+        self.__init__(
+            transition,
+            index if index is not None else self.index,
+            scan_workers=workers,
+        )
+
+    def close(self) -> None:
+        """Shut down the per-shard scan pool (idempotent)."""
+        with self._scan_pool_lock:
+            if self._scan_pool is not None:
+                self._scan_pool.shutdown(wait=True)
+                self._scan_pool = None
+
+    def __enter__(self) -> "ShardedReverseTopKEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_scan_pool(self) -> ThreadPoolExecutor:
+        with self._scan_pool_lock:
+            if self._scan_pool is None:
+                self._scan_pool = ThreadPoolExecutor(max_workers=self.scan_workers)
+            return self._scan_pool
+
+    # ------------------------------------------------------------------ #
+    # pickling (process-pool workers)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Ship the transition, the sharded index, and the pool setting."""
+        return {
+            "transition": self.transition,
+            "index": self.index,
+            "scan_workers": self.scan_workers,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["transition"], state["index"], scan_workers=state["scan_workers"]
+        )
+
+    # ------------------------------------------------------------------ #
+    # the per-shard scan
+    # ------------------------------------------------------------------ #
+    def _scan_vectorized(self, proximity_to_q, k, params, stages):
+        """Columnar scan routed across shards; refinement stays global.
+
+        Per-shard stages are column-local, so evaluating them slice by slice
+        yields the monolithic scan's floats; shard outcomes concatenate in
+        range order, reproducing the monolithic ascending candidate order —
+        and therefore identical refinement trajectories, write-back order,
+        version bumps and statistics counters.
+        """
+        tally = _ScanTally()
+        shards = self.index.shards
+        with stages.time("scan"):
+            if self.scan_workers > 1 and len(shards) > 1:
+                pool = self._ensure_scan_pool()
+                outcomes = list(
+                    pool.map(
+                        lambda shard: _scan_shard(shard, proximity_to_q, k), shards
+                    )
+                )
+            else:
+                outcomes = [_scan_shard(shard, proximity_to_q, k) for shard in shards]
+            exact_parts: List[np.ndarray] = []
+            candidate_parts: List[np.ndarray] = []
+            hit_parts: List[np.ndarray] = []
+            for start, exact_local, cand_local, hits, n_pruned in outcomes:
+                tally.n_pruned += n_pruned
+                tally.n_exact += int(exact_local.size)
+                tally.n_candidates += int(cand_local.size)
+                tally.n_hits += int(np.count_nonzero(hits))
+                exact_parts.append(exact_local + start)
+                candidate_parts.append(cand_local + start)
+                hit_parts.append(hits)
+            exact_nodes = np.concatenate(exact_parts)
+            candidates = np.concatenate(candidate_parts)
+            hits = (
+                np.concatenate(hit_parts)
+                if candidates.size
+                else np.zeros(0, dtype=bool)
+            )
+
+        refined_results: List[int] = []
+        with stages.time("refine"):
+            for node in candidates[~hits]:
+                outcome = self._refine_candidate(
+                    int(node), float(proximity_to_q[node]), k, params
+                )
+                tally.absorb_refinement(outcome)
+                if outcome.is_result:
+                    refined_results.append(int(node))
+
+        nodes = np.sort(
+            np.concatenate(
+                [
+                    exact_nodes,
+                    candidates[hits],
+                    np.asarray(refined_results, dtype=np.int64),
+                ]
+            )
+        ).astype(np.int64)
+        return nodes, tally
+
+
+def _scan_shard(
+    shard: IndexShard, proximity_to_q: np.ndarray, k: int
+) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Prune / exact-shortcut / batched-bound stages over one shard's slice.
+
+    Returns ``(start, exact_local, candidates_local, hits, n_pruned)`` with
+    local (shard-relative) node offsets; pure reads, safe to fan across
+    threads.
+    """
+    columns = shard.columns
+    local = proximity_to_q[shard.start : shard.stop]
+    survivors = local >= columns.lower[k - 1]
+    n_pruned = shard.n_nodes - int(np.count_nonzero(survivors))
+    is_exact = np.asarray(columns.is_exact)
+    exact_local = np.flatnonzero(survivors & is_exact)
+    candidates_local = np.flatnonzero(survivors & ~is_exact)
+    if candidates_local.size:
+        upper = kth_upper_bounds_batch(
+            columns.lower[:, candidates_local],
+            columns.residual_mass[candidates_local],
+            k,
+        )
+        hits = local[candidates_local] >= upper
+    else:
+        hits = np.zeros(0, dtype=bool)
+    return shard.start, exact_local, candidates_local, hits, n_pruned

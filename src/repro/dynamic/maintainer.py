@@ -70,6 +70,7 @@ from ..core.propagation import (
     PropagationKernel,
     materialize_lower_bounds,
 )
+from ..core.sharding import ShardedReverseTopKIndex, build_sharded_index
 from ..core.query import ReverseTopKEngine
 from ..graph.digraph import DiGraph
 from ..graph.transition import rebuild_transition_columns
@@ -277,15 +278,34 @@ class IndexMaintainer:
     # internals
     # ------------------------------------------------------------------ #
     def _full_rebuild(self, graph, transition, hubs):
-        """Escape hatch: rebuild everything, splice into the live index."""
+        """Escape hatch: rebuild everything, splice into the live index.
+
+        A sharded index is rebuilt shard by shard on its own partitioning
+        (:func:`~repro.core.sharding.build_sharded_index` — the same states
+        a monolithic build would produce, without materialising a monolithic
+        ``(K, n)`` columnar matrix first) and adopted in place; the version
+        bumps exactly once either way.
+        """
         index = self.engine.index
-        fresh = build_index(graph, index.params, hubs=hubs, transition=transition)
-        index.replace_contents(
-            hubs=fresh.hubs,
-            hub_matrix=fresh.hub_matrix,
-            hub_deficit=fresh.hub_deficit,
-            states=[state for _, state in fresh.states()],
-        )
+        if isinstance(index, ShardedReverseTopKIndex):
+            fresh = build_sharded_index(
+                graph,
+                index.params,
+                hubs=hubs,
+                transition=transition,
+                n_shards=index.n_shards,
+            )
+            index.adopt(fresh)
+        else:
+            fresh = build_index(
+                graph, index.params, hubs=hubs, transition=transition
+            )
+            index.replace_contents(
+                hubs=fresh.hubs,
+                hub_matrix=fresh.hub_matrix,
+                hub_deficit=fresh.hub_deficit,
+                states=[state for _, state in fresh.states()],
+            )
         self.engine.rebind(transition)
         n_non_hub = index.n_nodes - len(hubs)
         return n_non_hub, 0, len(hubs), 1.0, True

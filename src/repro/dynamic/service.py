@@ -208,6 +208,9 @@ class DynamicReverseTopKService(ReverseTopKService):
         weighted: bool = False,
         rebuild_ratio: float = DEFAULT_REBUILD_RATIO,
         hub_policy: str = "pinned",
+        n_shards: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        scan_workers: int = 0,
     ) -> "DynamicReverseTopKService":
         """Build (or warm-start) a dynamic service for ``graph``.
 
@@ -221,6 +224,15 @@ class DynamicReverseTopKService(ReverseTopKService):
         of an arbitrary custom transition).  ``rebuild_ratio`` and
         ``hub_policy`` configure the :class:`IndexMaintainer` (see its
         docstring for the trade-offs).
+
+        ``n_shards`` / ``memory_budget`` / ``scan_workers`` select the
+        partitioned index exactly as on the static service: maintenance
+        invalidations route to the owning shards through the sharded
+        index's ``replace_contents``, the version bump stays global (one
+        retired cache generation per batch), and the re-archive after each
+        batch persists the sharded layout under the new graph's key.  Note
+        that maintenance rebuilds shards in RAM; memmap backing returns at
+        the next warm start from the re-archived layout.
         """
         from ..graph.transition import transition_matrix, weighted_transition_matrix
 
@@ -235,7 +247,13 @@ class DynamicReverseTopKService(ReverseTopKService):
                 "one, or drive IndexMaintainer directly)"
             )
         engine, manager, from_snapshot = cls._prepare_engine(
-            graph, params, snapshot_dir, matrix
+            graph,
+            params,
+            snapshot_dir,
+            matrix,
+            n_shards=n_shards,
+            memory_budget=memory_budget,
+            scan_workers=scan_workers,
         )
         maintainer = IndexMaintainer(
             engine,
@@ -298,6 +316,11 @@ class DynamicReverseTopKService(ReverseTopKService):
                 raise
             self._discard_stale_workers(version_before)
             version_after = self.engine.index.version
+            if version_after != version_before:
+                # The bump just retired one whole cache generation; drop its
+                # stranded entries eagerly — LRU aging alone would leave the
+                # dead keys pinning heavyweight results under churn.
+                self._cache.purge_versions_below(version_after)
         if report.changed and self._snapshots is not None:
             # Re-archive outside the write lock so serving resumes while the
             # compressed .npz is written; the read lock keeps writers (and

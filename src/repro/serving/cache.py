@@ -4,8 +4,17 @@ Entries are keyed on ``(query, k, index_version)``.  The index version is a
 monotonic counter bumped by every state write-back
 (:attr:`repro.core.ReverseTopKIndex.version`), so a refinement persisted into
 the index implicitly invalidates all earlier answers: lookups always use the
-*current* version, stale entries simply never match again and age out of the
-LRU order.
+*current* version, so stale entries never match again.
+
+Aging out alone is not enough under churn, though: every version bump
+strands a full generation of unmatchable keys, and LRU aging only removes
+them under *insertion* pressure — exactly what a cache-friendly hot working
+set does not generate.  The stranded entries then pin their heavyweight
+:class:`QueryResult` payloads (per-query ``n``-length proximity vectors)
+indefinitely and inflate the cache's occupancy.  The service therefore calls
+:meth:`ResultCache.purge_versions_below` right after each bump (a persisted
+refinement, or a dynamic-graph update batch), dropping the dead generation
+eagerly.
 """
 
 from __future__ import annotations
@@ -33,8 +42,10 @@ class CacheStats:
     insertions:
         Number of entries ever stored.
     evictions:
-        Entries displaced by the LRU policy (capacity pressure only; stale
-        versions are not proactively evicted, they age out).
+        Entries displaced by the LRU policy (capacity pressure only).
+    purged:
+        Dead-generation entries dropped by
+        :meth:`ResultCache.purge_versions_below` after index version bumps.
     size / capacity:
         Current and maximum entry counts.
     """
@@ -45,6 +56,7 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    purged: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -59,6 +71,7 @@ class CacheStats:
             "misses": self.misses,
             "insertions": self.insertions,
             "evictions": self.evictions,
+            "purged": self.purged,
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": self.hit_rate,
@@ -80,6 +93,7 @@ class ResultCache:
         self._misses = 0
         self._insertions = 0
         self._evictions = 0
+        self._purged = 0
 
     def get(self, key: CacheKey) -> Optional[QueryResult]:
         """Return the cached result for ``key`` (marking it most-recent), or None."""
@@ -107,11 +121,39 @@ class ResultCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 
+    def purge_versions_below(self, version: int) -> int:
+        """Eagerly drop entries keyed under an index version older than ``version``.
+
+        Version-keyed entries can never match again once the index moves
+        past them, but LRU aging only drops them under insertion pressure —
+        which a hot working set served from cache never generates — so each
+        update bump would otherwise pin one full generation of heavyweight
+        results indefinitely.  The serving layer calls this on its
+        post-update version bump; returns the number of entries dropped.
+
+        Only keys following the :data:`CacheKey` layout (version in the
+        third slot) are considered; foreign keys are left untouched.
+        """
+        with self._lock:
+            dead = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple)
+                and len(key) >= 3
+                and isinstance(key[2], int)
+                and key[2] < version
+            ]
+            for key in dead:
+                del self._entries[key]
+            self._purged += len(dead)
+            return len(dead)
+
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         with self._lock:
             self._entries.clear()
-            self._hits = self._misses = self._insertions = self._evictions = 0
+            self._hits = self._misses = self._insertions = 0
+            self._evictions = self._purged = 0
 
     def stats(self) -> CacheStats:
         """A consistent snapshot of the cache counters."""
@@ -123,6 +165,7 @@ class ResultCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                purged=self._purged,
             )
 
     def __len__(self) -> int:

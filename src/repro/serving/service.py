@@ -34,6 +34,7 @@ from .._validation import (
     check_non_negative_int,
     check_positive_int,
 )
+from ..exceptions import InvalidParameterError
 from ..core.config import IndexParams
 from ..core.query import SCAN_MODES, QueryResult, ReverseTopKEngine
 from ..graph.digraph import DiGraph
@@ -249,6 +250,9 @@ class ReverseTopKService:
         config: Optional[ServiceConfig] = None,
         snapshot_dir: Optional[PathLikeOrManager] = None,
         transition: Optional[sp.spmatrix] = None,
+        n_shards: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        scan_workers: int = 0,
     ) -> "ReverseTopKService":
         """Build (or warm-start) a service for ``graph``.
 
@@ -256,9 +260,24 @@ class ReverseTopKService:
         snapshot when one matches ``(graph, params)`` — cold-start becomes a
         single archive read — and otherwise built once and archived for the
         next start.  ``service.warm_started`` records which path ran.
+
+        ``n_shards`` switches the service to the partitioned index: ``P``
+        contiguous node-range shards behind a
+        :class:`~repro.core.sharding.ShardedReverseTopKEngine` router.
+        ``memory_budget`` (bytes) selects the shard backing — when the index
+        does not fit, shards are served as ``np.memmap`` views over the
+        snapshot layout (``snapshot_dir`` required) instead of resident
+        arrays — and ``scan_workers > 1`` fans the per-shard scan across a
+        thread pool.  Answers are bit-identical to the monolithic engine.
         """
         engine, _, warm_started = cls._prepare_engine(
-            graph, params, snapshot_dir, transition
+            graph,
+            params,
+            snapshot_dir,
+            transition,
+            n_shards=n_shards,
+            memory_budget=memory_budget,
+            scan_workers=scan_workers,
         )
         return cls(engine, config, warm_started=warm_started)
 
@@ -268,6 +287,10 @@ class ReverseTopKService:
         params: Optional[IndexParams],
         snapshot_dir: Optional[PathLikeOrManager],
         transition: Optional[sp.spmatrix],
+        *,
+        n_shards: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        scan_workers: int = 0,
     ) -> Tuple[ReverseTopKEngine, Optional["SnapshotManager"], bool]:
         """Shared warm-start wiring behind every ``from_graph`` classmethod.
 
@@ -275,22 +298,51 @@ class ReverseTopKService:
         ``None`` when no snapshot directory was configured.  Kept in one
         place so the static and dynamic service façades can never drift in
         how they derive the transition, coerce the snapshot manager, or
-        decide between archive load and fresh build.
+        decide between archive load and fresh build — monolithic or sharded.
         """
+        from ..core.sharding import ShardedReverseTopKEngine, build_sharded_index
         from ..graph.transition import transition_matrix
 
+        if n_shards is None and (memory_budget is not None or scan_workers):
+            # Silently serving a full-RAM monolithic engine to a caller who
+            # asked for a budget (or a shard-scan pool) would defeat the one
+            # thing they asked for — fail loudly instead.
+            raise InvalidParameterError(
+                "memory_budget and scan_workers only apply to the partitioned "
+                "index; pass n_shards=... to enable it"
+            )
         matrix = transition if transition is not None else transition_matrix(graph)
-        if snapshot_dir is None:
-            engine = ReverseTopKEngine.build(graph, params, transition=matrix)
-            return engine, None, False
         manager = (
             snapshot_dir
-            if isinstance(snapshot_dir, SnapshotManager)
+            if snapshot_dir is None or isinstance(snapshot_dir, SnapshotManager)
             else SnapshotManager(snapshot_dir)
         )
-        index, from_snapshot = manager.load_or_build(
-            graph, params, transition=matrix
-        )
+        if n_shards is not None:
+            if manager is None:
+                index = build_sharded_index(
+                    graph,
+                    params,
+                    transition=matrix,
+                    n_shards=n_shards,
+                    memory_budget=memory_budget,
+                )
+                from_snapshot = False
+            else:
+                index, from_snapshot = manager.build_or_load_sharded(
+                    graph,
+                    params,
+                    transition=matrix,
+                    n_shards=n_shards,
+                    memory_budget=memory_budget,
+                )
+            engine = ShardedReverseTopKEngine(
+                matrix, index, scan_workers=scan_workers
+            )
+            return engine, manager, from_snapshot
+        if manager is None:
+            engine = ReverseTopKEngine.build(graph, params, transition=matrix)
+            return engine, None, False
+        index, from_snapshot = manager.load_or_build(graph, params, transition=matrix)
         return ReverseTopKEngine(matrix, index), manager, from_snapshot
 
     # ------------------------------------------------------------------ #
@@ -304,8 +356,11 @@ class ReverseTopKService:
         """Serve a burst of ``(query, k)`` requests, preserving order.
 
         The burst goes through cache lookup, in-flight dedup, same-``k``
-        batching, and (when configured) parallel fan-out.  Duplicate
-        requests receive the *same* :class:`QueryResult` object.
+        batching, and (when configured) parallel fan-out.  Deduplicated and
+        cached requests receive independent defensive copies of the shared
+        computation (read-only answer arrays are shared; the mutable
+        statistics are per-copy), so no caller can corrupt another caller's
+        — or the cache's — result.
         """
         requests = [(int(q), int(k)) for q, k in requests]
         for query, _ in requests:
@@ -324,7 +379,12 @@ class ReverseTopKService:
                 else None
             )
             plan = self._scheduler.plan(requests, lookup)
-            answered: Dict[int, QueryResult] = dict(plan.cached)
+            # Defensive copies all the way out: the cache keeps its own
+            # pristine object, and every awaiting position gets a result
+            # whose mutable statistics nobody else holds.
+            answered: Dict[int, QueryResult] = {
+                position: result.copy() for position, result in plan.cached.items()
+            }
             # All batches dispatch together: heterogeneous-k bursts (and
             # same-k overflow chunks) fan across the pool concurrently.
             groups, reports = self._executor.run_many(
@@ -337,7 +397,7 @@ class ReverseTopKService:
                     if use_cache:
                         self._cache.put((query, k, version), result)
                     for position in plan.assignments[(query, k)]:
-                        answered[position] = result
+                        answered[position] = result.copy()
 
         with self._lock:
             self._n_requests += plan.n_requests
@@ -361,9 +421,10 @@ class ReverseTopKService:
         """Evaluate one query with ``update_index=True`` (persisting bounds).
 
         Any refinement written back bumps the index version: cached answers
-        computed against the older state stop matching and age out.  Process
-        pool workers hold pickled snapshots, so their pool is discarded and
-        respawned lazily against the updated index.
+        computed against the older state stop matching and are purged from
+        the cache eagerly.  Process pool workers hold pickled snapshots, so
+        their pool is discarded and respawned lazily against the updated
+        index.
 
         Refinement takes the write side of the index lock, so it never
         rewrites the columnar views while an in-flight ``serve`` batch is
@@ -375,6 +436,10 @@ class ReverseTopKService:
                 query, k, update_index=True, scan_mode=self.config.scan_mode
             )
             self._discard_stale_workers(version)
+            # Eagerly drop the stranded cache generation: its keys can never
+            # match the bumped version again, and LRU aging would leave them
+            # pinning heavyweight results until insertion pressure arrives.
+            self._cache.purge_versions_below(self.engine.index.version)
         with self._lock:
             self._n_refinements += 1
         return result
@@ -420,8 +485,15 @@ class ReverseTopKService:
         self._cache.clear()
 
     def close(self) -> None:
-        """Release the executor's worker pool (idempotent)."""
+        """Release the executor's worker pool (idempotent).
+
+        A sharded engine may hold its own per-shard scan pool; the service
+        owns the engine it serves, so that pool is released here too.
+        """
         self._executor.close()
+        engine_close = getattr(self.engine, "close", None)
+        if callable(engine_close):
+            engine_close()
 
     def __enter__(self) -> "ReverseTopKService":
         return self

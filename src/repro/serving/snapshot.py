@@ -29,6 +29,7 @@ import scipy.sparse as sp
 from ..core.config import IndexParams
 from ..core.index import ReverseTopKIndex
 from ..core.lbi import build_index, build_index_parallel
+from ..core.sharding import ShardedReverseTopKIndex, build_sharded_index
 from ..exceptions import SerializationError
 from ..graph.digraph import DiGraph
 
@@ -161,16 +162,29 @@ class SnapshotManager:
 
     def store(
         self,
-        index: ReverseTopKIndex,
+        index: Union[ReverseTopKIndex, ShardedReverseTopKIndex],
         graph: DiGraph,
         params: Optional[IndexParams] = None,
         *,
         transition: Optional[sp.spmatrix] = None,
     ) -> Path:
-        """Persist ``index`` under its content key (atomic write)."""
-        path = self.path_for(
-            graph, params if params is not None else index.params, transition
-        )
+        """Persist ``index`` under its content key (atomic write).
+
+        A :class:`ShardedReverseTopKIndex` is persisted as its on-disk
+        sharded layout (one directory per content key and shard count); a
+        monolithic index as the usual single ``.npz`` archive.  The dynamic
+        service calls this after every maintenance batch, so a sharded
+        deployment re-archives shard by shard instead of materialising one
+        monolithic archive.
+        """
+        effective = params if params is not None else index.params
+        if isinstance(index, ShardedReverseTopKIndex):
+            return index.persist(
+                self.sharded_path_for(
+                    graph, effective, transition, n_shards=index.n_shards
+                )
+            )
+        path = self.path_for(graph, effective, transition)
         index.save(path)
         return path
 
@@ -242,6 +256,85 @@ class SnapshotManager:
             index = build_index(graph, effective, transition=transition)
         if store_on_miss:
             index.save(path)
+        return index, False
+
+    # ------------------------------------------------------------------ #
+    # sharded layouts
+    # ------------------------------------------------------------------ #
+    def sharded_path_for(
+        self,
+        graph: DiGraph,
+        params: IndexParams,
+        transition: Optional[sp.spmatrix] = None,
+        *,
+        n_shards: int,
+    ) -> Path:
+        """The layout directory a sharded snapshot lives at.
+
+        The shard count participates in the name (not the content key): two
+        partitionings of the same index hold identical values in different
+        file layouts, so they coexist side by side and a changed ``n_shards``
+        triggers a re-partition, never a mismatched load.
+        """
+        key = snapshot_key(graph, params, transition)
+        return self.directory / f"lbi-{key}-s{int(n_shards)}"
+
+    def build_or_load_sharded(
+        self,
+        graph: DiGraph,
+        params: Optional[IndexParams] = None,
+        *,
+        transition: Optional[sp.spmatrix] = None,
+        n_shards: int = 4,
+        memory_budget: Optional[int] = None,
+        parallel: Optional[int] = None,
+        store_on_miss: bool = True,
+    ) -> Tuple[ShardedReverseTopKIndex, bool]:
+        """Warm-start a sharded index: ``(index, from_snapshot)``.
+
+        Same content-key contract as :meth:`build_or_load`, but the archive
+        is the partitioned on-disk layout.  On a miss the index is built
+        shard by shard (:func:`~repro.core.sharding.build_sharded_index`,
+        optionally across ``parallel`` worker processes) with **no
+        monolithic merge step**; under a tight ``memory_budget`` each shard
+        streams straight to the layout and is served memmap-backed, so peak
+        build memory is one shard plus the hub matrix.  On a hit the layout
+        is opened lazily (or materialised into RAM when the budget allows).
+        """
+        effective = (params if params is not None else IndexParams()).for_graph(
+            graph.n_nodes
+        )
+        n_shards = min(int(n_shards), max(1, graph.n_nodes))
+        path = self.sharded_path_for(
+            graph, effective, transition, n_shards=n_shards
+        )
+        if path.exists():
+            try:
+                cached = ShardedReverseTopKIndex.load(
+                    path, memory_budget=memory_budget
+                )
+            except SerializationError:
+                cached = None  # torn or stale layout: rebuild below
+            if cached is not None:
+                if cached.params.block_size != effective.block_size:
+                    # Content-neutral, but sizes kernel working sets — honor
+                    # the caller's retune exactly as the monolithic hit does.
+                    cached.params = replace(
+                        cached.params, block_size=effective.block_size
+                    )
+                return cached, True
+        index = build_sharded_index(
+            graph,
+            effective,
+            transition=transition,
+            n_shards=n_shards,
+            directory=path if (store_on_miss or memory_budget is not None) else None,
+            memory_budget=memory_budget,
+            n_workers=parallel,
+        )
+        if store_on_miss and index.directory is None:
+            # RAM-backed build: archive the layout for the next start.
+            index.persist(path)
         return index, False
 
     def __repr__(self) -> str:

@@ -110,7 +110,20 @@ class LatencyStats:
         self._sorted = None
 
     def merge(self, other: "LatencyStats") -> "LatencyStats":
-        """Fold another accumulator's samples into this one (returns self)."""
+        """Fold another accumulator's samples into this one (returns self).
+
+        Edge cases (pinned by tests — the sharded query router merges
+        per-shard timing accumulators constantly):
+
+        * merging an **empty** accumulator is a no-op and keeps the sorted
+          cache warm (percentile queries between merges stay O(1));
+        * merging an accumulator **into itself** is a no-op rather than a
+          silent sample-doubling;
+        * merging disjoint counts is order-independent for every reported
+          statistic (count, mean, min/max, nearest-rank percentiles).
+        """
+        if other is self or not other._samples:
+            return self
         self._samples.extend(other._samples)
         self._sorted = None
         return self

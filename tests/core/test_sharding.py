@@ -1,0 +1,440 @@
+"""Unit tests for the partitioned index shards and the query router."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IndexParams,
+    ReverseTopKEngine,
+    ShardedReverseTopKEngine,
+    ShardedReverseTopKIndex,
+    build_index,
+    build_sharded_index,
+    shard_boundaries,
+)
+from repro.core.sharding import _META_NAME
+from repro.exceptions import InvalidParameterError, SerializationError
+from repro.graph import copying_web_graph, transition_matrix
+
+
+@pytest.fixture(scope="module")
+def medium_setup():
+    graph = copying_web_graph(123, out_degree=4, seed=17)
+    matrix = transition_matrix(graph)
+    params = IndexParams(capacity=10, hub_budget=4)
+    index = build_index(graph, params, transition=matrix)
+    return graph, matrix, params, index
+
+
+class TestShardBoundaries:
+    def test_even_split(self):
+        np.testing.assert_array_equal(shard_boundaries(12, 4), [0, 3, 6, 9, 12])
+
+    def test_uneven_split_front_loads_remainder(self):
+        np.testing.assert_array_equal(shard_boundaries(10, 3), [0, 4, 7, 10])
+
+    def test_more_shards_than_nodes_clamps(self):
+        np.testing.assert_array_equal(shard_boundaries(3, 8), [0, 1, 2, 3])
+
+    def test_single_shard(self):
+        np.testing.assert_array_equal(shard_boundaries(5, 1), [0, 5])
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            shard_boundaries(0, 2)
+        with pytest.raises(ValueError):
+            shard_boundaries(5, 0)
+
+
+class TestShardedIndexRam:
+    def test_from_index_columns_match_monolithic_slices(self, medium_setup):
+        _, _, _, index = medium_setup
+        sharded = ShardedReverseTopKIndex.from_index(index, 5)
+        assert sharded.n_shards == 5
+        columns = index.columns
+        for shard in sharded.shards:
+            view = shard.columns
+            np.testing.assert_array_equal(
+                np.asarray(view.lower), columns.lower[:, shard.start : shard.stop]
+            )
+            np.testing.assert_array_equal(
+                np.asarray(view.residual_mass),
+                columns.residual_mass[shard.start : shard.stop],
+            )
+            np.testing.assert_array_equal(
+                np.asarray(view.is_exact), columns.is_exact[shard.start : shard.stop]
+            )
+
+    def test_state_routing_matches_monolithic(self, medium_setup):
+        _, _, _, index = medium_setup
+        sharded = ShardedReverseTopKIndex.from_index(index, 4)
+        for node in (0, 30, 61, 62, 122):
+            mono = index.state(node)
+            routed = sharded.state(node)
+            assert routed.residual == mono.residual
+            assert routed.retained == mono.retained
+            assert routed.hub_ink == mono.hub_ink
+            assert routed.is_hub == mono.is_hub
+
+    def test_kth_lower_bounds_concatenate_across_shards(self, medium_setup):
+        _, _, _, index = medium_setup
+        sharded = ShardedReverseTopKIndex.from_index(index, 7)
+        for k in (1, 5, index.capacity):
+            np.testing.assert_array_equal(
+                sharded.kth_lower_bounds(k), index.kth_lower_bounds(k)
+            )
+        with pytest.raises(InvalidParameterError):
+            sharded.kth_lower_bounds(index.capacity + 1)
+
+    def test_set_state_bumps_global_version_once(self, medium_setup):
+        _, _, _, index = medium_setup
+        sharded = ShardedReverseTopKIndex.from_index(index, 3)
+        assert sharded.version == 0
+        state = sharded.state(50)
+        sharded.set_state(50, state)
+        assert sharded.version == 1
+        sharded.sync_state(100)
+        assert sharded.version == 2
+
+    def test_replace_contents_validations(self, medium_setup):
+        _, _, _, index = medium_setup
+        sharded = ShardedReverseTopKIndex.from_index(index, 3)
+        with pytest.raises(ValueError):
+            sharded.replace_contents(states=[])
+        with pytest.raises(ValueError):
+            sharded.replace_contents(hub_deficit=np.zeros(len(index.hubs) + 1))
+
+    def test_replace_contents_single_version_bump_and_reroute(self, medium_setup):
+        _, _, _, index = medium_setup
+        sharded = ShardedReverseTopKIndex.from_index(index, 3)
+        states = [state for _, state in sharded.states()]
+        sharded.replace_contents(states=states)
+        assert sharded.version == 1
+        # Columns rebuilt per shard from the given states.
+        columns = index.columns
+        for shard in sharded.shards:
+            np.testing.assert_array_equal(
+                np.asarray(shard.columns.lower),
+                columns.lower[:, shard.start : shard.stop],
+            )
+
+    def test_adopt_swaps_in_place_with_one_bump(self, medium_setup):
+        graph, matrix, params, index = medium_setup
+        sharded = ShardedReverseTopKIndex.from_index(index, 3)
+        fresh = build_sharded_index(graph, params, transition=matrix, n_shards=3)
+        sharded.set_state(0, sharded.state(0))  # version -> 1
+        sharded.adopt(fresh)
+        assert sharded.version == 2
+        assert sharded.shards is not fresh.shards
+
+    def test_storage_accounting_matches_monolithic(self, medium_setup):
+        _, _, _, index = medium_setup
+        sharded = ShardedReverseTopKIndex.from_index(index, 4)
+        assert sharded.storage_bytes() == index.storage_bytes()
+
+    def test_to_index_round_trips_answers(self, medium_setup):
+        _, matrix, _, index = medium_setup
+        sharded = ShardedReverseTopKIndex.from_index(index, 4)
+        back = sharded.to_index()
+        a = ReverseTopKEngine(matrix, index).query(9, 5, update_index=False)
+        b = ReverseTopKEngine(matrix, back).query(9, 5, update_index=False)
+        np.testing.assert_array_equal(a.nodes, b.nodes)
+
+
+class TestShardedLayoutOnDisk:
+    def test_memmap_round_trip_is_bitwise(self, medium_setup, tmp_path):
+        _, _, _, index = medium_setup
+        sharded = ShardedReverseTopKIndex.from_index(index, 4)
+        sharded.persist(tmp_path / "layout")
+        loaded = ShardedReverseTopKIndex.load(tmp_path / "layout", memory_budget=0)
+        assert all(shard.backing == "memmap" for shard in loaded.shards)
+        columns = index.columns
+        for shard in loaded.shards:
+            np.testing.assert_array_equal(
+                np.asarray(shard.columns.lower),
+                columns.lower[:, shard.start : shard.stop],
+            )
+        for node in (0, 40, 122):
+            assert loaded.state(node).retained == index.state(node).retained
+
+    def test_load_without_budget_materialises_to_ram(self, medium_setup, tmp_path):
+        _, _, _, index = medium_setup
+        ShardedReverseTopKIndex.from_index(index, 3).persist(tmp_path / "ram")
+        loaded = ShardedReverseTopKIndex.load(tmp_path / "ram")
+        assert all(shard.backing == "ram" for shard in loaded.shards)
+
+    def test_lazy_load_keeps_resident_bytes_below_total(self, medium_setup, tmp_path):
+        _, _, _, index = medium_setup
+        ShardedReverseTopKIndex.from_index(index, 4).persist(tmp_path / "lazy")
+        loaded = ShardedReverseTopKIndex.load(tmp_path / "lazy", memory_budget=0)
+        assert loaded.resident_bytes() < loaded.total_bytes()
+
+    def test_write_back_promotes_shard_but_disk_layout_is_immutable(
+        self, medium_setup, tmp_path
+    ):
+        _, _, _, index = medium_setup
+        directory = tmp_path / "immutable"
+        ShardedReverseTopKIndex.from_index(index, 4).persist(directory)
+        snapshot = {
+            path.name: path.read_bytes() for path in sorted(directory.iterdir())
+        }
+        loaded = ShardedReverseTopKIndex.load(directory, memory_budget=0)
+        node = 5
+        state = loaded.state(node)
+        state.lower_bounds = np.full(loaded.capacity, 0.5)
+        loaded.set_state(node, state)
+        shard, local = loaded.shard_of(node)
+        assert shard.is_promoted
+        assert float(np.asarray(shard.columns.lower)[0, local]) == 0.5
+        # Every byte on disk is untouched: the layout is content-addressed.
+        for path in sorted(directory.iterdir()):
+            assert path.read_bytes() == snapshot[path.name], path.name
+
+    def test_sync_state_preserves_in_place_mutations_on_memmap(
+        self, medium_setup, tmp_path
+    ):
+        # Regression: lazy shards used to hand out ephemeral state copies,
+        # so the monolithic contract (mutate in place, then sync_state)
+        # silently dropped the mutation while still bumping the version.
+        _, _, _, index = medium_setup
+        ShardedReverseTopKIndex.from_index(index, 3).persist(tmp_path / "sync")
+        loaded = ShardedReverseTopKIndex.load(tmp_path / "sync", memory_budget=0)
+        node = 7
+        state = loaded.state(node)
+        assert loaded.state(node) is state  # pinned: one identity per node
+        state.residual.clear()
+        loaded.sync_state(node)
+        assert loaded.state(node).residual == {}
+        shard, local = loaded.shard_of(node)
+        assert bool(np.asarray(shard.columns.is_exact)[local])
+
+    def test_state_arrays_stay_memmapped_per_node(self, medium_setup, tmp_path):
+        # Regression: the first state() touch used to decompress the whole
+        # shard's states into RAM; now the arrays stay memory-mapped and a
+        # single candidate materialises by slicing one node's rows.
+        _, _, _, index = medium_setup
+        ShardedReverseTopKIndex.from_index(index, 3).persist(tmp_path / "pernode")
+        loaded = ShardedReverseTopKIndex.load(tmp_path / "pernode", memory_budget=0)
+        shard, _ = loaded.shard_of(0)
+        loaded.state(0)
+        assert all(
+            isinstance(array, np.memmap) for array in shard._state_arrays.values()
+        )
+        # Resident cost is the one pinned state, not the shard's arrays.
+        assert shard.resident_bytes() < shard.n_nodes * loaded.capacity
+
+    def test_directory_without_budget_archives_ram_build(
+        self, medium_setup, tmp_path
+    ):
+        # Regression: build_sharded_index used to silently drop directory=
+        # when no memory_budget was given.
+        graph, matrix, params, _ = medium_setup
+        built = build_sharded_index(
+            graph,
+            params,
+            transition=matrix,
+            n_shards=3,
+            directory=tmp_path / "archived",
+        )
+        assert built.directory is not None
+        assert all(shard.backing == "ram" for shard in built.shards)
+        reloaded = ShardedReverseTopKIndex.load(
+            tmp_path / "archived", memory_budget=0
+        )
+        np.testing.assert_array_equal(
+            reloaded.kth_lower_bounds(5), built.kth_lower_bounds(5)
+        )
+
+    def test_missing_meta_is_a_serialization_error(self, medium_setup, tmp_path):
+        _, _, _, index = medium_setup
+        directory = tmp_path / "torn"
+        ShardedReverseTopKIndex.from_index(index, 2).persist(directory)
+        (directory / _META_NAME).unlink()
+        with pytest.raises(SerializationError):
+            ShardedReverseTopKIndex.load(directory)
+
+    def test_missing_shard_file_is_a_serialization_error(
+        self, medium_setup, tmp_path
+    ):
+        _, _, _, index = medium_setup
+        directory = tmp_path / "hole"
+        ShardedReverseTopKIndex.from_index(index, 2).persist(directory)
+        (directory / "shard-00001.lower.npy").unlink()
+        with pytest.raises(SerializationError):
+            ShardedReverseTopKIndex.load(directory, memory_budget=0)
+
+    def test_memmap_requires_directory(self, medium_setup):
+        _, _, _, index = medium_setup
+        with pytest.raises(InvalidParameterError):
+            ShardedReverseTopKIndex.from_index(index, 2, memory_budget=0)
+
+    def test_clean_memmap_shards_pickle_by_reference(self, medium_setup, tmp_path):
+        _, matrix, _, index = medium_setup
+        directory = tmp_path / "pickle"
+        ShardedReverseTopKIndex.from_index(index, 4).persist(directory)
+        loaded = ShardedReverseTopKIndex.load(directory, memory_budget=0)
+        engine = ShardedReverseTopKEngine(matrix, loaded, scan_workers=2)
+        blob = pickle.dumps(engine)
+        clone = pickle.loads(blob)
+        assert clone.scan_workers == 2
+        a = ReverseTopKEngine(matrix, index).query(3, 5, update_index=False)
+        b = clone.query_many_readonly([3], 5)[0]
+        np.testing.assert_array_equal(a.nodes, b.nodes)
+        # A clean memmap engine ships paths, not arrays: far smaller than
+        # the monolithic engine's payload.
+        assert len(blob) < len(pickle.dumps(ReverseTopKEngine(matrix, index)))
+        engine.close()
+        clone.close()
+
+
+class TestBuildShardedIndex:
+    def test_direct_build_matches_split_monolith(self, medium_setup):
+        graph, matrix, params, index = medium_setup
+        split = ShardedReverseTopKIndex.from_index(index, 5)
+        direct = build_sharded_index(graph, params, transition=matrix, n_shards=5)
+        for a, b in zip(split.shards, direct.shards):
+            np.testing.assert_array_equal(
+                np.asarray(a.columns.lower), np.asarray(b.columns.lower)
+            )
+            np.testing.assert_array_equal(
+                np.asarray(a.columns.residual_mass),
+                np.asarray(b.columns.residual_mass),
+            )
+            np.testing.assert_array_equal(
+                np.asarray(a.columns.is_exact), np.asarray(b.columns.is_exact)
+            )
+
+    def test_parallel_build_matches_serial(self, medium_setup):
+        graph, matrix, params, _ = medium_setup
+        serial = build_sharded_index(graph, params, transition=matrix, n_shards=3)
+        parallel = build_sharded_index(
+            graph, params, transition=matrix, n_shards=3, n_workers=2
+        )
+        for a, b in zip(serial.shards, parallel.shards):
+            np.testing.assert_array_equal(
+                np.asarray(a.columns.lower), np.asarray(b.columns.lower)
+            )
+
+    def test_streamed_build_goes_straight_to_layout(self, medium_setup, tmp_path):
+        graph, matrix, params, index = medium_setup
+        directory = tmp_path / "streamed"
+        built = build_sharded_index(
+            graph,
+            params,
+            transition=matrix,
+            n_shards=3,
+            directory=directory,
+            memory_budget=0,
+        )
+        assert all(shard.backing == "memmap" for shard in built.shards)
+        assert (directory / _META_NAME).exists()
+        columns = index.columns
+        for shard in built.shards:
+            np.testing.assert_array_equal(
+                np.asarray(shard.columns.lower),
+                columns.lower[:, shard.start : shard.stop],
+            )
+
+    def test_budget_backing_decision_uses_real_total(self, medium_setup, tmp_path):
+        # Regression: the cold build used to decide the backing from the
+        # column+hub estimate alone; with states dominating the index, a
+        # budget between that estimate and the real total kept an over-budget
+        # index in RAM while a warm start of the same layout went memmap.
+        graph, matrix, params, index = medium_setup
+        sizes = index.storage_bytes()
+        assert sizes["total"] > sizes["lower_bounds"] + sizes["hub_matrix"]
+        budget = sizes["lower_bounds"] + sizes["hub_matrix"] + 1
+        built = build_sharded_index(
+            graph,
+            params,
+            transition=matrix,
+            n_shards=3,
+            directory=tmp_path / "tight",
+            memory_budget=budget,
+        )
+        assert all(shard.backing == "memmap" for shard in built.shards)
+        reloaded = ShardedReverseTopKIndex.load(
+            tmp_path / "tight", memory_budget=budget
+        )
+        assert all(shard.backing == "memmap" for shard in reloaded.shards)
+        # A budget the whole index fits in resolves to RAM on both paths.
+        roomy = build_sharded_index(
+            graph,
+            params,
+            transition=matrix,
+            n_shards=3,
+            directory=tmp_path / "roomy",
+            memory_budget=sizes["total"] * 10,
+        )
+        assert all(shard.backing == "ram" for shard in roomy.shards)
+
+    def test_overlay_write_backs_update_size_accounting(
+        self, medium_setup, tmp_path
+    ):
+        # Regression: stored_entries/resident_bytes ignored the memmap
+        # shard's write overlay, so a re-persisted layout recorded stale
+        # totals after refinement write-backs.
+        import numpy as np
+
+        _, _, _, index = medium_setup
+        ShardedReverseTopKIndex.from_index(index, 3).persist(tmp_path / "acct")
+        loaded = ShardedReverseTopKIndex.load(tmp_path / "acct", memory_budget=0)
+        node = 5
+        before = loaded.storage_bytes()["bca_state"]
+        replaced_entries = index.state(node).stored_entries()
+        state = loaded.state(node)
+        state.retained = {0: 1.0}
+        state.residual = {}
+        state.hub_ink = {}
+        loaded.set_state(node, state)
+        after = loaded.storage_bytes()["bca_state"]
+        assert after == before - (replaced_entries - 1) * 16
+        shard, _ = loaded.shard_of(node)
+        assert shard.resident_bytes() > 0  # overlay + promoted columns count
+
+    def test_progress_fires_per_shard(self, medium_setup):
+        graph, matrix, params, _ = medium_setup
+        seen = []
+        build_sharded_index(
+            graph,
+            params,
+            transition=matrix,
+            n_shards=4,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert len(seen) == 4
+        assert seen[-1] == (graph.n_nodes, graph.n_nodes)
+
+
+class TestShardedEngine:
+    def test_build_classmethod_round_trips(self, medium_setup):
+        graph, matrix, params, index = medium_setup
+        with ShardedReverseTopKEngine.build(
+            graph, params, transition=matrix, n_shards=4, scan_workers=2
+        ) as router:
+            reference = ReverseTopKEngine(matrix, index)
+            for query in (0, 17, 64, 122):
+                a = reference.query(query, 5, update_index=False)
+                b = router.query(query, 5, update_index=False)
+                np.testing.assert_array_equal(a.nodes, b.nodes)
+
+    def test_scalar_scan_mode_matches_vectorized(self, medium_setup):
+        _, matrix, _, index = medium_setup
+        router = ShardedReverseTopKEngine(
+            matrix, ShardedReverseTopKIndex.from_index(index, 3)
+        )
+        a = router.query(11, 5, update_index=False)
+        b = router.query(11, 5, update_index=False, scan_mode="scalar")
+        np.testing.assert_array_equal(a.nodes, b.nodes)
+        assert a.statistics.n_candidates == b.statistics.n_candidates
+
+    def test_rebind_preserves_scan_workers(self, medium_setup):
+        _, matrix, _, index = medium_setup
+        router = ShardedReverseTopKEngine(
+            matrix, ShardedReverseTopKIndex.from_index(index, 3), scan_workers=3
+        )
+        router.rebind(matrix)
+        assert router.scan_workers == 3
+        router.close()

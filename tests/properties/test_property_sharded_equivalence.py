@@ -1,0 +1,144 @@
+"""Property test: the sharded query router never changes anything observable.
+
+For random small graphs, random shard counts ``P`` (including counts that do
+not divide the node count), and both shard backings (in-RAM and the memmap
+layout), every answer of :class:`ShardedReverseTopKEngine` — result nodes,
+proximity vectors, and every :class:`QueryStatistics` counter — must be
+bit-identical to the monolithic :class:`ReverseTopKEngine` over the same
+index contents.  With ``update_index=True`` the equivalence extends to the
+refinement write-backs: after the same query stream, both indexes hold the
+same per-node state values and the same global version counter.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    IndexParams,
+    ReverseTopKEngine,
+    ShardedReverseTopKEngine,
+    ShardedReverseTopKIndex,
+    build_index,
+)
+from repro.graph import DiGraph, transition_matrix
+
+COUNTER_FIELDS = (
+    "n_results",
+    "n_candidates",
+    "n_hits",
+    "n_exact_shortcut",
+    "n_pruned_immediately",
+    "n_refinement_iterations",
+    "n_refined_nodes",
+    "pmpn_iterations",
+    "n_exact_fallbacks",
+)
+
+
+@st.composite
+def sharded_cases(draw):
+    """Random graph + shard count + query stream + backing choice."""
+    n = draw(st.integers(min_value=4, max_value=16))
+    density = draw(st.floats(min_value=0.15, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < density
+    np.fill_diagonal(mask, False)
+    if not mask.any():
+        mask[0, 1] = True
+    graph = DiGraph(sp.csr_matrix(mask.astype(float)))
+    capacity = min(6, n)
+    n_shards = draw(st.integers(min_value=1, max_value=n + 2))  # may exceed n
+    queries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=1, max_value=capacity),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    use_memmap = draw(st.booleans())
+    update_index = draw(st.booleans())
+    return graph, capacity, n_shards, queries, use_memmap, update_index
+
+
+def _padded(bounds: np.ndarray, capacity: int) -> np.ndarray:
+    return np.pad(bounds[:capacity], (0, max(0, capacity - bounds.size)))
+
+
+class TestShardedEquivalence:
+    @given(case=sharded_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_answers_statistics_and_writebacks_bit_identical(
+        self, case, tmp_path_factory
+    ):
+        graph, capacity, n_shards, queries, use_memmap, update_index = case
+        matrix = transition_matrix(graph)
+        params = IndexParams(capacity=capacity, hub_budget=1).for_graph(graph.n_nodes)
+
+        mono_index = build_index(graph, params, transition=matrix)
+        mono_engine = ReverseTopKEngine(matrix, mono_index)
+
+        base = build_index(graph, params, transition=matrix)
+        if use_memmap:
+            directory = tmp_path_factory.mktemp("sharded-layout")
+            sharded_index = ShardedReverseTopKIndex.from_index(
+                base, n_shards, directory=directory, memory_budget=0
+            )
+        else:
+            sharded_index = ShardedReverseTopKIndex.from_index(base, n_shards)
+        router = ShardedReverseTopKEngine(matrix, sharded_index)
+
+        for query, k in queries:
+            expected = mono_engine.query(query, k, update_index=update_index)
+            actual = router.query(query, k, update_index=update_index)
+            np.testing.assert_array_equal(actual.nodes, expected.nodes)
+            np.testing.assert_array_equal(
+                actual.proximities_to_query, expected.proximities_to_query
+            )
+            for field in COUNTER_FIELDS:
+                assert getattr(actual.statistics, field) == getattr(
+                    expected.statistics, field
+                ), field
+
+        # Refinement write-backs landed identically: same version counter,
+        # same per-node state values, same columnar k-th bounds.
+        assert sharded_index.version == mono_index.version
+        for k in range(1, capacity + 1):
+            np.testing.assert_array_equal(
+                sharded_index.kth_lower_bounds(k), mono_index.kth_lower_bounds(k)
+            )
+        if update_index:
+            for node in range(graph.n_nodes):
+                mono_state = mono_index.state(node)
+                shard_state = sharded_index.state(node)
+                assert shard_state.residual == mono_state.residual
+                assert shard_state.retained == mono_state.retained
+                assert shard_state.hub_ink == mono_state.hub_ink
+                np.testing.assert_array_equal(
+                    _padded(shard_state.lower_bounds, capacity),
+                    _padded(mono_state.lower_bounds, capacity),
+                )
+
+    @given(case=sharded_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_threaded_scan_matches_sequential(self, case, tmp_path_factory):
+        graph, capacity, n_shards, queries, use_memmap, _ = case
+        matrix = transition_matrix(graph)
+        params = IndexParams(capacity=capacity, hub_budget=1).for_graph(graph.n_nodes)
+        index = build_index(graph, params, transition=matrix)
+        sharded = ShardedReverseTopKIndex.from_index(index, n_shards)
+        sequential = ShardedReverseTopKEngine(matrix, sharded)
+        with ShardedReverseTopKEngine(matrix, sharded, scan_workers=3) as threaded:
+            for query, k in queries:
+                a = sequential.query(query, k, update_index=False)
+                b = threaded.query(query, k, update_index=False)
+                np.testing.assert_array_equal(a.nodes, b.nodes)
+                for field in COUNTER_FIELDS:
+                    assert getattr(a.statistics, field) == getattr(
+                        b.statistics, field
+                    )

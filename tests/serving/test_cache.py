@@ -73,6 +73,62 @@ class TestResultCache:
         assert _key(9) in cache
         assert _key(8) not in cache
 
+    def test_purge_versions_below_drops_only_dead_generations(self):
+        cache = ResultCache(8)
+        cache.put(_key(1, version=0), "old-a")
+        cache.put(_key(2, version=0), "old-b")
+        cache.put(_key(1, version=1), "live")
+        cache.put("foreign-key", "kept")  # non-CacheKey entries are untouched
+        dropped = cache.purge_versions_below(1)
+        assert dropped == 2
+        assert cache.get(_key(1, version=1)) == "live"
+        assert cache.get("foreign-key") == "kept"
+        assert cache.get(_key(1, version=0)) is None
+        stats = cache.stats()
+        assert stats.purged == 2
+        assert stats.size == 2
+
+    def test_purge_is_idempotent_and_counts_accumulate(self):
+        cache = ResultCache(8)
+        cache.put(_key(1, version=0), "old")
+        assert cache.purge_versions_below(1) == 1
+        assert cache.purge_versions_below(1) == 0
+        cache.put(_key(1, version=1), "also-old-soon")
+        assert cache.purge_versions_below(2) == 1
+        assert cache.stats().purged == 2
+
+    def test_stranded_generation_is_pinned_forever_without_purge(self):
+        # Regression for the dead-generation leak: a version bump strands a
+        # full generation of unmatchable keys.  LRU aging only removes them
+        # under *insertion* pressure — a hot working set smaller than the
+        # capacity never generates any, so without the purge hook the dead
+        # entries (each pinning a heavyweight QueryResult) stay resident
+        # indefinitely.
+        capacity = 8
+        leaky = ResultCache(capacity)
+        purged = ResultCache(capacity)
+        for cache in (leaky, purged):
+            for query in range(capacity):
+                cache.put(_key(query, version=0), f"v0-{query}")
+        # The index moves to version 1: generation 0 is dead.
+        purged.purge_versions_below(1)
+        # Steady state: a small hot set, served mostly from cache — barely
+        # any insertions, so LRU aging never fires.
+        for _ in range(10):
+            for cache in (leaky, purged):
+                if cache.get(_key(0, version=1)) is None:
+                    cache.put(_key(0, version=1), "live-0")
+                if cache.get(_key(1, version=1)) is None:
+                    cache.put(_key(1, version=1), "live-1")
+        # The purged cache holds exactly the live working set; the leaky one
+        # still pins six dead results that can never be matched again.
+        assert purged.stats().size == 2
+        assert leaky.stats().size == capacity
+        dead_still_resident = sum(
+            1 for query in range(capacity) if _key(query, version=0) in leaky
+        )
+        assert dead_still_resident == capacity - 2
+
     def test_concurrent_access_is_safe(self):
         cache = ResultCache(64)
         errors = []

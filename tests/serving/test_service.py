@@ -35,19 +35,88 @@ class TestServiceAnswers:
         results = service.serve(requests)
         assert [(r.query, r.k) for r in results] == requests
 
-    def test_duplicates_share_one_result_object(self, serving_engine):
+    def test_duplicates_get_equal_but_independent_results(self, serving_engine):
+        # In-flight dedup computes once, but each awaiting caller must get a
+        # defensive copy: handing out one shared object let any caller's
+        # mutation corrupt every other caller's answer (regression test).
         service = _fresh_service(serving_engine)
         first, second = service.serve([(4, 5), (4, 5)])
-        assert first is second
+        assert first is not second
+        assert first.statistics is not second.statistics
+        np.testing.assert_array_equal(first.nodes, second.nodes)
+        # The heavy arrays are shared — safe, because they are frozen.
+        assert first.nodes is second.nodes
+        first.statistics.stage_seconds["injected"] = 1.0
+        assert "injected" not in second.statistics.stage_seconds
+        assert service.metrics().n_deduplicated == 1
 
-    def test_cached_hit_returns_identical_result(self, serving_engine):
+    def test_cached_hit_returns_equal_independent_result(self, serving_engine):
         service = _fresh_service(serving_engine)
         cold = service.query(6, 5)
         warm = service.query(6, 5)
-        assert warm is cold
+        assert warm is not cold  # defensive copy, not the cached object
+        np.testing.assert_array_equal(warm.nodes, cold.nodes)
+        assert warm.statistics is not cold.statistics
         metrics = service.metrics()
         assert metrics.n_cache_hits == 1
         assert metrics.n_engine_queries == 1
+
+    def test_result_arrays_are_frozen(self, serving_engine):
+        # The engine freezes both answer arrays: one result may be shared by
+        # the cache and several requesters, so in-place edits must fail
+        # loudly instead of corrupting every holder.
+        service = _fresh_service(serving_engine)
+        result = service.query(4, 5)
+        with pytest.raises(ValueError):
+            result.nodes[0] = -1
+        with pytest.raises(ValueError):
+            result.proximities_to_query[0] = 123.0
+
+    def test_concurrent_statistics_mutation_does_not_cross_requesters(
+        self, serving_engine
+    ):
+        # Regression: in-flight dedup used to hand the *same* QueryResult to
+        # every awaiting caller, so one caller mutating the (mutable)
+        # stage_seconds dict corrupted all the others — and the cached copy.
+        import threading
+
+        service = _fresh_service(serving_engine)
+        results = service.serve([(4, 5)] * 8)
+        barrier = threading.Barrier(8)
+
+        def vandalize(result, tag):
+            barrier.wait()
+            result.statistics.stage_seconds[f"tag-{tag}"] = float(tag)
+
+        threads = [
+            threading.Thread(target=vandalize, args=(result, tag))
+            for tag, result in enumerate(results)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for tag, result in enumerate(results):
+            extras = [key for key in result.statistics.stage_seconds if key.startswith("tag-")]
+            assert extras == [f"tag-{tag}"]
+        # The cache's pristine copy never saw any of it.
+        cached = service.query(4, 5)
+        assert not any(
+            key.startswith("tag-") for key in cached.statistics.stage_seconds
+        )
+
+    def test_result_arrays_stay_frozen_through_process_round_trip(
+        self, serving_engine
+    ):
+        # Regression: NumPy drops the read-only flag on unpickle, so results
+        # shipped back from process-pool workers arrived writable and one
+        # caller's in-place edit could corrupt the cached entry.
+        import pickle
+
+        result = serving_engine.query(4, 5, update_index=False)
+        clone = pickle.loads(pickle.dumps(result))
+        assert not clone.nodes.flags.writeable
+        assert not clone.proximities_to_query.flags.writeable
 
     def test_cache_disabled_recomputes(self, serving_engine):
         service = _fresh_service(serving_engine, cache_capacity=0)

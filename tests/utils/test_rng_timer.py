@@ -167,3 +167,62 @@ class TestLatencyStats:
             "p95_seconds",
             "p99_seconds",
         }
+
+    # -- edge cases pinned for the sharded router's constant merging -- #
+
+    def test_single_sample_percentiles_collapse_to_it(self):
+        from repro.utils.timer import LatencyStats
+
+        stats = LatencyStats([0.042])
+        assert stats.count == 1
+        assert stats.mean == pytest.approx(0.042)
+        assert stats.min == stats.max == pytest.approx(0.042)
+        for p in (0, 1, 50, 95, 99, 100):
+            assert stats.percentile(p) == pytest.approx(0.042)
+
+    def test_merge_of_empty_accumulator_is_a_noop(self):
+        from repro.utils.timer import LatencyStats
+
+        stats = LatencyStats([0.010, 0.020])
+        assert stats.p50 == pytest.approx(0.010)  # warm the sort cache
+        merged = stats.merge(LatencyStats())
+        assert merged is stats
+        assert stats.count == 2
+        assert stats.p50 == pytest.approx(0.010)
+
+    def test_merge_into_empty_adopts_other_samples(self):
+        from repro.utils.timer import LatencyStats
+
+        stats = LatencyStats()
+        stats.merge(LatencyStats([0.030, 0.010]))
+        assert stats.count == 2
+        assert stats.p50 == pytest.approx(0.010)
+
+    def test_merge_with_self_does_not_double_samples(self):
+        from repro.utils.timer import LatencyStats
+
+        stats = LatencyStats([0.010, 0.020])
+        assert stats.merge(stats) is stats
+        assert stats.count == 2
+
+    def test_merge_of_disjoint_counts_is_order_independent(self):
+        from repro.utils.timer import LatencyStats
+
+        left = [0.001, 0.004, 0.009]
+        right = [0.002, 0.003, 0.005, 0.007, 0.008, 0.010, 0.020]
+        a = LatencyStats(left).merge(LatencyStats(right))
+        b = LatencyStats(right).merge(LatencyStats(left))
+        assert a.count == b.count == len(left) + len(right)
+        for p in (0, 25, 50, 75, 95, 99, 100):
+            assert a.percentile(p) == pytest.approx(b.percentile(p))
+        assert a.mean == pytest.approx(b.mean)
+        assert (a.min, a.max) == (b.min, b.max)
+
+    def test_merged_source_mutation_does_not_alias(self):
+        from repro.utils.timer import LatencyStats
+
+        source = LatencyStats([0.010])
+        target = LatencyStats([0.020]).merge(source)
+        source.record(0.500)
+        assert target.count == 2
+        assert target.max == pytest.approx(0.020)
