@@ -1,10 +1,21 @@
-"""Setuptools shim.
+"""Setuptools entry point.
 
-Metadata lives in ``pyproject.toml``; this file exists so that legacy
-``pip install -e .`` works in environments without the ``wheel`` package
-(PEP 660 editable installs need it, ``setup.py develop`` does not).
+The base package needs only numpy/scipy; the compiled propagation and scan
+kernels are an opt-in extra so the pure-NumPy fallback stays installable
+everywhere::
+
+    pip install repro[fast]   # numba-compiled BCA iteration + scan stages
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.6.0",
+    description="Reverse top-k RWR search with hub-based lower-bound indexing",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    extras_require={"fast": ["numba>=0.57"]},
+)

@@ -30,14 +30,26 @@ Modules
     Theorem 1 storage estimate and Proposition 3 rounding-error bound.
 """
 
-from .config import IndexParams, QueryParams, PROPAGATION_BACKENDS
+from .backends import available_backends, numba_available, require_backend
+from .config import IndexParams, QueryParams, PROPAGATION_BACKENDS, SCAN_PRECISIONS
 from .hubs import degree_union_hubs, select_hubs_by_degree, select_hubs_greedy, HubSet
 from .lbi import build_index, build_index_parallel, rebuild_node_state, refine_node_state
-from .propagation import BuildReport, PropagationKernel
+from .propagation import BuildReport, KernelWorkspace, PropagationKernel
 from .index import ReverseTopKIndex, NodeState, ColumnarView
 from .pmpn import proximity_to_node, PMPNResult
-from .bounds import kth_upper_bound, kth_upper_bounds_batch, staircase_levels
-from .query import ReverseTopKEngine, QueryResult, QueryStatistics, SCAN_MODES
+from .bounds import (
+    BoundsWorkspace,
+    kth_upper_bound,
+    kth_upper_bounds_batch,
+    staircase_levels,
+)
+from .query import (
+    ReverseTopKEngine,
+    QueryResult,
+    QueryStatistics,
+    SCAN_MODES,
+    columnar_stage_decisions,
+)
 from .sharding import (
     IndexShard,
     ShardedReverseTopKEngine,
@@ -56,6 +68,13 @@ __all__ = [
     "IndexParams",
     "QueryParams",
     "PROPAGATION_BACKENDS",
+    "SCAN_PRECISIONS",
+    "available_backends",
+    "numba_available",
+    "require_backend",
+    "KernelWorkspace",
+    "BoundsWorkspace",
+    "columnar_stage_decisions",
     "degree_union_hubs",
     "select_hubs_by_degree",
     "select_hubs_greedy",

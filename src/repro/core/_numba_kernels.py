@@ -1,0 +1,169 @@
+"""JIT-compiled kernels for the blocked BCA engine and the columnar scan.
+
+Importing this module requires :mod:`numba` (the optional ``fast`` extra);
+go through :func:`repro.core.backends.load_numba_kernels`, which turns a
+missing dependency into a clear ``ConfigurationError`` instead of an
+``ImportError`` from here.
+
+Design notes
+------------
+* Each kernel parallelises over **block columns** (one source per column),
+  never within a column, so per-source trajectories stay independent of the
+  block composition — the same contract the NumPy engine documents.
+* ``fastmath`` stays off: the staircase arithmetic in :func:`scan_decide`
+  replays the NumPy batch recurrence term for term, which makes the
+  ``float64`` scan decisions bit-identical to the vectorized scan.
+* The propagation kernel pushes sources in ascending node order (the same
+  scatter order as SciPy's CSC sparse-dense product), but splits hub
+  arrivals inline instead of post-hoc, so its states agree with the scalar
+  oracle to the usual ``1e-12`` — not bit for bit — exactly like the NumPy
+  vectorized backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+__all__ = ["block_stats", "bca_block_iteration", "scan_decide"]
+
+
+@njit(parallel=True, cache=True)
+def block_stats(residual, live, eta, mass_out, has_active_out):
+    """Per-column residue mass and has-active flags in one fused pass.
+
+    Replaces the NumPy trio ``residual >= eta`` / ``any(axis=0)`` /
+    ``sum(axis=0)`` — one read of the residual plane instead of three.
+    Parked columns (``live`` false) report zero mass and no active nodes.
+    """
+    n, width = residual.shape
+    for col in prange(width):
+        if not live[col]:
+            mass_out[col] = 0.0
+            has_active_out[col] = False
+            continue
+        total = 0.0
+        has_active = False
+        for row in range(n):
+            value = residual[row, col]
+            total += value
+            if value >= eta:
+                has_active = True
+        mass_out[col] = total
+        has_active_out[col] = has_active
+
+
+@njit(parallel=True, cache=True)
+def bca_block_iteration(
+    residual,
+    retained,
+    hub_ink,
+    amounts,
+    hub_position,
+    indptr,
+    indices,
+    data,
+    stepping,
+    eta,
+    alpha,
+    scale,
+):
+    """One batched BCA iteration (Eq. 8-9) over every stepping block column.
+
+    Per column: snapshot the propagating amounts (the batched rule operates
+    on ``r_{t-1}``), zero them out of the residual, then push each amount to
+    its out-neighbours — ``alpha`` retained at the source, the rest scattered
+    along the transition column, with arrivals at hub nodes parked in
+    ``hub_ink`` (``hub_position`` maps node id to hub row, ``-1`` otherwise).
+    """
+    n, width = residual.shape
+    for col in prange(width):
+        if not stepping[col]:
+            continue
+        for row in range(n):
+            value = residual[row, col]
+            if value >= eta:
+                amounts[row, col] = value
+                residual[row, col] = 0.0
+            else:
+                amounts[row, col] = 0.0
+        for row in range(n):
+            amount = amounts[row, col]
+            if amount != 0.0:
+                retained[row, col] += alpha * amount
+                share = scale * amount
+                for idx in range(indptr[row], indptr[row + 1]):
+                    target = indices[idx]
+                    portion = share * data[idx]
+                    hub = hub_position[target]
+                    if hub >= 0:
+                        hub_ink[hub, col] += portion
+                    else:
+                        residual[target, col] += portion
+
+
+@njit(parallel=True, cache=True)
+def scan_decide(prox, lower, mass, is_exact, k, eps, tiny, codes):
+    """Fused prune / exact-shortcut / staircase stage of the columnar scan.
+
+    Writes one decision code per node into ``codes``:
+
+    ====  =========================================================
+    code  meaning
+    ====  =========================================================
+    0     pruned by the k-th lower bound
+    1     exact shortcut (survived the prune with exact bounds)
+    2     candidate confirmed by the staircase upper bound ("hit")
+    3     candidate left undecided (enters per-node refinement)
+    4     within the screening envelope — re-check against float64
+    ====  =========================================================
+
+    With ``eps == tiny == 0`` and a float64 ``lower`` matrix the decisions
+    are bit-identical to the NumPy vectorized scan (code 4 never fires).
+    With a float32 ``lower`` plane, ``eps``/``tiny`` define the conservative
+    error envelope: any comparison that could flip under float32 rounding is
+    emitted as code 4 for the caller to resolve against the float64 truth.
+    All arithmetic runs in float64 regardless of the plane's dtype.
+    """
+    n = prox.shape[0]
+    for node in prange(n):
+        p = prox[node]
+        threshold = np.float64(lower[k - 1, node])
+        prune_envelope = eps * threshold + tiny
+        if p < threshold - prune_envelope:
+            codes[node] = 0
+            continue
+        if p < threshold + prune_envelope:
+            codes[node] = 4
+            continue
+        if is_exact[node]:
+            codes[node] = 1
+            continue
+        node_mass = mass[node]
+        top0 = np.float64(lower[0, node])
+        if node_mass == 0.0:
+            upper = threshold
+        else:
+            # Staircase levels z_j = z_{j-1} + j * (p̂(k-j) - p̂(k-j+1)): stop
+            # at the first j with z_j >= mass (Eq. 17-18), flood past z_{k-1}.
+            level = 0.0
+            upper = 0.0
+            found = False
+            for j in range(1, k):
+                step_high = np.float64(lower[k - j - 1, node])
+                step_low = np.float64(lower[k - j, node])
+                new_level = level + j * (step_high - step_low)
+                if new_level >= node_mass:
+                    upper = step_high - (new_level - node_mass) / j
+                    found = True
+                    break
+                level = new_level
+            if not found:
+                upper = top0 + (node_mass - level) / k
+        stair_envelope = eps * (top0 + node_mass) + tiny
+        if p >= upper + stair_envelope:
+            codes[node] = 2
+        elif p < upper - stair_envelope:
+            codes[node] = 3
+        else:
+            codes[node] = 4

@@ -1,0 +1,94 @@
+"""Registry and availability probes for the optional compiled backends.
+
+The propagation kernel and the scan pipeline each offer a ``"numba"``
+implementation that is only usable when the optional ``numba`` package is
+installed (``pip install repro[fast]``).  This module centralises the probe
+so that
+
+* :func:`available_backends` reports exactly the backends that will work on
+  this installation,
+* :func:`require_backend` turns "numba selected but not installed" into a
+  clear :class:`~repro.exceptions.ConfigurationError` instead of an
+  ``ImportError`` escaping from deep inside the kernel, and
+* :func:`load_numba_kernels` imports (and thereby JIT-registers) the
+  compiled kernels exactly once.
+
+NumPy remains the oracle: every numba code path has a NumPy twin that
+produces the same decisions, and the library silently falls back to it when
+``numba`` is absent *unless* the caller explicitly asked for ``"numba"``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+from typing import Optional, Tuple
+
+from ..exceptions import ConfigurationError
+
+#: Memoised probe result: ``None`` = not probed yet.
+_NUMBA_AVAILABLE: Optional[bool] = None
+
+#: Memoised kernels module (imported at most once).
+_NUMBA_KERNELS = None
+
+
+def numba_available() -> bool:
+    """Return ``True`` when the optional ``numba`` package can be imported.
+
+    The probe is cheap (a find-spec, no import) and memoised; installing or
+    removing numba mid-process is not supported.
+    """
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        _NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+    return _NUMBA_AVAILABLE
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Propagation/scan backends usable on this installation.
+
+    Always contains ``"scalar"`` and ``"vectorized"``; ``"numba"`` is
+    appended only when the optional dependency imports.
+    """
+    backends = ("scalar", "vectorized")
+    if numba_available():
+        backends += ("numba",)
+    return backends
+
+
+def require_backend(backend: str) -> str:
+    """Validate that ``backend`` is known *and* usable, or raise clearly.
+
+    Unknown names raise :class:`~repro.exceptions.ConfigurationError` listing
+    the known backends; known-but-unavailable ones (``"numba"`` without the
+    extra installed) raise with an actionable install hint.  Returns the
+    validated name so callers can use it inline.
+    """
+    from .config import PROPAGATION_BACKENDS
+
+    if backend not in PROPAGATION_BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; known backends: {PROPAGATION_BACKENDS}"
+        )
+    if backend == "numba" and not numba_available():
+        raise ConfigurationError(
+            "backend 'numba' requires the optional numba package; install it "
+            "with `pip install repro[fast]` or select one of "
+            f"{available_backends()}"
+        )
+    return backend
+
+
+def load_numba_kernels():
+    """Import and return the compiled-kernel module (memoised).
+
+    Raises :class:`~repro.exceptions.ConfigurationError` when numba is not
+    installed, so callers never see a raw ``ImportError`` from the kernel
+    internals.
+    """
+    global _NUMBA_KERNELS
+    if _NUMBA_KERNELS is None:
+        require_backend("numba")
+        _NUMBA_KERNELS = importlib.import_module("repro.core._numba_kernels")
+    return _NUMBA_KERNELS

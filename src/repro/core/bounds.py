@@ -16,12 +16,69 @@ refines the vector.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from .._validation import check_non_negative_float, check_positive_int
 from ..exceptions import InvalidParameterError
+from ..utils.workspace import ArrayWorkspace
+
+
+class BoundsWorkspace(ArrayWorkspace):
+    """Reusable scratch planes for the batched staircase bound.
+
+    :func:`kth_upper_bounds_batch` builds ``(k, m)`` intermediates (the
+    sorted-prefix ``top`` matrix, step differences, weighted cumulative
+    levels and the level/mass comparison) on every call; a workspace lets
+    the query engine reuse that storage across scan rounds instead of
+    re-allocating it per query.  Results are bit-identical either way.
+    Thread-local like every :class:`~repro.utils.workspace.ArrayWorkspace`,
+    so one instance may serve concurrent read-only queries.
+    """
+
+
+# --------------------------------------------------------------------- #
+# float32 screening envelopes
+# --------------------------------------------------------------------- #
+#: Relative error envelope for values round-tripped through float32.  IEEE
+#: round-to-nearest guarantees ``|float32(x) - x| <= eps/2 * |x|`` for
+#: normal values with ``eps = 2**-23``; using the full ``eps`` leaves a 2x
+#: safety margin that also absorbs the float64 arithmetic error of the
+#: staircase evaluation on the rounded inputs.
+FLOAT32_RELATIVE_ENVELOPE = float(np.finfo(np.float32).eps)
+
+#: Absolute error envelope covering the float32 subnormal range: values
+#: below the smallest normal (``~1.18e-38``) round with absolute error at
+#: most ``2**-150 (~7e-46)``, so any constant above that is conservative.
+FLOAT32_ABSOLUTE_ENVELOPE = 1e-38
+
+
+def float32_prune_envelope(thresholds: np.ndarray) -> np.ndarray:
+    """Bound on ``|t32 - t64|`` given the float32 k-th lower bounds ``t32``.
+
+    ``thresholds`` is the float32 prune row upcast to float64 (non-negative
+    by construction — lower bounds are proximities).  A comparison against
+    ``t32`` whose margin exceeds this envelope decides identically to the
+    float64 comparison; anything closer must be re-checked at float64.
+    """
+    return FLOAT32_RELATIVE_ENVELOPE * thresholds + FLOAT32_ABSOLUTE_ENVELOPE
+
+
+def float32_staircase_envelope(top: np.ndarray, masses: np.ndarray) -> np.ndarray:
+    """Bound on the staircase upper-bound shift under float32 rounding.
+
+    The poured-ink water level of Eq. 18 is 1-Lipschitz in the staircase
+    step heights: perturbing every entry by at most ``d`` moves the level
+    by at most ``d``.  Entries are bounded by the top step ``top`` and
+    rounded with relative error ``<= eps/2``, so ``eps * top`` bounds the
+    level shift with margin; the ``masses`` term generously absorbs the
+    float64 evaluation error of the level recurrence itself (``~ k * eps64
+    * mass``, orders of magnitude below ``eps32 * mass``).
+    """
+    return (
+        FLOAT32_RELATIVE_ENVELOPE * (top + masses) + FLOAT32_ABSOLUTE_ENVELOPE
+    )
 
 
 def staircase_levels(lower: np.ndarray, k: int) -> np.ndarray:
@@ -86,7 +143,11 @@ def kth_upper_bound(lower: Sequence[float] | np.ndarray, residual_mass: float, k
 
 
 def kth_upper_bounds_batch(
-    lower: np.ndarray, residual_masses: np.ndarray, k: int
+    lower: np.ndarray,
+    residual_masses: np.ndarray,
+    k: int,
+    *,
+    workspace: Optional[BoundsWorkspace] = None,
 ) -> np.ndarray:
     """Vectorized :func:`kth_upper_bound` across many nodes at once (Eq. 18).
 
@@ -107,6 +168,10 @@ def kth_upper_bounds_batch(
         ``(m,)`` vector of effective residual masses ``||r_u||_1``.
     k:
         The query depth.
+    workspace:
+        Optional :class:`BoundsWorkspace` supplying the ``(k, m)`` scratch
+        planes; without one every call allocates them afresh.  The computed
+        bounds are bit-identical in both modes.
 
     Returns
     -------
@@ -115,7 +180,7 @@ def kth_upper_bounds_batch(
         the k-th lower bound (the exact value).
     """
     k = check_positive_int(k, "k")
-    lower = np.asarray(lower, dtype=np.float64)
+    lower = np.asarray(lower)
     masses = np.asarray(residual_masses, dtype=np.float64)
     if lower.ndim != 2 or lower.shape[0] < k:
         raise InvalidParameterError(
@@ -131,19 +196,36 @@ def kth_upper_bounds_batch(
     if masses.min() < 0.0:
         raise InvalidParameterError("residual masses must be non-negative")
 
-    top = lower[:k, :]
     # z_j = z_{j-1} + j * (p̂(k-j) - p̂(k-j+1)); cumsum accumulates sequentially,
     # reproducing the scalar staircase_levels recurrence term for term.
-    steps = top[:-1, :] - top[1:, :]  # steps[i] = p̂(i+1) - p̂(i+2)
-    j_weights = np.arange(1, k, dtype=np.int64)[:, None]
-    levels = np.vstack(
-        [np.zeros((1, m)), np.cumsum(j_weights * steps[::-1, :], axis=0)]
-    )
+    if workspace is None:
+        top = np.asarray(lower, dtype=np.float64)[:k, :]
+        steps = top[:-1, :] - top[1:, :]  # steps[i] = p̂(i+1) - p̂(i+2)
+        j_weights = np.arange(1, k, dtype=np.int64)[:, None]
+        levels = np.vstack(
+            [np.zeros((1, m)), np.cumsum(j_weights * steps[::-1, :], axis=0)]
+        )
+        compare = levels < masses[None, :]
+        cols = np.arange(m)
+    else:
+        top = workspace.take("top", (k, m))
+        top[...] = lower[:k, :]
+        levels = workspace.take("levels", (k, m))
+        levels[0, :] = 0.0
+        if k > 1:
+            steps = workspace.take("steps", (k - 1, m))
+            np.subtract(top[:-1, :], top[1:, :], out=steps)
+            j_weights = workspace.arange("j_weights", k)[1:, None]
+            weighted = workspace.take("weighted", (k - 1, m))
+            np.multiply(j_weights, steps[::-1, :], out=weighted)
+            np.cumsum(weighted, axis=0, out=levels[1:, :])
+        compare = workspace.take("compare", (k, m), dtype=bool)
+        np.less(levels, masses[None, :], out=compare)
+        cols = workspace.arange("cols", m)
     # Smallest j with z_{j-1} < ||r||_1 <= z_j; j == k means the staircase floods.
-    j = np.sum(levels < masses[None, :], axis=0)
+    j = np.sum(compare, axis=0)
 
     out = np.empty(m, dtype=np.float64)
-    cols = np.arange(m)
     exact = masses == 0.0
     flooded = ~exact & (j >= k)
     partial = ~exact & ~flooded

@@ -23,9 +23,18 @@ from .._validation import (
 )
 
 #: Accepted ink-propagation backends (see :mod:`repro.core.propagation`):
-#: the dict-based per-neighbour reference loop and the blocked multi-source
-#: dense engine.
-PROPAGATION_BACKENDS = ("scalar", "vectorized")
+#: the dict-based per-neighbour reference loop, the blocked multi-source
+#: dense engine, and the optional JIT-compiled variant of the latter.
+#: ``"numba"`` is accepted here unconditionally (parameters must stay
+#: loadable on machines without the extra); availability is checked when a
+#: kernel is actually constructed (:func:`repro.core.backends.require_backend`).
+PROPAGATION_BACKENDS = ("scalar", "vectorized", "numba")
+
+#: Precisions accepted for the scan phase's lower-bound reads: ``"float64"``
+#: scans the authoritative matrix directly; ``"float32"`` screens with a
+#: half-width copy plus a conservative error envelope and re-checks only
+#: near-threshold nodes against the float64 truth (bit-identical answers).
+SCAN_PRECISIONS = ("float64", "float32")
 
 #: Default multi-source block width of the vectorized backend.  The working
 #: set is roughly ``41 * block_size * n_nodes`` bytes: five float64 planes
@@ -65,7 +74,9 @@ class IndexParams:
         Ink-propagation backend (:data:`PROPAGATION_BACKENDS`):
         ``"vectorized"`` (default) runs blocked multi-source BCA over dense
         arrays; ``"scalar"`` is the dict-based reference loop, bit-identical
-        to the seed implementation.
+        to the seed implementation; ``"numba"`` JIT-compiles the blocked
+        engine's inner iteration (requires the optional ``fast`` extra —
+        kernel construction fails with ``ConfigurationError`` without it).
     block_size:
         ``B`` — number of source nodes the vectorized backend advances
         together.  Larger blocks amortize the per-iteration sparse product

@@ -213,6 +213,7 @@ class ReverseTopKIndex:
             )
         if self.hub_deficit.size != len(hubs):
             raise ValueError("hub_deficit length must equal the number of hubs")
+        self._lower32: Optional[np.ndarray] = None
         self._columns: Optional[ColumnarView] = self._build_columns()
 
     # ------------------------------------------------------------------ #
@@ -349,6 +350,19 @@ class ReverseTopKIndex:
         """Dense ``K x n`` matrix ``P̂`` (column ``u`` = top-K lower bounds of ``u``)."""
         return self.columns.lower.copy()
 
+    def lower_bounds_f32(self) -> np.ndarray:
+        """The float32 mirror of ``P̂``, for the screened scan (read-only use).
+
+        Materialised lazily from the float64 columns and kept in sync by
+        every column write-back, so it always mirrors :attr:`columns`
+        ``.lower`` rounded to float32.  Callers must treat the array as
+        read-only; it is derived state and is dropped from pickles (rebuilt
+        on first access, like the columnar views).
+        """
+        if getattr(self, "_lower32", None) is None:
+            self._lower32 = self.columns.lower.astype(np.float32)
+        return self._lower32
+
     # ------------------------------------------------------------------ #
     # approximate proximity reconstruction
     # ------------------------------------------------------------------ #
@@ -397,6 +411,9 @@ class ReverseTopKIndex:
     # ------------------------------------------------------------------ #
     def _build_columns(self) -> ColumnarView:
         """Assemble the columnar views from the per-node states (one pass)."""
+        # A wholesale rebuild invalidates the float32 mirror; it re-derives
+        # lazily from the fresh columns on the next screened scan.
+        self._lower32 = None
         columns = ColumnarView(
             lower=np.zeros((self.capacity, self.n_nodes), dtype=np.float64),
             residual_mass=np.zeros(self.n_nodes, dtype=np.float64),
@@ -412,6 +429,8 @@ class ReverseTopKIndex:
         self._version += 1
         if self._columns is not None:
             self._write_column(self._columns, node, state)
+            if self._lower32 is not None:
+                self._lower32[:, node] = self._columns.lower[:, node]
 
     # ------------------------------------------------------------------ #
     # pickling (process-pool workers)
@@ -420,6 +439,7 @@ class ReverseTopKIndex:
         """Drop the derived columnar views; they are rebuilt lazily on access."""
         state = self.__dict__.copy()
         state["_columns"] = None
+        state["_lower32"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:

@@ -1,9 +1,9 @@
-"""Unified ink-propagation kernel: one layer, two backends (Algorithm 1 core).
+"""Unified ink-propagation kernel: one layer, three backends (Algorithm 1 core).
 
 Every component that moves BCA ink — offline index construction, the dynamic
 maintainer's invalidation rebuilds, and query-time candidate refinement —
 goes through one :class:`PropagationKernel` instead of hand-rolling the
-propagation loop.  The kernel offers two interchangeable backends selected
+propagation loop.  The kernel offers interchangeable backends selected
 via :attr:`IndexParams.backend`:
 
 ``"scalar"``
@@ -20,6 +20,30 @@ via :attr:`IndexParams.backend`:
     Sources that converge are spilled into :class:`NodeState` objects and
     their block column is refilled from the pending worklist, so stragglers
     never hold the whole block hostage.
+
+``"numba"``
+    The blocked engine with its per-iteration inner loop JIT-compiled
+    (:mod:`repro.core._numba_kernels`): column statistics and the snapshot /
+    retain / scatter / hub-split sequence run as one fused parallel pass per
+    iteration instead of a chain of whole-array NumPy operations.  Requires
+    the optional ``fast`` extra; constructing a kernel without it raises
+    :class:`~repro.exceptions.ConfigurationError`
+    (see :func:`repro.core.backends.available_backends`).
+
+Buffer reuse (:class:`KernelWorkspace`)
+---------------------------------------
+Both blocked backends draw their dense ``(n, B)`` planes from a
+:class:`KernelWorkspace` — a thread-local, grow-only scratch pool — and the
+per-iteration sparse-dense product accumulates **in place** into the residual
+plane via SciPy's low-level ``csc_matvecs`` routine, so the steady-state
+iteration allocates nothing.  Long-lived owners (the query engine, the
+dynamic maintainer, the per-process build workers) keep one workspace and
+reuse it across every run, block and refinement step.  Passing
+``reuse_buffers=False`` restores the historical allocate-per-iteration
+behaviour (useful for A/B benchmarks); the in-place product accumulates
+arrivals in a different order than the legacy ``residual += transition @
+shares``, so the two modes agree to the backend tolerance rather than bit
+for bit.
 
 Per-source bitwise determinism
 ------------------------------
@@ -48,12 +72,40 @@ import scipy.sparse as sp
 
 from ..utils.sparsetools import top_k_descending
 from ..utils.timer import StageTimer
+from ..utils.workspace import ArrayWorkspace
 from .config import PROPAGATION_BACKENDS, IndexParams
 from .hubs import HubSet
 from .index import NodeState
 
+try:  # pragma: no cover - exercised implicitly by every blocked run
+    # Low-level accumulating sparse-dense product: Y += A @ X with caller-
+    # owned output storage.  Private but stable (it backs scipy's own @);
+    # guard the import so a reorganised SciPy degrades to the allocating
+    # product instead of breaking the kernel.
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+
+    _CSC_MATVECS = getattr(_scipy_sparsetools, "csc_matvecs", None)
+except ImportError:  # pragma: no cover
+    _CSC_MATVECS = None
+
 #: Progress hook invoked with the source node id as each source converges.
 SourceCallback = Callable[[int], None]
+
+
+class KernelWorkspace(ArrayWorkspace):
+    """Reusable scratch planes for the blocked propagation backends.
+
+    One workspace preallocates the ``(n, B)`` residual / retained / hub-ink /
+    active / amounts / shares planes (plus the per-column bookkeeping
+    vectors) the first time a kernel runs and hands the same storage back on
+    every subsequent run, block and single-source refinement step.  Buffers
+    only grow, and each thread sees its own set, so a workspace may be
+    shared by an engine serving concurrent read-only queries.
+
+    Kernels create a private workspace by default; pass one explicitly to
+    share buffers across kernels with compatible lifetimes (e.g. the dynamic
+    maintainer's incremental rebuilds, or a per-process build worker).
+    """
 
 
 def _column_to_dict(
@@ -292,6 +344,14 @@ class PropagationKernel:
         without them the kernel only propagates (callers materialize later).
     backend:
         Optional override of ``params.backend`` for this kernel instance.
+    workspace:
+        Optional :class:`KernelWorkspace` to draw scratch planes from; by
+        default the kernel owns a private one.  Pass a shared workspace when
+        several kernels with compatible lifetimes should reuse buffers.
+    reuse_buffers:
+        When ``False``, the blocked path allocates fresh planes per run and
+        a fresh arrivals array per iteration (the historical behaviour) —
+        kept for A/B benchmarking of the workspace; leave ``True`` otherwise.
     """
 
     def __init__(
@@ -303,6 +363,8 @@ class PropagationKernel:
         hubs: Optional[HubSet] = None,
         hub_matrix: Optional[sp.csc_matrix] = None,
         backend: Optional[str] = None,
+        workspace: Optional[KernelWorkspace] = None,
+        reuse_buffers: bool = True,
     ) -> None:
         self.transition = sp.csc_matrix(transition)
         self.hub_mask = np.asarray(hub_mask, dtype=bool)
@@ -312,12 +374,30 @@ class PropagationKernel:
             raise ValueError(
                 f"backend must be one of {PROPAGATION_BACKENDS}, got {self.backend!r}"
             )
+        if self.backend == "numba":
+            # Raises ConfigurationError with an install hint when the
+            # optional extra is missing — never a deep ImportError.
+            from .backends import load_numba_kernels
+
+            self._jit = load_numba_kernels()
+        else:
+            self._jit = None
+        self.workspace = workspace if workspace is not None else KernelWorkspace()
+        self.reuse_buffers = bool(reuse_buffers)
         self.hubs = hubs
         self.hub_matrix = hub_matrix.tocsc() if hub_matrix is not None else None
         self.expansion: Optional[_HubExpansion] = None
         if self.hubs is not None and self.hub_matrix is not None:
             self.expansion = _HubExpansion(self.n_nodes, self.hubs, self.hub_matrix)
         self._hub_nodes = np.flatnonzero(self.hub_mask)
+        self._hub_position: Optional[np.ndarray] = None
+        if self._jit is not None:
+            # node id -> hub row (or -1): the compiled iteration splits hub
+            # arrivals inline instead of post-hoc masking.
+            self._hub_position = np.full(self.n_nodes, -1, dtype=np.int64)
+            self._hub_position[self._hub_nodes] = np.arange(
+                self._hub_nodes.size, dtype=np.int64
+            )
 
     @property
     def n_nodes(self) -> int:
@@ -353,7 +433,7 @@ class PropagationKernel:
         stages.add("materialize", 0.0)
         if not sources:
             return []
-        if self.backend == "vectorized":
+        if self.backend in ("vectorized", "numba"):
             return self._run_vectorized(sources, stages, on_done)
         return self._run_scalar(sources, stages, on_done)
 
@@ -393,17 +473,37 @@ class PropagationKernel:
         max_iterations = params.max_index_iterations
         hub_nodes = self._hub_nodes
         block = max(1, min(int(params.block_size), len(sources)))
+        matrix = self.transition
+        jit = self._jit
+        # In-place accumulating product: needs reusable planes and the SciPy
+        # routine; otherwise fall back to the allocating legacy product.
+        fused = self.reuse_buffers and _CSC_MATVECS is not None
 
-        residual = np.zeros((n, block), dtype=np.float64)
-        retained = np.zeros((n, block), dtype=np.float64)
-        hub_ink = np.zeros((hub_nodes.size, block), dtype=np.float64)
-        iterations = np.zeros(block, dtype=np.int64)
-        column_source = np.full(block, -1, dtype=np.int64)
-        # Reused per-pass work planes — the hot loop allocates nothing but
-        # the sparse product's output.
-        active = np.zeros((n, block), dtype=bool)
-        amounts = np.zeros((n, block), dtype=np.float64)
-        shares = np.zeros((n, block), dtype=np.float64)
+        if self.reuse_buffers:
+            ws = self.workspace
+            residual = ws.zeros("residual", (n, block))
+            retained = ws.zeros("retained", (n, block))
+            hub_ink = ws.zeros("hub_ink", (hub_nodes.size, block))
+            iterations = ws.zeros("iterations", block, np.int64)
+            column_source = ws.take("column_source", block, np.int64)
+            # Work planes fully (re)written before every read; bookkeeping
+            # vectors for parked columns are masked off by ``live``.
+            amounts = ws.take("amounts", (n, block))
+            column_mass = ws.take("column_mass", block)
+            column_active = ws.take("column_active", block, bool)
+            active = ws.take("active", (n, block), bool) if jit is None else None
+            shares = ws.take("shares", (n, block)) if jit is None else None
+        else:
+            residual = np.zeros((n, block), dtype=np.float64)
+            retained = np.zeros((n, block), dtype=np.float64)
+            hub_ink = np.zeros((hub_nodes.size, block), dtype=np.float64)
+            iterations = np.zeros(block, dtype=np.int64)
+            column_source = np.full(block, -1, dtype=np.int64)
+            amounts = np.zeros((n, block), dtype=np.float64)
+            column_mass = np.zeros(block, dtype=np.float64)
+            column_active = np.zeros(block, dtype=bool)
+            active = np.zeros((n, block), dtype=bool) if jit is None else None
+            shares = np.zeros((n, block), dtype=np.float64) if jit is None else None
 
         results: Dict[int, NodeState] = {}
         next_source = 0
@@ -433,11 +533,17 @@ class PropagationKernel:
             if not live.any():
                 break
             with stages.time("bca"):
-                np.greater_equal(residual, eta, out=active)
-                if not live.all():
-                    active[:, ~live] = False
-                has_active = active.any(axis=0)
-                mass = residual.sum(axis=0)
+                if jit is not None:
+                    # Fused per-column mass + has-active statistics.
+                    jit.block_stats(residual, live, eta, column_mass, column_active)
+                    has_active = column_active
+                    mass = column_mass
+                else:
+                    np.greater_equal(residual, eta, out=active)
+                    if not live.all():
+                        active[:, ~live] = False
+                    has_active = active.any(axis=0)
+                    mass = residual.sum(axis=0)
                 stepping = live & has_active & (mass > delta) & (iterations < max_iterations)
             finished = live & ~stepping
             if finished.any():
@@ -452,28 +558,69 @@ class PropagationKernel:
                     refill(columns)
                 continue
             with stages.time("bca"):
+                if jit is not None:
+                    # Snapshot, retain, scatter and hub-split fused into one
+                    # compiled parallel pass over the stepping columns.
+                    jit.bca_block_iteration(
+                        residual, retained, hub_ink, amounts,
+                        self._hub_position, matrix.indptr, matrix.indices,
+                        matrix.data, stepping, eta, alpha, scale,
+                    )
+                    iterations[stepping] += 1
+                    continue
                 # Snapshot the propagating amounts (Eq. 9 operates on r_{t-1})
                 # and advance every live source with one sparse-dense product.
                 np.multiply(residual, active, out=amounts)
                 residual -= amounts
                 np.multiply(amounts, scale, out=shares)
                 if live.all():
-                    arrivals = self.transition @ shares
-                    if hub_nodes.size:
-                        hub_ink += arrivals[hub_nodes, :]
-                        arrivals[hub_nodes, :] = 0.0
-                    residual += arrivals
+                    if fused:
+                        # Accumulate arrivals straight into the residual plane
+                        # (hub rows hold zero residue by invariant, so their
+                        # accumulated sums equal the legacy arrivals and can
+                        # be moved to hub_ink afterwards).
+                        _CSC_MATVECS(
+                            n, n, block, matrix.indptr, matrix.indices,
+                            matrix.data, shares.ravel(), residual.ravel(),
+                        )
+                        if hub_nodes.size:
+                            hub_ink += residual[hub_nodes, :]
+                            residual[hub_nodes, :] = 0.0
+                    else:
+                        arrivals = matrix @ shares
+                        if hub_nodes.size:
+                            hub_ink += arrivals[hub_nodes, :]
+                            arrivals[hub_nodes, :] = 0.0
+                        residual += arrivals
                 else:
                     # Drain phase: the worklist is exhausted and some columns
                     # are parked all-zero — restrict the product to the live
                     # columns so tail stragglers stop paying for the whole
-                    # block.  Per-column results are unchanged bit for bit.
+                    # block.  Per-column results are unchanged bit for bit:
+                    # the gathered columns start from the same values and
+                    # accumulate contributions in the same ascending
+                    # matrix-column order as the full-width pass.
                     columns = np.flatnonzero(stepping)
-                    arrivals = self.transition @ shares[:, columns]
-                    if hub_nodes.size:
-                        hub_ink[:, columns] += arrivals[hub_nodes, :]
-                        arrivals[hub_nodes, :] = 0.0
-                    residual[:, columns] += arrivals
+                    if fused:
+                        # Trailing fancy indexing yields F-ordered copies;
+                        # the accumulating product needs C layout (it reads
+                        # and writes raveled row-major storage).
+                        live_shares = np.ascontiguousarray(shares[:, columns])
+                        live_residual = np.ascontiguousarray(residual[:, columns])
+                        _CSC_MATVECS(
+                            n, n, columns.size, matrix.indptr, matrix.indices,
+                            matrix.data, live_shares.ravel(), live_residual.ravel(),
+                        )
+                        if hub_nodes.size:
+                            hub_ink[:, columns] += live_residual[hub_nodes, :]
+                            live_residual[hub_nodes, :] = 0.0
+                        residual[:, columns] = live_residual
+                    else:
+                        arrivals = matrix @ shares[:, columns]
+                        if hub_nodes.size:
+                            hub_ink[:, columns] += arrivals[hub_nodes, :]
+                            arrivals[hub_nodes, :] = 0.0
+                        residual[:, columns] += arrivals
                 np.multiply(amounts, alpha, out=amounts)
                 retained += amounts
                 iterations[stepping] += 1
@@ -556,7 +703,7 @@ class PropagationKernel:
         (Eq. 8-9); they differ only in floating-point accumulation order.
         """
         if (
-            self.backend == "vectorized"
+            self.backend in ("vectorized", "numba")
             and len(state.residual) >= self.n_nodes * self._DENSE_STEP_FRACTION
         ):
             return self._step_vectorized(state, propagation_threshold)
@@ -579,19 +726,46 @@ class PropagationKernel:
         if not state.residual:
             return False
         n = self.n_nodes
-        residual = np.zeros(n, dtype=np.float64)
+        reuse = self.reuse_buffers and _CSC_MATVECS is not None
+        if reuse:
+            # Same arithmetic as the allocating path below, on workspace
+            # scratch: ``residual * active`` matches ``where(active, r, 0)``
+            # bit for bit on non-negative residues, and the accumulating
+            # product from a zeroed output scatters contributions in the
+            # identical ascending-column order as ``transition @ shares``.
+            ws = self.workspace
+            residual = ws.zeros("step_residual", n)
+            amounts = ws.take("step_amounts", n)
+            shares = ws.take("step_shares", n)
+            arrivals = ws.zeros("step_arrivals", n)
+            active = ws.take("step_active", n, bool)
+        else:
+            residual = np.zeros(n, dtype=np.float64)
         keys = np.fromiter(state.residual.keys(), dtype=np.int64, count=len(state.residual))
         residual[keys] = np.fromiter(
             state.residual.values(), dtype=np.float64, count=len(state.residual)
         )
-        active = residual >= eta
-        if not active.any():
-            return False
         alpha = self.params.alpha
-        amounts = np.where(active, residual, 0.0)
-        arrivals = self.transition @ ((1.0 - alpha) * amounts)
-        residual -= amounts
-        kept = alpha * amounts
+        if reuse:
+            np.greater_equal(residual, eta, out=active)
+            if not active.any():
+                return False
+            np.multiply(residual, active, out=amounts)
+            np.multiply(amounts, 1.0 - alpha, out=shares)
+            _CSC_MATVECS(
+                n, n, 1, self.transition.indptr, self.transition.indices,
+                self.transition.data, shares, arrivals,
+            )
+            residual -= amounts
+            kept = np.multiply(amounts, alpha, out=amounts)
+        else:
+            active = residual >= eta
+            if not active.any():
+                return False
+            amounts = np.where(active, residual, 0.0)
+            arrivals = self.transition @ ((1.0 - alpha) * amounts)
+            residual -= amounts
+            kept = alpha * amounts
         for node in np.flatnonzero(active):
             state.retained[int(node)] = state.retained.get(int(node), 0.0) + float(kept[node])
         hub_nodes = self._hub_nodes

@@ -50,16 +50,212 @@ from ..exceptions import QueryError
 from ..graph.digraph import DiGraph
 from ..graph.transition import transition_matrix
 from ..utils.timer import StageTimer, Timer
-from .bounds import kth_upper_bound, kth_upper_bounds_batch
-from .config import IndexParams, QueryParams
-from .index import NodeState, ReverseTopKIndex
+from .backends import load_numba_kernels
+from .bounds import (
+    BoundsWorkspace,
+    FLOAT32_ABSOLUTE_ENVELOPE,
+    FLOAT32_RELATIVE_ENVELOPE,
+    float32_prune_envelope,
+    float32_staircase_envelope,
+    kth_upper_bound,
+    kth_upper_bounds_batch,
+)
+from .config import SCAN_PRECISIONS, IndexParams, QueryParams
+from .index import ColumnarView, NodeState, ReverseTopKIndex
 from .lbi import build_index, refine_node_state
 from .pmpn import proximity_to_node
 from .propagation import PropagationKernel
 
-#: Accepted scan-phase implementations: the columnar pipeline and the
-#: per-node reference loop (kept for equivalence testing and benchmarks).
-SCAN_MODES = ("vectorized", "scalar")
+#: Accepted scan-phase implementations: the columnar pipeline, the per-node
+#: reference loop (kept for equivalence testing and benchmarks), and the
+#: JIT-compiled fused scan (requires the optional ``fast`` extra).
+SCAN_MODES = ("vectorized", "scalar", "numba")
+
+
+# --------------------------------------------------------------------- #
+# the shared columnar stage pipeline
+# --------------------------------------------------------------------- #
+def columnar_stage_decisions(
+    proximity: np.ndarray,
+    columns: ColumnarView,
+    k: int,
+    *,
+    lower32: Optional[np.ndarray] = None,
+    screen: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    workspace: Optional[BoundsWorkspace] = None,
+    jit=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Prune / exact-shortcut / staircase decisions over one columnar slice.
+
+    The single decision pipeline behind both the monolithic vectorized scan
+    and the per-shard router scan.  Returns ``(exact_idx, candidate_idx,
+    hits, n_pruned)`` with ascending slice-local node indices: nodes accepted
+    by the exact shortcut, undecided-or-hit candidates, the boolean hit mask
+    aligned with ``candidate_idx``, and the immediate-prune count.
+
+    ``lower32`` switches on float32 screening: the comparisons run against
+    the float32 mirror of the lower-bound plane, and only nodes inside the
+    conservative rounding envelope (see :mod:`repro.core.bounds`) are
+    re-checked against the float64 columns — so decisions (and therefore the
+    derived statistics) stay bit-identical while the screening passes read
+    half the bytes.  ``screen`` optionally supplies precomputed ``(hi, lo)``
+    prune rows (``threshold ± envelope`` at rank ``k``) so a caller serving
+    many queries against the same plane pays the float64 conversion once.
+    ``jit`` routes the stage pipeline through the compiled
+    :func:`repro.core._numba_kernels.scan_decide` kernel instead of NumPy,
+    again with identical decisions.
+    """
+    if jit is not None:
+        return _stage_decisions_numba(proximity, columns, k, lower32, workspace, jit)
+    if lower32 is not None:
+        return _stage_decisions_screened(
+            proximity, columns, k, lower32, screen, workspace
+        )
+    return _stage_decisions_float64(proximity, columns, k, workspace)
+
+
+def _stage_decisions_float64(
+    proximity: np.ndarray,
+    columns: ColumnarView,
+    k: int,
+    workspace: Optional[BoundsWorkspace],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """The reference whole-array pipeline over the float64 columns."""
+    survivors = proximity >= columns.lower[k - 1]
+    n_pruned = proximity.size - int(np.count_nonzero(survivors))
+    is_exact = np.asarray(columns.is_exact)
+    exact_idx = np.flatnonzero(survivors & is_exact)
+    candidates = np.flatnonzero(survivors & ~is_exact)
+    if candidates.size:
+        # Gather only the k rows the staircase needs: the plane holds K >= k
+        # rows and a full-column gather would touch (and copy) all of them.
+        upper = kth_upper_bounds_batch(
+            columns.lower[:k, candidates],
+            columns.residual_mass[candidates],
+            k,
+            workspace=workspace,
+        )
+        hits = proximity[candidates] >= upper
+    else:
+        hits = np.zeros(0, dtype=bool)
+    return exact_idx, candidates, hits, n_pruned
+
+
+def _stage_decisions_screened(
+    proximity: np.ndarray,
+    columns: ColumnarView,
+    k: int,
+    lower32: np.ndarray,
+    screen: Optional[Tuple[np.ndarray, np.ndarray]],
+    workspace: Optional[BoundsWorkspace],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """float32-screened pipeline: screen wide, re-check the envelope at f64.
+
+    Comparisons whose margin exceeds the rounding envelope provably decide
+    the same way as the float64 comparison, so only the (rare) borderline
+    nodes ever touch the float64 plane — and those are resolved against it,
+    making every returned decision bit-identical to the float64 pipeline.
+    """
+    lower = columns.lower
+    if screen is not None:
+        hi, lo = screen
+    else:
+        thresholds = np.asarray(lower32[k - 1], dtype=np.float64)
+        envelope = float32_prune_envelope(thresholds)
+        hi = thresholds + envelope
+        lo = thresholds - envelope
+    survivors = proximity >= hi
+    near = proximity >= lo
+    # hi >= lo, so survivors is a subset of near: xor leaves exactly the
+    # envelope sliver that needs the float64 row.
+    np.logical_xor(near, survivors, out=near)
+    unsure = np.flatnonzero(near)
+    if unsure.size:
+        survivors[unsure] = proximity[unsure] >= lower[k - 1][unsure]
+    n_pruned = proximity.size - int(np.count_nonzero(survivors))
+    is_exact = np.asarray(columns.is_exact)
+    exact_idx = np.flatnonzero(survivors & is_exact)
+    candidates = np.flatnonzero(survivors & ~is_exact)
+    if not candidates.size:
+        return exact_idx, candidates, np.zeros(0, dtype=bool), n_pruned
+    masses = columns.residual_mass[candidates]
+    upper32 = kth_upper_bounds_batch(
+        lower32[:k, candidates], masses, k, workspace=workspace
+    )
+    stair_envelope = float32_staircase_envelope(
+        np.asarray(lower32[0, candidates], dtype=np.float64), masses
+    )
+    prox = proximity[candidates]
+    hits = prox >= upper32 + stair_envelope
+    unsure = np.flatnonzero(~hits & (prox >= upper32 - stair_envelope))
+    if unsure.size:
+        borderline = candidates[unsure]
+        upper = kth_upper_bounds_batch(
+            lower[:k, borderline],
+            columns.residual_mass[borderline],
+            k,
+            workspace=workspace,
+        )
+        hits[unsure] = prox[unsure] >= upper
+    return exact_idx, candidates, hits, n_pruned
+
+
+def _stage_decisions_numba(
+    proximity: np.ndarray,
+    columns: ColumnarView,
+    k: int,
+    lower32: Optional[np.ndarray],
+    workspace: Optional[BoundsWorkspace],
+    jit,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Fused compiled pipeline; envelope hits resolve through NumPy at f64."""
+    n = proximity.shape[0]
+    if lower32 is not None:
+        plane = np.asarray(lower32)
+        eps, tiny = FLOAT32_RELATIVE_ENVELOPE, FLOAT32_ABSOLUTE_ENVELOPE
+    else:
+        plane = np.asarray(columns.lower)
+        eps, tiny = 0.0, 0.0
+    codes = (
+        workspace.take("codes", n, np.uint8)
+        if workspace is not None
+        else np.empty(n, dtype=np.uint8)
+    )
+    jit.scan_decide(
+        np.asarray(proximity),
+        plane,
+        np.asarray(columns.residual_mass),
+        np.asarray(columns.is_exact),
+        k,
+        eps,
+        tiny,
+        codes,
+    )
+    unsure = np.flatnonzero(codes == 4)
+    if unsure.size:
+        # Replay the full float64 pipeline for the envelope nodes only.
+        lower = columns.lower
+        survived = proximity[unsure] >= lower[k - 1][unsure]
+        codes[unsure[~survived]] = 0
+        alive = unsure[survived]
+        exact_alive = np.asarray(columns.is_exact)[alive]
+        codes[alive[exact_alive]] = 1
+        borderline = alive[~exact_alive]
+        if borderline.size:
+            upper = kth_upper_bounds_batch(
+                lower[:k, borderline],
+                columns.residual_mass[borderline],
+                k,
+                workspace=workspace,
+            )
+            codes[borderline] = np.where(
+                proximity[borderline] >= upper, 2, 3
+            ).astype(np.uint8)
+    n_pruned = int(np.count_nonzero(codes == 0))
+    exact_idx = np.flatnonzero(codes == 1)
+    candidates = np.flatnonzero(codes >= 2)
+    hits = codes[candidates] == 2
+    return exact_idx, candidates, hits, n_pruned
 
 
 @dataclass(frozen=True)
@@ -199,9 +395,25 @@ class ReverseTopKEngine:
         Column-stochastic transition matrix of the graph.
     index:
         A pre-built :class:`ReverseTopKIndex` over the same graph.
+    scan_precision:
+        ``"float64"`` (default) scans the full-precision columns;
+        ``"float32"`` screens the prune and staircase stages against the
+        index's float32 lower-bound mirror, re-checking only borderline
+        nodes at float64 — answers and statistics are bit-identical, at
+        half the bytes read per columnar pass.  Affects the columnar scan
+        modes only (the scalar reference loop always reads float64).
     """
 
-    def __init__(self, transition: sp.spmatrix, index: ReverseTopKIndex) -> None:
+    def __init__(
+        self,
+        transition: sp.spmatrix,
+        index: ReverseTopKIndex,
+        *,
+        scan_precision: str = "float64",
+    ) -> None:
+        self.scan_precision = check_membership(
+            scan_precision, SCAN_PRECISIONS, "scan_precision"
+        )
         self.transition = sp.csc_matrix(transition)
         if self.transition.shape[0] != index.n_nodes and index.n_nodes:
             raise QueryError(
@@ -222,6 +434,11 @@ class ReverseTopKEngine:
             hubs=index.hubs,
             hub_matrix=index.hub_matrix,
         )
+        # Scratch for the batched staircase bound, reused across queries
+        # (thread-local, so concurrent read-only queries stay safe).
+        self._bounds_workspace = BoundsWorkspace()
+        # Compiled scan kernels, loaded on the first scan_mode="numba" query.
+        self._scan_jit = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -234,6 +451,7 @@ class ReverseTopKEngine:
         *,
         transition: Optional[sp.spmatrix] = None,
         hubs=None,
+        scan_precision: str = "float64",
     ) -> "ReverseTopKEngine":
         """Construct the index for ``graph`` and wrap it in an engine."""
         if isinstance(graph, DiGraph):
@@ -241,7 +459,7 @@ class ReverseTopKEngine:
         else:
             matrix = graph if transition is None else transition
         index = build_index(graph, params, transition=matrix, hubs=hubs)
-        return cls(matrix, index)
+        return cls(matrix, index, scan_precision=scan_precision)
 
     @property
     def n_nodes(self) -> int:
@@ -260,7 +478,11 @@ class ReverseTopKEngine:
         does.  The index defaults to the engine's current one, which the
         maintainer mutates in place so version-keyed caches stay monotonic.
         """
-        self.__init__(transition, index if index is not None else self.index)
+        self.__init__(
+            transition,
+            index if index is not None else self.index,
+            scan_precision=self.scan_precision,
+        )
 
     # ------------------------------------------------------------------ #
     # query evaluation
@@ -290,14 +512,19 @@ class ReverseTopKEngine:
             when given.
         scan_mode:
             ``"vectorized"`` (default) runs the columnar whole-array scan;
-            ``"scalar"`` runs the per-node reference loop.  Both return
-            identical results and statistics counters.
+            ``"scalar"`` runs the per-node reference loop; ``"numba"`` runs
+            the fused compiled scan (requires the optional ``fast`` extra,
+            raising :class:`~repro.exceptions.ConfigurationError` when numba
+            is unavailable).  All return identical results and statistics
+            counters.
         """
         if params is None:
             params = QueryParams(k=k, update_index=update_index)
         query = check_node_index(query, self.n_nodes, "query")
         k = check_k(params.k, self.n_nodes, maximum=self.index.capacity)
         scan_mode = check_membership(scan_mode, SCAN_MODES, "scan_mode")
+        if scan_mode == "numba":
+            self._ensure_scan_jit()
         return self._query_checked(query, k, params, scan_mode)
 
     def query_many(
@@ -320,6 +547,8 @@ class ReverseTopKEngine:
             params = QueryParams(k=k, update_index=update_index)
         k = check_k(params.k, self.n_nodes, maximum=self.index.capacity)
         scan_mode = check_membership(scan_mode, SCAN_MODES, "scan_mode")
+        if scan_mode == "numba":
+            self._ensure_scan_jit()
         return [
             self._query_checked(
                 check_node_index(int(query), self.n_nodes, "query"), k, params, scan_mode
@@ -361,11 +590,19 @@ class ReverseTopKEngine:
     # ------------------------------------------------------------------ #
     def __getstate__(self) -> dict:
         """Ship only the transition and the index; derived caches rebuild."""
-        return {"transition": self.transition, "index": self.index}
+        return {
+            "transition": self.transition,
+            "index": self.index,
+            "scan_precision": self.scan_precision,
+        }
 
     def __setstate__(self, state: dict) -> None:
         # __init__ re-derives the hub mask and the shared CSR transpose.
-        self.__init__(state["transition"], state["index"])
+        self.__init__(
+            state["transition"],
+            state["index"],
+            scan_precision=state.get("scan_precision", "float64"),
+        )
 
     # ------------------------------------------------------------------ #
     # internals — query pipeline
@@ -387,10 +624,16 @@ class ReverseTopKEngine:
                 )
             proximity_to_q = pmpn.proximities
 
-            if scan_mode == "vectorized":
-                nodes, tally = self._scan_vectorized(proximity_to_q, k, params, stages)
-            else:
+            if scan_mode == "scalar":
                 nodes, tally = self._scan_scalar(proximity_to_q, k, params, stages)
+            else:
+                nodes, tally = self._scan_vectorized(
+                    proximity_to_q,
+                    k,
+                    params,
+                    stages,
+                    jit=self._ensure_scan_jit() if scan_mode == "numba" else None,
+                )
 
         statistics = QueryStatistics(
             n_results=int(nodes.size),
@@ -417,12 +660,25 @@ class ReverseTopKEngine:
             statistics=statistics,
         )
 
+    def _ensure_scan_jit(self):
+        """Load (once) the compiled scan kernels for ``scan_mode="numba"``."""
+        if self._scan_jit is None:
+            self._scan_jit = load_numba_kernels()
+        return self._scan_jit
+
+    def _scan_lower32(self) -> Optional[np.ndarray]:
+        """The float32 screening plane, or ``None`` at full precision."""
+        if self.scan_precision != "float32":
+            return None
+        return self.index.lower_bounds_f32()
+
     def _scan_vectorized(
         self,
         proximity_to_q: np.ndarray,
         k: int,
         params: QueryParams,
         stages: StageTimer,
+        jit=None,
     ) -> Tuple[np.ndarray, "_ScanTally"]:
         """Columnar scan: whole-array prune, exact shortcut, batched bound.
 
@@ -432,19 +688,17 @@ class ReverseTopKEngine:
         tally = _ScanTally()
         columns = self.index.columns
         with stages.time("scan"):
-            survivors = proximity_to_q >= columns.lower[k - 1]
-            tally.n_pruned = self.n_nodes - int(np.count_nonzero(survivors))
-            exact_accepted = survivors & columns.is_exact
-            tally.n_exact = int(np.count_nonzero(exact_accepted))
-            candidates = np.flatnonzero(survivors & ~columns.is_exact)
+            exact_idx, candidates, hits, n_pruned = columnar_stage_decisions(
+                proximity_to_q,
+                columns,
+                k,
+                lower32=self._scan_lower32(),
+                workspace=self._bounds_workspace,
+                jit=jit,
+            )
+            tally.n_pruned = n_pruned
+            tally.n_exact = int(exact_idx.size)
             tally.n_candidates = int(candidates.size)
-            if candidates.size:
-                upper = kth_upper_bounds_batch(
-                    columns.lower[:, candidates], columns.residual_mass[candidates], k
-                )
-                hits = proximity_to_q[candidates] >= upper
-            else:
-                hits = np.zeros(0, dtype=bool)
             tally.n_hits = int(np.count_nonzero(hits))
 
         refined_results: List[int] = []
@@ -460,7 +714,7 @@ class ReverseTopKEngine:
         nodes = np.sort(
             np.concatenate(
                 [
-                    np.flatnonzero(exact_accepted),
+                    exact_idx,
                     candidates[hits],
                     np.asarray(refined_results, dtype=np.int64),
                 ]

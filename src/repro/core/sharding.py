@@ -79,6 +79,7 @@ from .._validation import (
 )
 from ..exceptions import InvalidParameterError, SerializationError
 from ..graph.digraph import DiGraph
+from .bounds import float32_prune_envelope
 from .config import IndexParams
 from .hubs import HubSet
 from .index import (
@@ -90,8 +91,7 @@ from .index import (
     effective_state_residual_mass,
 )
 from .propagation import PropagationKernel, initial_node_state
-from .query import ReverseTopKEngine, _ScanTally
-from .bounds import kth_upper_bounds_batch
+from .query import ReverseTopKEngine, _ScanTally, columnar_stage_decisions
 from .lbi import (
     _bca_shard,
     _compute_hub_matrix,
@@ -202,6 +202,12 @@ class IndexShard:
         self._lower: Optional[np.ndarray] = None
         self._mass: Optional[np.ndarray] = None
         self._exact: Optional[np.ndarray] = None
+        # float32 mirror of the lower slice (lazy; memmapped when the layout
+        # carries a ``.lower32.npy`` file, derived from ``_lower`` otherwise).
+        self._lower32: Optional[np.ndarray] = None
+        # Per-k float64 screening rows derived from the mirror, cached so a
+        # query workload converts each threshold row once, not per query.
+        self._screen_bounds: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         # State storage: a full list (RAM) or lazy flattened arrays plus a
         # write overlay (memmap).
         self._states: Optional[List[NodeState]] = None
@@ -326,6 +332,61 @@ class IndexShard:
         self._exact = exact
         self._lower = lower
 
+    def lower32(self) -> np.ndarray:
+        """The float32 mirror of this shard's lower-bound slice (read-only).
+
+        Memmap shards open the layout's ``.lower32.npy`` companion when it
+        exists (written by current layouts; absent from older ones), so the
+        screening pass streams half the bytes off disk; otherwise — and for
+        RAM or promoted shards, whose live float64 columns are the only
+        authoritative values — the mirror is derived from ``_lower`` and
+        cached.  Write-backs keep a derived mirror in sync and drop a
+        memmapped one (promotion makes the on-disk file stale).
+        """
+        self._ensure_columns()
+        if self._lower32 is None:
+            path = (
+                self.directory / f"{_shard_stem(self.ordinal)}.lower32.npy"
+                if self.backing == "memmap" and not self.is_promoted
+                else None
+            )
+            if path is not None and path.exists():
+                try:
+                    mirror = np.load(path, mmap_mode="r")
+                except (OSError, ValueError) as exc:
+                    raise SerializationError(
+                        f"cannot open shard {self.ordinal} float32 plane "
+                        f"under {self.directory}: {exc}"
+                    ) from exc
+                if mirror.shape != self._lower.shape or mirror.dtype != np.float32:
+                    raise SerializationError(
+                        f"shard {self.ordinal} float32 plane has shape "
+                        f"{mirror.shape} dtype {mirror.dtype}, expected "
+                        f"{self._lower.shape} float32"
+                    )
+                self._lower32 = mirror
+            else:
+                self._lower32 = np.asarray(self._lower, dtype=np.float32)
+        return self._lower32
+
+    def screen_bounds(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(hi, lo)`` float64 prune screens for rank ``k``.
+
+        ``hi``/``lo`` bracket the float32 threshold row by the conservative
+        rounding envelope: a proximity at or above ``hi`` provably survives
+        the float64 prune, one below ``lo`` provably does not, and only the
+        sliver in between needs the float64 row.  The rows depend solely on
+        the (immutable until write-back) float32 mirror, so they are computed
+        once per ``k`` instead of once per query.
+        """
+        cached = self._screen_bounds.get(k)
+        if cached is None:
+            thresholds = np.asarray(self.lower32()[k - 1], dtype=np.float64)
+            envelope = float32_prune_envelope(thresholds)
+            cached = (thresholds + envelope, thresholds - envelope)
+            self._screen_bounds[k] = cached
+        return cached
+
     def _ensure_state_arrays(self) -> Dict[str, np.ndarray]:
         """Open the per-array state memmaps (lazy; O(1) resident memory).
 
@@ -391,12 +452,12 @@ class IndexShard:
         for name in ("residual", "retained", "hub_ink"):
             indptr = arrays[f"{name}_indptr"]
             lo, hi = int(indptr[local]), int(indptr[local + 1])
-            parts[name] = {
-                int(key): float(value)
-                for key, value in zip(
-                    arrays[f"{name}_keys"][lo:hi], arrays[f"{name}_values"][lo:hi]
-                )
-            }
+            # tolist() detaches the memmap slice in one read: iterating the
+            # slice directly would bounce through memmap.__getitem__ per
+            # element, which dominates refinement-candidate materialisation.
+            keys = np.asarray(arrays[f"{name}_keys"][lo:hi]).tolist()
+            values = np.asarray(arrays[f"{name}_values"][lo:hi]).tolist()
+            parts[name] = dict(zip(keys, values))
         return NodeState(
             residual=parts["residual"],
             retained=parts["retained"],
@@ -426,6 +487,11 @@ class IndexShard:
             self._lower = np.array(self._lower, dtype=np.float64, copy=True)
             self._mass = np.array(self._mass, dtype=np.float64, copy=True)
             self._exact = np.array(self._exact, dtype=bool, copy=True)
+            # The on-disk float32 plane mirrors the *unpromoted* columns;
+            # drop it so the next screened scan re-derives from the promoted
+            # float64 truth instead of reading a stale file.
+            self._lower32 = None
+            self._screen_bounds.clear()
 
     def _write_column(self, local: int, state: NodeState, mass: float) -> None:
         count = min(self.capacity, state.lower_bounds.size)
@@ -433,6 +499,10 @@ class IndexShard:
         self._lower[count:, local] = 0.0
         self._mass[local] = mass
         self._exact[local] = state.is_exact
+        if self._lower32 is not None:
+            self._lower32[:, local] = self._lower[:, local]
+        if self._screen_bounds:
+            self._screen_bounds.clear()
 
     # ------------------------------------------------------------------ #
     # accounting / persistence
@@ -472,6 +542,8 @@ class IndexShard:
             self.backing == "ram" or self._lower.flags.writeable
         ):
             total += self._lower.nbytes + self._mass.nbytes + self._exact.nbytes
+        if self._lower32 is not None and not isinstance(self._lower32, np.memmap):
+            total += self._lower32.nbytes
         if self._states is not None:
             entries = sum(state.stored_entries() for state in self._states)
             total += entries * (_VALUE_BYTES + _INDEX_BYTES)
@@ -502,6 +574,13 @@ class IndexShard:
         _atomic_write(
             directory / f"{stem}.lower.npy", lambda handle: np.save(handle, lower)
         )
+        # The float32 screening plane: written alongside the float64 truth so
+        # memmap-backed scans stream half the bytes; derived data, so layouts
+        # without it (older writers) simply fall back to the float64 slice.
+        lower32 = lower.astype(np.float32)
+        _atomic_write(
+            directory / f"{stem}.lower32.npy", lambda handle: np.save(handle, lower32)
+        )
         _atomic_write(
             directory / f"{stem}.mass.npy", lambda handle: np.save(handle, mass)
         )
@@ -526,6 +605,10 @@ class IndexShard:
         cache instead of receiving a full copy of the arrays.
         """
         state = self.__dict__.copy()
+        # The float32 mirror and its screening rows are derived (and possibly
+        # memmap-backed); receivers re-derive or reopen them lazily.
+        state["_lower32"] = None
+        state["_screen_bounds"] = {}
         if self.backing == "memmap":
             # State memmaps never ship (np.memmap pickles by value); the
             # receiver reopens them lazily.  Columns ship only once promoted
@@ -1190,11 +1273,12 @@ class ShardedReverseTopKEngine(ReverseTopKEngine):
         index: ShardedReverseTopKIndex,
         *,
         scan_workers: int = 0,
+        scan_precision: str = "float64",
     ) -> None:
         self.scan_workers = check_non_negative_int(scan_workers, "scan_workers")
         self._scan_pool: Optional[ThreadPoolExecutor] = None
         self._scan_pool_lock = threading.Lock()
-        super().__init__(transition, index)
+        super().__init__(transition, index, scan_precision=scan_precision)
 
     @classmethod
     def build(
@@ -1209,6 +1293,7 @@ class ShardedReverseTopKEngine(ReverseTopKEngine):
         memory_budget: Optional[int] = None,
         n_workers: Optional[int] = None,
         scan_workers: int = 0,
+        scan_precision: str = "float64",
     ) -> "ShardedReverseTopKEngine":
         """Build a sharded index for ``graph`` and wrap it in a router."""
         if isinstance(graph, DiGraph):
@@ -1227,7 +1312,9 @@ class ShardedReverseTopKEngine(ReverseTopKEngine):
             memory_budget=memory_budget,
             n_workers=n_workers,
         )
-        return cls(matrix, index, scan_workers=scan_workers)
+        return cls(
+            matrix, index, scan_workers=scan_workers, scan_precision=scan_precision
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -1239,11 +1326,13 @@ class ShardedReverseTopKEngine(ReverseTopKEngine):
     ) -> None:
         """Re-derive transition caches, preserving the scan-pool setting."""
         workers = self.scan_workers
+        precision = self.scan_precision
         self.close()
         self.__init__(
             transition,
             index if index is not None else self.index,
             scan_workers=workers,
+            scan_precision=precision,
         )
 
     def close(self) -> None:
@@ -1274,37 +1363,64 @@ class ShardedReverseTopKEngine(ReverseTopKEngine):
             "transition": self.transition,
             "index": self.index,
             "scan_workers": self.scan_workers,
+            "scan_precision": self.scan_precision,
         }
 
     def __setstate__(self, state: dict) -> None:
         self.__init__(
-            state["transition"], state["index"], scan_workers=state["scan_workers"]
+            state["transition"],
+            state["index"],
+            scan_workers=state["scan_workers"],
+            scan_precision=state.get("scan_precision", "float64"),
         )
 
     # ------------------------------------------------------------------ #
     # the per-shard scan
     # ------------------------------------------------------------------ #
-    def _scan_vectorized(self, proximity_to_q, k, params, stages):
+    def _scan_vectorized(self, proximity_to_q, k, params, stages, jit=None):
         """Columnar scan routed across shards; refinement stays global.
 
         Per-shard stages are column-local, so evaluating them slice by slice
         yields the monolithic scan's floats; shard outcomes concatenate in
         range order, reproducing the monolithic ascending candidate order —
         and therefore identical refinement trajectories, write-back order,
-        version bumps and statistics counters.
+        version bumps and statistics counters.  Precision screening and the
+        compiled scan compose: each shard scans its own float32 plane (the
+        memmapped ``.lower32.npy`` when the layout carries one) through the
+        same shared stage pipeline the monolithic engine uses.
         """
         tally = _ScanTally()
         shards = self.index.shards
+        screened = self.scan_precision == "float32"
+        workspace = self._bounds_workspace
         with stages.time("scan"):
             if self.scan_workers > 1 and len(shards) > 1:
                 pool = self._ensure_scan_pool()
                 outcomes = list(
                     pool.map(
-                        lambda shard: _scan_shard(shard, proximity_to_q, k), shards
+                        lambda shard: _scan_shard(
+                            shard,
+                            proximity_to_q,
+                            k,
+                            screened=screened,
+                            workspace=workspace,
+                            jit=jit,
+                        ),
+                        shards,
                     )
                 )
             else:
-                outcomes = [_scan_shard(shard, proximity_to_q, k) for shard in shards]
+                outcomes = [
+                    _scan_shard(
+                        shard,
+                        proximity_to_q,
+                        k,
+                        screened=screened,
+                        workspace=workspace,
+                        jit=jit,
+                    )
+                    for shard in shards
+                ]
             exact_parts: List[np.ndarray] = []
             candidate_parts: List[np.ndarray] = []
             hit_parts: List[np.ndarray] = []
@@ -1347,28 +1463,30 @@ class ShardedReverseTopKEngine(ReverseTopKEngine):
 
 
 def _scan_shard(
-    shard: IndexShard, proximity_to_q: np.ndarray, k: int
+    shard: IndexShard,
+    proximity_to_q: np.ndarray,
+    k: int,
+    *,
+    screened: bool = False,
+    workspace=None,
+    jit=None,
 ) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, int]:
     """Prune / exact-shortcut / batched-bound stages over one shard's slice.
 
     Returns ``(start, exact_local, candidates_local, hits, n_pruned)`` with
     local (shard-relative) node offsets; pure reads, safe to fan across
-    threads.
+    threads (the bounds workspace is thread-local).  Delegates to the shared
+    :func:`~repro.core.query.columnar_stage_decisions` pipeline, so decisions
+    are bit-identical to the monolithic scan in every configuration.
     """
-    columns = shard.columns
     local = proximity_to_q[shard.start : shard.stop]
-    survivors = local >= columns.lower[k - 1]
-    n_pruned = shard.n_nodes - int(np.count_nonzero(survivors))
-    is_exact = np.asarray(columns.is_exact)
-    exact_local = np.flatnonzero(survivors & is_exact)
-    candidates_local = np.flatnonzero(survivors & ~is_exact)
-    if candidates_local.size:
-        upper = kth_upper_bounds_batch(
-            columns.lower[:, candidates_local],
-            columns.residual_mass[candidates_local],
-            k,
-        )
-        hits = local[candidates_local] >= upper
-    else:
-        hits = np.zeros(0, dtype=bool)
+    exact_local, candidates_local, hits, n_pruned = columnar_stage_decisions(
+        local,
+        shard.columns,
+        k,
+        lower32=shard.lower32() if screened else None,
+        screen=shard.screen_bounds(k) if screened and jit is None else None,
+        workspace=workspace,
+        jit=jit,
+    )
     return shard.start, exact_local, candidates_local, hits, n_pruned

@@ -67,6 +67,7 @@ from ..core.lbi import (
     default_hub_selection,
 )
 from ..core.propagation import (
+    KernelWorkspace,
     PropagationKernel,
     materialize_lower_bounds,
 )
@@ -212,6 +213,10 @@ class IndexMaintainer:
         self.hub_selector = (
             hub_selector if hub_selector is not None else _degree_hub_selector
         )
+        # One scratch pool shared by every incremental rebuild this
+        # maintainer performs: the per-apply kernels are short-lived, but
+        # their dense (n, B) planes are not re-allocated between applies.
+        self._workspace = KernelWorkspace()
 
     # ------------------------------------------------------------------ #
     # application
@@ -343,7 +348,8 @@ class IndexMaintainer:
         changed_hubs = _changed_hub_columns(index, hubs, hub_matrix, hub_deficit)
         hub_mask = hubs.mask(n)
         kernel = PropagationKernel(
-            transition, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
+            transition, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix,
+            workspace=self._workspace,
         )
         expansion = kernel.expansion
 

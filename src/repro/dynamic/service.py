@@ -211,6 +211,7 @@ class DynamicReverseTopKService(ReverseTopKService):
         n_shards: Optional[int] = None,
         memory_budget: Optional[int] = None,
         scan_workers: int = 0,
+        scan_precision: str = "float64",
     ) -> "DynamicReverseTopKService":
         """Build (or warm-start) a dynamic service for ``graph``.
 
@@ -254,6 +255,7 @@ class DynamicReverseTopKService(ReverseTopKService):
             n_shards=n_shards,
             memory_budget=memory_budget,
             scan_workers=scan_workers,
+            scan_precision=scan_precision,
         )
         maintainer = IndexMaintainer(
             engine,

@@ -253,6 +253,7 @@ class ReverseTopKService:
         n_shards: Optional[int] = None,
         memory_budget: Optional[int] = None,
         scan_workers: int = 0,
+        scan_precision: str = "float64",
     ) -> "ReverseTopKService":
         """Build (or warm-start) a service for ``graph``.
 
@@ -269,6 +270,11 @@ class ReverseTopKService:
         snapshot layout (``snapshot_dir`` required) instead of resident
         arrays — and ``scan_workers > 1`` fans the per-shard scan across a
         thread pool.  Answers are bit-identical to the monolithic engine.
+
+        ``scan_precision="float32"`` screens the columnar scan stages
+        against the float32 lower-bound mirror (for a sharded memmap layout,
+        the half-size ``.lower32.npy`` shard files), re-checking borderline
+        nodes at float64 — served answers stay bit-identical.
         """
         engine, _, warm_started = cls._prepare_engine(
             graph,
@@ -278,6 +284,7 @@ class ReverseTopKService:
             n_shards=n_shards,
             memory_budget=memory_budget,
             scan_workers=scan_workers,
+            scan_precision=scan_precision,
         )
         return cls(engine, config, warm_started=warm_started)
 
@@ -291,6 +298,7 @@ class ReverseTopKService:
         n_shards: Optional[int] = None,
         memory_budget: Optional[int] = None,
         scan_workers: int = 0,
+        scan_precision: str = "float64",
     ) -> Tuple[ReverseTopKEngine, Optional["SnapshotManager"], bool]:
         """Shared warm-start wiring behind every ``from_graph`` classmethod.
 
@@ -336,14 +344,23 @@ class ReverseTopKService:
                     memory_budget=memory_budget,
                 )
             engine = ShardedReverseTopKEngine(
-                matrix, index, scan_workers=scan_workers
+                matrix,
+                index,
+                scan_workers=scan_workers,
+                scan_precision=scan_precision,
             )
             return engine, manager, from_snapshot
         if manager is None:
-            engine = ReverseTopKEngine.build(graph, params, transition=matrix)
+            engine = ReverseTopKEngine.build(
+                graph, params, transition=matrix, scan_precision=scan_precision
+            )
             return engine, None, False
         index, from_snapshot = manager.load_or_build(graph, params, transition=matrix)
-        return ReverseTopKEngine(matrix, index), manager, from_snapshot
+        return (
+            ReverseTopKEngine(matrix, index, scan_precision=scan_precision),
+            manager,
+            from_snapshot,
+        )
 
     # ------------------------------------------------------------------ #
     # serving

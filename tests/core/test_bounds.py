@@ -95,3 +95,61 @@ class TestUpperBoundSoundnessAgainstTruth:
             bound = kth_upper_bound(lower, partial.residual_mass, k)
             exact_kth = np.sort(small_exact_matrix[:, node])[-k]
             assert bound >= exact_kth - 1e-9
+
+
+class TestBatchWorkspace:
+    """The optional BoundsWorkspace must never change a single bit."""
+
+    def _random_case(self, rng):
+        K = int(rng.integers(1, 9))
+        m = int(rng.integers(0, 50))
+        k = int(rng.integers(1, K + 1))
+        lower = np.sort(rng.random((K, m)), axis=0)[::-1]
+        masses = rng.random(m) * rng.choice([0.0, 1e-6, 0.1, 2.0])
+        return lower, masses, k
+
+    def test_workspace_results_bit_identical(self):
+        from repro.core.bounds import BoundsWorkspace, kth_upper_bounds_batch
+
+        rng = np.random.default_rng(7)
+        workspace = BoundsWorkspace()
+        for _ in range(100):
+            lower, masses, k = self._random_case(rng)
+            plain = kth_upper_bounds_batch(lower, masses, k)
+            pooled = kth_upper_bounds_batch(lower, masses, k, workspace=workspace)
+            np.testing.assert_array_equal(plain, pooled)
+
+    def test_workspace_handles_float32_input(self):
+        from repro.core.bounds import BoundsWorkspace, kth_upper_bounds_batch
+
+        rng = np.random.default_rng(11)
+        workspace = BoundsWorkspace()
+        for _ in range(50):
+            lower, masses, k = self._random_case(rng)
+            lower32 = lower.astype(np.float32)
+            plain = kth_upper_bounds_batch(lower32, masses, k)
+            pooled = kth_upper_bounds_batch(lower32, masses, k, workspace=workspace)
+            np.testing.assert_array_equal(plain, pooled)
+
+    def test_workspace_shrinks_and_grows_across_calls(self):
+        from repro.core.bounds import BoundsWorkspace, kth_upper_bounds_batch
+
+        rng = np.random.default_rng(13)
+        workspace = BoundsWorkspace()
+        for m in (40, 3, 0, 17, 40, 1):
+            lower = np.sort(rng.random((5, m)), axis=0)[::-1]
+            masses = rng.random(m)
+            plain = kth_upper_bounds_batch(lower, masses, 4)
+            pooled = kth_upper_bounds_batch(lower, masses, 4, workspace=workspace)
+            np.testing.assert_array_equal(plain, pooled)
+
+    def test_output_is_not_a_workspace_buffer(self):
+        from repro.core.bounds import BoundsWorkspace, kth_upper_bounds_batch
+
+        workspace = BoundsWorkspace()
+        lower = np.array([[0.5, 0.4], [0.3, 0.2]])
+        masses = np.array([0.1, 0.0])
+        first = kth_upper_bounds_batch(lower, masses, 2, workspace=workspace)
+        kept = first.copy()
+        kth_upper_bounds_batch(lower[:, ::-1].copy(), masses[::-1].copy(), 2, workspace=workspace)
+        np.testing.assert_array_equal(first, kept)

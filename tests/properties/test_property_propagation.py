@@ -11,11 +11,18 @@ Two guarantees under random graphs and parameters:
 """
 
 import numpy as np
+import pytest
 import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import IndexParams, PropagationKernel, ReverseTopKEngine, build_index
+from repro.core import (
+    IndexParams,
+    PropagationKernel,
+    ReverseTopKEngine,
+    build_index,
+    numba_available,
+)
 from repro.core.lbi import _compute_hub_matrix, default_hub_selection
 from repro.core.propagation import (
     _HubExpansion,
@@ -163,3 +170,84 @@ class TestBackendEquivalence:
             b = sca_engine.query(query, k, update_index=False)
             assert_reverse_topk_consistent(a.nodes, exact_matrix, query, k)
             assert_reverse_topk_consistent(b.nodes, exact_matrix, query, k)
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+class TestNumbaBackendEquivalence:
+    """The compiled backend must track the scalar reference like the
+    vectorized one does: within 1e-12 on reconstructed vectors and lower
+    bounds, with tie-aware identical top-K node sets."""
+
+    @given(random_digraphs(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_numba_reconstructions_match_scalar(self, graph, data):
+        params = data.draw(index_params(graph.n_nodes)).for_graph(graph.n_nodes)
+        matrix = sp.csc_matrix(transition_matrix(graph))
+        hubs = default_hub_selection(graph, params)
+        hub_matrix, _, _ = _compute_hub_matrix(matrix, hubs, params)
+        hub_mask = hubs.mask(graph.n_nodes)
+        expansion = _HubExpansion(graph.n_nodes, hubs, hub_matrix)
+        sources = [node for node in range(graph.n_nodes) if not hub_mask[node]]
+
+        compiled = PropagationKernel(
+            matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix,
+            backend="numba",
+        ).run(sources)
+        scalar = PropagationKernel(
+            matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix,
+            backend="scalar",
+        ).run(sources)
+
+        for jit_state, sca_state in zip(compiled, scalar):
+            jit_vector = expansion.expand(jit_state)
+            sca_vector = expansion.expand(sca_state)
+            np.testing.assert_allclose(jit_vector, sca_vector, rtol=0, atol=1e-12)
+            np.testing.assert_allclose(
+                jit_state.lower_bounds, sca_state.lower_bounds, rtol=0, atol=1e-12
+            )
+            _topk_node_sets_match(jit_vector, sca_vector, params.capacity)
+
+    @given(random_digraphs(), st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_numba_scan_mode_answers_queries_exactly(self, graph, data):
+        from repro.rwr import ProximityLU
+
+        from tests.conftest import assert_reverse_topk_consistent
+
+        params = data.draw(index_params(graph.n_nodes)).for_graph(graph.n_nodes)
+        matrix = transition_matrix(graph)
+        exact_matrix = ProximityLU(matrix).matrix()
+        k = data.draw(st.integers(min_value=1, max_value=params.capacity))
+        engine = ReverseTopKEngine(matrix, build_index(graph, params, transition=matrix))
+        for query in range(graph.n_nodes):
+            numpy_res = engine.query(query, k, update_index=False)
+            jit_res = engine.query(query, k, update_index=False, scan_mode="numba")
+            np.testing.assert_array_equal(jit_res.nodes, numpy_res.nodes)
+            assert_reverse_topk_consistent(jit_res.nodes, exact_matrix, query, k)
+
+
+class TestFloat32ScreenedScan:
+    """Property check: float32-screened scanning is bit-identical to the
+    float64 scan — answers and decision counters — under random graphs."""
+
+    @given(random_digraphs(), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_screened_engine_bit_identical(self, graph, data):
+        params = data.draw(index_params(graph.n_nodes)).for_graph(graph.n_nodes)
+        matrix = transition_matrix(graph)
+        k = data.draw(st.integers(min_value=1, max_value=params.capacity))
+        index = build_index(graph, params, transition=matrix)
+        baseline = ReverseTopKEngine(matrix, index)
+        screened = ReverseTopKEngine(matrix, index, scan_precision="float32")
+        for query in range(graph.n_nodes):
+            a = baseline.query(query, k, update_index=False)
+            b = screened.query(query, k, update_index=False)
+            np.testing.assert_array_equal(a.nodes, b.nodes)
+            assert a.statistics.n_candidates == b.statistics.n_candidates
+            assert a.statistics.n_hits == b.statistics.n_hits
+            assert a.statistics.n_exact_shortcut == b.statistics.n_exact_shortcut
+            assert (
+                a.statistics.n_pruned_immediately
+                == b.statistics.n_pruned_immediately
+            )
+            assert a.statistics.n_refined_nodes == b.statistics.n_refined_nodes
