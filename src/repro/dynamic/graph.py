@@ -99,6 +99,12 @@ class GraphUpdate:
             return item
         return cls(*item)
 
+    def as_tuple(self) -> Tuple:
+        """The wire/JSON form ``coerce`` round-trips: weight omitted for removes."""
+        if self.op == "remove":
+            return (self.op, self.source, self.target)
+        return (self.op, self.source, self.target, self.weight)
+
 
 class DynamicGraph:
     """Buffered edge mutations over an immutable base :class:`DiGraph`.

@@ -296,8 +296,13 @@ class DynamicReverseTopKService(ReverseTopKService):
 
         Returns the maintainer's report.
         """
+        self._ensure_open()
         batch: List[GraphUpdate] = [GraphUpdate.coerce(item) for item in updates]
         with self._index_lock.write():
+            # close() drains writers through this same lock before releasing
+            # resources; a batch that acquired it afterwards must not mutate
+            # a service whose pools are already shut down.
+            self._ensure_open()
             # Rehearse the whole batch against the current effective graph
             # first: a mid-batch validation failure (duplicate add, missing
             # remove) must reject the batch atomically instead of leaving

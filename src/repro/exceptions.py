@@ -63,5 +63,15 @@ class ConfigurationError(ReproError):
     """
 
 
+class ServiceClosedError(ReproError, RuntimeError):
+    """Raised when a request reaches a service whose resources are released.
+
+    :meth:`ReverseTopKService.close` is idempotent and safe to call while
+    requests are in flight: in-flight calls drain first, and every call that
+    arrives afterwards fails fast with this error instead of touching a
+    shut-down executor or a released shard pool.
+    """
+
+
 class SerializationError(ReproError):
     """Raised when index or graph (de)serialization fails."""

@@ -1,0 +1,311 @@
+"""Request admission: per-tenant rate limits, a bounded queue, deadlines.
+
+A server that accepts every connection's request unconditionally has an
+unbounded internal queue — under overload, latency grows without limit and
+every client times out *after* the server has already spent work on it.
+The admission layer applies three checks **before any engine work is
+scheduled**, in this order:
+
+1. **deadline** — a request whose propagated client deadline has already
+   passed is shed immediately (HTTP 504): finishing it would be wasted
+   work, the client has stopped listening;
+2. **pending-queue bound** — the number of admitted-but-uncompleted
+   requests is capped (``max_pending``); beyond it the server sheds with
+   HTTP 429 and a ``Retry-After`` hint instead of queueing without bound
+   (explicit backpressure);
+3. **per-tenant token bucket** — each tenant refills at ``rate_limit``
+   tokens/second up to a burst of ``burst``; an empty bucket sheds with
+   HTTP 429 and the exact time until the next token as ``Retry-After``.
+
+Every decision is counted per tenant, and the controller tracks the peak
+pending depth so benchmarks can *assert* the queue stayed bounded.
+
+The controller is event-loop-confined: the server calls it only from the
+asyncio thread, so no internal locking is needed (and tests may drive it
+synchronously with a fake clock).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .._validation import check_positive_int
+from ..exceptions import ReproError
+
+#: Tenant bucket used when a request carries no ``X-Tenant`` header.
+DEFAULT_TENANT = "default"
+
+
+class AdmissionError(ReproError):
+    """A request was shed before any engine work was scheduled.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status the client receives (429 or 504).
+    retry_after:
+        Suggested wait before retrying, in seconds (``None`` when retrying
+        is pointless, e.g. for an expired deadline).
+    """
+
+    status: int = 429
+
+    def __init__(self, message: str, *, retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RateLimited(AdmissionError):
+    """The tenant's token bucket is empty."""
+
+    status = 429
+
+
+class QueueFull(AdmissionError):
+    """The server-wide pending queue is at its bound."""
+
+    status = 429
+
+
+class DeadlineExceeded(AdmissionError):
+    """The request's propagated deadline passed before work was scheduled."""
+
+    status = 504
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs of the admission layer.
+
+    Attributes
+    ----------
+    max_pending:
+        Bound on admitted-but-uncompleted requests (the explicit queue
+        depth limit); beyond it requests shed with 429.
+    rate_limit:
+        Per-tenant sustained rate in requests/second (``None`` disables
+        rate limiting).
+    burst:
+        Token-bucket capacity: how many requests a tenant may issue
+        back-to-back after an idle period.
+    default_deadline_ms:
+        Deadline applied to requests that carry no ``X-Deadline-Ms`` header
+        (``None`` means such requests never expire).
+    retry_after_s:
+        ``Retry-After`` hint attached to queue-full sheds (rate-limit sheds
+        compute the exact token wait instead).
+    """
+
+    max_pending: int = 256
+    rate_limit: Optional[float] = None
+    burst: int = 64
+    default_deadline_ms: Optional[float] = None
+    retry_after_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_pending, "max_pending")
+        check_positive_int(self.burst, "burst")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError(f"rate_limit must be positive, got {self.rate_limit}")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be positive, got {self.default_deadline_ms}"
+            )
+        if self.retry_after_s <= 0:
+            raise ValueError(
+                f"retry_after_s must be positive, got {self.retry_after_s}"
+            )
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp")
+
+    def __init__(self, rate: float, burst: int, now: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = self.burst
+        self._stamp = now
+
+    def try_acquire(self, now: float) -> float:
+        """Take one token; returns 0.0 on success, else seconds until one."""
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+@dataclass
+class TenantCounters:
+    """Per-tenant admission outcome counters (the metrics endpoint's rows)."""
+
+    admitted: int = 0
+    completed: int = 0
+    shed_rate_limited: int = 0
+    shed_queue_full: int = 0
+    shed_deadline: int = 0
+    coalesced: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed_rate_limited": self.shed_rate_limited,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_deadline": self.shed_deadline,
+            "coalesced": self.coalesced,
+        }
+
+
+class Ticket:
+    """One admitted request's slot in the bounded pending queue.
+
+    Release exactly once, in a ``finally`` — the slot is what bounds the
+    queue, so leaking it would permanently shrink server capacity while
+    double-releasing would silently unbound it.
+    """
+
+    __slots__ = ("_controller", "_tenant", "_released")
+
+    def __init__(self, controller: "AdmissionController", tenant: str) -> None:
+        self._controller = controller
+        self._tenant = tenant
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._controller._complete(self._tenant)
+
+
+class AdmissionController:
+    """Applies the :class:`AdmissionPolicy` and counts every outcome."""
+
+    def __init__(
+        self,
+        policy: Optional[AdmissionPolicy] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._clock = clock
+        self._pending = 0
+        self._peak_pending = 0
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._tenants: Dict[str, TenantCounters] = {}
+
+    # ------------------------------------------------------------------ #
+    # admission decisions
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet completed (the live queue depth)."""
+        return self._pending
+
+    @property
+    def peak_pending(self) -> int:
+        """Largest queue depth ever observed (bounded-queue proof)."""
+        return self._peak_pending
+
+    def deadline_for(
+        self, deadline_ms: Optional[float], *, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Absolute monotonic deadline for a request arriving now.
+
+        ``deadline_ms`` is the client's remaining budget (the
+        ``X-Deadline-Ms`` header); the policy default applies when absent.
+        """
+        if deadline_ms is None:
+            deadline_ms = self.policy.default_deadline_ms
+        if deadline_ms is None:
+            return None
+        if now is None:
+            now = self._clock()
+        return now + float(deadline_ms) / 1000.0
+
+    def admit(
+        self,
+        tenant: str = DEFAULT_TENANT,
+        *,
+        deadline: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Ticket:
+        """Admit one request or raise the matching :class:`AdmissionError`.
+
+        Check order: expired deadline (504, no work is ever worth doing),
+        queue bound (429 before a token is spent on a request that cannot
+        be queued anyway), token bucket (429 with the exact token wait).
+        """
+        if now is None:
+            now = self._clock()
+        counters = self._counters(tenant)
+        if deadline is not None and now >= deadline:
+            counters.shed_deadline += 1
+            raise DeadlineExceeded(
+                f"deadline passed {now - deadline:.3f}s before admission"
+            )
+        if self._pending >= self.policy.max_pending:
+            counters.shed_queue_full += 1
+            raise QueueFull(
+                f"pending queue at its bound ({self.policy.max_pending})",
+                retry_after=self.policy.retry_after_s,
+            )
+        if self.policy.rate_limit is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.policy.rate_limit, self.policy.burst, now
+                )
+            wait = bucket.try_acquire(now)
+            if wait > 0.0:
+                counters.shed_rate_limited += 1
+                raise RateLimited(
+                    f"tenant {tenant!r} over its rate limit", retry_after=wait
+                )
+        counters.admitted += 1
+        self._pending += 1
+        if self._pending > self._peak_pending:
+            self._peak_pending = self._pending
+        return Ticket(self, tenant)
+
+    def shed_deadline(self, tenant: str = DEFAULT_TENANT) -> None:
+        """Count a post-admission deadline shed (expired while queued)."""
+        self._counters(tenant).shed_deadline += 1
+
+    def note_coalesced(self, tenant: str = DEFAULT_TENANT) -> None:
+        """Count a request answered by joining an in-flight computation."""
+        self._counters(tenant).coalesced += 1
+
+    # ------------------------------------------------------------------ #
+    # internals / reporting
+    # ------------------------------------------------------------------ #
+    def _counters(self, tenant: str) -> TenantCounters:
+        counters = self._tenants.get(tenant)
+        if counters is None:
+            counters = self._tenants[tenant] = TenantCounters()
+        return counters
+
+    def _complete(self, tenant: str) -> None:
+        self._pending -= 1
+        self._counters(tenant).completed += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready state: queue depth, bound, and per-tenant counters."""
+        return {
+            "pending": self._pending,
+            "peak_pending": self._peak_pending,
+            "max_pending": self.policy.max_pending,
+            "rate_limit": self.policy.rate_limit,
+            "burst": self.policy.burst,
+            "tenants": {
+                tenant: counters.as_dict()
+                for tenant, counters in sorted(self._tenants.items())
+            },
+        }

@@ -1,0 +1,237 @@
+"""Cross-connection request coalescing onto the serving pipeline.
+
+The in-process service already deduplicates and batches *within* one
+``serve`` burst (:class:`~repro.serving.batching.BatchScheduler`), but a
+network server receives each request on its own connection — without a
+funnel, a thousand concurrent connections asking the same hot query would
+issue a thousand single-request bursts and the scheduler would never see a
+duplicate.  :class:`QueryCoalescer` is that funnel:
+
+* **in-flight dedup across connections** — the first arrival of a
+  ``(query, k)`` creates a shared future; every later arrival while the
+  computation is in flight awaits the *same* future (one engine evaluation,
+  N responses);
+* **micro-batching** — unique keys buffer for at most ``batch_window``
+  seconds (or until ``max_batch`` accumulate) and are then handed to
+  ``service.serve`` as one burst, where the existing ``BatchScheduler``
+  groups them by ``k`` and the result cache absorbs repeats across bursts;
+* **executor offload** — the burst runs in a thread-pool executor via
+  ``loop.run_in_executor``, so the event loop keeps accepting connections
+  and parsing requests while NumPy scans the index (the scans release the
+  GIL for the heavy array work).
+
+Cancellation safety (pinned by tests): waiters must wrap the shared future
+in ``asyncio.shield`` — a client disconnecting or timing out cancels only
+its own wait, never the shared batch task, and the in-flight table entry is
+removed by the batch completion itself, so later identical requests can
+never join a dead future.
+
+A coalescer belongs to exactly **one service generation** (one index
+version): the rollover layer creates a fresh coalescer per generation, so a
+key can never dedup across two different index states.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.query import QueryResult
+from ..exceptions import ServiceClosedError
+from ..serving.service import ReverseTopKService
+
+#: One coalescing key: (query node, depth k).
+Key = Tuple[int, int]
+
+
+@dataclass
+class CoalesceStats:
+    """Counters of the funnel (shared across generations by the server).
+
+    Attributes
+    ----------
+    n_submitted:
+        Requests entering the funnel.
+    n_coalesced:
+        Requests that joined an already-in-flight identical computation.
+    n_batches:
+        Bursts handed to ``service.serve``.
+    n_executed:
+        Unique keys evaluated across all bursts.
+    n_failed_batches:
+        Bursts that raised (every waiter received the exception).
+    """
+
+    n_submitted: int = 0
+    n_coalesced: int = 0
+    n_batches: int = 0
+    n_executed: int = 0
+    n_failed_batches: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "n_submitted": self.n_submitted,
+            "n_coalesced": self.n_coalesced,
+            "n_batches": self.n_batches,
+            "n_executed": self.n_executed,
+            "n_failed_batches": self.n_failed_batches,
+        }
+
+
+def _retrieve_exception(future: "asyncio.Future[QueryResult]") -> None:
+    """Mark a failed shared future's exception as observed.
+
+    Every waiter may have timed out or disconnected by the time the batch
+    fails; without this callback the event loop would log "exception was
+    never retrieved" for a future whose error was handled by design.
+    """
+    if not future.cancelled():
+        future.exception()
+
+
+class QueryCoalescer:
+    """Funnels concurrent connections' queries into shared service bursts.
+
+    Event-loop-confined: ``submit`` must be called from the loop thread
+    (the server's connection handlers), which is what makes the in-flight
+    table and buffer race-free without locks.  Only the engine scan itself
+    leaves the loop, via ``executor``.
+    """
+
+    def __init__(
+        self,
+        service: ReverseTopKService,
+        executor: Executor,
+        *,
+        batch_window: float = 0.002,
+        max_batch: int = 128,
+        stats: Optional[CoalesceStats] = None,
+    ) -> None:
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.service = service
+        self.stats = stats if stats is not None else CoalesceStats()
+        self._executor = executor
+        self._batch_window = float(batch_window)
+        self._max_batch = int(max_batch)
+        self._inflight: Dict[Key, "asyncio.Future[QueryResult]"] = {}
+        self._buffer: List[Key] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._batch_tasks: "set[asyncio.Task]" = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # the funnel
+    # ------------------------------------------------------------------ #
+    def submit(self, query: int, k: int) -> Tuple["asyncio.Future[QueryResult]", bool]:
+        """Register one request; returns ``(shared_future, coalesced)``.
+
+        ``coalesced`` is ``True`` when the request joined an identical
+        computation already in flight.  Await the future through
+        ``asyncio.shield`` — cancelling the raw future would detach every
+        sibling waiter from its result.
+        """
+        if self._closed:
+            raise ServiceClosedError("coalescer is closed")
+        self.stats.n_submitted += 1
+        key = (int(query), int(k))
+        future = self._inflight.get(key)
+        if future is not None:
+            self.stats.n_coalesced += 1
+            return future, True
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        future.add_done_callback(_retrieve_exception)
+        self._inflight[key] = future
+        self._buffer.append(key)
+        if len(self._buffer) >= self._max_batch:
+            self._flush()
+        elif self._flush_handle is None:
+            if self._batch_window > 0.0:
+                self._flush_handle = loop.call_later(self._batch_window, self._flush)
+            else:
+                self._flush_handle = loop.call_soon(self._flush)
+        return future, False
+
+    @property
+    def n_inflight(self) -> int:
+        """Unique keys currently being (or about to be) computed."""
+        return len(self._inflight)
+
+    def _flush(self) -> None:
+        """Hand the buffered keys to the service as one burst."""
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._buffer:
+            return
+        keys, self._buffer = self._buffer, []
+        task = asyncio.get_running_loop().create_task(self._execute(keys))
+        # Keep a strong reference: a GC'd batch task would orphan waiters.
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+
+    async def _execute(self, keys: List[Key]) -> None:
+        """Run one burst in the executor and fan results out to waiters.
+
+        The burst task is intentionally detached from every waiter: a
+        waiter's cancellation (disconnect, deadline) must never cancel the
+        shared computation other waiters depend on.  Keys are removed from
+        the in-flight table exactly when their outcome is known — success
+        and failure both clear them, so a failed burst cannot poison the
+        table for later retries.
+        """
+        self.stats.n_batches += 1
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self.service.serve, keys
+            )
+        except Exception as exc:
+            self.stats.n_failed_batches += 1
+            for key in keys:
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+        else:
+            self.stats.n_executed += len(keys)
+            for key, result in zip(keys, results):
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def flush_now(self) -> None:
+        """Dispatch whatever is buffered immediately (tests, shutdown)."""
+        self._flush()
+
+    async def aclose(self) -> None:
+        """Stop accepting, flush nothing further, and settle stragglers.
+
+        In-flight batches are awaited (their waiters get real results);
+        buffered-but-never-flushed keys fail with
+        :class:`~repro.exceptions.ServiceClosedError`.
+        """
+        self._closed = True
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        buffered, self._buffer = self._buffer, []
+        for key in buffered:
+            future = self._inflight.pop(key, None)
+            if future is not None and not future.done():
+                future.set_exception(ServiceClosedError("server shutting down"))
+        if self._batch_tasks:
+            await asyncio.gather(*list(self._batch_tasks), return_exceptions=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryCoalescer(inflight={len(self._inflight)}, "
+            f"buffered={len(self._buffer)}, window={self._batch_window}s)"
+        )

@@ -34,7 +34,7 @@ from .._validation import (
     check_non_negative_int,
     check_positive_int,
 )
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, ServiceClosedError
 from ..core.config import IndexParams
 from ..core.query import SCAN_MODES, QueryResult, ReverseTopKEngine
 from ..graph.digraph import DiGraph
@@ -228,6 +228,8 @@ class ReverseTopKService:
         )
         self._lock = threading.Lock()
         self._index_lock = _ReadWriteLock()
+        self._closed = False
+        self._close_lock = threading.Lock()
         self._latency = LatencyStats()
         self._n_requests = 0
         self._n_cache_hits = 0
@@ -379,6 +381,7 @@ class ReverseTopKService:
         statistics are per-copy), so no caller can corrupt another caller's
         — or the cache's — result.
         """
+        self._ensure_open()
         requests = [(int(q), int(k)) for q, k in requests]
         for query, _ in requests:
             check_node_index(query, self.engine.n_nodes, "query")
@@ -386,6 +389,11 @@ class ReverseTopKService:
         worker_seconds = 0.0
         engine_latency = LatencyStats()
         with Timer() as wall, self._index_lock.read():
+            # A close() racing this burst drains readers through the write
+            # side of the index lock before releasing any resource, so a
+            # burst that acquired the read side *after* the drain must not
+            # proceed onto the shut-down executor.
+            self._ensure_open()
             # Read the version only once the read lock is held: a refine()
             # completing in between would otherwise let this burst probe (and
             # repopulate) the cache under the already-dead version key.
@@ -447,7 +455,9 @@ class ReverseTopKService:
         rewrites the columnar views while an in-flight ``serve`` batch is
         scanning them (thread workers share those arrays).
         """
+        self._ensure_open()
         with self._index_lock.write():
+            self._ensure_open()
             version = self.engine.index.version
             result = self.engine.query(
                 query, k, update_index=True, scan_mode=self.config.scan_mode
@@ -501,16 +511,46 @@ class ReverseTopKService:
         """Drop every cached answer (counters reset too)."""
         self._cache.clear()
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (or is running)."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError(f"{type(self).__name__} is closed")
+
     def close(self) -> None:
-        """Release the executor's worker pool (idempotent).
+        """Release the executor's worker pool (idempotent, concurrency-safe).
+
+        Safe to call from any thread, any number of times, including while
+        ``serve``/``refine`` calls are in flight:
+
+        * the closed flag flips first, so new requests fail fast with
+          :class:`~repro.exceptions.ServiceClosedError` instead of racing
+          the teardown;
+        * the write side of the index lock is then acquired once, draining
+          every in-flight request before any resource is released (a burst
+          that slipped past the flag re-checks it under the read lock);
+        * concurrent ``close`` calls serialize on an internal lock — the
+          second caller returns only after the teardown completed.
 
         A sharded engine may hold its own per-shard scan pool; the service
         owns the engine it serves, so that pool is released here too.
         """
-        self._executor.close()
-        engine_close = getattr(self.engine, "close", None)
-        if callable(engine_close):
-            engine_close()
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Drain: every in-flight serve() holds the read side and every
+            # refine()/apply_updates() the write side; acquiring (and
+            # immediately releasing) the write side waits them all out.
+            with self._index_lock.write():
+                pass
+            self._executor.close()
+            engine_close = getattr(self.engine, "close", None)
+            if callable(engine_close):
+                engine_close()
 
     def __enter__(self) -> "ReverseTopKService":
         return self

@@ -9,6 +9,7 @@ metrics endpoint and the throughput benchmarks report.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
@@ -89,6 +90,14 @@ class LatencyStats:
     nearest-rank definition; at serving-benchmark scale (thousands of
     requests) the memory cost is negligible.
 
+    Every operation is **thread-safe**: the network serving layer records
+    samples from the event-loop thread and from executor workers into the
+    same accumulator, and the service merges per-burst accumulators from
+    concurrent ``serve`` calls.  A single internal lock guards the sample
+    list and the sorted-percentile cache; reads take a consistent snapshot.
+    Deadlock-free cross-merging (``a.merge(b)`` racing ``b.merge(a)``) is
+    guaranteed by acquiring the two locks in a global (id-based) order.
+
     Examples
     --------
     >>> stats = LatencyStats()
@@ -103,11 +112,13 @@ class LatencyStats:
     def __init__(self, samples: Iterable[float] = ()) -> None:
         self._samples: List[float] = [float(s) for s in samples]
         self._sorted: List[float] | None = None
+        self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
         """Add one latency sample (in seconds)."""
-        self._samples.append(float(seconds))
-        self._sorted = None
+        with self._lock:
+            self._samples.append(float(seconds))
+            self._sorted = None
 
     def merge(self, other: "LatencyStats") -> "LatencyStats":
         """Fold another accumulator's samples into this one (returns self).
@@ -122,47 +133,73 @@ class LatencyStats:
         * merging disjoint counts is order-independent for every reported
           statistic (count, mean, min/max, nearest-rank percentiles).
         """
-        if other is self or not other._samples:
+        if other is self:
             return self
-        self._samples.extend(other._samples)
-        self._sorted = None
+        # Lock both sides in a global order so two threads cross-merging the
+        # same pair (a.merge(b) vs b.merge(a)) cannot deadlock, and `other`
+        # cannot gain samples between the emptiness check and the extend.
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            if other._samples:
+                self._samples.extend(other._samples)
+                self._sorted = None
         return self
 
     @property
     def count(self) -> int:
         """Number of recorded samples."""
-        return len(self._samples)
+        with self._lock:
+            return len(self._samples)
 
     @property
     def total(self) -> float:
         """Sum of all samples, in seconds."""
-        return sum(self._samples)
+        with self._lock:
+            return sum(self._samples)
 
     @property
     def mean(self) -> float:
         """Arithmetic mean latency (0.0 when empty)."""
-        return self.total / len(self._samples) if self._samples else 0.0
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            return sum(self._samples) / len(self._samples)
 
     @property
     def min(self) -> float:
         """Smallest sample (0.0 when empty)."""
-        return min(self._samples) if self._samples else 0.0
+        with self._lock:
+            return min(self._samples) if self._samples else 0.0
 
     @property
     def max(self) -> float:
         """Largest sample (0.0 when empty)."""
-        return max(self._samples) if self._samples else 0.0
+        with self._lock:
+            return max(self._samples) if self._samples else 0.0
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile ``p`` in [0, 100] (0.0 when empty)."""
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if not self._samples:
-            return 0.0
-        if self._sorted is None:
-            self._sorted = sorted(self._samples)
-        rank = min(len(self._sorted), max(1, math.ceil(p / 100.0 * len(self._sorted))))
-        return self._sorted[rank - 1]
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            if self._sorted is None:
+                self._sorted = sorted(self._samples)
+            rank = min(
+                len(self._sorted), max(1, math.ceil(p / 100.0 * len(self._sorted)))
+            )
+            return self._sorted[rank - 1]
+
+    def __getstate__(self) -> Dict[str, List[float]]:
+        # Locks don't pickle; ship a consistent snapshot of the samples.
+        with self._lock:
+            return {"samples": list(self._samples)}
+
+    def __setstate__(self, state: Dict[str, List[float]]) -> None:
+        self._samples = list(state["samples"])
+        self._sorted = None
+        self._lock = threading.Lock()
 
     @property
     def p50(self) -> float:
@@ -180,20 +217,38 @@ class LatencyStats:
         return self.percentile(99)
 
     def as_dict(self) -> Dict[str, float]:
-        """Summary suitable for JSON metrics output."""
+        """Summary suitable for JSON metrics output (one consistent snapshot)."""
+        with self._lock:
+            samples = self._samples
+            if not samples:
+                ordered: List[float] = []
+                total = 0.0
+            else:
+                if self._sorted is None:
+                    self._sorted = sorted(samples)
+                ordered = self._sorted
+                total = sum(samples)
+
+        def rank(p: float) -> float:
+            if not ordered:
+                return 0.0
+            position = min(len(ordered), max(1, math.ceil(p / 100.0 * len(ordered))))
+            return ordered[position - 1]
+
         return {
-            "count": float(self.count),
-            "total_seconds": self.total,
-            "mean_seconds": self.mean,
-            "min_seconds": self.min,
-            "max_seconds": self.max,
-            "p50_seconds": self.p50,
-            "p95_seconds": self.p95,
-            "p99_seconds": self.p99,
+            "count": float(len(ordered)),
+            "total_seconds": total,
+            "mean_seconds": total / len(ordered) if ordered else 0.0,
+            "min_seconds": ordered[0] if ordered else 0.0,
+            "max_seconds": ordered[-1] if ordered else 0.0,
+            "p50_seconds": rank(50),
+            "p95_seconds": rank(95),
+            "p99_seconds": rank(99),
         }
 
     def __len__(self) -> int:
-        return len(self._samples)
+        with self._lock:
+            return len(self._samples)
 
     def __repr__(self) -> str:
         return (

@@ -14,9 +14,13 @@ from .churn import (
     churn_workload,
 )
 from .replay import ReplayReport, replay
+from .async_replay import AsyncReplayReport, async_replay, replay_over_network
 from .sweep import ParameterSweep, SweepPoint
 
 __all__ = [
+    "AsyncReplayReport",
+    "async_replay",
+    "replay_over_network",
     "ChurnWorkload",
     "QueryEvent",
     "UpdateEvent",

@@ -1,0 +1,217 @@
+"""Async replay: drive a workload against a live server over the wire.
+
+The synchronous :func:`~repro.workloads.replay.replay` exercises the
+in-process serving façade; this module is its network twin.  It replays a
+:class:`~repro.workloads.queries.QueryWorkload` or a
+:class:`~repro.workloads.churn.ChurnWorkload` against a running
+:class:`~repro.net.server.ReverseTopKServer` with a configurable number of
+concurrently in-flight requests, honouring the server's backpressure:
+
+* 429 sheds are retried after the server's ``Retry-After`` hint (countable,
+  so benchmarks can assert backpressure actually engaged);
+* 504 deadline sheds are terminal for that request and counted;
+* update events act as **barriers** — all in-flight queries drain, the
+  batch is applied through the server's rollover path, and the stream
+  resumes — so every query response can be attributed to a definite graph
+  state via its ``(generation, index_version)`` pair.
+
+The driver talks pure HTTP through
+:class:`~repro.net.client.ReverseTopKClient`; it imports the client lazily
+so importing :mod:`repro.workloads` stays free of the network stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .._validation import check_positive_int
+from ..utils.timer import LatencyStats
+from .churn import ChurnEvent, ChurnWorkload, QueryEvent, UpdateEvent
+from .queries import QueryWorkload
+
+
+@dataclass
+class AsyncReplayReport:
+    """Outcome of one async replay run.
+
+    Attributes
+    ----------
+    n_queries / n_update_batches:
+        Stream composition actually replayed.
+    n_answered:
+        Queries that got a 200 (after any number of shed retries).
+    n_shed_retries:
+        429 responses absorbed by retrying (rate-limit + queue-full).
+    n_deadline_failures:
+        Queries that terminally failed with 504.
+    seconds:
+        End-to-end wall clock for the whole stream.
+    latency:
+        Client-observed per-query latency summary (first attempt to final
+        answer, retries included).
+    responses:
+        Per-query response payloads in stream order (``None`` for deadline
+        failures) — each carries ``generation`` and ``index_version``.
+    update_acks:
+        The server's response to each update batch, in stream order.
+    """
+
+    n_queries: int = 0
+    n_update_batches: int = 0
+    n_answered: int = 0
+    n_shed_retries: int = 0
+    n_deadline_failures: int = 0
+    seconds: float = 0.0
+    latency: Dict[str, float] = field(default_factory=dict)
+    responses: List[Optional[dict]] = field(default_factory=list)
+    update_acks: List[dict] = field(default_factory=list)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Answered queries per second over the whole replay."""
+        return self.n_answered / self.seconds if self.seconds else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """Compact JSON-ready summary (omits per-query payloads)."""
+        return {
+            "n_queries": self.n_queries,
+            "n_update_batches": self.n_update_batches,
+            "n_answered": self.n_answered,
+            "n_shed_retries": self.n_shed_retries,
+            "n_deadline_failures": self.n_deadline_failures,
+            "seconds": self.seconds,
+            "throughput_qps": self.throughput_qps,
+            "latency": self.latency,
+        }
+
+
+Workload = Union[QueryWorkload, ChurnWorkload, Sequence[ChurnEvent]]
+
+
+def _as_events(workload: Workload) -> List[ChurnEvent]:
+    if isinstance(workload, QueryWorkload):
+        return [QueryEvent(int(query), workload.k) for query in workload.queries]
+    if isinstance(workload, ChurnWorkload):
+        return list(workload.events)
+    return list(workload)
+
+
+async def async_replay(
+    workload: Workload,
+    host: str,
+    port: int,
+    *,
+    concurrency: int = 64,
+    max_connections: Optional[int] = None,
+    tenant: Optional[str] = None,
+    deadline_ms: Optional[float] = None,
+    retry_shed: bool = True,
+    max_retries: int = 200,
+    prewarm: Optional[int] = None,
+) -> AsyncReplayReport:
+    """Replay ``workload`` against the server at ``host:port``.
+
+    ``concurrency`` bounds the logically in-flight queries (each holds one
+    pooled connection while active, so it also bounds sockets unless
+    ``max_connections`` says otherwise).  With ``retry_shed`` the driver
+    sleeps out each 429's ``Retry-After`` and retries up to ``max_retries``
+    times — the pattern a well-behaved client uses against explicit
+    backpressure; without it, sheds surface as exceptions.  ``prewarm``
+    opens that many pooled sockets before the first query, so the whole
+    replay genuinely runs over that many concurrent connections (keep-alive
+    reuse would otherwise let a fast server serve the stream over far
+    fewer).
+    """
+    from ..net.client import ReverseTopKClient, ServerRejected
+
+    check_positive_int(concurrency, "concurrency")
+    events = _as_events(workload)
+    report = AsyncReplayReport()
+    latency = LatencyStats()
+    gate = asyncio.Semaphore(concurrency)
+
+    async def run_query(event: QueryEvent, slot: int, client) -> None:
+        async with gate:
+            started = time.monotonic()
+            attempts = 0
+            while True:
+                try:
+                    response = await client.query(
+                        event.query,
+                        event.k,
+                        deadline_ms=deadline_ms,
+                        tenant=tenant,
+                    )
+                except ServerRejected as exc:
+                    if exc.status == 429 and retry_shed and attempts < max_retries:
+                        attempts += 1
+                        report.n_shed_retries += 1
+                        await asyncio.sleep(exc.retry_after or 0.01)
+                        continue
+                    if exc.status == 504:
+                        report.n_deadline_failures += 1
+                        report.responses[slot] = None
+                        return
+                    raise
+                latency.record(time.monotonic() - started)
+                report.n_answered += 1
+                report.responses[slot] = response
+                return
+
+    async with ReverseTopKClient(
+        host,
+        port,
+        max_connections=max_connections if max_connections else concurrency,
+        tenant=tenant,
+    ) as client:
+        if prewarm:
+            await client.prewarm(prewarm)
+        started = time.monotonic()
+        in_flight: List[asyncio.Task] = []
+        slot = 0
+        for event in events:
+            if isinstance(event, QueryEvent):
+                report.n_queries += 1
+                report.responses.append(None)
+                in_flight.append(
+                    asyncio.ensure_future(run_query(event, slot, client))
+                )
+                slot += 1
+            elif isinstance(event, UpdateEvent):
+                # Barrier: updates apply between well-defined query epochs,
+                # so each response's (generation, index_version) maps to one
+                # definite graph state.
+                if in_flight:
+                    await asyncio.gather(*in_flight)
+                    in_flight.clear()
+                ack = await client.update(
+                    [update.as_tuple() for update in event.updates],
+                    tenant=tenant,
+                )
+                report.n_update_batches += 1
+                report.update_acks.append(ack)
+            else:  # pragma: no cover - future event kinds
+                raise TypeError(f"unsupported event type: {type(event).__name__}")
+        if in_flight:
+            await asyncio.gather(*in_flight)
+        report.seconds = time.monotonic() - started
+    report.latency = latency.as_dict()
+    return report
+
+
+def replay_over_network(
+    workload: Workload,
+    host: str,
+    port: int,
+    **kwargs,
+) -> AsyncReplayReport:
+    """Blocking convenience wrapper: run :func:`async_replay` to completion.
+
+    For callers that are not already inside an event loop (benchmarks,
+    examples, tests driving a :func:`~repro.net.server.start_in_thread`
+    server from the main thread).
+    """
+    return asyncio.run(async_replay(workload, host, port, **kwargs))

@@ -1,0 +1,28 @@
+"""Fixtures for the network serving tests: a live threaded server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic import DynamicReverseTopKService
+from repro.net import AdmissionPolicy, ServerConfig, start_in_thread
+
+
+@pytest.fixture()
+def dynamic_service(small_web_graph):
+    """A fresh dynamic service per test (servers mutate and close it)."""
+    service = DynamicReverseTopKService.from_graph(small_web_graph)
+    yield service
+    if not service.closed:
+        service.close()
+
+
+@pytest.fixture()
+def server_handle(dynamic_service):
+    """A running server on a background loop thread, torn down after."""
+    handle = start_in_thread(
+        dynamic_service,
+        ServerConfig(admission=AdmissionPolicy(max_pending=128)),
+    )
+    yield handle
+    handle.stop()

@@ -1,0 +1,182 @@
+"""Admission-layer tests: driven synchronously with a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    DeadlineExceeded,
+    QueueFull,
+    RateLimited,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self, clock):
+        bucket = TokenBucket(rate=10.0, burst=3, now=clock.now)
+        assert [bucket.try_acquire(clock.now) for _ in range(3)] == [0.0] * 3
+        wait = bucket.try_acquire(clock.now)
+        assert wait == pytest.approx(0.1)
+        clock.advance(wait)
+        assert bucket.try_acquire(clock.now) == 0.0
+
+    def test_tokens_cap_at_burst(self, clock):
+        bucket = TokenBucket(rate=100.0, burst=2, now=clock.now)
+        clock.advance(100.0)  # a long idle must not bank unlimited tokens
+        assert bucket.try_acquire(clock.now) == 0.0
+        assert bucket.try_acquire(clock.now) == 0.0
+        assert bucket.try_acquire(clock.now) > 0.0
+
+
+class TestQueueBound:
+    def test_sheds_beyond_max_pending(self, clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending=2), clock=clock
+        )
+        tickets = [controller.admit(), controller.admit()]
+        with pytest.raises(QueueFull) as excinfo:
+            controller.admit()
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after is not None
+        tickets[0].release()
+        controller.admit()  # a freed slot admits again
+
+    def test_peak_pending_tracks_high_water(self, clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending=8), clock=clock
+        )
+        tickets = [controller.admit() for _ in range(5)]
+        for ticket in tickets:
+            ticket.release()
+        assert controller.pending == 0
+        assert controller.peak_pending == 5
+
+    def test_ticket_release_is_idempotent(self, clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending=4), clock=clock
+        )
+        ticket = controller.admit()
+        ticket.release()
+        ticket.release()  # double release must not unbound the queue
+        assert controller.pending == 0
+        snapshot = controller.snapshot()
+        assert snapshot["tenants"]["default"]["completed"] == 1
+
+
+class TestRateLimit:
+    def test_per_tenant_buckets_are_independent(self, clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending=100, rate_limit=1.0, burst=1),
+            clock=clock,
+        )
+        controller.admit("a").release()
+        with pytest.raises(RateLimited):
+            controller.admit("a")
+        controller.admit("b").release()  # b has its own bucket
+
+    def test_retry_after_is_exact_token_wait(self, clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending=100, rate_limit=4.0, burst=1),
+            clock=clock,
+        )
+        controller.admit().release()
+        with pytest.raises(RateLimited) as excinfo:
+            controller.admit()
+        assert excinfo.value.retry_after == pytest.approx(0.25)
+        clock.advance(0.25)
+        controller.admit().release()
+
+
+class TestDeadlines:
+    def test_expired_deadline_sheds_504(self, clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending=4), clock=clock
+        )
+        deadline = controller.deadline_for(50.0)
+        clock.advance(0.1)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            controller.admit(deadline=deadline)
+        assert excinfo.value.status == 504
+
+    def test_default_deadline_applies_when_header_absent(self, clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending=4, default_deadline_ms=100.0),
+            clock=clock,
+        )
+        assert controller.deadline_for(None) == pytest.approx(0.1)
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending=4), clock=clock
+        )
+        assert controller.deadline_for(None) is None
+
+    def test_deadline_shed_happens_before_queue_and_tokens(self, clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending=1, rate_limit=100.0, burst=1),
+            clock=clock,
+        )
+        controller.admit()  # queue now full, bucket now empty
+        deadline = controller.deadline_for(10.0)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded):
+            controller.admit(deadline=deadline)
+        counters = controller.snapshot()["tenants"]["default"]
+        assert counters["shed_deadline"] == 1
+        assert counters["shed_queue_full"] == 0
+        assert counters["shed_rate_limited"] == 0
+
+
+class TestCounters:
+    def test_snapshot_counts_every_outcome(self, clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending=1), clock=clock
+        )
+        ticket = controller.admit("acme")
+        with pytest.raises(QueueFull):
+            controller.admit("acme")
+        controller.note_coalesced("acme")
+        controller.shed_deadline("acme")
+        ticket.release()
+        counters = controller.snapshot()["tenants"]["acme"]
+        assert counters == {
+            "admitted": 1,
+            "completed": 1,
+            "shed_rate_limited": 0,
+            "shed_queue_full": 1,
+            "shed_deadline": 1,
+            "coalesced": 1,
+        }
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_pending": 0},
+            {"burst": 0},
+            {"rate_limit": -1.0},
+            {"default_deadline_ms": 0.0},
+            {"retry_after_s": 0.0},
+        ],
+    )
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(**kwargs)

@@ -1,0 +1,186 @@
+"""Coalescer tests: dedup, batching, and cancellation/poisoning safety."""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceClosedError
+from repro.net.coalesce import CoalesceStats, QueryCoalescer
+from repro.serving.service import ReverseTopKService
+
+
+@pytest.fixture()
+def service(small_web_graph):
+    service = ReverseTopKService.from_graph(small_web_graph)
+    yield service
+    if not service.closed:
+        service.close()
+
+
+@pytest.fixture()
+def executor():
+    pool = ThreadPoolExecutor(max_workers=1)
+    yield pool
+    pool.shutdown(wait=True)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestDedupAndBatching:
+    def test_identical_keys_share_one_future(self, service, executor):
+        async def scenario():
+            coalescer = QueryCoalescer(service, executor, batch_window=0.005)
+            first, was_first = coalescer.submit(3, 5)
+            second, was_second = coalescer.submit(3, 5)
+            assert first is second
+            assert (was_first, was_second) == (False, True)
+            result = await asyncio.shield(first)
+            await coalescer.aclose()
+            return result
+
+        result = run(scenario())
+        direct = service.engine.query(3, 5, update_index=False)
+        np.testing.assert_array_equal(result.nodes, direct.nodes)
+
+    def test_burst_becomes_one_service_call(self, service, executor):
+        async def scenario():
+            stats = CoalesceStats()
+            coalescer = QueryCoalescer(
+                service, executor, batch_window=0.005, stats=stats
+            )
+            futures = [coalescer.submit(q, 5)[0] for q in range(10)]
+            results = await asyncio.gather(*map(asyncio.shield, futures))
+            await coalescer.aclose()
+            return stats, results
+
+        stats, results = run(scenario())
+        assert stats.n_batches == 1
+        assert stats.n_executed == 10
+        assert [r.query for r in results] == list(range(10))
+
+    def test_max_batch_flushes_immediately(self, service, executor):
+        async def scenario():
+            stats = CoalesceStats()
+            coalescer = QueryCoalescer(
+                service, executor, batch_window=60.0, max_batch=4, stats=stats
+            )
+            futures = [coalescer.submit(q, 5)[0] for q in range(4)]
+            # window is a minute: only the max_batch trigger can flush
+            await asyncio.wait_for(
+                asyncio.gather(*map(asyncio.shield, futures)), timeout=10.0
+            )
+            await coalescer.aclose()
+            return stats
+
+        stats = run(scenario())
+        assert stats.n_batches == 1
+
+    def test_results_are_bit_identical_to_direct_engine(self, service, executor):
+        async def scenario():
+            coalescer = QueryCoalescer(service, executor, batch_window=0.001)
+            futures = [coalescer.submit(q, 7)[0] for q in range(20)]
+            results = await asyncio.gather(*map(asyncio.shield, futures))
+            await coalescer.aclose()
+            return results
+
+        results = run(scenario())
+        for result in results:
+            direct = service.engine.query(result.query, 7, update_index=False)
+            np.testing.assert_array_equal(result.nodes, direct.nodes)
+            np.testing.assert_array_equal(
+                result.proximities_to_query, direct.proximities_to_query
+            )
+
+
+class TestCancellationIsolation:
+    def test_cancelled_waiter_does_not_cancel_siblings(self, service, executor):
+        """One client disconnecting mid-batch must not starve the others."""
+
+        async def scenario():
+            coalescer = QueryCoalescer(service, executor, batch_window=0.02)
+            shared, _ = coalescer.submit(3, 5)
+            sibling_wait = asyncio.ensure_future(asyncio.shield(shared))
+            doomed_wait = asyncio.ensure_future(asyncio.shield(shared))
+            await asyncio.sleep(0)  # let both waits attach
+            doomed_wait.cancel()
+            result = await sibling_wait
+            assert not shared.cancelled()
+            await coalescer.aclose()
+            return result
+
+        result = run(scenario())
+        assert result.query == 3
+
+    def test_cancelled_request_does_not_poison_dedup_table(
+        self, service, executor
+    ):
+        """After a cancelled wait completes the batch, the key must be
+        re-submittable and yield a fresh, correct answer."""
+
+        async def scenario():
+            coalescer = QueryCoalescer(service, executor, batch_window=0.01)
+            shared, _ = coalescer.submit(4, 5)
+            wait = asyncio.ensure_future(asyncio.shield(shared))
+            await asyncio.sleep(0)
+            wait.cancel()
+            # The shared batch still runs to completion underneath.
+            await asyncio.wait_for(asyncio.shield(shared), timeout=10.0)
+            assert coalescer.n_inflight == 0
+            again, coalesced = coalescer.submit(4, 5)
+            assert not coalesced  # a fresh future, not the settled one
+            result = await asyncio.shield(again)
+            await coalescer.aclose()
+            return result
+
+        result = run(scenario())
+        direct = service.engine.query(4, 5, update_index=False)
+        np.testing.assert_array_equal(result.nodes, direct.nodes)
+
+
+class TestFailureIsolation:
+    def test_failed_batch_fails_waiters_and_clears_table(self, executor):
+        class ExplodingService:
+            def serve(self, keys):
+                raise RuntimeError("engine exploded")
+
+        async def scenario():
+            stats = CoalesceStats()
+            coalescer = QueryCoalescer(
+                ExplodingService(), executor, batch_window=0.001, stats=stats
+            )
+            future, _ = coalescer.submit(1, 5)
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                await asyncio.shield(future)
+            # The failure must not poison the key for later submissions.
+            assert coalescer.n_inflight == 0
+            retry, coalesced = coalescer.submit(1, 5)
+            assert not coalesced
+            await coalescer.aclose()
+            return stats
+
+        stats = run(scenario())
+        assert stats.n_failed_batches == 1
+
+    def test_close_fails_buffered_waiters(self, service, executor):
+        async def scenario():
+            coalescer = QueryCoalescer(service, executor, batch_window=60.0)
+            future, _ = coalescer.submit(1, 5)
+            await coalescer.aclose()
+            with pytest.raises(ServiceClosedError):
+                await future
+            with pytest.raises(ServiceClosedError):
+                coalescer.submit(2, 5)
+
+        run(scenario())
+
+    def test_validation_rejects_bad_knobs(self, service, executor):
+        with pytest.raises(ValueError):
+            QueryCoalescer(service, executor, batch_window=-1.0)
+        with pytest.raises(ValueError):
+            QueryCoalescer(service, executor, max_batch=0)

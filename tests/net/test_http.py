@@ -1,0 +1,152 @@
+"""Framing tests for the stdlib HTTP layer (no sockets: in-memory streams)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.net.http import (
+    HttpError,
+    json_payload,
+    read_request,
+    read_response,
+    render_request,
+    render_response,
+)
+
+
+async def _feed(data: bytes, *, eof: bool = True) -> asyncio.StreamReader:
+    # StreamReader binds the running loop: create it inside the coroutine.
+    reader = asyncio.StreamReader(limit=32 * 1024)
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def parse_request(data: bytes, *, eof: bool = True, **kwargs):
+    async def scenario():
+        return await read_request(await _feed(data, eof=eof), **kwargs)
+
+    return asyncio.run(scenario())
+
+
+def parse_response(data: bytes):
+    async def scenario():
+        return await read_response(await _feed(data))
+
+    return asyncio.run(scenario())
+
+
+class TestReadRequest:
+    def test_parses_post_with_body(self):
+        body = b'{"query": 3, "k": 5}'
+        wire = (
+            b"POST /query HTTP/1.1\r\nHost: x\r\nX-Tenant: acme\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        request = parse_request(wire)
+        assert request.method == "POST"
+        assert request.path == "/query"
+        assert request.headers["x-tenant"] == "acme"
+        assert request.json() == {"query": 3, "k": 5}
+
+    def test_parses_query_string(self):
+        request = parse_request(b"GET /query?query=7&k=3 HTTP/1.1\r\n\r\n")
+        assert request.path == "/query"
+        assert request.params == {"query": "7", "k": "3"}
+
+    def test_clean_eof_returns_none(self):
+        assert parse_request(b"") is None
+
+    def test_mid_request_eof_raises_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse_request(b"GET /query HTT")
+        assert excinfo.value.status == 400
+
+    def test_mid_body_eof_raises_400(self):
+        wire = b"POST /q HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"
+        with pytest.raises(HttpError) as excinfo:
+            parse_request(wire)
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_raises_413(self):
+        wire = b"POST /q HTTP/1.1\r\nContent-Length: 999\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse_request(wire, eof=False, max_body_bytes=100)
+        assert excinfo.value.status == 413
+
+    def test_oversized_head_raises_431(self):
+        wire = b"GET /q HTTP/1.1\r\nX-Pad: " + b"a" * 64 * 1024
+        with pytest.raises(HttpError) as excinfo:
+            parse_request(wire)
+        assert excinfo.value.status == 431
+
+    @pytest.mark.parametrize(
+        "wire",
+        [
+            b"GARBAGE\r\n\r\n",
+            b"GET /q HTTP/2 extra words\r\n\r\n",
+            b"POST /q HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /q HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+            b"GET /q HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        ],
+    )
+    def test_malformed_raises_400(self, wire):
+        with pytest.raises(HttpError) as excinfo:
+            parse_request(wire)
+        assert excinfo.value.status == 400
+
+    def test_wants_close(self):
+        wire = b"GET /q HTTP/1.1\r\nConnection: close\r\n\r\n"
+        assert parse_request(wire).wants_close
+
+    def test_bad_json_body_raises_400(self):
+        wire = b"POST /q HTTP/1.1\r\nContent-Length: 4\r\n\r\n{{{{"
+        request = parse_request(wire)
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestRoundTrip:
+    def test_response_round_trips(self):
+        payload = {"nodes": [1, 2], "p": [0.25, 1e-17]}
+        wire = render_response(200, json_payload(payload))
+        status, headers, body = parse_response(wire)
+        assert status == 200
+        assert headers["connection"] == "keep-alive"
+        assert json.loads(body) == payload
+
+    def test_request_round_trips(self):
+        wire = render_request(
+            "POST", "/query", body=b"{}", headers={"X-Tenant": "t1"}
+        )
+        request = parse_request(wire)
+        assert request.method == "POST"
+        assert request.headers["x-tenant"] == "t1"
+        assert request.body == b"{}"
+
+    def test_extra_headers_and_close(self):
+        wire = render_response(
+            429,
+            json_payload({"error": "later"}),
+            extra_headers={"Retry-After": "0.050"},
+            keep_alive=False,
+        )
+        status, headers, _ = parse_response(wire)
+        assert status == 429
+        assert headers["retry-after"] == "0.050"
+        assert headers["connection"] == "close"
+
+    def test_float64_bit_exact_through_json(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        values = rng.random(64) * rng.choice([1e-300, 1e-9, 1.0, 1e300], 64)
+        decoded = json.loads(json_payload({"v": [float(v) for v in values]}))
+        assert np.array_equal(
+            np.asarray(decoded["v"], dtype=np.float64), values
+        )

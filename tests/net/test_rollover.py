@@ -1,0 +1,165 @@
+"""Rollover tests: cloning, atomic swap, draining, and version integrity."""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicReverseTopKService, GraphUpdate
+from repro.exceptions import ServiceClosedError
+from repro.net.coalesce import QueryCoalescer
+from repro.net.rollover import RolloverManager, clone_for_rollover
+
+
+@pytest.fixture()
+def dynamic_service(small_web_graph):
+    service = DynamicReverseTopKService.from_graph(small_web_graph)
+    yield service
+    if not service.closed:
+        service.close()
+
+
+def absent_edges(graph, count):
+    present = {(u, v) for u, v, _ in graph.edges()}
+    found = []
+    for u in range(graph.n_nodes):
+        for v in range(graph.n_nodes):
+            if u != v and (u, v) not in present:
+                found.append((u, v))
+                if len(found) == count:
+                    return found
+    raise RuntimeError("graph is complete")
+
+
+class TestClone:
+    def test_clone_answers_identically_and_independently(self, dynamic_service):
+        clone = clone_for_rollover(dynamic_service)
+        try:
+            original = dynamic_service.engine.query(3, 5, update_index=False)
+            cloned = clone.engine.query(3, 5, update_index=False)
+            np.testing.assert_array_equal(cloned.nodes, original.nodes)
+            np.testing.assert_array_equal(
+                cloned.proximities_to_query, original.proximities_to_query
+            )
+            # Mutating the clone must not leak into the original.
+            (edge,) = absent_edges(dynamic_service.graph.materialize(), 1)
+            clone.apply_updates([GraphUpdate.add(*edge)])
+            assert clone.engine.index.version == 1
+            assert dynamic_service.engine.index.version == 0
+        finally:
+            clone.close()
+
+    def test_clone_of_closed_service_fails(self, dynamic_service):
+        dynamic_service.close()
+        with pytest.raises(ServiceClosedError):
+            clone_for_rollover(dynamic_service)
+
+
+def make_manager(service, executor):
+    def make_coalescer(generation_service):
+        return QueryCoalescer(generation_service, executor, batch_window=0.001)
+
+    return RolloverManager(
+        service,
+        make_coalescer=make_coalescer,
+        maintenance_executor=executor,
+    )
+
+
+class TestRolloverManager:
+    def test_swap_advances_generation_and_version(self, dynamic_service):
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=2) as executor:
+                manager = make_manager(dynamic_service, executor)
+                first = manager.current
+                assert (first.generation_id, first.index_version) == (0, 0)
+                edges = absent_edges(dynamic_service.graph.materialize(), 2)
+                report = await manager.apply_updates(
+                    [GraphUpdate.add(*edges[0])]
+                )
+                assert report.changed
+                second = manager.current
+                assert second is not first
+                assert second.generation_id == 1
+                assert second.index_version == 1
+                assert manager.n_rollovers == 1
+                await manager.aclose()
+
+        asyncio.run(scenario())
+
+    def test_noop_batch_keeps_warm_generation(self, dynamic_service):
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=2) as executor:
+                manager = make_manager(dynamic_service, executor)
+                before = manager.current
+                u, v, _ = next(iter(dynamic_service.graph.materialize().edges()))
+                report = await manager.apply_updates(
+                    [GraphUpdate.set_weight(u, v, 2.0)]
+                )
+                assert not report.changed
+                assert manager.current is before  # warm cache preserved
+                assert manager.n_noop_batches == 1
+                await manager.aclose()
+
+        asyncio.run(scenario())
+
+    def test_old_generation_drains_before_close(self, dynamic_service):
+        """A pinned generation survives the swap until its pin releases."""
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=2) as executor:
+                manager = make_manager(dynamic_service, executor)
+                old = manager.current
+                old.pin()
+                edge = absent_edges(dynamic_service.graph.materialize(), 1)[0]
+                rollover = asyncio.ensure_future(
+                    manager.apply_updates([GraphUpdate.add(*edge)])
+                )
+                # The swap happens, but retirement blocks on our pin: the
+                # old service must still answer.
+                while manager.current is old:
+                    await asyncio.sleep(0.005)
+                assert not old.service.closed
+                result = old.service.query(3, 5)
+                assert result.query == 3
+                old.unpin()
+                await rollover
+                assert old.service.closed
+                await manager.aclose()
+
+        asyncio.run(scenario())
+
+    def test_failed_batch_keeps_old_generation_serving(self, dynamic_service):
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=2) as executor:
+                manager = make_manager(dynamic_service, executor)
+                before = manager.current
+                u, v, _ = next(iter(dynamic_service.graph.materialize().edges()))
+                with pytest.raises(Exception):
+                    # Adding an existing edge fails batch validation.
+                    await manager.apply_updates([GraphUpdate.add(u, v)])
+                assert manager.current is before
+                assert not before.service.closed
+                assert before.service.query(3, 5).query == 3
+                await manager.aclose()
+
+        asyncio.run(scenario())
+
+    def test_closed_manager_rejects_everything(self, dynamic_service):
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=2) as executor:
+                manager = make_manager(dynamic_service, executor)
+                await manager.aclose()
+                await manager.aclose()  # idempotent
+                with pytest.raises(ServiceClosedError):
+                    manager.current
+                with pytest.raises(ServiceClosedError):
+                    await manager.apply_updates([])
+                snapshot = manager.snapshot()
+                assert snapshot["current"] is None
+                assert len(snapshot["retired"]) == 1
+
+        asyncio.run(scenario())

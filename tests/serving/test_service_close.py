@@ -1,0 +1,142 @@
+"""Lifecycle tests: close() must be idempotent and concurrent-safe.
+
+The network layer closes retired service generations while requests may
+still be racing toward them, so close semantics are load-bearing: a closed
+service fails fast with ``ServiceClosedError`` (never a crash in a released
+resource), double/concurrent close is a no-op, and an in-flight ``serve``
+either completes normally or observes the closed flag — nothing in between.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.dynamic import DynamicReverseTopKService, GraphUpdate
+from repro.exceptions import ServiceClosedError
+from repro.serving.service import ReverseTopKService, ServiceConfig
+
+
+@pytest.fixture()
+def service(small_web_graph):
+    service = ReverseTopKService.from_graph(small_web_graph)
+    yield service
+    if not service.closed:
+        service.close()
+
+
+@pytest.fixture()
+def dynamic_service(small_web_graph):
+    service = DynamicReverseTopKService.from_graph(small_web_graph)
+    yield service
+    if not service.closed:
+        service.close()
+
+
+class TestStaticClose:
+    def test_close_is_idempotent(self, service):
+        assert not service.closed
+        service.close()
+        service.close()
+        service.close()
+        assert service.closed
+
+    def test_serve_after_close_raises(self, service):
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.serve([(3, 5)])
+        with pytest.raises(ServiceClosedError):
+            service.query(3, 5)
+
+    def test_refine_after_close_raises(self, service):
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.refine(3, 5)
+
+    def test_concurrent_close_races_cleanly(self, small_web_graph):
+        service = ReverseTopKService.from_graph(small_web_graph)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def slam():
+            barrier.wait()
+            try:
+                service.close()
+            except Exception as exc:  # noqa: BLE001 - the assertion target
+                errors.append(exc)
+
+        threads = [threading.Thread(target=slam) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert service.closed
+
+    def test_close_races_in_flight_serves(self, small_web_graph):
+        """Concurrent serve() calls either finish or fail fast — no crashes
+        from scanning a released index."""
+        service = ReverseTopKService.from_graph(
+            small_web_graph, config=ServiceConfig(cache_capacity=0)
+        )
+        requests = [(q % 60, 5) for q in range(120)]
+        unexpected = []
+        served = []
+
+        def hammer():
+            try:
+                served.append(service.serve(requests))
+            except ServiceClosedError:
+                pass  # the documented outcome after close wins the race
+            except Exception as exc:  # noqa: BLE001 - the assertion target
+                unexpected.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        service.close()
+        for thread in threads:
+            thread.join()
+        assert not unexpected
+        for results in served:
+            assert len(results) == len(requests)
+
+
+class TestDynamicClose:
+    def test_apply_updates_after_close_raises(self, dynamic_service):
+        dynamic_service.close()
+        with pytest.raises(ServiceClosedError):
+            dynamic_service.apply_updates([GraphUpdate.add(0, 30)])
+
+    def test_close_is_idempotent(self, dynamic_service):
+        dynamic_service.close()
+        dynamic_service.close()
+        assert dynamic_service.closed
+
+    def test_close_races_apply_updates(self, small_web_graph):
+        service = DynamicReverseTopKService.from_graph(small_web_graph)
+        present = {(u, v) for u, v, _ in small_web_graph.edges()}
+        fresh = [
+            (u, v)
+            for u in range(10)
+            for v in range(small_web_graph.n_nodes)
+            if u != v and (u, v) not in present
+        ][:8]
+        unexpected = []
+
+        def churn():
+            try:
+                for u, v in fresh:
+                    service.apply_updates([GraphUpdate.add(u, v)])
+            except ServiceClosedError:
+                pass
+            except Exception as exc:  # noqa: BLE001 - the assertion target
+                unexpected.append(exc)
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        service.close()
+        thread.join()
+        assert not unexpected
+        assert service.closed

@@ -1,0 +1,123 @@
+"""Thread-safety tests for LatencyStats (network-serving satellite).
+
+The accumulator is written from the event-loop thread and executor workers
+simultaneously, and per-burst accumulators cross-merge; these tests pin
+that no sample is lost under contention and that symmetric merges cannot
+deadlock.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.utils.timer import LatencyStats
+
+
+class TestConcurrentRecord:
+    def test_no_samples_lost_under_contention(self):
+        stats = LatencyStats()
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def record():
+            barrier.wait()
+            for i in range(per_thread):
+                stats.record((i + 1) / 1000.0)
+
+        threads = [threading.Thread(target=record) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.count == n_threads * per_thread
+        assert stats.min == 1 / 1000.0
+        assert stats.max == per_thread / 1000.0
+
+    def test_readers_race_writers_without_corruption(self):
+        stats = LatencyStats()
+        stop = threading.Event()
+        failures = []
+
+        def read():
+            while not stop.is_set():
+                snapshot = stats.as_dict()
+                if snapshot["count"]:
+                    if not (
+                        snapshot["min_seconds"]
+                        <= snapshot["p50_seconds"]
+                        <= snapshot["max_seconds"]
+                    ):
+                        failures.append(snapshot)
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        for i in range(3000):
+            stats.record((i % 100 + 1) / 1000.0)
+            if i % 100 == 0:
+                stats.percentile(95)
+        stop.set()
+        reader.join()
+        assert not failures
+        assert stats.count == 3000
+
+
+class TestCrossMerge:
+    def test_symmetric_merge_storm_does_not_deadlock(self):
+        """a.merge(b) racing b.merge(a): id-ordered locking must never
+        deadlock, whatever the interleaving."""
+        a = LatencyStats()
+        b = LatencyStats()
+        for i in range(50):
+            a.record(0.001 * (i + 1))
+            b.record(0.002 * (i + 1))
+        barrier = threading.Barrier(2)
+        done = threading.Event()
+
+        def merge(dst, src):
+            barrier.wait()
+            for _ in range(2000):
+                dst.merge(src)
+
+        t1 = threading.Thread(target=merge, args=(a, b))
+        t2 = threading.Thread(target=merge, args=(b, a))
+        watchdog = threading.Timer(60.0, done.set)
+        watchdog.start()
+        t1.start()
+        t2.start()
+        t1.join(timeout=60)
+        t2.join(timeout=60)
+        watchdog.cancel()
+        assert not t1.is_alive() and not t2.is_alive(), "merge deadlocked"
+
+    def test_concurrent_merges_lose_no_samples(self):
+        total = LatencyStats()
+        parts = []
+        for part_index in range(8):
+            part = LatencyStats()
+            for i in range(200):
+                part.record((part_index * 200 + i + 1) / 1000.0)
+            parts.append(part)
+
+        threads = [
+            threading.Thread(target=total.merge, args=(part,)) for part in parts
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert total.count == 8 * 200
+        assert total.max == (8 * 200) / 1000.0
+
+
+class TestPickle:
+    def test_round_trip_rebuilds_lock(self):
+        stats = LatencyStats()
+        for i in range(10):
+            stats.record((i + 1) / 100.0)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.count == 10
+        assert clone.p50 == stats.p50
+        clone.record(1.0)  # the rebuilt lock must work
+        assert clone.count == 11
+        assert stats.count == 10  # deep copy, not shared
