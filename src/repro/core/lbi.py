@@ -38,6 +38,7 @@ import scipy.sparse as sp
 
 from ..graph.digraph import DiGraph
 from ..graph.transition import transition_matrix
+from ..obs.registry import get_registry
 from ..utils.sparsetools import top_k_descending
 from ..utils.timer import StageTimer
 from ..rwr.power_method import proximity_vector
@@ -143,6 +144,34 @@ def _resolve_build_inputs(
     return matrix, n, params, hubs
 
 
+def _emit_build_metrics(report: BuildReport) -> None:
+    """Mirror one :class:`BuildReport` into the process-wide registry.
+
+    Index builds run from library code (no server to own a registry), so
+    build telemetry lands in the default registry: build counts and indexed
+    nodes by backend, plus per-stage seconds — the same exposition the
+    serving layer scrapes, per the observability layer's one-API rule.
+    """
+    registry = get_registry()
+    registry.counter(
+        "repro_index_builds_total",
+        "Completed index builds",
+        labels=("backend",),
+    ).labels(backend=report.backend).inc()
+    registry.counter(
+        "repro_index_build_nodes_total",
+        "Nodes (re)indexed across builds",
+        labels=("backend",),
+    ).labels(backend=report.backend).inc(report.n_targets)
+    stage_family = registry.counter(
+        "repro_index_build_seconds_total",
+        "Seconds per index-build phase",
+        labels=("backend", "stage"),
+    )
+    for stage, seconds in report.stage_seconds.items():
+        stage_family.labels(backend=report.backend, stage=stage).inc(seconds)
+
+
 def _assemble_index(
     params: IndexParams,
     hubs: HubSet,
@@ -183,6 +212,7 @@ def _assemble_index(
         n_targets=n_targets,
         stage_seconds=stages.as_dict(),
     )
+    _emit_build_metrics(report)
     index = ReverseTopKIndex(
         params,
         hubs,

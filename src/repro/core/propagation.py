@@ -64,12 +64,14 @@ bitwise equal — accumulation order across a batch necessarily differs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs.profiler import NULL_PROFILER
 from ..utils.sparsetools import top_k_descending
 from ..utils.timer import StageTimer
 from ..utils.workspace import ArrayWorkspace
@@ -352,6 +354,10 @@ class PropagationKernel:
         When ``False``, the blocked path allocates fresh planes per run and
         a fresh arrivals array per iteration (the historical behaviour) —
         kept for A/B benchmarking of the workspace; leave ``True`` otherwise.
+    profiler:
+        Optional profiling sink (:class:`~repro.obs.profiler.KernelProfiler`
+        or compatible).  Defaults to the shared no-op sink; hot paths check
+        its ``enabled`` flag once per run, so the disabled cost is nil.
     """
 
     def __init__(
@@ -365,6 +371,7 @@ class PropagationKernel:
         backend: Optional[str] = None,
         workspace: Optional[KernelWorkspace] = None,
         reuse_buffers: bool = True,
+        profiler=None,
     ) -> None:
         self.transition = sp.csc_matrix(transition)
         self.hub_mask = np.asarray(hub_mask, dtype=bool)
@@ -384,6 +391,7 @@ class PropagationKernel:
             self._jit = None
         self.workspace = workspace if workspace is not None else KernelWorkspace()
         self.reuse_buffers = bool(reuse_buffers)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.hubs = hubs
         self.hub_matrix = hub_matrix.tocsc() if hub_matrix is not None else None
         self.expansion: Optional[_HubExpansion] = None
@@ -434,8 +442,25 @@ class PropagationKernel:
         if not sources:
             return []
         if self.backend in ("vectorized", "numba"):
-            return self._run_vectorized(sources, stages, on_done)
-        return self._run_scalar(sources, stages, on_done)
+            states = self._run_vectorized(sources, stages, on_done)
+        else:
+            states = self._run_scalar(sources, stages, on_done)
+        if self.profiler.enabled:
+            plane_bytes = 0
+            if self.backend in ("vectorized", "numba"):
+                block = max(1, min(int(self.params.block_size), len(sources)))
+                n_dense = 3 if self._jit is not None else 5
+                plane_bytes = (
+                    self.n_nodes * block * 8 * n_dense
+                    + self._hub_nodes.size * block * 8
+                )
+            self.profiler.on_run(
+                backend=self.backend,
+                n_sources=len(sources),
+                plane_bytes=plane_bytes,
+                workspace=self.workspace.stats(),
+            )
+        return states
 
     def _run_scalar(
         self,
@@ -507,6 +532,9 @@ class PropagationKernel:
 
         results: Dict[int, NodeState] = {}
         next_source = 0
+        # Hoisted once: the profiling-off cost inside the loop is `prof is
+        # not None` checks, no attribute loads or clock reads.
+        prof = self.profiler if self.profiler.enabled else None
 
         def refill(columns: np.ndarray) -> None:
             """Load the next pending sources into a batch of freed columns."""
@@ -550,14 +578,21 @@ class PropagationKernel:
                 # Spill every converged source in one batch and refill the
                 # freed columns; the next pass re-evaluates the fresh ones.
                 with stages.time("materialize"):
+                    spill_start = time.perf_counter() if prof is not None else 0.0
                     columns = np.flatnonzero(finished)
                     self._spill_columns(
                         columns, column_source, residual, retained, hub_ink,
                         iterations, hub_nodes, results, on_done,
                     )
                     refill(columns)
+                    if prof is not None:
+                        prof.on_spill(
+                            n_sources=int(columns.size),
+                            seconds=time.perf_counter() - spill_start,
+                        )
                 continue
             with stages.time("bca"):
+                product_start = time.perf_counter() if prof is not None else 0.0
                 if jit is not None:
                     # Snapshot, retain, scatter and hub-split fused into one
                     # compiled parallel pass over the stepping columns.
@@ -567,6 +602,12 @@ class PropagationKernel:
                         matrix.data, stepping, eta, alpha, scale,
                     )
                     iterations[stepping] += 1
+                    if prof is not None:
+                        prof.on_block_iteration(
+                            backend=self.backend,
+                            n_live=int(np.count_nonzero(stepping)),
+                            seconds=time.perf_counter() - product_start,
+                        )
                     continue
                 # Snapshot the propagating amounts (Eq. 9 operates on r_{t-1})
                 # and advance every live source with one sparse-dense product.
@@ -624,6 +665,12 @@ class PropagationKernel:
                 np.multiply(amounts, alpha, out=amounts)
                 retained += amounts
                 iterations[stepping] += 1
+                if prof is not None:
+                    prof.on_block_iteration(
+                        backend=self.backend,
+                        n_live=int(np.count_nonzero(stepping)),
+                        seconds=time.perf_counter() - product_start,
+                    )
 
         return [results[source] for source in sources]
 
@@ -702,10 +749,13 @@ class PropagationKernel:
         large graphs.  Both paths implement the identical batched rule
         (Eq. 8-9); they differ only in floating-point accumulation order.
         """
-        if (
+        dense = (
             self.backend in ("vectorized", "numba")
             and len(state.residual) >= self.n_nodes * self._DENSE_STEP_FRACTION
-        ):
+        )
+        if self.profiler.enabled:
+            self.profiler.on_step(dense=dense)
+        if dense:
             return self._step_vectorized(state, propagation_threshold)
         return bca_iteration(
             state,

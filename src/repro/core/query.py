@@ -49,6 +49,7 @@ from .._validation import check_k, check_membership, check_node_index
 from ..exceptions import QueryError
 from ..graph.digraph import DiGraph
 from ..graph.transition import transition_matrix
+from ..obs.tracing import current_span
 from ..utils.timer import StageTimer, Timer
 from .backends import load_numba_kernels
 from .bounds import (
@@ -648,6 +649,35 @@ class ReverseTopKEngine:
             stage_seconds=stages.as_dict(),
             n_exact_fallbacks=tally.n_fallbacks,
         )
+        parent = current_span()
+        if parent is not None:
+            span = parent.record(
+                "engine.query", total_timer.elapsed, query=query, k=k
+            )
+            span.annotate(
+                n_candidates=tally.n_candidates,
+                n_pruned=tally.n_pruned,
+                n_exact_shortcut=tally.n_exact,
+                n_staircase_hits=tally.n_hits,
+                n_refine_iterations=tally.n_refine_iterations,
+                n_refined_nodes=tally.n_refined_nodes,
+                n_exact_fallbacks=tally.n_fallbacks,
+                pmpn_iterations=pmpn.iterations,
+            )
+            # Stage timings come straight from the StageTimer (already
+            # exclusive per stage) — synthetic children, no double timing.
+            for stage_name, stage_seconds in stages.as_dict().items():
+                span.record(f"stage.{stage_name}", stage_seconds)
+            for shard_start, shard_size, shard_seconds, shard_pruned in (
+                tally.shard_records
+            ):
+                span.record(
+                    "shard.scan",
+                    shard_seconds,
+                    shard=shard_start,
+                    n_nodes=shard_size,
+                    n_pruned=shard_pruned,
+                )
         # QueryResult freezes the answer arrays on construction (and again
         # on unpickle): results are shared across caches, deduplicated
         # requesters and worker transfers, and a silent in-place edit by one
@@ -901,6 +931,9 @@ class _ScanTally:
     n_refine_iterations: int = 0
     n_refined_nodes: int = 0
     n_fallbacks: int = 0
+    #: Per-shard ``(start, n_nodes, seconds, n_pruned)`` records, collected
+    #: by the sharded scan only while a trace is active.
+    shard_records: List[Tuple[int, int, float, int]] = field(default_factory=list)
 
     def absorb(self, outcome: _NodeOutcome) -> None:
         """Tally one scalar-scan outcome (any of the per-node exit paths)."""

@@ -64,6 +64,7 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import time
 import zipfile
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
@@ -79,6 +80,7 @@ from .._validation import (
 )
 from ..exceptions import InvalidParameterError, SerializationError
 from ..graph.digraph import DiGraph
+from ..obs.tracing import current_span
 from .bounds import float32_prune_envelope
 from .config import IndexParams
 from .hubs import HubSet
@@ -1424,11 +1426,17 @@ class ShardedReverseTopKEngine(ReverseTopKEngine):
             exact_parts: List[np.ndarray] = []
             candidate_parts: List[np.ndarray] = []
             hit_parts: List[np.ndarray] = []
-            for start, exact_local, cand_local, hits, n_pruned in outcomes:
+            traced = current_span() is not None
+            for shard, outcome in zip(shards, outcomes):
+                start, exact_local, cand_local, hits, n_pruned, seconds = outcome
                 tally.n_pruned += n_pruned
                 tally.n_exact += int(exact_local.size)
                 tally.n_candidates += int(cand_local.size)
                 tally.n_hits += int(np.count_nonzero(hits))
+                if traced:
+                    tally.shard_records.append(
+                        (start, shard.stop - shard.start, seconds, int(n_pruned))
+                    )
                 exact_parts.append(exact_local + start)
                 candidate_parts.append(cand_local + start)
                 hit_parts.append(hits)
@@ -1470,15 +1478,17 @@ def _scan_shard(
     screened: bool = False,
     workspace=None,
     jit=None,
-) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, int]:
+) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, int, float]:
     """Prune / exact-shortcut / batched-bound stages over one shard's slice.
 
-    Returns ``(start, exact_local, candidates_local, hits, n_pruned)`` with
-    local (shard-relative) node offsets; pure reads, safe to fan across
-    threads (the bounds workspace is thread-local).  Delegates to the shared
-    :func:`~repro.core.query.columnar_stage_decisions` pipeline, so decisions
-    are bit-identical to the monolithic scan in every configuration.
+    Returns ``(start, exact_local, candidates_local, hits, n_pruned,
+    seconds)`` with local (shard-relative) node offsets; pure reads, safe to
+    fan across threads (the bounds workspace is thread-local).  Delegates to
+    the shared :func:`~repro.core.query.columnar_stage_decisions` pipeline,
+    so decisions are bit-identical to the monolithic scan in every
+    configuration.
     """
+    scan_start = time.perf_counter()
     local = proximity_to_q[shard.start : shard.stop]
     exact_local, candidates_local, hits, n_pruned = columnar_stage_decisions(
         local,
@@ -1489,4 +1499,5 @@ def _scan_shard(
         workspace=workspace,
         jit=jit,
     )
-    return shard.start, exact_local, candidates_local, hits, n_pruned
+    seconds = time.perf_counter() - scan_start
+    return shard.start, exact_local, candidates_local, hits, n_pruned, seconds

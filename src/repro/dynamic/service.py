@@ -131,9 +131,10 @@ class DynamicReverseTopKService(ReverseTopKService):
         maintainer: Optional[IndexMaintainer] = None,
         snapshot: Optional[PathLikeOrManager] = None,
         warm_started: bool = False,
+        registry=None,
         _trusted_transition: bool = False,
     ) -> None:
-        super().__init__(engine, config, warm_started=warm_started)
+        super().__init__(engine, config, warm_started=warm_started, registry=registry)
         self.graph = (
             graph if isinstance(graph, DynamicGraph) else DynamicGraph(graph)
         )
@@ -192,6 +193,38 @@ class DynamicReverseTopKService(ReverseTopKService):
         self._n_rematerialized = 0
         self._n_full_rebuilds = 0
         self._update_seconds = 0.0
+
+    def bind_registry(self, registry) -> None:
+        """Extend the base binding with maintenance-path instruments."""
+        super().bind_registry(registry)
+        batches = registry.counter(
+            "repro_update_batches_total",
+            "apply_updates batches by outcome",
+            labels=("outcome",),
+        )
+        self._dyn_obs = {
+            "batch_applied": batches.labels(outcome="applied"),
+            "batch_noop": batches.labels(outcome="noop"),
+            "updates": registry.counter(
+                "repro_updates_total", "Individual edge mutations applied"
+            ),
+            "invalidated": registry.counter(
+                "repro_maintenance_invalidated_total",
+                "Index states reset and re-refined by maintenance",
+            ),
+            "rematerialized": registry.counter(
+                "repro_maintenance_rematerialized_total",
+                "Lower-bound re-expansions performed by maintenance",
+            ),
+            "full_rebuilds": registry.counter(
+                "repro_maintenance_full_rebuilds_total",
+                "Update batches escalated to a from-scratch rebuild",
+            ),
+            "seconds": registry.counter(
+                "repro_maintenance_seconds_total",
+                "Wall-clock seconds spent inside index maintenance",
+            ),
+        }
 
     # ------------------------------------------------------------------ #
     # construction
@@ -352,6 +385,14 @@ class DynamicReverseTopKService(ReverseTopKService):
             self._n_rematerialized += report.n_rematerialized
             self._n_full_rebuilds += report.full_rebuild
             self._update_seconds += report.seconds
+        obs = self._dyn_obs
+        obs["batch_noop" if not report.changed else "batch_applied"].inc()
+        obs["updates"].inc(len(batch))
+        obs["invalidated"].inc(report.n_invalidated)
+        obs["rematerialized"].inc(report.n_rematerialized)
+        obs["full_rebuilds"].inc(int(report.full_rebuild))
+        obs["seconds"].inc(report.seconds)
+        self._obs["index_version"].set(version_after)
         return report
 
     # ------------------------------------------------------------------ #

@@ -223,12 +223,22 @@ class ReverseTopKClient:
         *,
         deadline_ms: Optional[float] = None,
         tenant: Optional[str] = None,
+        trace: bool = False,
     ) -> dict:
-        """Run one reverse top-k query; raises :class:`ServerRejected` on sheds."""
+        """Run one reverse top-k query; raises :class:`ServerRejected` on sheds.
+
+        ``trace=True`` asks the server for the request's span tree (the
+        response gains a ``"trace"`` field).
+        """
         body = json_payload({"query": int(query), "k": int(k)})
-        return await self._request(
-            "POST", "/query", body=body, headers=self._headers(deadline_ms, tenant)
-        )
+        headers = self._headers(deadline_ms, tenant)
+        if trace:
+            headers["X-Trace"] = "1"
+        return await self._request("POST", "/query", body=body, headers=headers)
+
+    async def slow_queries(self) -> dict:
+        """Fetch the server's slow-query log (``/debug/slow``)."""
+        return await self._request("GET", "/debug/slow")
 
     async def update(
         self, updates: List[tuple], *, tenant: Optional[str] = None
@@ -242,6 +252,23 @@ class ReverseTopKClient:
     async def metrics(self) -> dict:
         """Fetch the server's ``/metrics`` snapshot."""
         return await self._request("GET", "/metrics")
+
+    async def metrics_text(self) -> str:
+        """Fetch the Prometheus text exposition of the server's registry."""
+        connection = await self._borrow()
+        reusable = False
+        try:
+            status, response_headers, raw = await connection.exchange(
+                "GET", "/metrics?format=prometheus"
+            )
+            reusable = (
+                response_headers.get("connection", "keep-alive").lower() != "close"
+            )
+        finally:
+            self._give_back(connection, reusable=reusable)
+        if status >= 300:
+            raise ServerRejected(status, f"HTTP {status}", payload={})
+        return raw.decode("utf-8")
 
     async def healthz(self) -> dict:
         """Liveness probe."""

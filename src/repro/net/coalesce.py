@@ -26,6 +26,16 @@ its own wait, never the shared batch task, and the in-flight table entry is
 removed by the batch completion itself, so later identical requests can
 never join a dead future.
 
+Tracing crosses the funnel: a waiter submitting inside an active
+:class:`~repro.obs.tracing.Trace` registers its current span as the key's
+trace parent.  ``run_in_executor`` does not carry contextvars into worker
+threads, so the batch runner activates a fresh ``Trace("coalesce.batch")``
+*inside* the worker (``with trace: service.serve(keys)``) — the service and
+engine spans attach to that batch tree — and on completion the shared tree
+is grafted under every registered parent, annotated with the key's coalesce
+fan-in.  Batches with no traced waiter skip all of this (one dict pop per
+key).
+
 A coalescer belongs to exactly **one service generation** (one index
 version): the rollover layer creates a fresh coalescer per generation, so a
 key can never dedup across two different index states.
@@ -40,6 +50,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.query import QueryResult
 from ..exceptions import ServiceClosedError
+from ..obs.tracing import Span, Trace, current_span
 from ..serving.service import ReverseTopKService
 
 #: One coalescing key: (query node, depth k).
@@ -119,6 +130,9 @@ class QueryCoalescer:
         self._batch_window = float(batch_window)
         self._max_batch = int(max_batch)
         self._inflight: Dict[Key, "asyncio.Future[QueryResult]"] = {}
+        #: Traced waiters per in-flight key: the spans the batch tree is
+        #: grafted under when the key's result lands (fan-in = list length).
+        self._trace_parents: Dict[Key, List[Span]] = {}
         self._buffer: List[Key] = []
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         self._batch_tasks: "set[asyncio.Task]" = set()
@@ -139,6 +153,9 @@ class QueryCoalescer:
             raise ServiceClosedError("coalescer is closed")
         self.stats.n_submitted += 1
         key = (int(query), int(k))
+        parent = current_span()
+        if parent is not None:
+            self._trace_parents.setdefault(key, []).append(parent)
         future = self._inflight.get(key)
         if future is not None:
             self.stats.n_coalesced += 1
@@ -184,25 +201,62 @@ class QueryCoalescer:
         the in-flight table exactly when their outcome is known — success
         and failure both clear them, so a failed burst cannot poison the
         table for later retries.
+
+        When any waiter is traced, the batch runs inside its own
+        :class:`Trace` activated *in the worker thread* (contextvars do not
+        cross ``run_in_executor``), and the finished batch tree is grafted
+        under every waiter's span at fan-out time.
         """
         self.stats.n_batches += 1
         loop = asyncio.get_running_loop()
+        batch_trace: Optional[Trace] = None
+        if any(key in self._trace_parents for key in keys):
+            batch_trace = Trace("coalesce.batch", n_keys=len(keys))
+
+            def _run_traced(trace: Trace = batch_trace) -> List[QueryResult]:
+                with trace:
+                    return self.service.serve(keys)
+
+            runner = _run_traced
+        else:
+            runner = None
         try:
-            results = await loop.run_in_executor(
-                self._executor, self.service.serve, keys
-            )
+            if runner is not None:
+                results = await loop.run_in_executor(self._executor, runner)
+            else:
+                results = await loop.run_in_executor(
+                    self._executor, self.service.serve, keys
+                )
         except Exception as exc:
             self.stats.n_failed_batches += 1
             for key in keys:
                 future = self._inflight.pop(key, None)
+                self._graft_waiters(key, batch_trace)
                 if future is not None and not future.done():
                     future.set_exception(exc)
         else:
             self.stats.n_executed += len(keys)
             for key, result in zip(keys, results):
                 future = self._inflight.pop(key, None)
+                self._graft_waiters(key, batch_trace)
                 if future is not None and not future.done():
                     future.set_result(result)
+
+    def _graft_waiters(self, key: Key, batch_trace: Optional[Trace]) -> None:
+        """Attach the completed batch tree under every traced waiter of ``key``.
+
+        Runs just before the key's future settles, so a waiter reading its
+        trace after ``await`` always sees the batch subtree.  The subtree is
+        shared by reference across waiters (it is complete and never mutated
+        through a parent).  Parents registered after the batch dispatched
+        untraced are popped and dropped — never leaked.
+        """
+        waiting = self._trace_parents.pop(key, None)
+        if not waiting or batch_trace is None:
+            return
+        for parent in waiting:
+            parent.annotate(coalesce_fan_in=len(waiting))
+            parent.graft(batch_trace.root)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -225,6 +279,7 @@ class QueryCoalescer:
         buffered, self._buffer = self._buffer, []
         for key in buffered:
             future = self._inflight.pop(key, None)
+            self._trace_parents.pop(key, None)
             if future is not None and not future.done():
                 future.set_exception(ServiceClosedError("server shutting down"))
         if self._batch_tasks:

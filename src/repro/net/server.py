@@ -19,22 +19,39 @@ composing the rest of this package:
   moves traffic — every response carries its ``(generation, index_version)``
   pair;
 * ``GET /metrics`` reports per-tenant latency percentiles and shed /
-  coalesce / cache counters, queue depth, and rollover history.
+  coalesce / cache counters, queue depth, and rollover history — as the
+  historical JSON document, or as Prometheus text exposition
+  (``?format=prometheus`` or ``Accept: text/plain``), both projected from
+  the server's own :class:`~repro.obs.registry.MetricsRegistry` so one
+  scrape is one consistent cut.
+
+Each server owns a **fresh registry** by default (pass ``registry=`` to
+share one): its service — and every rollover clone — is re-bound onto it,
+so two servers in one process never mix their counters.
+
+**Request tracing**: a query carrying an ``X-Trace`` header runs inside a
+:class:`~repro.obs.tracing.Trace`; the response gains a ``"trace"`` field
+with the full span tree — admission, coalesce fan-in, the shared batch
+(grafted across the executor boundary), per-stage and per-shard engine
+timings.  Completed queries slower than ``slow_query_threshold`` land in a
+bounded in-memory slow-query log served at ``GET /debug/slow``.
 
 Endpoints
 ---------
 ``POST /query``
-    Body ``{"query": int, "k": int}``; optional headers ``X-Tenant`` and
-    ``X-Deadline-Ms`` (remaining client budget, propagated end to end).
+    Body ``{"query": int, "k": int}``; optional headers ``X-Tenant``,
+    ``X-Deadline-Ms`` (remaining client budget, propagated end to end) and
+    ``X-Trace`` (any value but ``0``/``false`` returns the span tree).
     ``GET /query?query=..&k=..`` is accepted too.  Answers
     ``{"query", "k", "nodes", "proximities", "generation",
-    "index_version", "coalesced"}`` — ``nodes``/``proximities`` are
-    bit-exact float64 round-trips of the engine's answer.
+    "index_version", "coalesced"[, "trace"]}`` — ``nodes``/``proximities``
+    are bit-exact float64 round-trips of the engine's answer.
 ``POST /update``
     Body ``{"updates": [[op, u, v] | [op, u, v, w], ...]}``; applies one
     batch through the rollover manager and reports the maintenance outcome.
-``GET /metrics`` / ``GET /healthz``
-    Observability (JSON) and liveness.
+``GET /metrics`` / ``GET /debug/slow`` / ``GET /healthz``
+    Observability (JSON or Prometheus text), the slow-query ring buffer,
+    and liveness.
 
 The server is single-event-loop; CPU-heavy work (engine scans, clone +
 maintenance) runs in two dedicated executors so the loop never stalls.
@@ -58,6 +75,9 @@ from .._validation import check_positive_int
 from ..dynamic.graph import GraphUpdate
 from ..dynamic.service import DynamicReverseTopKService
 from ..exceptions import ServiceClosedError
+from ..obs.registry import MetricsRegistry
+from ..obs.slowlog import SlowQueryLog
+from ..obs.tracing import Trace, current_span, trace_span
 from ..utils.timer import LatencyStats
 from .admission import (
     DEFAULT_TENANT,
@@ -103,6 +123,11 @@ class ServerConfig:
     shutdown_grace:
         Seconds to wait for in-flight connections during :meth:`stop`
         before they are cancelled.
+    slow_query_threshold:
+        Completed queries at or above this many seconds enter the
+        slow-query log (``None`` disables it, ``0.0`` records every query).
+    slow_log_capacity:
+        Ring-buffer size of the slow-query log (oldest entries evicted).
     """
 
     host: str = "127.0.0.1"
@@ -113,16 +138,24 @@ class ServerConfig:
     scan_threads: int = 1
     max_body_bytes: int = MAX_BODY_BYTES
     shutdown_grace: float = 5.0
+    slow_query_threshold: Optional[float] = 0.1
+    slow_log_capacity: int = 128
 
     def __post_init__(self) -> None:
         check_positive_int(self.scan_threads, "scan_threads")
         check_positive_int(self.max_batch, "max_batch")
         check_positive_int(self.max_body_bytes, "max_body_bytes")
+        check_positive_int(self.slow_log_capacity, "slow_log_capacity")
         if self.batch_window < 0:
             raise ValueError(f"batch_window must be >= 0, got {self.batch_window}")
         if self.shutdown_grace < 0:
             raise ValueError(
                 f"shutdown_grace must be >= 0, got {self.shutdown_grace}"
+            )
+        if self.slow_query_threshold is not None and self.slow_query_threshold < 0:
+            raise ValueError(
+                f"slow_query_threshold must be >= 0 or None, "
+                f"got {self.slow_query_threshold}"
             )
 
 
@@ -133,10 +166,19 @@ class ReverseTopKServer:
         self,
         service: DynamicReverseTopKService,
         config: Optional[ServerConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
+        #: The server's metric home: fresh per instance by default so two
+        #: servers in one process (or one per test) never mix counters.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.admission = AdmissionController(self.config.admission)
         self.coalesce_stats = CoalesceStats()
+        self.slow_log = SlowQueryLog(
+            capacity=self.config.slow_log_capacity,
+            threshold_seconds=self.config.slow_query_threshold,
+        )
         self._scan_executor = ThreadPoolExecutor(
             max_workers=self.config.scan_threads,
             thread_name_prefix="repro-net-scan",
@@ -150,6 +192,12 @@ class ReverseTopKServer:
             maintenance_executor=self._maintenance_executor,
         )
         self._tenant_latency: Dict[str, LatencyStats] = {}
+        self._request_seconds = self.registry.histogram(
+            "repro_request_seconds",
+            "End-to-end request latency by tenant",
+            labels=("tenant",),
+        )
+        self._net_obs = self._register_net_metrics(self.registry)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: "set[asyncio.Task]" = set()
         self._n_connections = 0
@@ -158,6 +206,11 @@ class ReverseTopKServer:
         self._stopping = False
 
     def _make_coalescer(self, service) -> QueryCoalescer:
+        # Every generation — the seed service and each rollover clone —
+        # passes through here on its way into serving: re-bind it onto the
+        # server's registry so its cache/batch/latency metrics land with
+        # the rest of this server's exposition (not the process default).
+        service.bind_registry(self.registry)
         return QueryCoalescer(
             service,
             self._scan_executor,
@@ -165,6 +218,76 @@ class ReverseTopKServer:
             max_batch=self.config.max_batch,
             stats=self.coalesce_stats,
         )
+
+    @staticmethod
+    def _register_net_metrics(registry: MetricsRegistry) -> Dict[str, object]:
+        """Register the network layer's instruments (synced at scrape time).
+
+        The authoritative counters stay where they always were — plain ints
+        on the controller/coalescer/rollover objects, mutated lock-free on
+        the event loop and asserted directly by tests.  The registry view is
+        refreshed by :meth:`_sync_registry` on every scrape: monotonic
+        counters advance by delta, gauges are set, so Prometheus ``rate()``
+        semantics hold without touching the hot path.
+        """
+        return {
+            "connections": registry.counter(
+                "repro_http_connections_total", "Connections ever accepted"
+            ),
+            "requests": registry.counter(
+                "repro_http_requests_total", "HTTP requests ever parsed"
+            ),
+            "errors": registry.counter(
+                "repro_http_errors_total", "Requests answered with an error status"
+            ),
+            "open_connections": registry.gauge(
+                "repro_http_open_connections", "Currently open connections"
+            ),
+            "pending": registry.gauge(
+                "repro_admission_pending", "Admitted-but-uncompleted requests"
+            ),
+            "peak_pending": registry.gauge(
+                "repro_admission_peak_pending", "Largest pending depth observed"
+            ),
+            "admission_outcomes": registry.counter(
+                "repro_admission_outcomes_total",
+                "Admission decisions by tenant and outcome",
+                labels=("outcome", "tenant"),
+            ),
+            "n_submitted": registry.counter(
+                "repro_coalesce_submitted_total", "Requests entering the funnel"
+            ),
+            "n_coalesced": registry.counter(
+                "repro_coalesce_coalesced_total",
+                "Requests that joined an in-flight identical computation",
+            ),
+            "n_batches": registry.counter(
+                "repro_coalesce_batches_total", "Bursts handed to service.serve"
+            ),
+            "n_executed": registry.counter(
+                "repro_coalesce_executed_total", "Unique keys evaluated in bursts"
+            ),
+            "n_failed_batches": registry.counter(
+                "repro_coalesce_failed_batches_total", "Bursts that raised"
+            ),
+            "rollovers": registry.counter(
+                "repro_rollover_swaps_total", "Generation swaps completed"
+            ),
+            "noop_batches": registry.counter(
+                "repro_rollover_noop_batches_total",
+                "Update batches that changed nothing (clone discarded)",
+            ),
+            "generation": registry.gauge(
+                "repro_rollover_generation", "Currently serving generation id"
+            ),
+            "pins": registry.gauge(
+                "repro_rollover_pins", "In-flight requests pinning the generation"
+            ),
+            "slow_queries": registry.gauge(
+                "repro_slow_queries_recorded",
+                "Queries ever recorded by the slow-query log",
+            ),
+        }
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -261,10 +384,20 @@ class ReverseTopKServer:
             retry_after = payload.pop("_retry_after", None)
             if retry_after is not None:
                 extra["Retry-After"] = f"{retry_after:.3f}"
+            # A handler may answer with pre-rendered text (the Prometheus
+            # exposition) instead of a JSON document.
+            text = payload.pop("_text", None)
+            if text is not None:
+                body = text.encode("utf-8")
+                content_type = str(payload.pop("_content_type", "text/plain"))
+            else:
+                body = json_payload(payload)
+                content_type = "application/json"
             writer.write(
                 render_response(
                     status,
-                    json_payload(payload),
+                    body,
+                    content_type=content_type,
                     extra_headers=extra,
                     keep_alive=keep_alive,
                 )
@@ -299,7 +432,17 @@ class ReverseTopKServer:
             if request.path == "/metrics":
                 if request.method != "GET":
                     return 405, {"error": "use GET for /metrics"}
+                if self._wants_prometheus(request):
+                    self._sync_registry()
+                    return 200, {
+                        "_text": self.registry.render_prometheus(),
+                        "_content_type": "text/plain; version=0.0.4",
+                    }
                 return 200, self.metrics()
+            if request.path == "/debug/slow":
+                if request.method != "GET":
+                    return 405, {"error": "use GET for /debug/slow"}
+                return 200, self.slow_log.snapshot()
             if request.path == "/healthz":
                 if request.method != "GET":
                     return 405, {"error": "use GET for /healthz"}
@@ -341,6 +484,20 @@ class ReverseTopKServer:
         return query, k
 
     @staticmethod
+    def _wants_prometheus(request: HttpRequest) -> bool:
+        if request.params.get("format") == "prometheus":
+            return True
+        accept = request.headers.get("accept", "")
+        return "text/plain" in accept or "openmetrics" in accept
+
+    @staticmethod
+    def _wants_trace(request: HttpRequest) -> bool:
+        raw = request.headers.get("x-trace")
+        if raw is None:
+            return False
+        return raw.strip().lower() not in ("", "0", "false", "no", "off")
+
+    @staticmethod
     def _deadline_ms(request: HttpRequest) -> Optional[float]:
         raw = request.headers.get("x-deadline-ms")
         if raw is None:
@@ -356,10 +513,54 @@ class ReverseTopKServer:
     async def _handle_query(
         self, request: HttpRequest
     ) -> Tuple[int, Dict[str, object]]:
+        """Trace/slow-log wrapper around :meth:`_execute_query`.
+
+        When the request carries ``X-Trace``, the whole execution runs
+        inside an activated :class:`Trace` (this coroutine's context — and
+        only it — carries the root span), and the finished span tree is
+        attached to the response.  Every completed attempt, traced or not,
+        is offered to the slow-query log.
+        """
         tenant = request.headers.get("x-tenant", DEFAULT_TENANT)
         query, k = self._query_args(request)
+        trace: Optional[Trace] = None
+        if self._wants_trace(request):
+            trace = Trace("request", tenant=tenant, query=query, k=k)
+        started = time.monotonic()
+        status: Optional[int] = None
+        try:
+            if trace is not None:
+                trace.activate()
+            try:
+                status, payload = await self._execute_query(
+                    request, tenant, query, k
+                )
+            finally:
+                if trace is not None:
+                    trace.deactivate()
+            if trace is not None:
+                payload["trace"] = trace.to_dict()
+            return status, payload
+        finally:
+            # status is None when _execute_query raised (the shed/error is
+            # mapped to a response by _dispatch) — still worth logging.
+            fields: Dict[str, object] = {
+                "tenant": tenant,
+                "query": query,
+                "k": k,
+                "status": status,
+                "traced": trace is not None,
+            }
+            if trace is not None:
+                fields["trace"] = trace.to_dict()
+            self.slow_log.record(time.monotonic() - started, **fields)
+
+    async def _execute_query(
+        self, request: HttpRequest, tenant: str, query: int, k: int
+    ) -> Tuple[int, Dict[str, object]]:
         deadline = self.admission.deadline_for(self._deadline_ms(request))
-        ticket = self.admission.admit(tenant, deadline=deadline)
+        with trace_span("admission", queue_depth=self.admission.pending):
+            ticket = self.admission.admit(tenant, deadline=deadline)
         started = time.monotonic()
         try:
             generation = self.rollover.current
@@ -381,24 +582,35 @@ class ReverseTopKServer:
                         f"k={k} outside the indexed range "
                         f"[1, {engine.index.capacity}]",
                     )
+                root = current_span()
+                if root is not None:
+                    root.annotate(
+                        generation=generation.generation_id,
+                        index_version=generation.index_version,
+                    )
+                # The coalescer registers the current span as this key's
+                # trace parent; the shared batch tree is grafted under it
+                # before the future settles.
                 future, coalesced = generation.coalescer.submit(query, k)
                 if coalesced:
                     self.admission.note_coalesced(tenant)
                 # shield: a timeout/disconnect here must cancel only this
                 # wait, never the shared batch siblings depend on.
-                if deadline is not None:
-                    remaining = deadline - time.monotonic()
-                    try:
-                        result = await asyncio.wait_for(
-                            asyncio.shield(future), timeout=max(0.0, remaining)
-                        )
-                    except asyncio.TimeoutError:
-                        self.admission.shed_deadline(tenant)
-                        return 504, {
-                            "error": "deadline expired while the query ran"
-                        }
-                else:
-                    result = await asyncio.shield(future)
+                with trace_span("await.result", coalesced=coalesced):
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        try:
+                            result = await asyncio.wait_for(
+                                asyncio.shield(future),
+                                timeout=max(0.0, remaining),
+                            )
+                        except asyncio.TimeoutError:
+                            self.admission.shed_deadline(tenant)
+                            return 504, {
+                                "error": "deadline expired while the query ran"
+                            }
+                    else:
+                        result = await asyncio.shield(future)
             finally:
                 generation.unpin()
             self._record_latency(tenant, time.monotonic() - started)
@@ -446,10 +658,53 @@ class ReverseTopKServer:
         stats = self._tenant_latency.get(tenant)
         if stats is None:
             stats = self._tenant_latency[tenant] = LatencyStats()
+            # One sample list, two exports: the JSON endpoint's exact
+            # percentiles and the Prometheus histogram buckets both read
+            # this accumulator.
+            self._request_seconds.labels(tenant=tenant).bind(stats)
         stats.record(seconds)
+
+    @staticmethod
+    def _sync_counter(child, value: float) -> None:
+        """Advance a registry counter to match an authoritative plain int."""
+        delta = value - child.value
+        if delta > 0:
+            child.inc(delta)
+
+    def _sync_registry(self) -> None:
+        """Refresh the registry view of the event-loop-confined counters.
+
+        Called at scrape time (both expositions), so the registry cut is
+        exactly as fresh as the JSON document while the request hot path
+        never takes the registry lock.
+        """
+        obs = self._net_obs
+        self._sync_counter(obs["connections"], self._n_connections)
+        self._sync_counter(obs["requests"], self._n_requests)
+        self._sync_counter(obs["errors"], self._n_errors)
+        obs["open_connections"].set(len(self._connections))
+        obs["pending"].set(self.admission.pending)
+        obs["peak_pending"].set(self.admission.peak_pending)
+        outcomes = obs["admission_outcomes"]
+        for tenant, counters in self.admission.snapshot()["tenants"].items():
+            for outcome, value in counters.items():
+                self._sync_counter(
+                    outcomes.labels(outcome=outcome, tenant=tenant), value
+                )
+        for name, value in self.coalesce_stats.as_dict().items():
+            self._sync_counter(obs[name], value)
+        rollover = self.rollover.snapshot()
+        self._sync_counter(obs["rollovers"], rollover["n_rollovers"])
+        self._sync_counter(obs["noop_batches"], rollover["n_noop_batches"])
+        current = rollover.get("current")
+        if current is not None:
+            obs["generation"].set(current["generation"])
+            obs["pins"].set(current["pins"])
+        obs["slow_queries"].set(self.slow_log.n_recorded)
 
     def metrics(self) -> Dict[str, object]:
         """JSON-ready snapshot of every layer (the ``/metrics`` payload)."""
+        self._sync_registry()
         admission = self.admission.snapshot()
         tenants = admission.pop("tenants")
         per_tenant = {
@@ -527,6 +782,8 @@ async def _call_soon(fn):
 def start_in_thread(
     service: DynamicReverseTopKService,
     config: Optional[ServerConfig] = None,
+    *,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ServerHandle:
     """Start a :class:`ReverseTopKServer` on a dedicated event-loop thread.
 
@@ -534,7 +791,7 @@ def start_in_thread(
     ``host``/``port`` and a blocking :meth:`ServerHandle.stop`.
     """
     loop = asyncio.new_event_loop()
-    server = ReverseTopKServer(service, config)
+    server = ReverseTopKServer(service, config, registry=registry)
     started = threading.Event()
     failure: Dict[str, BaseException] = {}
 

@@ -1,0 +1,104 @@
+"""Bounded in-memory slow-query log: a threshold-gated ring buffer.
+
+Percentiles say *that* the tail is slow; the slow-query log says *which*
+queries were slow and, when the request was traced, *where* they spent the
+time.  The server records every completed query's latency into a
+:class:`SlowQueryLog`; entries at or above the threshold land in a ring
+buffer of fixed capacity (oldest evicted first), queryable at
+``GET /debug/slow``.
+
+Memory is strictly bounded: ``capacity`` entries, each a small JSON-ready
+dict (plus the span tree for traced requests).  The log is thread-safe —
+the server appends from the event loop but tests and embedding callers may
+record from anywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from .._validation import check_positive_int
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Ring buffer of the slowest recent queries (threshold-gated).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained entries; older entries are evicted FIFO.
+    threshold_seconds:
+        Minimum latency for an entry to be recorded.  ``None`` disables the
+        log entirely (every :meth:`record` is a cheap no-op); ``0.0``
+        records every query (useful in tests and demos).
+    """
+
+    def __init__(
+        self, capacity: int = 128, threshold_seconds: Optional[float] = 0.1
+    ) -> None:
+        check_positive_int(capacity, "capacity")
+        if threshold_seconds is not None and threshold_seconds < 0:
+            raise ValueError(
+                f"threshold_seconds must be >= 0 or None, got {threshold_seconds}"
+            )
+        self.capacity = int(capacity)
+        self.threshold_seconds = threshold_seconds
+        self._entries: "deque[Dict[str, Any]]" = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._n_recorded = 0
+
+    def record(self, seconds: float, **fields: Any) -> bool:
+        """Record one completed query; returns whether it entered the log.
+
+        ``fields`` become the entry verbatim (tenant, query, k, generation,
+        trace tree, ...) alongside the mandatory ``seconds``.
+        """
+        if self.threshold_seconds is None or seconds < self.threshold_seconds:
+            return False
+        entry = {"seconds": float(seconds), **fields}
+        with self._lock:
+            self._entries.append(entry)
+            self._n_recorded += 1
+        return True
+
+    @property
+    def n_recorded(self) -> int:
+        """Entries ever recorded (including ones the ring has evicted)."""
+        with self._lock:
+            return self._n_recorded
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Retained entries, most recent first."""
+        with self._lock:
+            return [dict(entry) for entry in reversed(self._entries)]
+
+    def clear(self) -> None:
+        """Drop every retained entry (the recorded total is kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state for the ``/debug/slow`` endpoint."""
+        with self._lock:
+            return {
+                "threshold_seconds": self.threshold_seconds,
+                "capacity": self.capacity,
+                "n_recorded": self._n_recorded,
+                "n_retained": len(self._entries),
+                "entries": [dict(entry) for entry in reversed(self._entries)],
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"SlowQueryLog(size={len(self._entries)}/{self.capacity}, "
+                f"threshold={self.threshold_seconds})"
+            )

@@ -1,0 +1,200 @@
+"""Request tracing: a contextvar-propagated ``Trace``/``Span`` tree.
+
+A :class:`Trace` records where one request spent its time as a tree of
+:class:`Span` nodes — admission wait, coalesce fan-in, batch assembly,
+per-shard scan, refinement — each with wall-clock seconds and free-form
+annotations.  Propagation is by :mod:`contextvars`:
+
+* inside **asyncio**, every task runs in a copied context, so concurrent
+  requests' traces never bleed into each other;
+* across the **thread-pool boundary** (the coalescer's
+  ``loop.run_in_executor``), the batch runner *activates* a trace inside
+  the worker thread (``with trace: service.serve(...)``), so the engine's
+  spans attach to the batch even though the thread has no asyncio context.
+
+The instrumentation contract is **pay-as-you-go**: with no active trace,
+:func:`trace_span` is one contextvar read returning a shared no-op context
+manager — no ``Span`` is allocated, no clock is read.  Hot code therefore
+instruments unconditionally::
+
+    with trace_span("scan") as span:
+        ...                      # span is None when tracing is off
+    if span is not None:
+        span.annotate(n_pruned=n_pruned)
+
+Spans also support **synthetic children** (:meth:`Span.record`): when a
+phase already measured itself (e.g. the engine's :class:`StageTimer`
+buckets, or per-shard scan seconds), the completed timing is attached as a
+child without any double measurement.  The coalescer uses :meth:`Span.graft`
+to attach one shared batch subtree under every waiter's request trace.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Trace", "current_span", "trace_span"]
+
+_ACTIVE_SPAN: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_active_span", default=None
+)
+
+
+class Span:
+    """One node of a trace tree: name, seconds, annotations, children."""
+
+    __slots__ = ("name", "seconds", "annotations", "children")
+
+    def __init__(self, name: str, **annotations: Any) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.annotations: Dict[str, Any] = dict(annotations)
+        self.children: List["Span"] = []
+
+    def annotate(self, **annotations: Any) -> "Span":
+        """Attach key/value annotations (counts, flags, identifiers)."""
+        self.annotations.update(annotations)
+        return self
+
+    def record(self, name: str, seconds: float = 0.0, **annotations: Any) -> "Span":
+        """Append a completed (synthetic) child with a known duration."""
+        child = Span(name, **annotations)
+        child.seconds = float(seconds)
+        self.children.append(child)
+        return child
+
+    def graft(self, span: "Span") -> None:
+        """Attach an externally built (completed) subtree as a child.
+
+        The subtree may be shared by several parents (the coalescer grafts
+        one batch tree under every waiter); it must be complete — grafted
+        trees are read, never mutated, through this parent.
+        """
+        self.children.append(span)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first descendant named ``name``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready span tree (the ``"trace"`` field of a response)."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "annotations": dict(self.annotations),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, seconds={self.seconds:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _ActiveSpan:
+    """Context manager that times a span and makes it the current one."""
+
+    __slots__ = ("span", "_token", "_start")
+
+    def __init__(self, span: Span) -> None:
+        self.span = span
+        self._token = None
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._start = time.perf_counter()
+        self._token = _ACTIVE_SPAN.set(self.span)
+        return self.span
+
+    def __exit__(self, *exc_info: object) -> None:
+        _ACTIVE_SPAN.reset(self._token)
+        self.span.seconds = time.perf_counter() - self._start
+
+
+class _NoopSpanContext:
+    """Shared do-nothing context: the entire cost of tracing-off paths."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NOOP_CONTEXT = _NoopSpanContext()
+
+
+def current_span() -> Optional[Span]:
+    """The innermost active span of this context, or ``None``."""
+    return _ACTIVE_SPAN.get()
+
+
+def trace_span(name: str, **annotations: Any):
+    """Open a child span under the current one (no-op when tracing is off).
+
+    Returns a context manager whose ``as`` target is the new :class:`Span`,
+    or ``None`` when no trace is active — guard annotation code on that.
+    """
+    parent = _ACTIVE_SPAN.get()
+    if parent is None:
+        return _NOOP_CONTEXT
+    child = Span(name, **annotations)
+    parent.children.append(child)
+    return _ActiveSpan(child)
+
+
+class Trace:
+    """One request's trace: owns the root span and its context activation.
+
+    Use either as a context manager (``with trace: ...``) or through the
+    explicit :meth:`activate`/:meth:`deactivate` pair when entry and exit
+    live in different scopes (the server activates before admission and
+    deactivates in a ``finally`` after the response is built).
+    """
+
+    __slots__ = ("root", "_token", "_start")
+
+    def __init__(self, name: str = "request", **annotations: Any) -> None:
+        self.root = Span(name, **annotations)
+        self._token = None
+        self._start: Optional[float] = None
+
+    def activate(self) -> "Trace":
+        """Start the root clock and make the root the current span."""
+        if self._token is None:
+            self._start = time.perf_counter()
+            self._token = _ACTIVE_SPAN.set(self.root)
+        return self
+
+    def deactivate(self) -> None:
+        """Stop the root clock and restore the previous span (idempotent)."""
+        if self._token is not None:
+            _ACTIVE_SPAN.reset(self._token)
+            self._token = None
+        if self._start is not None:
+            self.root.seconds = time.perf_counter() - self._start
+            self._start = None
+
+    def __enter__(self) -> "Trace":
+        return self.activate()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.deactivate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready span tree."""
+        return self.root.to_dict()
+
+    def __repr__(self) -> str:
+        return f"Trace(root={self.root!r})"

@@ -65,11 +65,18 @@ class BatchPlan:
         return (self.n_requests - self.n_cache_hits) - self.n_unique_misses
 
 
+#: Batch-size histogram bucket edges: powers of two up to the default cap.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
 class BatchScheduler:
     """Plans request bursts into deduplicated, same-``k``, bounded batches."""
 
     def __init__(self, max_batch_size: int = 64) -> None:
         self.max_batch_size = check_positive_int(max_batch_size, "max_batch_size")
+        #: Optional registry histogram observing each planned batch's size
+        #: (set by the owning service's ``bind_registry``).
+        self.batch_size_histogram = None
 
     def plan(
         self,
@@ -104,6 +111,9 @@ class BatchScheduler:
         for k, queries in by_k.items():
             for start in range(0, len(queries), self.max_batch_size):
                 plan.batches.append((k, queries[start : start + self.max_batch_size]))
+        if self.batch_size_histogram is not None:
+            for _, queries in plan.batches:
+                self.batch_size_histogram.observe(len(queries))
         return plan
 
     def __repr__(self) -> str:

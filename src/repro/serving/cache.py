@@ -94,22 +94,57 @@ class ResultCache:
         self._insertions = 0
         self._evictions = 0
         self._purged = 0
+        self._obs: Optional[Dict[str, object]] = None
+
+    def bind_registry(self, registry) -> None:
+        """Mirror the cache counters into a metrics registry.
+
+        The instance counters remain authoritative (and instance-local);
+        the registry children are an additive mirror labeled by outcome so
+        hit rates show up in the shared exposition.
+        """
+        lookups = registry.counter(
+            "repro_cache_lookups_total",
+            "Result-cache lookups by outcome",
+            labels=("outcome",),
+        )
+        events = registry.counter(
+            "repro_cache_events_total",
+            "Result-cache mutations by kind",
+            labels=("kind",),
+        )
+        self._obs = {
+            "hit": lookups.labels(outcome="hit"),
+            "miss": lookups.labels(outcome="miss"),
+            "insert": events.labels(kind="insert"),
+            "evict": events.labels(kind="evict"),
+            "purge": events.labels(kind="purge"),
+            "size": registry.gauge(
+                "repro_cache_size", "Entries currently held by the result cache"
+            ),
+        }
 
     def get(self, key: CacheKey) -> Optional[QueryResult]:
         """Return the cached result for ``key`` (marking it most-recent), or None."""
+        obs = self._obs
         with self._lock:
             result = self._entries.get(key)
             if result is None:
                 self._misses += 1
+                if obs is not None:
+                    obs["miss"].inc()
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            if obs is not None:
+                obs["hit"].inc()
             return result
 
     def put(self, key: CacheKey, result: QueryResult) -> None:
         """Store ``result`` under ``key``, evicting the LRU entry when full."""
         if self.capacity == 0:
             return
+        obs = self._obs
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -117,9 +152,15 @@ class ResultCache:
                 return
             self._entries[key] = result
             self._insertions += 1
+            if obs is not None:
+                obs["insert"].inc()
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                if obs is not None:
+                    obs["evict"].inc()
+            if obs is not None:
+                obs["size"].set(len(self._entries))
 
     def purge_versions_below(self, version: int) -> int:
         """Eagerly drop entries keyed under an index version older than ``version``.
@@ -146,6 +187,9 @@ class ResultCache:
             for key in dead:
                 del self._entries[key]
             self._purged += len(dead)
+            if self._obs is not None and dead:
+                self._obs["purge"].inc(len(dead))
+                self._obs["size"].set(len(self._entries))
             return len(dead)
 
     def clear(self) -> None:

@@ -38,9 +38,11 @@ from ..exceptions import InvalidParameterError, ServiceClosedError
 from ..core.config import IndexParams
 from ..core.query import SCAN_MODES, QueryResult, ReverseTopKEngine
 from ..graph.digraph import DiGraph
+from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.tracing import trace_span
 from ..utils.timer import LatencyStats, Timer
 from ..workloads.queries import QueryWorkload
-from .batching import BatchScheduler, Request
+from .batching import BATCH_SIZE_BUCKETS, BatchScheduler, Request
 from .cache import CacheStats, ResultCache
 from .parallel import BACKENDS, ParallelExecutor
 from .snapshot import SnapshotManager
@@ -217,6 +219,7 @@ class ReverseTopKService:
         config: Optional[ServiceConfig] = None,
         *,
         warm_started: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.engine = engine
         self.config = config if config is not None else ServiceConfig()
@@ -239,6 +242,55 @@ class ReverseTopKService:
         self._n_refinements = 0
         self._serve_seconds = 0.0
         self._worker_seconds = 0.0
+        self.bind_registry(registry if registry is not None else get_registry())
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Bind (or re-bind) this service's telemetry to ``registry``.
+
+        The instance counters stay authoritative for :meth:`metrics` (JSON
+        shape unchanged, instance-local semantics preserved); the registry
+        children are an additive mirror feeding the shared exposition.  The
+        network server re-binds rollover clones onto its own registry so a
+        generation swap never splits the time series.
+        """
+        self.registry = registry
+        self._obs = {
+            "requests": registry.counter(
+                "repro_service_requests_total", "Requests received (cache hits included)"
+            ),
+            "cache_hits": registry.counter(
+                "repro_service_cache_hits_total", "Requests answered from the result cache"
+            ),
+            "deduplicated": registry.counter(
+                "repro_service_deduplicated_total",
+                "Requests collapsed onto an in-flight duplicate",
+            ),
+            "engine_queries": registry.counter(
+                "repro_service_engine_queries_total", "Queries evaluated by the engine"
+            ),
+            "batches": registry.counter(
+                "repro_service_batches_total", "Executor batch tasks dispatched"
+            ),
+            "refinements": registry.counter(
+                "repro_service_refinements_total",
+                "Persisted (update_index=True) refinement queries",
+            ),
+            "index_version": registry.gauge(
+                "repro_index_version", "Current index mutation counter"
+            ),
+        }
+        # One sample list, two exports: the LatencyStats backs the registry
+        # histogram, so exact percentiles (JSON) and bucket counts
+        # (Prometheus) can never drift apart.
+        self._obs["latency"] = registry.histogram(
+            "repro_engine_query_seconds", "Per-query engine evaluation seconds"
+        ).bind(self._latency)
+        self._cache.bind_registry(registry)
+        self._scheduler.batch_size_histogram = registry.histogram(
+            "repro_batch_size",
+            "Planned executor batch sizes (queries per batch)",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
 
     # ------------------------------------------------------------------ #
     # construction
@@ -388,7 +440,8 @@ class ReverseTopKService:
         use_cache = self.config.cache_capacity > 0
         worker_seconds = 0.0
         engine_latency = LatencyStats()
-        with Timer() as wall, self._index_lock.read():
+        with trace_span("service.serve") as span, Timer() as wall, \
+                self._index_lock.read():
             # A close() racing this burst drains readers through the write
             # side of the index lock before releasing any resource, so a
             # burst that acquired the read side *after* the drain must not
@@ -403,7 +456,16 @@ class ReverseTopKService:
                 if use_cache
                 else None
             )
-            plan = self._scheduler.plan(requests, lookup)
+            with trace_span("batch.plan"):
+                plan = self._scheduler.plan(requests, lookup)
+            if span is not None:
+                span.annotate(
+                    n_requests=plan.n_requests,
+                    n_cache_hits=plan.n_cache_hits,
+                    n_deduplicated=plan.n_deduplicated,
+                    n_batches=len(plan.batches),
+                    index_version=version,
+                )
             # Defensive copies all the way out: the cache keeps its own
             # pristine object, and every awaiting position gets a result
             # whose mutable statistics nobody else holds.
@@ -412,9 +474,12 @@ class ReverseTopKService:
             }
             # All batches dispatch together: heterogeneous-k bursts (and
             # same-k overflow chunks) fan across the pool concurrently.
-            groups, reports = self._executor.run_many(
-                plan.batches, scan_mode=self.config.scan_mode
-            )
+            # (With n_workers > 1 the engine runs on pool threads, outside
+            # this trace context; its spans then simply don't attach.)
+            with trace_span("batch.execute"):
+                groups, reports = self._executor.run_many(
+                    plan.batches, scan_mode=self.config.scan_mode
+                )
             worker_seconds += sum(report.seconds for report in reports)
             for (k, queries), batch_results in zip(plan.batches, groups):
                 for query, result in zip(queries, batch_results):
@@ -433,6 +498,13 @@ class ReverseTopKService:
             self._serve_seconds += wall.elapsed
             self._worker_seconds += worker_seconds
             self._latency.merge(engine_latency)
+        obs = self._obs
+        obs["requests"].inc(plan.n_requests)
+        obs["cache_hits"].inc(plan.n_cache_hits)
+        obs["deduplicated"].inc(plan.n_deduplicated)
+        obs["engine_queries"].inc(plan.n_unique_misses)
+        obs["batches"].inc(len(plan.batches))
+        obs["index_version"].set(version)
         return [answered[position] for position in range(len(requests))]
 
     def serve_workload(self, workload: QueryWorkload) -> List[QueryResult]:
@@ -469,6 +541,8 @@ class ReverseTopKService:
             self._cache.purge_versions_below(self.engine.index.version)
         with self._lock:
             self._n_refinements += 1
+        self._obs["refinements"].inc()
+        self._obs["index_version"].set(self.engine.index.version)
         return result
 
     def _discard_stale_workers(self, version_before: int) -> None:

@@ -8,11 +8,12 @@ metrics endpoint and the throughput benchmarks report.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 
 class Timer:
@@ -57,10 +58,16 @@ class StageTimer:
 
     The online query engine uses this to report where query time is spent,
     mirroring the per-stage discussion in Section 5.3 of the paper.
+
+    Stages opened *inside* another :meth:`time` block attribute only their
+    **exclusive** time to the enclosing stage: a child's wall time is
+    subtracted from its parent's contribution, so :attr:`total` equals true
+    wall time instead of double-counting every nesting level.
     """
 
     stages: Dict[str, float] = field(default_factory=dict)
     _order: List[str] = field(default_factory=list)
+    _active: List["_StageContext"] = field(default_factory=list, repr=False)
 
     def add(self, stage: str, seconds: float) -> None:
         """Add ``seconds`` to the accumulated total of ``stage``."""
@@ -119,6 +126,35 @@ class LatencyStats:
         with self._lock:
             self._samples.append(float(seconds))
             self._sorted = None
+
+    def observe(self, value: float) -> None:
+        """Alias of :meth:`record` (registry-histogram observer protocol)."""
+        self.record(value)
+
+    def summary(
+        self, buckets: Sequence[float]
+    ) -> Dict[str, object]:
+        """Cumulative histogram-bucket counts over the recorded samples.
+
+        Returns ``{"buckets": [(le, count), ...], "count": n, "sum": total}``
+        with cumulative counts per upper bound — the exact shape a registry
+        :class:`~repro.obs.registry.Histogram` exports, so one accumulator
+        can back both the service's nearest-rank percentiles (JSON) and a
+        Prometheus exposition without duplicating samples.
+        """
+        with self._lock:
+            if self._sorted is None:
+                self._sorted = sorted(self._samples)
+            ordered = self._sorted
+            cumulative: List[Tuple[float, int]] = [
+                (float(edge), bisect.bisect_right(ordered, edge))
+                for edge in buckets
+            ]
+            return {
+                "buckets": cumulative,
+                "count": len(ordered),
+                "sum": sum(ordered),
+            }
 
     def merge(self, other: "LatencyStats") -> "LatencyStats":
         """Fold another accumulator's samples into this one (returns self).
@@ -262,11 +298,22 @@ class _StageContext:
         self._parent = parent
         self._stage = stage
         self._timer = Timer()
+        self._child_seconds = 0.0
 
     def __enter__(self) -> "_StageContext":
+        self._parent._active.append(self)
         self._timer.__enter__()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self._timer.__exit__(*exc_info)
-        self._parent.add(self._stage, self._timer.elapsed)
+        active = self._parent._active
+        if active and active[-1] is self:
+            active.pop()
+        # Exclusive attribution: this stage keeps only the time not already
+        # claimed by stages nested inside it, and hands its full wall time
+        # up to the enclosing stage (if any) to subtract in turn.
+        elapsed = self._timer.elapsed
+        self._parent.add(self._stage, max(0.0, elapsed - self._child_seconds))
+        if active:
+            active[-1]._child_seconds += elapsed

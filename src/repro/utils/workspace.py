@@ -32,6 +32,8 @@ class ArrayWorkspace:
 
     def __init__(self) -> None:
         self._local = threading.local()
+        self._stats_lock = threading.Lock()
+        self._all_stats: list = []
 
     def __getstate__(self):
         # Scratch contents are disposable and thread-local storage is not
@@ -39,13 +41,20 @@ class ArrayWorkspace:
         return {}
 
     def __setstate__(self, state):
-        self._local = threading.local()
+        self.__init__()
 
     def _pool(self) -> Dict[Tuple[str, str], np.ndarray]:
         pool = getattr(self._local, "pool", None)
         if pool is None:
             pool = {}
             self._local.pool = pool
+            # Per-thread reuse counters, mutated lock-free on the hot path
+            # (each dict belongs to exactly one thread) and aggregated
+            # under the lock by stats().
+            counters = {"hits": 0, "misses": 0, "grown_bytes": 0}
+            self._local.stats = counters
+            with self._stats_lock:
+                self._all_stats.append(counters)
         return pool
 
     def take(
@@ -64,6 +73,11 @@ class ArrayWorkspace:
         if buffer is None or buffer.size < size:
             buffer = np.empty(max(size, 1), dtype=dtype)
             pool[key] = buffer
+            stats = self._local.stats
+            stats["misses"] += 1
+            stats["grown_bytes"] += buffer.nbytes
+        else:
+            self._local.stats["hits"] += 1
         return buffer[:size].reshape(shape)
 
     def zeros(
@@ -86,4 +100,23 @@ class ArrayWorkspace:
         if buffer is None or buffer.size < size:
             buffer = np.arange(max(size, 1), dtype=np.int64)
             pool[key] = buffer
+            stats = self._local.stats
+            stats["misses"] += 1
+            stats["grown_bytes"] += buffer.nbytes
+        else:
+            self._local.stats["hits"] += 1
         return buffer[:size]
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate reuse counters across every thread that used the pool.
+
+        ``hits`` are requests served from an existing (large enough) buffer,
+        ``misses`` are (re)allocations, ``grown_bytes`` the total bytes ever
+        allocated.  The profiler reports these as workspace reuse hit rates.
+        """
+        totals = {"hits": 0, "misses": 0, "grown_bytes": 0}
+        with self._stats_lock:
+            for counters in self._all_stats:
+                for field in totals:
+                    totals[field] += counters[field]
+        return totals

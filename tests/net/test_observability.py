@@ -1,0 +1,313 @@
+"""Server observability tests: X-Trace trees, dual /metrics, /debug/slow.
+
+Also pins the coalescer's trace propagation across the asyncio → thread
+boundary, including under concurrent waiter cancellation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.net import ReverseTopKClient, ServerConfig, start_in_thread
+from repro.net.coalesce import QueryCoalescer
+from repro.obs import Trace, get_registry
+from repro.serving.service import ReverseTopKService
+
+
+@pytest.fixture()
+def obs_handle(dynamic_service):
+    """A server that records every query in its slow log (threshold 0)."""
+    handle = start_in_thread(
+        dynamic_service,
+        ServerConfig(slow_query_threshold=0.0, slow_log_capacity=4),
+    )
+    yield handle
+    handle.stop()
+
+
+def drive(handle, coro_fn, *args, **kwargs):
+    async def scenario():
+        async with ReverseTopKClient(handle.host, handle.port) as client:
+            return await coro_fn(client, *args, **kwargs)
+
+    return asyncio.run(scenario())
+
+
+def span_names(tree: dict) -> set:
+    names = {tree["name"]}
+    for child in tree["children"]:
+        names |= span_names(child)
+    return names
+
+
+def find_span(tree: dict, name: str):
+    if tree["name"] == name:
+        return tree
+    for child in tree["children"]:
+        found = find_span(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+class TestTraceHeader:
+    def test_traced_query_returns_full_span_tree(self, obs_handle):
+        async def scenario(client):
+            return await client.query(5, 4, trace=True)
+
+        response = drive(obs_handle, scenario)
+        tree = response["trace"]
+        assert tree["name"] == "request"
+        # The acceptance path: admission -> coalesce -> batch -> engine
+        # stages (pmpn / scan / refine) all present in one tree.
+        names = span_names(tree)
+        for required in (
+            "admission",
+            "await.result",
+            "coalesce.batch",
+            "service.serve",
+            "batch.plan",
+            "batch.execute",
+            "engine.query",
+            "stage.pmpn",
+            "stage.scan",
+            "stage.refine",
+        ):
+            assert required in names, f"missing span {required}: {names}"
+        annotations = tree["annotations"]
+        assert annotations["query"] == 5 and annotations["k"] == 4
+        assert annotations["generation"] == 0
+        assert annotations["index_version"] == 0
+        assert annotations["coalesce_fan_in"] == 1
+        assert find_span(tree, "admission")["annotations"]["queue_depth"] >= 0
+        engine = find_span(tree, "engine.query")
+        assert engine["annotations"]["n_pruned"] >= 0
+        assert engine["annotations"]["pmpn_iterations"] > 0
+
+    def test_timings_sum_consistently(self, obs_handle):
+        async def scenario(client):
+            return await client.query(7, 5, trace=True)
+
+        tree = drive(obs_handle, scenario)["trace"]
+        root_seconds = tree["seconds"]
+        admission = find_span(tree, "admission")["seconds"]
+        awaited = find_span(tree, "await.result")["seconds"]
+        batch = find_span(tree, "coalesce.batch")["seconds"]
+        # Sequential phases fit inside the root; the grafted batch subtree
+        # (measured on the worker thread) also fits inside the request.
+        assert 0.0 <= admission + awaited <= root_seconds
+        assert 0.0 < batch <= root_seconds
+        engine = find_span(tree, "engine.query")
+        stage_sum = sum(
+            child["seconds"]
+            for child in engine["children"]
+            if child["name"].startswith("stage.")
+        )
+        # Stage buckets attribute exclusive time: their sum never exceeds
+        # the engine query's own wall clock.
+        assert stage_sum <= engine["seconds"] * 1.05 + 1e-6
+
+    def test_untraced_query_has_no_trace_field(self, obs_handle):
+        async def scenario(client):
+            return await client.query(3, 4)
+
+        assert "trace" not in drive(obs_handle, scenario)
+
+    def test_coalesced_waiters_share_the_batch_tree(self, obs_handle):
+        async def scenario(client):
+            return await asyncio.gather(
+                client.query(9, 4, trace=True),
+                client.query(9, 4, trace=True),
+            )
+
+        first, second = drive(obs_handle, scenario)
+        fan_ins = sorted(
+            response["trace"]["annotations"]["coalesce_fan_in"]
+            for response in (first, second)
+        )
+        assert fan_ins == [2, 2]
+        for response in (first, second):
+            assert "engine.query" in span_names(response["trace"])
+
+
+class TestDualMetrics:
+    def test_json_and_prometheus_come_from_one_registry(self, obs_handle):
+        async def scenario(client):
+            for query in range(6):
+                await client.query(query, 4)
+            text = await client.metrics_text()
+            payload = await client.metrics()
+            return text, payload
+
+        text, payload = drive(obs_handle, scenario)
+        parsed = {}
+        for line in text.splitlines():
+            if line.startswith("#") or " " not in line:
+                continue
+            name, value = line.rsplit(" ", 1)
+            parsed[name] = float(value)
+        assert parsed["repro_coalesce_submitted_total"] == float(
+            payload["coalesce"]["n_submitted"]
+        )
+        assert (
+            parsed['repro_request_seconds_count{tenant="default"}'] == 6.0
+        )
+        assert parsed["repro_rollover_generation"] == 0.0
+        # The JSON document keeps its historical shape.
+        assert set(payload) == {
+            "server",
+            "admission",
+            "coalesce",
+            "rollover",
+            "tenants",
+            "service",
+        }
+
+    def test_server_registry_is_isolated(self, obs_handle):
+        assert obs_handle.server.registry is not get_registry()
+        families = obs_handle.server.registry.as_dict()
+        assert "repro_http_requests_total" in families
+        assert "repro_cache_lookups_total" in families  # service re-bound
+
+
+class TestSlowLogEndpoint:
+    def test_debug_slow_records_and_evicts(self, obs_handle):
+        async def scenario(client):
+            for query in range(6):
+                await client.query(query, 4, trace=query == 5)
+            return await client.slow_queries()
+
+        snap = drive(obs_handle, scenario)
+        assert snap["capacity"] == 4
+        assert snap["n_recorded"] == 6
+        assert snap["n_retained"] == 4  # ring evicted the two oldest
+        newest = snap["entries"][0]
+        assert newest["query"] == 5 and newest["status"] == 200
+        assert newest["traced"] is True
+        assert newest["trace"]["name"] == "request"
+        assert snap["entries"][1]["traced"] is False
+
+    def test_default_threshold_keeps_fast_queries_out(self, server_handle):
+        async def scenario(client):
+            await client.query(1, 4)
+            return await client.slow_queries()
+
+        snap = drive(server_handle, scenario)
+        assert snap["threshold_seconds"] == pytest.approx(0.1)
+        assert snap["n_recorded"] == 0
+
+
+class TestCoalescerTracePropagation:
+    @pytest.fixture()
+    def service(self, small_web_graph):
+        service = ReverseTopKService.from_graph(small_web_graph)
+        yield service
+        if not service.closed:
+            service.close()
+
+    @pytest.fixture()
+    def executor(self):
+        pool = ThreadPoolExecutor(max_workers=1)
+        yield pool
+        pool.shutdown(wait=True)
+
+    def test_trace_crosses_executor_boundary(self, service, executor):
+        async def scenario():
+            coalescer = QueryCoalescer(service, executor, batch_window=0.005)
+            trace = Trace("request")
+            with trace:
+                future, coalesced = coalescer.submit(3, 5)
+            assert not coalesced
+            await asyncio.shield(future)
+            await coalescer.aclose()
+            return trace
+
+        trace = asyncio.run(scenario())
+        tree = trace.to_dict()
+        assert find_span(tree, "coalesce.batch") is not None
+        # The engine ran on the executor thread, yet its spans attached.
+        assert find_span(tree, "engine.query") is not None
+
+    def test_untraced_submits_stay_trace_free(self, service, executor):
+        async def scenario():
+            coalescer = QueryCoalescer(service, executor, batch_window=0.0)
+            future, _ = coalescer.submit(3, 5)
+            result = await asyncio.shield(future)
+            assert not coalescer._trace_parents
+            await coalescer.aclose()
+            return result
+
+        result = asyncio.run(scenario())
+        assert result.query == 3
+
+    def test_graft_survives_concurrent_waiter_cancellation(
+        self, service, executor
+    ):
+        async def scenario():
+            coalescer = QueryCoalescer(service, executor, batch_window=0.02)
+            survivor_trace = Trace("survivor")
+            doomed_trace = Trace("doomed")
+            with survivor_trace:
+                future, _ = coalescer.submit(3, 5)
+            with doomed_trace:
+                same, coalesced = coalescer.submit(3, 5)
+            assert same is future and coalesced
+            # The doomed waiter times out while the batch is still pending;
+            # shield keeps the shared future (and the survivor) alive.
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.shield(future), timeout=0.001)
+            result = await asyncio.shield(future)
+            await coalescer.aclose()
+            return survivor_trace, doomed_trace, result
+
+        survivor_trace, doomed_trace, result = asyncio.run(scenario())
+        assert result.query == 3
+        # Both waiters' traces got the shared batch tree — cancellation of
+        # one wait never detaches the other's trace (or its result).
+        for trace in (survivor_trace, doomed_trace):
+            tree = trace.to_dict()
+            assert trace.root.annotations["coalesce_fan_in"] == 2
+            batch = find_span(tree, "coalesce.batch")
+            assert batch is not None
+            assert find_span(batch, "engine.query") is not None
+        shared = survivor_trace.root.children[-1]
+        assert shared is doomed_trace.root.children[-1]  # grafted by reference
+
+    def test_many_concurrent_traced_waiters_under_cancellation(
+        self, service, executor
+    ):
+        async def scenario():
+            coalescer = QueryCoalescer(service, executor, batch_window=0.01)
+            traces = []
+            futures = []
+            for i in range(12):
+                trace = Trace(f"r{i}")
+                with trace:
+                    future, _ = coalescer.submit(i % 4, 5)
+                traces.append(trace)
+                futures.append(future)
+
+            async def wait(future, cancel: bool):
+                if cancel:
+                    try:
+                        await asyncio.wait_for(
+                            asyncio.shield(future), timeout=0.0005
+                        )
+                    except asyncio.TimeoutError:
+                        return None
+                return await asyncio.shield(future)
+
+            results = await asyncio.gather(
+                *[wait(f, i % 3 == 0) for i, f in enumerate(futures)]
+            )
+            await coalescer.aclose()
+            return traces, results
+
+        traces, results = asyncio.run(scenario())
+        assert all(r is not None for i, r in enumerate(results) if i % 3)
+        for i, trace in enumerate(traces):
+            assert trace.root.annotations["coalesce_fan_in"] == 3  # 12 / 4 keys
+            assert find_span(trace.to_dict(), "engine.query") is not None

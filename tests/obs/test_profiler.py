@@ -1,0 +1,115 @@
+"""Profiler tests: null-sink contract, kernel hooks, registry mirroring."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.core import IndexParams, PropagationKernel, build_index
+from repro.graph import copying_web_graph, transition_matrix
+from repro.obs import NULL_PROFILER, KernelProfiler, MetricsRegistry, NullProfiler
+
+
+def _kernel(graph, profiler=None):
+    matrix = transition_matrix(graph)
+    hub_mask = np.zeros(graph.n_nodes, dtype=bool)
+    hub_mask[:3] = True
+    params = IndexParams(capacity=10, hub_budget=3)
+    return PropagationKernel(matrix, hub_mask, params, profiler=profiler), matrix
+
+
+class TestNullProfiler:
+    def test_disabled_and_callable(self):
+        assert NULL_PROFILER.enabled is False
+        NULL_PROFILER.on_block_iteration(backend="x", n_live=1, seconds=0.0)
+        NULL_PROFILER.on_spill(n_sources=1, seconds=0.0)
+        NULL_PROFILER.on_step(dense=True)
+        NULL_PROFILER.on_run(backend="x", n_sources=1, plane_bytes=0)
+
+    def test_kernel_defaults_to_null_sink(self, small_web_graph):
+        kernel, _ = _kernel(small_web_graph)
+        assert kernel.profiler is NULL_PROFILER
+
+    def test_picklable_with_kernel(self, small_web_graph):
+        kernel, _ = _kernel(small_web_graph)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert isinstance(clone.profiler, NullProfiler)
+        assert clone.profiler.enabled is False
+
+
+class TestKernelProfiler:
+    def test_run_populates_aggregates(self, small_web_graph):
+        profiler = KernelProfiler()
+        kernel, _ = _kernel(small_web_graph, profiler=profiler)
+        sources = np.arange(3, 13, dtype=np.int64)  # non-hub nodes
+        kernel.run(sources)
+        assert profiler.n_runs == 1
+        assert profiler.n_sources == 10
+        assert profiler.n_block_iterations > 0
+        assert profiler.n_live_columns >= profiler.n_block_iterations
+        assert profiler.product_seconds > 0.0
+        assert profiler.peak_plane_bytes > 0
+        snapshot = profiler.as_dict()
+        assert snapshot["n_runs"] == 1
+        assert 0.0 <= snapshot["workspace_hit_rate"] <= 1.0
+
+    def test_profiled_run_is_bit_identical(self, small_web_graph):
+        plain_kernel, _ = _kernel(small_web_graph)
+        profiled_kernel, _ = _kernel(
+            small_web_graph, profiler=KernelProfiler()
+        )
+        sources = np.arange(3, 15, dtype=np.int64)
+        plain = plain_kernel.run(sources)
+        profiled = profiled_kernel.run(sources)
+        assert len(plain) == len(profiled)
+        for expected, observed in zip(plain, profiled):
+            assert expected.residual == observed.residual
+            assert expected.retained == observed.retained
+            assert expected.hub_ink == observed.hub_ink
+            np.testing.assert_array_equal(
+                expected.lower_bounds, observed.lower_bounds
+            )
+
+    def test_workspace_reuse_shows_up_across_runs(self, small_web_graph):
+        profiler = KernelProfiler()
+        kernel, _ = _kernel(small_web_graph, profiler=profiler)
+        sources = np.arange(3, 11, dtype=np.int64)
+        kernel.run(sources)
+        kernel.run(sources)  # second run reuses the pooled planes
+        assert profiler.workspace_hits > 0
+        assert profiler.workspace_hit_rate > 0.0
+
+    def test_registry_mirroring(self, small_web_graph):
+        registry = MetricsRegistry()
+        profiler = KernelProfiler(registry=registry)
+        kernel, _ = _kernel(small_web_graph, profiler=profiler)
+        kernel.run(np.arange(3, 9, dtype=np.int64))
+        kernel.run(np.arange(3, 9, dtype=np.int64))
+        payload = registry.as_dict()
+        runs = payload["repro_kernel_runs_total"]["samples"]
+        assert sum(sample["value"] for sample in runs) == 2
+        iterations = payload["repro_kernel_block_iterations_total"]["samples"]
+        assert sum(s["value"] for s in iterations) == profiler.n_block_iterations
+        # The monotonic mirror of the cumulative workspace snapshot matches
+        # the profiler's own (latest-snapshot) counters.
+        hits = payload["repro_kernel_workspace_hits_total"]["samples"][0]["value"]
+        assert hits == profiler.workspace_hits
+
+    def test_build_emits_into_default_registry(self, small_web_graph):
+        from repro.obs import get_registry
+
+        before = (
+            get_registry()
+            .counter("repro_index_builds_total", labels=("backend",))
+            .labels(backend="vectorized")
+            .value
+        )
+        build_index(small_web_graph, IndexParams(capacity=10, hub_budget=3))
+        after = (
+            get_registry()
+            .counter("repro_index_builds_total", labels=("backend",))
+            .labels(backend="vectorized")
+            .value
+        )
+        assert after == before + 1

@@ -1,0 +1,71 @@
+"""Slow-query log tests: threshold gating, ring-buffer eviction, snapshot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SlowQueryLog
+
+
+class TestGating:
+    def test_threshold_gates_recording(self):
+        log = SlowQueryLog(capacity=4, threshold_seconds=0.1)
+        assert not log.record(0.05, query=1)
+        assert log.record(0.1, query=2)  # at-threshold is recorded
+        assert log.record(0.5, query=3)
+        assert log.n_recorded == 2
+        assert [entry["query"] for entry in log.entries()] == [3, 2]
+
+    def test_none_threshold_disables(self):
+        log = SlowQueryLog(capacity=4, threshold_seconds=None)
+        assert not log.record(100.0)
+        assert log.n_recorded == 0 and len(log) == 0
+
+    def test_zero_threshold_records_everything(self):
+        log = SlowQueryLog(capacity=4, threshold_seconds=0.0)
+        assert log.record(0.0)
+        assert log.n_recorded == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_seconds=-1.0)
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_newest_and_total(self):
+        log = SlowQueryLog(capacity=3, threshold_seconds=0.0)
+        for i in range(7):
+            log.record(float(i), query=i)
+        assert log.n_recorded == 7  # evicted entries still counted
+        assert len(log) == 3
+        assert [entry["query"] for entry in log.entries()] == [6, 5, 4]
+
+    def test_snapshot_shape(self):
+        log = SlowQueryLog(capacity=2, threshold_seconds=0.0)
+        log.record(0.2, tenant="a", query=1, k=5)
+        snap = log.snapshot()
+        assert snap["threshold_seconds"] == 0.0
+        assert snap["capacity"] == 2
+        assert snap["n_recorded"] == 1
+        assert snap["n_retained"] == 1
+        assert snap["entries"][0] == {
+            "seconds": 0.2,
+            "tenant": "a",
+            "query": 1,
+            "k": 5,
+        }
+
+    def test_clear_keeps_recorded_total(self):
+        log = SlowQueryLog(capacity=2, threshold_seconds=0.0)
+        log.record(0.1)
+        log.clear()
+        assert len(log) == 0
+        assert log.n_recorded == 1
+
+    def test_entries_are_copies(self):
+        log = SlowQueryLog(capacity=2, threshold_seconds=0.0)
+        log.record(0.1, query=1)
+        log.entries()[0]["query"] = 999
+        assert log.entries()[0]["query"] == 1

@@ -1,0 +1,108 @@
+"""Tracing tests: span trees, contextvar propagation, the no-op fast path."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.obs import Span, Trace, current_span, trace_span
+from repro.obs.tracing import _NOOP_CONTEXT
+
+
+class TestNoopFastPath:
+    def test_no_active_trace_yields_shared_noop(self):
+        assert current_span() is None
+        context = trace_span("anything", ignored=1)
+        assert context is _NOOP_CONTEXT
+        with context as span:
+            assert span is None
+
+    def test_instrumented_code_runs_unchanged_without_trace(self):
+        with trace_span("scan") as span:
+            value = 41 + 1
+        assert span is None
+        assert value == 42
+
+
+class TestSpanTree:
+    def test_nested_spans_build_a_tree_with_timings(self):
+        with Trace("request", tenant="t") as trace:
+            with trace_span("outer") as outer:
+                with trace_span("inner", flag=True) as inner:
+                    pass
+                assert current_span() is outer
+            assert current_span() is trace.root
+        assert current_span() is None
+        root = trace.root
+        assert [child.name for child in root.children] == ["outer"]
+        assert [child.name for child in root.children[0].children] == ["inner"]
+        assert inner.annotations == {"flag": True}
+        assert root.seconds >= outer.seconds >= inner.seconds >= 0.0
+
+    def test_synthetic_record_and_graft(self):
+        root = Span("request")
+        root.record("stage.scan", 0.25, n_pruned=9)
+        shared = Span("coalesce.batch", n_keys=3)
+        shared.seconds = 0.5
+        root.graft(shared)
+        other = Span("request2")
+        other.graft(shared)
+        assert root.find("stage.scan").seconds == 0.25
+        assert root.find("coalesce.batch") is shared
+        assert other.find("coalesce.batch") is shared
+        tree = root.to_dict()
+        assert tree["children"][0]["annotations"] == {"n_pruned": 9}
+
+    def test_trace_activate_deactivate_idempotent(self):
+        trace = Trace("request")
+        trace.activate()
+        trace.activate()
+        assert current_span() is trace.root
+        trace.deactivate()
+        trace.deactivate()
+        assert current_span() is None
+        assert trace.root.seconds > 0.0
+
+
+class TestPropagation:
+    def test_concurrent_asyncio_tasks_do_not_bleed(self):
+        async def request(name: str) -> list:
+            with Trace(name):
+                with trace_span(f"{name}.work"):
+                    await asyncio.sleep(0.001)
+                    assert current_span().name == f"{name}.work"
+                return [s.name for s in current_span().children]
+
+        async def scenario():
+            return await asyncio.gather(*[request(f"r{i}") for i in range(8)])
+
+        for names, i in zip(asyncio.run(scenario()), range(8)):
+            assert names == [f"r{i}.work"]
+
+    def test_worker_thread_needs_explicit_activation(self):
+        # Plain threads share no context with the caller: without an
+        # explicit activation the worker sees no active span...
+        seen = {}
+
+        def worker() -> None:
+            seen["bare"] = current_span()
+
+        with Trace("request"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["bare"] is None
+
+        # ...and with one (the coalescer's batch-runner pattern), spans
+        # created in the worker attach to the activated trace.
+        batch = Trace("coalesce.batch")
+
+        def traced_worker() -> None:
+            with batch:
+                with trace_span("engine.scan"):
+                    pass
+
+        thread = threading.Thread(target=traced_worker)
+        thread.start()
+        thread.join()
+        assert [child.name for child in batch.root.children] == ["engine.scan"]

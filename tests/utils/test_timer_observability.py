@@ -1,0 +1,97 @@
+"""StageTimer nesting and LatencyStats histogram-adapter tests (PR 8)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.timer import LatencyStats, StageTimer
+
+
+class TestStageTimerNesting:
+    def test_child_time_is_excluded_from_parent(self):
+        timer = StageTimer()
+        with timer.time("outer"):
+            time.sleep(0.02)
+            with timer.time("inner"):
+                time.sleep(0.03)
+        stages = timer.as_dict()
+        # Regression: the outer stage used to absorb the inner stage's time
+        # too, double-counting it and making stage sums exceed the wall.
+        assert stages["inner"] >= 0.03
+        assert stages["outer"] >= 0.02
+        assert stages["outer"] < 0.03  # excludes the inner 0.03s sleep
+        assert timer.total == pytest.approx(sum(stages.values()))
+
+    def test_three_levels_attribute_exclusively(self):
+        timer = StageTimer()
+        with timer.time("a"):
+            time.sleep(0.01)
+            with timer.time("b"):
+                time.sleep(0.01)
+                with timer.time("c"):
+                    time.sleep(0.01)
+        stages = timer.as_dict()
+        for stage in ("a", "b", "c"):
+            assert 0.01 <= stages[stage] < 0.02
+
+    def test_sequential_same_stage_accumulates(self):
+        timer = StageTimer()
+        for _ in range(2):
+            with timer.time("scan"):
+                time.sleep(0.005)
+        assert timer.as_dict()["scan"] >= 0.01
+
+    def test_sibling_stages_do_not_interfere(self):
+        timer = StageTimer()
+        with timer.time("parent"):
+            with timer.time("first"):
+                time.sleep(0.01)
+            with timer.time("second"):
+                time.sleep(0.01)
+        stages = timer.as_dict()
+        assert stages["first"] >= 0.01
+        assert stages["second"] >= 0.01
+        assert stages["parent"] < 0.01  # both children excluded
+
+
+class TestLatencyStatsSummary:
+    def test_observe_is_record(self):
+        stats = LatencyStats()
+        stats.observe(0.5)
+        stats.record(1.5)
+        assert stats.count == 2
+        assert stats.total == pytest.approx(2.0)
+
+    def test_summary_buckets_are_cumulative(self):
+        stats = LatencyStats()
+        for value in (0.05, 0.2, 0.2, 0.7, 3.0):
+            stats.record(value)
+        summary = stats.summary((0.1, 0.5, 1.0))
+        assert summary["buckets"] == [(0.1, 1), (0.5, 3), (1.0, 4)]
+        assert summary["count"] == 5
+        assert summary["sum"] == pytest.approx(4.15)
+
+    def test_summary_edge_inclusive(self):
+        stats = LatencyStats()
+        stats.record(0.5)
+        summary = stats.summary((0.5, 1.0))
+        assert summary["buckets"][0] == (0.5, 1)
+
+    def test_summary_of_empty_stats(self):
+        summary = LatencyStats().summary((0.1, 1.0))
+        assert summary == {
+            "buckets": [(0.1, 0), (1.0, 0)],
+            "count": 0,
+            "sum": 0.0,
+        }
+
+    def test_summary_and_percentiles_share_samples(self):
+        stats = LatencyStats()
+        for i in range(100):
+            stats.record(i / 100.0)
+        summary = stats.summary((0.25, 0.5, 1.0))
+        assert summary["count"] == len(stats) == 100
+        assert stats.p50 == pytest.approx(stats.percentile(50))
+        assert summary["buckets"][1][1] == 51  # 0.00..0.50 inclusive
