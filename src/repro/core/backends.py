@@ -48,10 +48,11 @@ def numba_available() -> bool:
 def available_backends() -> Tuple[str, ...]:
     """Propagation/scan backends usable on this installation.
 
-    Always contains ``"scalar"`` and ``"vectorized"``; ``"numba"`` is
-    appended only when the optional dependency imports.
+    Always contains ``"scalar"``, ``"vectorized"`` and ``"sparse"`` (all
+    pure NumPy/SciPy); ``"numba"`` is appended only when the optional
+    dependency imports.
     """
-    backends = ("scalar", "vectorized")
+    backends = ("scalar", "vectorized", "sparse")
     if numba_available():
         backends += ("numba",)
     return backends

@@ -24,11 +24,13 @@ from .._validation import (
 
 #: Accepted ink-propagation backends (see :mod:`repro.core.propagation`):
 #: the dict-based per-neighbour reference loop, the blocked multi-source
-#: dense engine, and the optional JIT-compiled variant of the latter.
+#: dense engine, the optional JIT-compiled variant of the latter, and the
+#: sparse-plane blocked engine whose memory scales with the residue frontier
+#: instead of ``n * block_size`` (the million-node build backend).
 #: ``"numba"`` is accepted here unconditionally (parameters must stay
 #: loadable on machines without the extra); availability is checked when a
 #: kernel is actually constructed (:func:`repro.core.backends.require_backend`).
-PROPAGATION_BACKENDS = ("scalar", "vectorized", "numba")
+PROPAGATION_BACKENDS = ("scalar", "vectorized", "numba", "sparse")
 
 #: Precisions accepted for the scan phase's lower-bound reads: ``"float64"``
 #: scans the authoritative matrix directly; ``"float32"`` screens with a
@@ -76,7 +78,10 @@ class IndexParams:
         arrays; ``"scalar"`` is the dict-based reference loop, bit-identical
         to the seed implementation; ``"numba"`` JIT-compiles the blocked
         engine's inner iteration (requires the optional ``fast`` extra —
-        kernel construction fails with ``ConfigurationError`` without it).
+        kernel construction fails with ``ConfigurationError`` without it);
+        ``"sparse"`` keeps the block state in sparse CSC matrices so memory
+        scales with the live residue frontier — the backend for
+        million-node builds, where the dense planes would not fit.
     block_size:
         ``B`` — number of source nodes the vectorized backend advances
         together.  Larger blocks amortize the per-iteration sparse product

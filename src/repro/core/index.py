@@ -192,7 +192,7 @@ class ReverseTopKIndex:
         hubs: HubSet,
         hub_matrix: sp.csc_matrix,
         hub_deficit: np.ndarray,
-        states: List[NodeState],
+        states,
         *,
         build_seconds: float = 0.0,
     ) -> None:
@@ -200,7 +200,21 @@ class ReverseTopKIndex:
         self.hubs = hubs
         self.hub_matrix = hub_matrix.tocsc()
         self.hub_deficit = np.asarray(hub_deficit, dtype=np.float64)
-        self._states = states
+        # ``states`` is either a list of NodeState objects (the historical
+        # representation) or a ColumnarStateStore (duck-typed to avoid a
+        # circular import) — large builds hand over the columnar store so no
+        # per-node Python objects ever exist on the build path.
+        if hasattr(states, "peek_state"):
+            if int(states.capacity) != int(params.capacity):
+                raise ValueError(
+                    f"columnar store capacity {states.capacity} does not "
+                    f"match index capacity {params.capacity}"
+                )
+            self._store = states
+            self._states = None
+        else:
+            self._store = None
+            self._states = states
         self.build_seconds = float(build_seconds)
         #: Per-phase cost breakdown of the build that produced this index
         #: (a :class:`repro.core.propagation.BuildReport`); ``None`` for
@@ -222,7 +236,14 @@ class ReverseTopKIndex:
     @property
     def n_nodes(self) -> int:
         """Number of indexed nodes."""
+        if self._store is not None:
+            return self._store.n_states
         return len(self._states)
+
+    @property
+    def store(self):
+        """The backing columnar store, or ``None`` for object-backed indexes."""
+        return self._store
 
     @property
     def capacity(self) -> int:
@@ -259,21 +280,31 @@ class ReverseTopKIndex:
         views stay consistent.
         """
         node = check_node_index(node, self.n_nodes)
+        if self._store is not None:
+            return self._store.state(node)
         return self._states[node]
 
     def set_state(self, node: int, state: NodeState) -> None:
         """Replace the stored state of ``node`` (used by the update policy)."""
         node = check_node_index(node, self.n_nodes)
-        self._states[node] = state
+        if self._store is not None:
+            self._store.set_state(node, state)
+        else:
+            self._states[node] = state
         self._sync_column(node, state)
 
     def sync_state(self, node: int) -> None:
         """Refresh the columnar views of ``node`` after an in-place mutation."""
         node = check_node_index(node, self.n_nodes)
-        self._sync_column(node, self._states[node])
+        if self._store is not None:
+            self._sync_column(node, self._store.state(node))
+        else:
+            self._sync_column(node, self._states[node])
 
     def states(self) -> Iterable[Tuple[int, NodeState]]:
         """Iterate over ``(node, state)`` pairs."""
+        if self._store is not None:
+            return enumerate(self._store.iter_states())
         return enumerate(self._states)
 
     def replace_contents(
@@ -320,17 +351,69 @@ class ReverseTopKIndex:
             )
         if new_deficit.size != len(new_hubs):
             raise ValueError("hub_deficit length must equal the number of hubs")
-        if states is not None and len(states) != len(self._states):
+        if states is not None and len(states) != self.n_nodes:
             raise ValueError(
-                f"expected {len(self._states)} states, got {len(states)}"
+                f"expected {self.n_nodes} states, got {len(states)}"
             )
         self.hubs = new_hubs
         self.hub_matrix = new_matrix
         self.hub_deficit = new_deficit
         if states is not None:
+            # A wholesale state replacement switches the index to object
+            # storage: the maintainer hands over plain NodeState lists.
+            self._store = None
             self._states = list(states)
         self._version += 1
         self._columns = self._build_columns()
+
+    def apply_updates(
+        self,
+        states: Dict[int, NodeState],
+        *,
+        hub_matrix: Optional[sp.spmatrix] = None,
+        hub_deficit: Optional[np.ndarray] = None,
+    ) -> None:
+        """Targeted maintenance writes with a single version bump.
+
+        The delta-maintenance fast path rewrites only the nodes it
+        invalidated (plus hub rows), instead of handing over a full state
+        list — on a store-backed index that keeps the columnar arrays as
+        the primary storage and touches ``O(len(states))`` columns, not
+        ``O(n)``.  The hub set itself is unchanged by construction (the
+        fast path pins it); callers are responsible for only leaving nodes
+        untouched whose columns are unaffected by the new hub data.
+        """
+        if hub_matrix is not None:
+            new_matrix = hub_matrix.tocsc()
+            if new_matrix.shape[0] != self.n_nodes:
+                raise ValueError(
+                    f"hub matrix has {new_matrix.shape[0]} rows but the "
+                    f"index covers {self.n_nodes} nodes"
+                )
+            if new_matrix.shape[1] != len(self.hubs):
+                raise ValueError(
+                    f"hub matrix has {new_matrix.shape[1]} columns but "
+                    f"{len(self.hubs)} hubs"
+                )
+            self.hub_matrix = new_matrix
+        if hub_deficit is not None:
+            new_deficit = np.asarray(hub_deficit, dtype=np.float64)
+            if new_deficit.size != len(self.hubs):
+                raise ValueError(
+                    "hub_deficit length must equal the number of hubs"
+                )
+            self.hub_deficit = new_deficit
+        columns = self.columns
+        for node, state in states.items():
+            node = check_node_index(node, self.n_nodes)
+            if self._store is not None:
+                self._store.set_state(node, state)
+            else:
+                self._states[node] = state
+            self._write_column(columns, node, state)
+            if self._lower32 is not None:
+                self._lower32[:, node] = columns.lower[:, node]
+        self._version += 1
 
     def kth_lower_bounds(self, k: int) -> np.ndarray:
         """The k-th row of ``P̂`` across all nodes — the primary pruning signal.
@@ -414,6 +497,16 @@ class ReverseTopKIndex:
         # A wholesale rebuild invalidates the float32 mirror; it re-derives
         # lazily from the fresh columns on the next screened scan.
         self._lower32 = None
+        if self._store is not None:
+            # Columnar mode: the views come straight off the store's arrays
+            # (overlay-aware) — no per-node objects are materialised.
+            return ColumnarView(
+                lower=self._store.lower_matrix(),
+                residual_mass=self._store.column_masses(
+                    self.hubs, self.hub_deficit
+                ),
+                is_exact=self._store.is_exact_mask(),
+            )
         columns = ColumnarView(
             lower=np.zeros((self.capacity, self.n_nodes), dtype=np.float64),
             residual_mass=np.zeros(self.n_nodes, dtype=np.float64),
@@ -443,6 +536,7 @@ class ReverseTopKIndex:
         return state
 
     def __setstate__(self, state: dict) -> None:
+        state.setdefault("_store", None)
         self.__dict__.update(state)
 
     def _write_column(self, columns: ColumnarView, node: int, state: NodeState) -> None:
@@ -464,7 +558,10 @@ class ReverseTopKIndex:
         8-byte index, mirroring a coordinate sparse representation.
         """
         lower = self.capacity * self.n_nodes * _VALUE_BYTES
-        state_entries = sum(state.stored_entries() for state in self._states)
+        if self._store is not None:
+            state_entries = self._store.stored_entries()
+        else:
+            state_entries = sum(state.stored_entries() for state in self._states)
         state_bytes = state_entries * (_VALUE_BYTES + _INDEX_BYTES)
         hub_bytes = self.hub_matrix.nnz * (_VALUE_BYTES + _INDEX_BYTES)
         return {
@@ -498,7 +595,10 @@ class ReverseTopKIndex:
         path = Path(path)
         if not path.name.endswith(".npz"):
             path = path.with_name(path.name + ".npz")
-        arrays = _states_to_arrays(self._states, self.capacity)
+        if self._store is not None:
+            arrays = self._store.to_arrays()
+        else:
+            arrays = _states_to_arrays(self._states, self.capacity)
         hub_matrix = self.hub_matrix.tocoo()
         try:
             descriptor, name = tempfile.mkstemp(

@@ -45,6 +45,7 @@ from ..rwr.power_method import proximity_vector
 from .config import IndexParams
 from .hubs import HubSet, degree_union_hubs, select_hubs_by_degree
 from .index import NodeState, ReverseTopKIndex
+from .statestore import CollectedStates, StateArraysSink, assemble_store
 
 # Propagation primitives live in the kernel layer; re-exported here because
 # this module is their historical home (tests and benchmarks import them
@@ -225,6 +226,54 @@ def _assemble_index(
     return index
 
 
+def _assemble_store_index(
+    params: IndexParams,
+    hubs: HubSet,
+    hub_matrix: sp.csc_matrix,
+    hub_deficit: np.ndarray,
+    hub_top_k: Dict[int, np.ndarray],
+    collected: Sequence[CollectedStates],
+    hub_mask: np.ndarray,
+    n: int,
+    n_targets: int,
+    stages: StageTimer,
+    hub_progress: Optional[Callable[[int], None]],
+) -> ReverseTopKIndex:
+    """Columnar twin of :func:`_assemble_index`: no NodeState objects.
+
+    The collected flat segments plus vectorised hub / untargeted rows merge
+    into a :class:`~repro.core.statestore.ColumnarStateStore` that backs the
+    index directly — the build hot path materialises zero per-node Python
+    state objects.
+    """
+    with stages.time("materialize"):
+        store = assemble_store(
+            0, n, params.capacity, collected, hub_mask, hub_top_k
+        )
+        if hub_progress is not None:
+            for node in np.flatnonzero(hub_mask).tolist():
+                hub_progress(node)
+
+    report = BuildReport(
+        backend=params.backend,
+        block_size=params.block_size,
+        n_nodes=n,
+        n_targets=n_targets,
+        stage_seconds=stages.as_dict(),
+    )
+    _emit_build_metrics(report)
+    index = ReverseTopKIndex(
+        params,
+        hubs,
+        hub_matrix,
+        hub_deficit,
+        store,
+        build_seconds=report.build_seconds,
+    )
+    index.build_report = report
+    return index
+
+
 def build_index(
     graph: DiGraph | sp.spmatrix,
     params: Optional[IndexParams] = None,
@@ -292,6 +341,25 @@ def build_index(
             progress(done, total)
 
     bca_sources = [node for node in range(n) if not hub_mask[node] and node in target_set]
+    if params.backend != "scalar" and nodes is None:
+        # Full builds on the blocked backends spill converged columns
+        # straight into flat arrays and assemble a columnar store — the
+        # default (and only) large-graph path; states stay lazy views.
+        sink = StateArraysSink(params.capacity)
+        kernel.run(bca_sources, stages=stages, on_done=advance, sink=sink)
+        return _assemble_store_index(
+            params,
+            hubs,
+            hub_matrix,
+            hub_deficit,
+            hub_top_k,
+            [sink.collected()],
+            hub_mask,
+            n,
+            total,
+            stages,
+            advance,
+        )
     built = dict(zip(bca_sources, kernel.run(bca_sources, stages=stages, on_done=advance)))
     return _assemble_index(
         params,
@@ -331,6 +399,17 @@ def _init_shard_worker(
 def _bca_shard(sources: List[int]) -> Tuple[List[int], List[NodeState]]:
     """Process-pool worker: run the shared kernel over one shard of sources."""
     return sources, _WORKER_KERNEL.run(sources)
+
+
+def _collect_shard(sources: List[int]) -> CollectedStates:
+    """Process-pool worker: run one shard into flat collected arrays.
+
+    The columnar twin of :func:`_bca_shard` — the return payload is plain
+    NumPy arrays (cheap to pickle), not per-node Python objects.
+    """
+    sink = StateArraysSink(_WORKER_KERNEL.params.capacity)
+    _WORKER_KERNEL.run(sources, sink=sink)
+    return sink.collected()
 
 
 def build_index_parallel(
@@ -380,6 +459,33 @@ def build_index_parallel(
         )
         if shard.size
     ]
+    if params.backend != "scalar":
+        collected: List[CollectedStates] = []
+        done = 0
+        with stages.time("bca"):
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_shard_worker,
+                initargs=(matrix, hub_mask, params, hubs, hub_matrix),
+            ) as pool:
+                for part in pool.map(_collect_shard, shards):
+                    collected.append(part)
+                    done += part.n_sources
+                    if progress is not None:
+                        progress(done, len(bca_sources))
+        return _assemble_store_index(
+            params,
+            hubs,
+            hub_matrix,
+            hub_deficit,
+            hub_top_k,
+            collected,
+            hub_mask,
+            n,
+            n,
+            stages,
+            None,
+        )
     built: Dict[int, NodeState] = {}
     done = 0
     with stages.time("bca"):

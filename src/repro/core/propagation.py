@@ -30,6 +30,29 @@ via :attr:`IndexParams.backend`:
     :class:`~repro.exceptions.ConfigurationError`
     (see :func:`repro.core.backends.available_backends`).
 
+``"sparse"``
+    A blocked multi-source engine whose per-block state is held as *sparse*
+    CSC matrices instead of dense ``(n, B)`` planes.  Memory and per-
+    iteration cost scale with the live residue frontier rather than with
+    ``n * B``, which is what makes million-node builds feasible: the dense
+    planes alone would cost ``~40 * B`` bytes per node.  Each chunk of ``B``
+    sources runs to full convergence (no mid-stream refill); per-column
+    arithmetic is element-wise or per-column sparse products, so — like the
+    dense backends — every source's trajectory is bitwise independent of
+    which other sources share its chunk.  Agreement with the scalar
+    reference is to tolerance (like the dense backends), not bit-for-bit.
+
+Columnar spill (``sink=``)
+--------------------------
+:meth:`PropagationKernel.run` accepts an optional
+:class:`~repro.core.statestore.StateArraysSink`.  With a sink, converged
+columns spill as flat ``(counts, keys, values)`` segments — produced by the
+same ``np.nonzero`` gather as the dict path, so keys/values are identical —
+and **no** :class:`NodeState` objects are constructed; ``run`` then returns
+an empty list and the caller assembles a columnar store from the sink.  The
+scalar backend has no columnar spill (it builds dicts natively) and rejects
+a sink.
+
 Buffer reuse (:class:`KernelWorkspace`)
 ---------------------------------------
 Both blocked backends draw their dense ``(n, B)`` planes from a
@@ -138,6 +161,25 @@ def _columns_to_dicts(
         dicts.append(dict(zip(keys[start:stop], values[start:stop])))
         start = stop
     return dicts
+
+
+def _flat_columns(
+    matrix: np.ndarray, columns: np.ndarray, labels: Optional[np.ndarray] = None
+) -> tuple:
+    """Flat ``(counts, keys, values)`` segments for a batch of dense columns.
+
+    The columnar twin of :func:`_columns_to_dicts`: the same ``np.nonzero``
+    gather, so segment ``i`` holds exactly the (key, value) pairs — in the
+    same ascending-key order — that the dict path would produce for
+    ``columns[i]``.
+    """
+    sub = matrix.T[columns]  # (m, n): one gathered, C-contiguous row per column
+    rows, entries = np.nonzero(sub)
+    keys = entries if labels is None else labels[entries]
+    keys = np.asarray(keys, dtype=np.int64)
+    values = sub[rows, entries]
+    counts = np.bincount(rows, minlength=columns.size).astype(np.int64)
+    return counts, keys, values
 
 
 def _batched_top_k(vectors: np.ndarray, k: int) -> np.ndarray:
@@ -421,12 +463,20 @@ class PropagationKernel:
         *,
         stages: Optional[StageTimer] = None,
         on_done: Optional[SourceCallback] = None,
+        sink=None,
     ) -> List[NodeState]:
         """Run BCA to convergence from every (non-hub) source node.
 
         Returns one :class:`NodeState` per source, aligned with ``sources``.
         ``stages`` accumulates ``bca`` / ``materialize`` phase timings;
         ``on_done`` fires once per source as it converges (progress hook).
+
+        With a ``sink`` (a :class:`~repro.core.statestore.StateArraysSink`),
+        converged columns spill as flat array segments instead of
+        :class:`NodeState` objects and the return value is an empty list —
+        the caller assembles a columnar store from the sink.  Only the
+        blocked backends support a sink (the scalar path builds dicts
+        natively and raises ``ValueError``).
         """
         sources = [int(source) for source in sources]
         for source in sources:
@@ -435,14 +485,22 @@ class PropagationKernel:
                     f"node {source} is a hub; hub states are built from the "
                     "exact hub proximities, not with BCA"
                 )
+        if sink is not None and self.backend == "scalar":
+            raise ValueError(
+                "the scalar backend does not support columnar sinks; use the "
+                "vectorized, numba or sparse backend"
+            )
         if stages is None:
             stages = StageTimer()
         stages.add("bca", 0.0)
         stages.add("materialize", 0.0)
         if not sources:
             return []
+        self._sparse_peak_bytes = 0
         if self.backend in ("vectorized", "numba"):
-            states = self._run_vectorized(sources, stages, on_done)
+            states = self._run_vectorized(sources, stages, on_done, sink)
+        elif self.backend == "sparse":
+            states = self._run_sparse(sources, stages, on_done, sink)
         else:
             states = self._run_scalar(sources, stages, on_done)
         if self.profiler.enabled:
@@ -454,6 +512,8 @@ class PropagationKernel:
                     self.n_nodes * block * 8 * n_dense
                     + self._hub_nodes.size * block * 8
                 )
+            elif self.backend == "sparse":
+                plane_bytes = self._sparse_peak_bytes
             self.profiler.on_run(
                 backend=self.backend,
                 n_sources=len(sources),
@@ -487,6 +547,7 @@ class PropagationKernel:
         sources: List[int],
         stages: StageTimer,
         on_done: Optional[SourceCallback],
+        sink=None,
     ) -> List[NodeState]:
         """Blocked multi-source engine: dense ``(n, B)`` state, one product per step."""
         params = self.params
@@ -582,7 +643,7 @@ class PropagationKernel:
                     columns = np.flatnonzero(finished)
                     self._spill_columns(
                         columns, column_source, residual, retained, hub_ink,
-                        iterations, hub_nodes, results, on_done,
+                        iterations, hub_nodes, results, on_done, sink,
                     )
                     refill(columns)
                     if prof is not None:
@@ -672,6 +733,8 @@ class PropagationKernel:
                         seconds=time.perf_counter() - product_start,
                     )
 
+        if sink is not None:
+            return []
         return [results[source] for source in sources]
 
     def _spill_columns(
@@ -685,6 +748,7 @@ class PropagationKernel:
         hub_nodes: np.ndarray,
         results: Dict[int, NodeState],
         on_done: Optional[SourceCallback],
+        sink=None,
     ) -> None:
         """Convert a batch of converged dense columns back into NodeStates."""
         bounds: Optional[np.ndarray] = None
@@ -706,6 +770,22 @@ class PropagationKernel:
                     ink[None, :] * matrix.data[start:stop, None]
                 )
             bounds = _batched_top_k(vectors, self.params.capacity)
+        if sink is not None:
+            spilled = column_source[columns]
+            sink.absorb(
+                sources=spilled.copy(),
+                iterations=iterations[columns].copy(),
+                bounds=(
+                    np.ascontiguousarray(bounds.T) if bounds is not None else None
+                ),
+                residual=_flat_columns(residual, columns),
+                retained=_flat_columns(retained, columns),
+                hub_ink=_flat_columns(hub_ink, columns, hub_nodes),
+            )
+            if on_done is not None:
+                for source in spilled.tolist():
+                    on_done(int(source))
+            return
         residual_dicts = _columns_to_dicts(residual, columns)
         retained_dicts = _columns_to_dicts(retained, columns)
         ink_dicts = _columns_to_dicts(hub_ink, columns, hub_nodes)
@@ -722,6 +802,281 @@ class PropagationKernel:
             results[source] = state
             if on_done is not None:
                 on_done(source)
+
+    def _run_sparse(
+        self,
+        sources: List[int],
+        stages: StageTimer,
+        on_done: Optional[SourceCallback],
+        sink=None,
+    ) -> List[NodeState]:
+        """Blocked engine on sparse CSC planes: memory scales with the frontier.
+
+        Each chunk of ``B`` sources runs to full convergence before the next
+        chunk starts (no mid-stream refill — refilling would force repeated
+        sparse-structure rebuilds).  All per-iteration arithmetic is
+        element-wise on the CSC ``data`` vector or per-column sparse algebra,
+        so every source's trajectory is bitwise independent of its chunk
+        mates, exactly like the dense backends.
+        """
+        params = self.params
+        n = self.n_nodes
+        eta = params.propagation_threshold
+        delta = params.residue_threshold
+        alpha = params.alpha
+        scale = 1.0 - alpha
+        max_iterations = params.max_index_iterations
+        hub_nodes = self._hub_nodes
+        matrix = self.transition
+        block = max(1, min(int(params.block_size), len(sources)))
+        results: Dict[int, NodeState] = {}
+        prof = self.profiler if self.profiler.enabled else None
+        peak = 0
+
+        for chunk_start in range(0, len(sources), block):
+            chunk = np.asarray(
+                sources[chunk_start : chunk_start + block], dtype=np.int64
+            )
+            width = int(chunk.size)
+            with stages.time("bca"):
+                residual = sp.csc_matrix(
+                    (
+                        np.ones(width, dtype=np.float64),
+                        (chunk, np.arange(width, dtype=np.int64)),
+                    ),
+                    shape=(n, width),
+                )
+                retained = sp.csc_matrix((n, width), dtype=np.float64)
+                hub_ink = np.zeros((hub_nodes.size, width), dtype=np.float64)
+                iterations = np.zeros(width, dtype=np.int64)
+                alive = np.ones(width, dtype=bool)
+                while True:
+                    data = residual.data
+                    indptr = residual.indptr
+                    counts = np.diff(indptr)
+                    # Per-column residue mass via reduceat over the nonempty
+                    # segments: empty columns contribute no data between
+                    # consecutive nonempty starts, so segment ends line up
+                    # with column ends — each sum reads only its own column.
+                    mass = np.zeros(width, dtype=np.float64)
+                    nonempty = np.flatnonzero(counts)
+                    if nonempty.size:
+                        mass[nonempty] = np.add.reduceat(
+                            data, indptr[:-1][nonempty]
+                        )
+                    active = data >= eta
+                    col_of = np.repeat(
+                        np.arange(width, dtype=np.int64), counts
+                    )
+                    has_active = (
+                        np.bincount(col_of[active], minlength=width) > 0
+                    )
+                    stepping = (
+                        alive
+                        & has_active
+                        & (mass > delta)
+                        & (iterations < max_iterations)
+                    )
+                    if not stepping.any():
+                        break
+                    alive = stepping
+                    iteration_start = (
+                        time.perf_counter() if prof is not None else 0.0
+                    )
+                    take = active & stepping[col_of]
+                    amounts = np.where(take, data, 0.0)
+                    # Pre-scale the pushed shares so the per-edge product is
+                    # weight * ((1-alpha) * amount) — the same association
+                    # as the scalar reference's ``share * weight``.
+                    shares = sp.csc_matrix(
+                        (
+                            amounts * scale,
+                            residual.indices.copy(),
+                            indptr.copy(),
+                        ),
+                        shape=(n, width),
+                    )
+                    shares.eliminate_zeros()
+                    kept = sp.csc_matrix(
+                        (
+                            amounts * alpha,
+                            residual.indices.copy(),
+                            indptr.copy(),
+                        ),
+                        shape=(n, width),
+                    )
+                    kept.eliminate_zeros()
+                    retained = (retained + kept).tocsc()
+                    residual.data = data - amounts
+                    residual.eliminate_zeros()
+                    # SciPy's sparse-sparse product accumulates each output
+                    # column independently — per-column bitwise determinism
+                    # survives the chunk composition.
+                    arrivals = (matrix @ shares).tocsc()
+                    if hub_nodes.size and arrivals.nnz:
+                        rows = arrivals.tocsr()
+                        moved = False
+                        for position, hub in enumerate(hub_nodes.tolist()):
+                            lo, hi = rows.indptr[hub], rows.indptr[hub + 1]
+                            if lo == hi:
+                                continue
+                            hub_ink[position, rows.indices[lo:hi]] += rows.data[
+                                lo:hi
+                            ]
+                            rows.data[lo:hi] = 0.0
+                            moved = True
+                        if moved:
+                            rows.eliminate_zeros()
+                            arrivals = rows.tocsc()
+                    residual = (residual + arrivals).tocsc()
+                    iterations[stepping] += 1
+                    live_bytes = (
+                        residual.data.nbytes
+                        + residual.indices.nbytes
+                        + residual.indptr.nbytes
+                        + retained.data.nbytes
+                        + retained.indices.nbytes
+                        + retained.indptr.nbytes
+                        + hub_ink.nbytes
+                    )
+                    peak = max(peak, int(live_bytes))
+                    if prof is not None:
+                        prof.on_block_iteration(
+                            backend=self.backend,
+                            n_live=int(np.count_nonzero(stepping)),
+                            seconds=time.perf_counter() - iteration_start,
+                        )
+            with stages.time("materialize"):
+                spill_start = time.perf_counter() if prof is not None else 0.0
+                self._spill_sparse(
+                    chunk, residual, retained, hub_ink, iterations,
+                    hub_nodes, results, on_done, sink,
+                )
+                if prof is not None:
+                    prof.on_spill(
+                        n_sources=width,
+                        seconds=time.perf_counter() - spill_start,
+                    )
+
+        self._sparse_peak_bytes = peak
+        if sink is not None:
+            return []
+        return [results[source] for source in sources]
+
+    def _spill_sparse(
+        self,
+        chunk: np.ndarray,
+        residual: sp.csc_matrix,
+        retained: sp.csc_matrix,
+        hub_ink: np.ndarray,
+        iterations: np.ndarray,
+        hub_nodes: np.ndarray,
+        results: Dict[int, NodeState],
+        on_done: Optional[SourceCallback],
+        sink=None,
+    ) -> None:
+        """Spill a converged sparse chunk into a sink or NodeState objects.
+
+        The CSC columns, once sorted, *are* the flat ``(counts, keys,
+        values)`` segments — keys ascending per column, the same order the
+        dense spill's ``np.nonzero`` gather produces.
+        """
+        width = int(chunk.size)
+        capacity = self.params.capacity
+        residual.eliminate_zeros()
+        residual.sort_indices()
+        retained.eliminate_zeros()
+        retained.sort_indices()
+        bounds: Optional[np.ndarray] = None
+        if self.hub_matrix is not None:
+            if not hub_ink.size or not hub_ink.any():
+                # No hub corrections: the expanded vector is exactly the
+                # retained column scattered over zeros, so its top-K is the
+                # column's values sorted descending, zero-padded (every
+                # retained value is positive and K <= n by construction).
+                bounds = np.zeros((capacity, width), dtype=np.float64)
+                for column in range(width):
+                    lo, hi = retained.indptr[column], retained.indptr[column + 1]
+                    ordered = np.sort(retained.data[lo:hi])[::-1]
+                    count = min(ordered.size, capacity)
+                    bounds[:count, column] = ordered[:count]
+            else:
+                # Reproduce _HubExpansion.expand per column on a dense
+                # scratch vector: retained entries first, then hub columns
+                # in ascending position order (the hub-ink storage order).
+                bounds = np.empty((capacity, width), dtype=np.float64)
+                matrix = self.hub_matrix
+                scratch = np.zeros(self.n_nodes, dtype=np.float64)
+                for column in range(width):
+                    lo, hi = retained.indptr[column], retained.indptr[column + 1]
+                    touched = retained.indices[lo:hi]
+                    scratch[touched] = retained.data[lo:hi]
+                    hub_touched = []
+                    for position in np.flatnonzero(hub_ink[:, column]).tolist():
+                        start, stop = (
+                            matrix.indptr[position],
+                            matrix.indptr[position + 1],
+                        )
+                        targets = matrix.indices[start:stop]
+                        scratch[targets] += (
+                            hub_ink[position, column] * matrix.data[start:stop]
+                        )
+                        hub_touched.append(targets)
+                    bounds[:, column] = top_k_descending(scratch, capacity)
+                    scratch[touched] = 0.0
+                    for targets in hub_touched:
+                        scratch[targets] = 0.0
+        if sink is not None:
+            sink.absorb(
+                sources=chunk.copy(),
+                iterations=iterations.copy(),
+                bounds=(
+                    np.ascontiguousarray(bounds.T) if bounds is not None else None
+                ),
+                residual=(
+                    np.diff(residual.indptr).astype(np.int64),
+                    residual.indices.astype(np.int64),
+                    residual.data,
+                ),
+                retained=(
+                    np.diff(retained.indptr).astype(np.int64),
+                    retained.indices.astype(np.int64),
+                    retained.data,
+                ),
+                hub_ink=_flat_columns(
+                    hub_ink, np.arange(width, dtype=np.int64), hub_nodes
+                ),
+            )
+            if on_done is not None:
+                for source in chunk.tolist():
+                    on_done(int(source))
+            return
+        ink_dicts = _columns_to_dicts(
+            hub_ink, np.arange(width, dtype=np.int64), hub_nodes
+        )
+        for column in range(width):
+            parts: List[Dict[int, float]] = []
+            for plane in (residual, retained):
+                lo, hi = plane.indptr[column], plane.indptr[column + 1]
+                parts.append(
+                    dict(
+                        zip(
+                            plane.indices[lo:hi].tolist(),
+                            plane.data[lo:hi].tolist(),
+                        )
+                    )
+                )
+            state = NodeState(
+                residual=parts[0],
+                retained=parts[1],
+                hub_ink=ink_dicts[column],
+                iterations=int(iterations[column]),
+            )
+            if bounds is not None:
+                state.lower_bounds = bounds[:, column].copy()
+            results[int(chunk[column])] = state
+            if on_done is not None:
+                on_done(int(chunk[column]))
 
     # ------------------------------------------------------------------ #
     # single steps (query-time refinement: a block of one source)

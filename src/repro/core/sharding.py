@@ -94,8 +94,16 @@ from .index import (
 )
 from .propagation import PropagationKernel, initial_node_state
 from .query import ReverseTopKEngine, _ScanTally, columnar_stage_decisions
+from .statestore import (
+    STATE_ARRAY_NAMES,
+    ColumnarStateStore,
+    StateArraysSink,
+    assemble_store,
+    count_materialization,
+)
 from .lbi import (
     _bca_shard,
+    _collect_shard,
     _compute_hub_matrix,
     _init_shard_worker,
     _resolve_build_inputs,
@@ -123,20 +131,9 @@ _INDEX_BYTES = 8
 #: Each is persisted as its own ``.npy`` file so shards can memmap them and
 #: materialise *single nodes* by slicing — loading a whole shard's states
 #: because one candidate needed refinement would erode the memory budget.
-_STATE_ARRAY_NAMES = (
-    "residual_indptr",
-    "residual_keys",
-    "residual_values",
-    "retained_indptr",
-    "retained_keys",
-    "retained_values",
-    "hub_ink_indptr",
-    "hub_ink_keys",
-    "hub_ink_values",
-    "lower_bounds",
-    "iterations",
-    "is_hub",
-)
+#: The layout is canonically defined by the columnar state store — the
+#: build path hands shards the same arrays it would otherwise persist.
+_STATE_ARRAY_NAMES = STATE_ARRAY_NAMES
 
 
 def shard_boundaries(n_nodes: int, n_shards: int) -> np.ndarray:
@@ -263,6 +260,48 @@ class IndexShard:
         shard._lower = np.array(columns.lower, dtype=np.float64, copy=True)
         shard._mass = np.array(columns.residual_mass, dtype=np.float64, copy=True)
         shard._exact = np.array(columns.is_exact, dtype=bool, copy=True)
+        return shard
+
+    @classmethod
+    def from_store(
+        cls,
+        start: int,
+        stop: int,
+        capacity: int,
+        store: ColumnarStateStore,
+        mass: np.ndarray,
+    ) -> "IndexShard":
+        """In-RAM shard adopting a columnar state store (no state objects).
+
+        The store's flattened arrays become the shard's lazy state backing
+        directly — exactly the representation :meth:`write` persists and
+        :meth:`from_layout` memmaps back — so building, persisting and
+        scanning a shard never materialises per-node ``NodeState`` objects;
+        states stay lazy per node, as on a memmap shard.  ``mass`` is the
+        per-node effective residual mass (the store computes it bitwise
+        exactly as ``effective_state_residual_mass``).
+        """
+        shard = cls(start, stop, capacity)
+        if store.n_states != shard.n_nodes:
+            raise InvalidParameterError(
+                f"shard [{start}, {stop}) needs {shard.n_nodes} states, "
+                f"got {store.n_states}"
+            )
+        if int(store.capacity) != shard.capacity:
+            raise InvalidParameterError(
+                f"store capacity {store.capacity} does not match the shard "
+                f"capacity {capacity}"
+            )
+        mass = np.ascontiguousarray(mass, dtype=np.float64)
+        if mass.shape != (shard.n_nodes,):
+            raise InvalidParameterError(
+                f"shard [{start}, {stop}) needs {shard.n_nodes} masses, "
+                f"got shape {mass.shape}"
+            )
+        shard._state_arrays = store.to_arrays()
+        shard._lower = store.lower_matrix()
+        shard._mass = mass
+        shard._exact = store.is_exact_mask()
         return shard
 
     @classmethod
@@ -449,6 +488,7 @@ class IndexShard:
             yield overlaid if overlaid is not None else self._materialize_state(local)
 
     def _materialize_state(self, local: int) -> NodeState:
+        count_materialization()
         arrays = self._ensure_state_arrays()
         parts: Dict[str, Dict[int, float]] = {}
         for name in ("residual", "retained", "hub_ink"):
@@ -571,8 +611,15 @@ class IndexShard:
         lower = np.ascontiguousarray(columns.lower, dtype=np.float64)
         mass = np.ascontiguousarray(columns.residual_mass, dtype=np.float64)
         exact = np.ascontiguousarray(columns.is_exact, dtype=bool)
-        states = list(self.iter_states())
-        arrays = _states_to_arrays(states, self.capacity)
+        if self._states is None and not self._overlay:
+            # Array-backed (or clean memmap) shard with no overlaid writes:
+            # the flattened arrays *are* the persisted representation —
+            # write them out directly, never materialising a per-node
+            # state object.
+            arrays = self._ensure_state_arrays()
+        else:
+            states = list(self.iter_states())
+            arrays = _states_to_arrays(states, self.capacity)
         _atomic_write(
             directory / f"{stem}.lower.npy", lambda handle: np.save(handle, lower)
         )
@@ -760,6 +807,47 @@ class ShardedReverseTopKIndex:
     def effective_residual_mass(self, node: int) -> float:
         """Residue mass of ``node``'s state, including the rounding deficit."""
         return self.state_residual_mass(self.state(node))
+
+    def apply_updates(
+        self,
+        states: Dict[int, NodeState],
+        *,
+        hub_matrix: Optional[sp.spmatrix] = None,
+        hub_deficit: Optional[np.ndarray] = None,
+    ) -> None:
+        """Targeted maintenance writes with a single version bump.
+
+        The delta-maintenance fast path's sharded twin of
+        :meth:`ReverseTopKIndex.apply_updates`: each rewritten node routes
+        to its owning shard (memmap shards promote copy-on-write and record
+        the state in their overlay), untouched shards and nodes stay lazy,
+        and the global version bumps exactly once.  The hub set itself is
+        unchanged by construction.
+        """
+        if hub_matrix is not None:
+            new_matrix = hub_matrix.tocsc()
+            if new_matrix.shape[0] not in (0, self.n_nodes):
+                raise ValueError(
+                    f"hub matrix has {new_matrix.shape[0]} rows but the "
+                    f"index covers {self.n_nodes} nodes"
+                )
+            if new_matrix.shape[1] != len(self.hubs):
+                raise ValueError(
+                    f"hub matrix has {new_matrix.shape[1]} columns but "
+                    f"{len(self.hubs)} hubs"
+                )
+            self.hub_matrix = new_matrix
+        if hub_deficit is not None:
+            new_deficit = np.asarray(hub_deficit, dtype=np.float64)
+            if new_deficit.size != len(self.hubs):
+                raise ValueError(
+                    "hub_deficit length must equal the number of hubs"
+                )
+            self.hub_deficit = new_deficit
+        for node, state in states.items():
+            shard, local = self.shard_of(node)
+            shard.set_state(local, state, self.state_residual_mass(state))
+        self._version += 1
 
     def kth_lower_bounds(self, k: int) -> np.ndarray:
         """The k-th lower bound of every node, concatenated across shards."""
@@ -1060,17 +1148,38 @@ class ShardedReverseTopKIndex:
         return sharded
 
     def _materialize_all(self) -> None:
-        """Promote every shard to a plain in-RAM shard (no lazy storage)."""
-        self.shards = [
-            IndexShard.from_columns(
-                shard.start,
-                shard.stop,
-                self.capacity,
-                shard.columns,
-                list(shard.iter_states()),
-            )
-            for shard in self.shards
-        ]
+        """Promote every shard to an in-RAM shard (no disk-lazy storage).
+
+        Clean memmap shards (no overlaid writes) promote by copying their
+        flattened state arrays into RAM wholesale — states stay lazy *per
+        node* and no ``NodeState`` objects are created.  Shards carrying
+        overlay writes or materialised state lists fall back to the
+        object-based rebuild, which folds the overlay in.
+        """
+        promoted: List[IndexShard] = []
+        for shard in self.shards:
+            if shard._states is None and not shard._overlay:
+                arrays = shard._ensure_state_arrays()
+                columns = shard.columns
+                fresh = IndexShard(shard.start, shard.stop, self.capacity)
+                fresh._state_arrays = {
+                    name: np.array(arrays[name]) for name in _STATE_ARRAY_NAMES
+                }
+                fresh._lower = np.array(columns.lower, dtype=np.float64, copy=True)
+                fresh._mass = np.array(
+                    columns.residual_mass, dtype=np.float64, copy=True
+                )
+                fresh._exact = np.array(columns.is_exact, dtype=bool, copy=True)
+            else:
+                fresh = IndexShard.from_columns(
+                    shard.start,
+                    shard.stop,
+                    self.capacity,
+                    shard.columns,
+                    list(shard.iter_states()),
+                )
+            promoted.append(fresh)
+        self.shards = promoted
         # Boundaries are unchanged; keep the recorded directory so callers
         # can tell where this index came from.
 
@@ -1185,11 +1294,8 @@ def build_sharded_index(
         shards: List[IndexShard] = []
         done = 0
 
-        def finish_range(ordinal: int, start: int, stop: int, built: Dict[int, NodeState]) -> None:
+        def finish_shard(ordinal: int, start: int, stop: int, shard: IndexShard) -> None:
             nonlocal done
-            shard = IndexShard.from_states(
-                int(start), int(stop), params.capacity, assemble(start, stop, built), mass_of
-            )
             if target is not None:
                 shard.write(target, ordinal)
                 if budgeted:
@@ -1204,32 +1310,66 @@ def build_sharded_index(
             if progress is not None:
                 progress(done, n)
 
+        def shard_from_objects(start: int, stop: int, built: Dict[int, NodeState]) -> IndexShard:
+            return IndexShard.from_states(
+                int(start), int(stop), params.capacity, assemble(start, stop, built), mass_of
+            )
+
+        def shard_from_collected(start: int, stop: int, part) -> IndexShard:
+            store = assemble_store(
+                int(start), int(stop), params.capacity, [part], hub_mask, hub_top_k
+            )
+            return IndexShard.from_store(
+                int(start),
+                int(stop),
+                params.capacity,
+                store,
+                store.column_masses(hubs, hub_deficit),
+            )
+
+        # Non-scalar backends spill converged columns straight into flat
+        # arrays (no per-node NodeState objects on the build path); the
+        # scalar reference backend keeps the object pipeline.
+        columnar = params.backend != "scalar"
+        source_lists = [
+            [node for node in range(start, stop) if not hub_mask[node]]
+            for start, stop in ranges
+        ]
         if n_workers is not None and n_workers > 1:
-            source_lists = [
-                [node for node in range(start, stop) if not hub_mask[node]]
-                for start, stop in ranges
-            ]
             with ProcessPoolExecutor(
                 max_workers=n_workers,
                 initializer=_init_shard_worker,
                 initargs=(matrix, hub_mask, params, hubs, hub_matrix),
             ) as pool:
-                for (start, stop), (sources, states) in zip(
-                    ranges, pool.map(_bca_shard, source_lists)
-                ):
-                    finish_range(
-                        len(shards), start, stop, dict(zip(sources, states))
-                    )
+                if columnar:
+                    for (start, stop), part in zip(
+                        ranges, pool.map(_collect_shard, source_lists)
+                    ):
+                        finish_shard(
+                            len(shards), start, stop,
+                            shard_from_collected(start, stop, part),
+                        )
+                else:
+                    for (start, stop), (sources, states) in zip(
+                        ranges, pool.map(_bca_shard, source_lists)
+                    ):
+                        finish_shard(
+                            len(shards), start, stop,
+                            shard_from_objects(start, stop, dict(zip(sources, states))),
+                        )
         else:
             kernel = PropagationKernel(
                 matrix, hub_mask, params, hubs=hubs, hub_matrix=hub_matrix
             )
-            for start, stop in ranges:
-                sources = [
-                    node for node in range(start, stop) if not hub_mask[node]
-                ]
-                built = dict(zip(sources, kernel.run(sources)))
-                finish_range(len(shards), start, stop, built)
+            for (start, stop), sources in zip(ranges, source_lists):
+                if columnar:
+                    sink = StateArraysSink(params.capacity)
+                    kernel.run(sources, sink=sink)
+                    shard = shard_from_collected(start, stop, sink.collected())
+                else:
+                    built = dict(zip(sources, kernel.run(sources)))
+                    shard = shard_from_objects(start, stop, built)
+                finish_shard(len(shards), start, stop, shard)
 
     sharded = ShardedReverseTopKIndex(
         params,

@@ -323,11 +323,15 @@ class IndexMaintainer:
         changed_mask = np.zeros(n, dtype=bool)
         changed_mask[changed] = True
 
-        invalid = [
-            node
-            for node, state in index.states()
-            if not state.is_hub and _touches(node, state, changed_mask)
-        ]
+        segments = _array_segments(index)
+        if segments is not None:
+            invalid = _invalid_from_arrays(segments, changed_mask).tolist()
+        else:
+            invalid = [
+                node
+                for node, state in index.states()
+                if not state.is_hub and _touches(node, state, changed_mask)
+            ]
         n_non_hub = max(1, n - len(hubs))
         staleness = len(invalid) / n_non_hub
         if staleness >= self.rebuild_ratio:
@@ -352,6 +356,12 @@ class IndexMaintainer:
             workspace=self._workspace,
         )
         expansion = kernel.expansion
+
+        if segments is not None:
+            return self._apply_targeted(
+                index, kernel, expansion, segments, invalid, changed_hubs,
+                hubs, hub_matrix, hub_deficit, hub_top_k, transition, staleness,
+            )
 
         states = [state for _, state in index.states()]
         for hub in hubs:
@@ -386,6 +396,136 @@ class IndexMaintainer:
         )
         self.engine.rebind(transition)
         return len(invalid), rematerialized, len(hubs), staleness, False
+
+    def _apply_targeted(
+        self, index, kernel, expansion, segments, invalid, changed_hubs,
+        hubs, hub_matrix, hub_deficit, hub_top_k, transition, staleness,
+    ):
+        """Array-backed delta apply: rewrite only the affected nodes.
+
+        The object path above materialises every state and hands
+        ``replace_contents`` a full list — O(n) Python objects per apply.
+        On array-backed indexes (columnar store, array/memmap shards) the
+        same invariant holds with targeted writes: invalidated nodes are
+        re-refined as one kernel run, hub rows are refreshed against the
+        recomputed exact top-K, kept states whose hub ink references a
+        changed hub column get their lower bounds re-expanded — and every
+        *other* node's stored state, mass and columns are untouched, which
+        is exactly what the wholesale path would have recomputed to
+        bit-identical values (unchanged residual support, unchanged hub
+        deficits on the hubs it references).
+        """
+        updates: Dict[int, NodeState] = {}
+        for hub in hubs:
+            updates[int(hub)] = NodeState(
+                hub_ink={int(hub): 1.0},
+                is_hub=True,
+                lower_bounds=hub_top_k[int(hub)].copy(),
+            )
+        invalid_list = [int(node) for node in invalid]
+        for node, fresh in zip(invalid_list, kernel.run(invalid_list)):
+            updates[node] = fresh
+
+        rematerialized = 0
+        if changed_hubs:
+            n = index.n_nodes
+            changed_hub_mask = np.zeros(n, dtype=bool)
+            changed_hub_mask[np.asarray(sorted(changed_hubs), dtype=np.int64)] = True
+            hit = _plane_hits(segments, "hub_ink", changed_hub_mask)
+            for node in np.flatnonzero(hit).tolist():
+                if node in updates:
+                    continue
+                # The dicts are still exact; only the hub expansion the
+                # lower bounds were materialized through has moved.
+                state = index.state(node)
+                materialize_lower_bounds(state, expansion, index.params.capacity)
+                updates[node] = state
+                rematerialized += 1
+
+        index.apply_updates(
+            updates, hub_matrix=hub_matrix, hub_deficit=hub_deficit
+        )
+        self.engine.rebind(transition)
+        return len(invalid_list), rematerialized, len(hubs), staleness, False
+
+
+def _array_segments(index):
+    """``(start, arrays, overlay)`` per contiguous range, or ``None``.
+
+    ``None`` means the index stores plain object lists somewhere and the
+    maintainer must walk states the object way.  Memmap shards open their
+    state arrays lazily here — a sequential read over the flat key arrays,
+    not a per-node materialisation.
+    """
+    if isinstance(index, ShardedReverseTopKIndex):
+        segments = []
+        for shard in index.shards:
+            if shard._states is not None:
+                return None
+            segments.append(
+                (shard.start, shard._ensure_state_arrays(), shard._overlay)
+            )
+        return segments
+    store = getattr(index, "store", None)
+    if store is None:
+        return None
+    return [(0, store.arrays, store.overlay)]
+
+
+def _plane_hits(segments, plane: str, key_mask: np.ndarray) -> np.ndarray:
+    """Nodes (global ids, as a bool mask) whose ``plane`` support hits the mask.
+
+    Vectorised per segment: flag every stored key against ``key_mask``, then
+    reduce per row with ``bitwise_or.reduceat`` over the non-empty rows (the
+    entries between consecutive non-empty row starts belong exactly to the
+    first — empty rows contribute none).  Overlaid states are checked as
+    objects; they supersede their array rows.
+    """
+    n = key_mask.size
+    hit = np.zeros(n, dtype=bool)
+    for start, arrays, overlay in segments:
+        m = int(arrays["is_hub"].shape[0])
+        keys = np.asarray(arrays[f"{plane}_keys"])
+        indptr = np.asarray(arrays[f"{plane}_indptr"])
+        row_hit = np.zeros(m, dtype=bool)
+        if keys.size:
+            flags = key_mask[keys]
+            counts = np.diff(indptr)
+            nonempty = counts > 0
+            if np.any(nonempty):
+                row_hit[nonempty] = np.bitwise_or.reduceat(
+                    flags, indptr[:-1][nonempty]
+                )
+        row_hit &= ~np.asarray(arrays["is_hub"], dtype=bool)
+        for local, state in overlay.items():
+            row_hit[local] = (not state.is_hub) and any(
+                key_mask[int(key)] for key in getattr(state, plane)
+            )
+        hit[start : start + m] = row_hit
+    return hit
+
+
+def _invalid_from_arrays(segments, changed_mask: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_touches` over flattened state arrays.
+
+    A non-hub node is invalid when its retained or residual support — or
+    the node itself — touches a changed transition column.
+    """
+    hit = (
+        _plane_hits(segments, "retained", changed_mask)
+        | _plane_hits(segments, "residual", changed_mask)
+    )
+    for start, arrays, overlay in segments:
+        m = int(arrays["is_hub"].shape[0])
+        own = changed_mask[start : start + m] & ~np.asarray(
+            arrays["is_hub"], dtype=bool
+        )
+        hit[start : start + m] |= own
+        for local, state in overlay.items():
+            hit[start + local] = (not state.is_hub) and _touches(
+                start + local, state, changed_mask
+            )
+    return np.flatnonzero(hit)
 
 
 def _touches(node: int, state: NodeState, changed_mask: np.ndarray) -> bool:

@@ -28,7 +28,14 @@ from .generators import (
     complete_graph,
 )
 from . import datasets
-from .io import read_edge_list, write_edge_list, read_node_labels, write_node_labels
+from . import download
+from .io import (
+    read_edge_list,
+    stream_edge_list,
+    write_edge_list,
+    read_node_labels,
+    write_node_labels,
+)
 from .stats import GraphStats, degree_histogram, summarize
 
 __all__ = [
@@ -50,7 +57,9 @@ __all__ = [
     "star_graph",
     "complete_graph",
     "datasets",
+    "download",
     "read_edge_list",
+    "stream_edge_list",
     "write_edge_list",
     "read_node_labels",
     "write_node_labels",

@@ -1,0 +1,219 @@
+"""Fetching and caching of real edge-list datasets.
+
+The paper evaluates on public SNAP snapshots (web-Google, web-Stanford,
+soc-Epinions1).  This module downloads those edge lists once into a local
+cache directory and hands back the cached path; :mod:`repro.graph.datasets`
+streams them into CSR via :func:`repro.graph.io.stream_edge_list`.
+
+Design points:
+
+* The cache directory honours the ``REPRO_DATA_DIR`` environment variable
+  (default ``~/.cache/repro-datasets``); files are fetched atomically
+  (temp file + ``os.replace``) so a crashed download never poisons the cache.
+* Integrity: each cached file gets a ``<name>.sha256`` sidecar written on
+  first download (trust-on-first-use); later fetches and cache hits verify
+  against it.  A :class:`RemoteDataset` may also pin an expected digest.
+* ``REPRO_OFFLINE=1`` forbids network access entirely — cached files are
+  still served, anything else raises :class:`DatasetUnavailableError` so the
+  caller (``load_dataset``) can fall back to the seeded synthetic generator.
+* ``file://`` URLs are supported, which keeps the whole layer testable in
+  hermetic CI environments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..exceptions import SerializationError
+
+PathLike = Union[str, os.PathLike]
+
+#: Environment variable overriding the dataset cache directory.
+CACHE_ENV = "REPRO_DATA_DIR"
+
+#: Environment variable disabling all network access when truthy.
+OFFLINE_ENV = "REPRO_OFFLINE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+class DatasetUnavailableError(SerializationError):
+    """A remote dataset could not be fetched (offline, network, or checksum)."""
+
+
+@dataclass(frozen=True)
+class RemoteDataset:
+    """Description of one downloadable edge-list file."""
+
+    name: str
+    url: str
+    filename: str
+    weighted: bool = False
+    #: Optional pinned SHA-256 hex digest of the (compressed) file.
+    sha256: Optional[str] = None
+
+    @property
+    def comment(self) -> str:
+        return "#"
+
+
+#: Real datasets from the paper's evaluation, served by the SNAP archive.
+REMOTE_DATASETS: Dict[str, RemoteDataset] = {
+    "web-google": RemoteDataset(
+        name="web-google",
+        url="https://snap.stanford.edu/data/web-Google.txt.gz",
+        filename="web-Google.txt.gz",
+    ),
+    "web-stanford": RemoteDataset(
+        name="web-stanford",
+        url="https://snap.stanford.edu/data/web-Stanford.txt.gz",
+        filename="web-Stanford.txt.gz",
+    ),
+    "epinions": RemoteDataset(
+        name="epinions",
+        url="https://snap.stanford.edu/data/soc-Epinions1.txt.gz",
+        filename="soc-Epinions1.txt.gz",
+    ),
+}
+
+
+def cache_dir() -> Path:
+    """Directory where downloaded datasets are cached.
+
+    ``REPRO_DATA_DIR`` overrides the default ``~/.cache/repro-datasets``.
+    The directory is created on demand.
+    """
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        base = Path(override).expanduser()
+    else:
+        base = Path.home() / ".cache" / "repro-datasets"
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+
+def is_offline() -> bool:
+    """Whether ``REPRO_OFFLINE`` forbids network access."""
+    return os.environ.get(OFFLINE_ENV, "").strip().lower() in _TRUTHY
+
+
+def file_sha256(path: PathLike, *, chunk_bytes: int = 1 << 20) -> str:
+    """SHA-256 hex digest of a file, streamed in chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk_bytes)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _sidecar(path: Path) -> Path:
+    return path.with_name(path.name + ".sha256")
+
+
+def _verify(path: Path, spec: RemoteDataset) -> None:
+    """Check ``path`` against the pinned and/or sidecar digest."""
+    actual = file_sha256(path)
+    if spec.sha256 is not None and actual != spec.sha256:
+        raise DatasetUnavailableError(
+            f"checksum mismatch for {spec.name}: expected {spec.sha256}, got {actual}"
+        )
+    sidecar = _sidecar(path)
+    if sidecar.exists():
+        recorded = sidecar.read_text(encoding="utf-8").strip()
+        if recorded and actual != recorded:
+            raise DatasetUnavailableError(
+                f"checksum mismatch for {spec.name}: cached sidecar has "
+                f"{recorded}, file hashes to {actual}"
+            )
+    else:
+        # Trust on first use: record what we fetched so later runs detect
+        # corruption or silent upstream changes.
+        sidecar.write_text(actual + "\n", encoding="utf-8")
+
+
+def _download(url: str, destination: Path, *, timeout: float) -> None:
+    """Fetch ``url`` into ``destination`` atomically."""
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        prefix=destination.name + ".", suffix=".part", dir=destination.parent
+    )
+    tmp_path = Path(tmp_name)
+    try:
+        with os.fdopen(handle, "wb") as out:
+            with urllib.request.urlopen(url, timeout=timeout) as response:
+                shutil.copyfileobj(response, out, 1 << 20)
+        os.replace(tmp_path, destination)
+    except Exception:
+        tmp_path.unlink(missing_ok=True)
+        raise
+
+
+def fetch_dataset(
+    spec_or_name: Union[str, RemoteDataset],
+    *,
+    cache: Optional[PathLike] = None,
+    force: bool = False,
+    timeout: float = 60.0,
+) -> Path:
+    """Return the local path of a remote dataset, downloading it if needed.
+
+    Cache hits are verified against the checksum sidecar before being served.
+    Raises :class:`DatasetUnavailableError` when the file is absent and the
+    environment is offline, the download fails, or a checksum does not match.
+    """
+    if isinstance(spec_or_name, RemoteDataset):
+        spec = spec_or_name
+    else:
+        key = spec_or_name.strip().lower()
+        if key not in REMOTE_DATASETS:
+            available = ", ".join(sorted(REMOTE_DATASETS))
+            raise KeyError(f"unknown remote dataset {spec_or_name!r}; available: {available}")
+        spec = REMOTE_DATASETS[key]
+    directory = Path(cache).expanduser() if cache is not None else cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / spec.filename
+    if target.exists() and not force:
+        _verify(target, spec)
+        return target
+    if is_offline():
+        raise DatasetUnavailableError(
+            f"dataset {spec.name} is not cached at {target} and "
+            f"{OFFLINE_ENV} forbids downloading it"
+        )
+    try:
+        _download(spec.url, target, timeout=timeout)
+    except (urllib.error.URLError, OSError) as exc:
+        raise DatasetUnavailableError(
+            f"failed to download {spec.name} from {spec.url}: {exc}"
+        ) from exc
+    try:
+        _verify(target, spec)
+    except DatasetUnavailableError:
+        # Do not leave a file that fails verification in the cache.
+        target.unlink(missing_ok=True)
+        _sidecar(target).unlink(missing_ok=True)
+        raise
+    return target
+
+
+def dataset_cached(spec_or_name: Union[str, RemoteDataset], *, cache: Optional[PathLike] = None) -> bool:
+    """Whether the dataset file is already present in the cache."""
+    if isinstance(spec_or_name, RemoteDataset):
+        spec = spec_or_name
+    else:
+        spec = REMOTE_DATASETS.get(spec_or_name.strip().lower())  # type: ignore[assignment]
+        if spec is None:
+            return False
+    directory = Path(cache).expanduser() if cache is not None else cache_dir()
+    return (directory / spec.filename).exists()

@@ -1,0 +1,171 @@
+"""Columnar node-state store: bitwise parity with per-node objects.
+
+The build/shard hot paths write residual / retained / hub-ink entries
+straight into preallocated struct-of-arrays storage; ``NodeState`` survives
+only as a lazy per-node *view*.  These tests pin the contract:
+
+* a store-backed build is **bit-identical** to an object-backed index over
+  the same states (columns, per-node dicts, bounds);
+* building never materialises per-node ``NodeState`` objects (module
+  counter);
+* the columnar store round-trips through sharded memmap persist/load and
+  pickling without changing a byte;
+* build observability counters keep flowing.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import IndexParams
+from repro.core.index import ReverseTopKIndex
+from repro.core.lbi import build_index
+from repro.core.sharding import ShardedReverseTopKIndex, build_sharded_index
+from repro.core.statestore import (
+    STATE_ARRAY_NAMES,
+    materialization_count,
+    reset_materialization_count,
+)
+from repro.graph.datasets import load_dataset
+from repro.obs.registry import get_registry
+
+PARAMS = IndexParams(capacity=8, hub_budget=6, backend="vectorized")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("web-stanford-cs", scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def store_index(graph):
+    return build_index(graph, PARAMS.for_graph(graph.n_nodes))
+
+
+@pytest.fixture(scope="module")
+def object_twin(store_index):
+    # Same states, object-backed: the representation under test vs the
+    # historical one, with identical kernel parameters.
+    return ReverseTopKIndex(
+        store_index.params,
+        store_index.hubs,
+        store_index.hub_matrix,
+        store_index.hub_deficit,
+        [state for _, state in store_index.states()],
+    )
+
+
+def assert_states_equal(left, right):
+    for (node_a, state_a), (node_b, state_b) in zip(left.states(), right.states()):
+        assert node_a == node_b
+        assert state_a.residual == state_b.residual
+        assert state_a.retained == state_b.retained
+        assert state_a.hub_ink == state_b.hub_ink
+        assert state_a.is_hub == state_b.is_hub
+        np.testing.assert_array_equal(state_a.lower_bounds, state_b.lower_bounds)
+
+
+class TestStoreVersusObjects:
+    def test_build_is_store_backed_for_vector_backends(self, store_index):
+        assert store_index.store is not None
+
+    def test_columns_bitwise_equal(self, store_index, object_twin):
+        np.testing.assert_array_equal(
+            store_index.columns.lower, object_twin.columns.lower
+        )
+        np.testing.assert_array_equal(
+            store_index.columns.residual_mass, object_twin.columns.residual_mass
+        )
+        np.testing.assert_array_equal(
+            store_index.columns.is_exact, object_twin.columns.is_exact
+        )
+
+    def test_states_bitwise_equal(self, store_index, object_twin):
+        assert_states_equal(store_index, object_twin)
+
+    def test_build_emits_observability_counters(self, graph):
+        registry = get_registry()
+        family = registry.counter(
+            "repro_index_builds_total", "Completed index builds",
+            labels=("backend",),
+        )
+        seconds = registry.counter(
+            "repro_index_build_seconds_total", "Seconds per index-build phase",
+            labels=("backend", "stage"),
+        )
+        before = family.labels(backend="vectorized").value
+        seconds_before = seconds.labels(backend="vectorized", stage="bca").value
+        build_index(graph, PARAMS.for_graph(graph.n_nodes))
+        after = family.labels(backend="vectorized").value
+        seconds_after = seconds.labels(backend="vectorized", stage="bca").value
+        assert after == before + 1
+        assert seconds_after > seconds_before
+
+
+class TestNoMaterializationOnBuild:
+    def test_sharded_build_materialises_zero_nodestates(self, graph):
+        reset_materialization_count()
+        index = build_sharded_index(
+            graph, PARAMS.for_graph(graph.n_nodes), n_shards=3
+        )
+        assert materialization_count() == 0
+        # Accessing a state lazily *does* count — the counter is live.
+        _ = index.state(0)
+        assert materialization_count() == 1
+
+    def test_monolithic_build_materialises_zero_nodestates(self, graph):
+        reset_materialization_count()
+        build_index(graph, PARAMS.for_graph(graph.n_nodes))
+        assert materialization_count() == 0
+
+
+class TestRoundTrips:
+    def test_sharded_memmap_persist_load_bitwise(self, graph, store_index, tmp_path):
+        sharded = build_sharded_index(
+            graph,
+            PARAMS.for_graph(graph.n_nodes),
+            n_shards=3,
+            directory=tmp_path / "layout",
+            memory_budget=0,
+        )
+        loaded = ShardedReverseTopKIndex.load(tmp_path / "layout", memory_budget=0)
+        np.testing.assert_array_equal(
+            np.asarray(loaded.kth_lower_bounds(PARAMS.capacity)),
+            np.asarray(sharded.kth_lower_bounds(PARAMS.capacity)),
+        )
+        for shard, twin in zip(sharded.shards, loaded.shards):
+            np.testing.assert_array_equal(
+                np.asarray(shard.columns.lower), np.asarray(twin.columns.lower)
+            )
+            np.testing.assert_array_equal(
+                np.asarray(shard.columns.residual_mass),
+                np.asarray(twin.columns.residual_mass),
+            )
+        assert_states_equal(sharded, loaded)
+        # ... and matches the monolithic store-backed build bitwise.
+        np.testing.assert_array_equal(
+            np.hstack([np.asarray(s.columns.lower) for s in loaded.shards]),
+            store_index.columns.lower,
+        )
+
+    def test_pickle_round_trip_bitwise(self, graph):
+        sharded = build_sharded_index(
+            graph, PARAMS.for_graph(graph.n_nodes), n_shards=2
+        )
+        clone = pickle.loads(pickle.dumps(sharded))
+        for shard, twin in zip(sharded.shards, clone.shards):
+            np.testing.assert_array_equal(
+                np.asarray(shard.columns.lower), np.asarray(twin.columns.lower)
+            )
+        assert_states_equal(sharded, clone)
+
+    def test_state_array_layout_is_stable(self):
+        # The 12-plane layout is a persistence format; renaming/reordering
+        # breaks memmap layouts on disk.
+        assert STATE_ARRAY_NAMES == (
+            "residual_indptr", "residual_keys", "residual_values",
+            "retained_indptr", "retained_keys", "retained_values",
+            "hub_ink_indptr", "hub_ink_keys", "hub_ink_values",
+            "lower_bounds", "iterations", "is_hub",
+        )

@@ -1,0 +1,174 @@
+"""Maintainer targeted fast path over columnar stores.
+
+When the index keeps its node state in struct-of-arrays form (monolithic
+store or sharded columnar shards), the maintainer detects invalidation and
+hub-proximity hits with vectorised segment scans and applies the delta via
+``apply_updates`` — no full-state materialisation.  The contract: the fast
+path is **bit-identical** to the historical object path (same backend) and
+to a from-scratch build on the post-churn graph under pinned hubs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IndexParams
+from repro.core.index import ReverseTopKIndex
+from repro.core.lbi import build_index
+from repro.core.query import ReverseTopKEngine
+from repro.core.sharding import ShardedReverseTopKEngine, build_sharded_index
+from repro.dynamic.maintainer import IndexMaintainer
+from repro.graph.builder import from_edges
+from repro.graph.datasets import load_dataset
+from repro.graph.transition import transition_matrix
+
+PARAMS = IndexParams(capacity=8, hub_budget=6, backend="vectorized")
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    return load_dataset("web-stanford-cs", scale=0.12)
+
+
+def mutate(graph, seed, *, from_hub=None):
+    """Drop/add a few edges; returns (new_graph, touched_sources)."""
+    n = graph.n_nodes
+    edges = [(int(s), int(t), float(w)) for s, t, w in graph.edges()]
+    rng = np.random.default_rng(seed)
+    drop = set(rng.choice(len(edges), size=4, replace=False).tolist())
+    kept = [edge for index, edge in enumerate(edges) if index not in drop]
+    touched = {edges[index][0] for index in drop}
+    for _ in range(4):
+        source, target = int(rng.integers(n)), int(rng.integers(n))
+        if source != target:
+            kept.append((source, target, 1.0))
+            touched.add(source)
+    if from_hub is not None:
+        # An out-edge FROM a hub changes the hub's own transition column,
+        # forcing the hub-proximity rematerialisation branch.
+        target = int(rng.integers(n))
+        if target != from_hub:
+            kept.append((from_hub, target, 1.0))
+            touched.add(from_hub)
+    return from_edges(kept, n_nodes=n), touched
+
+
+def engines_for(graph):
+    """(store-backed engine, object-twin engine, sharded engine) — same backend."""
+    matrix = transition_matrix(graph)
+    params = PARAMS.for_graph(graph.n_nodes)
+    fast_index = build_index(graph, params, transition=matrix)
+    assert fast_index.store is not None
+    object_twin = ReverseTopKIndex(
+        fast_index.params,
+        fast_index.hubs,
+        fast_index.hub_matrix,
+        fast_index.hub_deficit,
+        [state for _, state in fast_index.states()],
+    )
+    assert object_twin.store is None
+    sharded = build_sharded_index(
+        graph, params, transition=matrix, n_shards=3
+    )
+    return (
+        ReverseTopKEngine(matrix, fast_index),
+        ReverseTopKEngine(transition_matrix(graph), object_twin),
+        ShardedReverseTopKEngine(transition_matrix(graph), sharded),
+    )
+
+
+def assert_indexes_equal(fast, other):
+    np.testing.assert_array_equal(
+        np.asarray(fast.columns.lower), np.asarray(other.columns.lower)
+    )
+    np.testing.assert_array_equal(
+        np.asarray(fast.columns.residual_mass),
+        np.asarray(other.columns.residual_mass),
+    )
+    for (node_a, state_a), (node_b, state_b) in zip(fast.states(), other.states()):
+        assert node_a == node_b
+        assert state_a.residual == state_b.residual
+        assert state_a.retained == state_b.retained
+        assert state_a.hub_ink == state_b.hub_ink
+        np.testing.assert_array_equal(state_a.lower_bounds, state_b.lower_bounds)
+
+
+def assert_sharded_matches(sharded_index, mono_index):
+    for shard in sharded_index.shards:
+        np.testing.assert_array_equal(
+            np.asarray(shard.columns.lower),
+            mono_index.columns.lower[:, shard.start : shard.stop],
+        )
+
+
+class TestTargetedFastPath:
+    def test_fast_path_matches_object_path_and_fresh_build(self, base_graph):
+        new_graph, touched = mutate(base_graph, seed=42)
+        eng_fast, eng_obj, eng_sharded = engines_for(base_graph)
+
+        report_fast = IndexMaintainer(eng_fast, rebuild_ratio=1.0).apply(
+            new_graph, touched
+        )
+        report_obj = IndexMaintainer(eng_obj, rebuild_ratio=1.0).apply(
+            new_graph, touched
+        )
+        report_sharded = IndexMaintainer(eng_sharded, rebuild_ratio=1.0).apply(
+            new_graph, touched
+        )
+
+        assert not report_fast.full_rebuild
+        assert report_fast.n_invalidated == report_obj.n_invalidated
+        assert report_fast.n_rematerialized == report_obj.n_rematerialized
+        assert report_sharded.n_invalidated == report_fast.n_invalidated
+
+        assert_indexes_equal(eng_fast.index, eng_obj.index)
+        assert_sharded_matches(eng_sharded.index, eng_fast.index)
+
+        # Maintained == from-scratch under the same (pinned) hub set.
+        fresh = build_index(new_graph, eng_fast.index.params, hubs=eng_fast.index.hubs)
+        np.testing.assert_array_equal(
+            eng_fast.index.columns.lower, fresh.columns.lower
+        )
+        np.testing.assert_array_equal(
+            eng_fast.index.columns.residual_mass, fresh.columns.residual_mass
+        )
+
+    def test_query_parity_after_maintenance(self, base_graph):
+        new_graph, touched = mutate(base_graph, seed=7)
+        eng_fast, _, eng_sharded = engines_for(base_graph)
+        IndexMaintainer(eng_fast, rebuild_ratio=1.0).apply(new_graph, touched)
+        IndexMaintainer(eng_sharded, rebuild_ratio=1.0).apply(new_graph, touched)
+        rng = np.random.default_rng(3)
+        for query in rng.choice(base_graph.n_nodes, size=6, replace=False).tolist():
+            mono = eng_fast.query(int(query), 3, update_index=False)
+            sharded = eng_sharded.query(int(query), 3, update_index=False)
+            np.testing.assert_array_equal(
+                np.asarray(mono.nodes), np.asarray(sharded.nodes)
+            )
+
+    def test_hub_out_edge_triggers_rematerialisation(self, base_graph):
+        eng_fast, eng_obj, _ = engines_for(base_graph)
+        hub = int(eng_fast.index.hubs.nodes[0])
+        new_graph, touched = mutate(base_graph, seed=11, from_hub=hub)
+        report_fast = IndexMaintainer(eng_fast, rebuild_ratio=1.0).apply(
+            new_graph, touched
+        )
+        report_obj = IndexMaintainer(eng_obj, rebuild_ratio=1.0).apply(
+            new_graph, touched
+        )
+        assert report_fast.n_rematerialized > 0
+        assert report_fast.n_rematerialized == report_obj.n_rematerialized
+        assert_indexes_equal(eng_fast.index, eng_obj.index)
+
+    def test_second_round_with_overlays_present(self, base_graph):
+        graph_one, touched_one = mutate(base_graph, seed=42)
+        eng_fast, eng_obj, eng_sharded = engines_for(base_graph)
+        for engine in (eng_fast, eng_obj, eng_sharded):
+            IndexMaintainer(engine, rebuild_ratio=1.0).apply(graph_one, touched_one)
+        graph_two, touched_two = mutate(graph_one, seed=99)
+        reports = [
+            IndexMaintainer(engine, rebuild_ratio=1.0).apply(graph_two, touched_two)
+            for engine in (eng_fast, eng_obj, eng_sharded)
+        ]
+        assert len({report.n_invalidated for report in reports}) == 1
+        assert_indexes_equal(eng_fast.index, eng_obj.index)
+        assert_sharded_matches(eng_sharded.index, eng_fast.index)

@@ -1,0 +1,179 @@
+"""Dataset download/cache layer: file:// fetch, checksums, offline fallback."""
+
+import gzip
+
+import pytest
+
+from repro.graph import datasets
+from repro.graph.download import (
+    CACHE_ENV,
+    OFFLINE_ENV,
+    REMOTE_DATASETS,
+    DatasetUnavailableError,
+    RemoteDataset,
+    cache_dir,
+    dataset_cached,
+    fetch_dataset,
+    file_sha256,
+    is_offline,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path, monkeypatch):
+    directory = tmp_path / "data-cache"
+    monkeypatch.setenv(CACHE_ENV, str(directory))
+    monkeypatch.delenv(OFFLINE_ENV, raising=False)
+    return directory
+
+
+@pytest.fixture()
+def tiny_remote(tmp_path):
+    source = tmp_path / "upstream" / "tiny.txt.gz"
+    source.parent.mkdir()
+    with gzip.open(source, "wt", encoding="utf-8") as handle:
+        handle.write("# tiny\n0 1\n1 2\n2 0\n")
+    return RemoteDataset(
+        name="tiny", url=source.as_uri(), filename="tiny.txt.gz"
+    )
+
+
+class TestCacheDir:
+    def test_honors_repro_data_dir(self, cache):
+        assert cache_dir() == cache
+        assert cache.is_dir()
+
+    def test_offline_env_parsing(self, monkeypatch):
+        for value, expected in (("1", True), ("true", True), ("YES", True),
+                                ("0", False), ("", False), ("no", False)):
+            monkeypatch.setenv(OFFLINE_ENV, value)
+            assert is_offline() is expected
+
+
+class TestFetch:
+    def test_file_url_fetch_writes_cache_and_sidecar(self, cache, tiny_remote):
+        path = fetch_dataset(tiny_remote)
+        assert path == cache / "tiny.txt.gz"
+        sidecar = path.with_name(path.name + ".sha256")
+        assert sidecar.read_text().strip() == file_sha256(path)
+
+    def test_cache_hit_does_not_refetch(self, cache, tiny_remote, tmp_path):
+        first = fetch_dataset(tiny_remote)
+        # Nuke the upstream: a second fetch must be served from cache.
+        (tmp_path / "upstream" / "tiny.txt.gz").unlink()
+        assert fetch_dataset(tiny_remote) == first
+
+    def test_corrupted_cache_is_detected(self, cache, tiny_remote):
+        path = fetch_dataset(tiny_remote)
+        path.write_bytes(b"garbage")
+        with pytest.raises(DatasetUnavailableError, match="checksum"):
+            fetch_dataset(tiny_remote)
+
+    def test_pinned_checksum_mismatch_leaves_no_cache_entry(self, cache, tmp_path):
+        source = tmp_path / "upstream" / "tiny.txt.gz"
+        pinned = RemoteDataset(
+            name="tiny", url=source.as_uri(), filename="tiny.txt.gz",
+            sha256="0" * 64,
+        )
+        with pytest.raises(DatasetUnavailableError, match="checksum"):
+            fetch_dataset(pinned)
+        assert not (cache / "tiny.txt.gz").exists()
+        assert not (cache / "tiny.txt.gz.sha256").exists()
+
+    def test_pinned_checksum_match(self, cache, tiny_remote, tmp_path):
+        digest = file_sha256(tmp_path / "upstream" / "tiny.txt.gz")
+        pinned = RemoteDataset(
+            name=tiny_remote.name, url=tiny_remote.url,
+            filename=tiny_remote.filename, sha256=digest,
+        )
+        assert fetch_dataset(pinned).exists()
+
+    def test_offline_with_missing_file_raises(self, cache, tiny_remote, monkeypatch):
+        monkeypatch.setenv(OFFLINE_ENV, "1")
+        with pytest.raises(DatasetUnavailableError, match="offline|forbids"):
+            fetch_dataset(tiny_remote)
+
+    def test_offline_serves_cached_file(self, cache, tiny_remote, monkeypatch):
+        path = fetch_dataset(tiny_remote)
+        monkeypatch.setenv(OFFLINE_ENV, "1")
+        assert fetch_dataset(tiny_remote) == path
+
+    def test_unknown_name_lists_available(self, cache):
+        with pytest.raises(KeyError, match="web-google"):
+            fetch_dataset("no-such-dataset")
+
+    def test_registry_covers_paper_snap_datasets(self):
+        assert {"web-google", "web-stanford", "epinions"} <= set(REMOTE_DATASETS)
+        for spec in REMOTE_DATASETS.values():
+            assert spec.url.startswith("https://snap.stanford.edu/")
+            assert spec.filename.endswith(".txt.gz")
+
+
+class TestLoadDatasetRouting:
+    def test_default_source_is_synthetic(self, cache, monkeypatch):
+        monkeypatch.delenv(datasets.SOURCE_ENV, raising=False)
+        graph = datasets.load_dataset("web-google", scale=0.05)
+        twin = datasets.load_dataset("web-google", scale=0.05, source="synthetic")
+        assert (graph.adjacency != twin.adjacency).nnz == 0
+
+    def test_auto_falls_back_to_synthetic_when_offline(self, cache, monkeypatch):
+        monkeypatch.setenv(OFFLINE_ENV, "1")
+        graph = datasets.load_dataset("web-google", scale=0.05, source="auto")
+        twin = datasets.load_dataset("web-google", scale=0.05, source="synthetic")
+        assert (graph.adjacency != twin.adjacency).nnz == 0
+
+    def test_real_raises_when_offline_and_uncached(self, cache, monkeypatch):
+        monkeypatch.setenv(OFFLINE_ENV, "1")
+        with pytest.raises(DatasetUnavailableError):
+            datasets.load_dataset("web-google", source="real")
+
+    def test_auto_uses_cached_real_dataset(self, cache, tiny_remote, monkeypatch):
+        # Drop a fake "web-google" into the cache; auto must stream it even
+        # when offline.
+        spec = REMOTE_DATASETS["web-google"]
+        cache.mkdir(parents=True, exist_ok=True)
+        with gzip.open(cache / spec.filename, "wt", encoding="utf-8") as handle:
+            handle.write("# fake snapshot\n0 1\n1 2\n2 0\n3 1\n")
+        monkeypatch.setenv(OFFLINE_ENV, "1")
+        assert dataset_cached("web-google")
+        graph = datasets.load_dataset("web-google", source="auto")
+        assert graph.n_nodes == 4
+        assert graph.n_edges == 4
+
+    def test_real_via_source_env(self, cache, monkeypatch):
+        spec = REMOTE_DATASETS["epinions"]
+        cache.mkdir(parents=True, exist_ok=True)
+        with gzip.open(cache / spec.filename, "wt", encoding="utf-8") as handle:
+            handle.write("0 1\n1 0\n")
+        monkeypatch.setenv(datasets.SOURCE_ENV, "real")
+        graph = datasets.load_dataset("epinions")
+        assert graph.n_nodes == 2
+
+    def test_invalid_source_rejected(self, cache):
+        with pytest.raises(ValueError, match="source"):
+            datasets.load_dataset("web-google", source="imaginary")
+
+
+class TestSyntheticEdgeListWriter:
+    def test_deterministic_and_streamable(self, tmp_path):
+        from repro.graph.io import stream_edge_list
+
+        path_a = tmp_path / "a.txt"
+        path_b = tmp_path / "b.txt"
+        path_c = tmp_path / "c.txt"
+        n_a = datasets.write_synthetic_edge_list(
+            path_a, n_nodes=500, avg_out_degree=4.0, seed=9
+        )
+        n_b = datasets.write_synthetic_edge_list(
+            path_b, n_nodes=500, avg_out_degree=4.0, seed=9
+        )
+        datasets.write_synthetic_edge_list(
+            path_c, n_nodes=500, avg_out_degree=4.0, seed=10
+        )
+        assert n_a == n_b == 2000
+        assert path_a.read_bytes() == path_b.read_bytes()
+        assert path_a.read_bytes() != path_c.read_bytes()
+        graph = stream_edge_list(path_a, n_nodes=500)
+        assert graph.n_nodes == 500
+        # duplicates collapse, so n_edges <= lines written
+        assert 0 < graph.n_edges <= 2000
