@@ -7,7 +7,6 @@ strategy and compares the work required.
 """
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.core import IndexParams, PropagationKernel

@@ -7,7 +7,6 @@ time, (b) index size, and (c) the average query cost with each hub set.
 
 import copy
 
-import pytest
 
 from repro.core import ReverseTopKEngine, build_index
 from repro.core.hubs import select_hubs_by_degree, select_hubs_greedy

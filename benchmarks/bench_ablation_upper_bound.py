@@ -8,10 +8,8 @@ counts the refinement iterations saved by the upper-bound confirmation step.
 import copy
 
 import numpy as np
-import pytest
 
 from repro.core import ReverseTopKEngine, build_index
-from repro.core.bounds import kth_upper_bound
 from repro.evaluation.tables import format_table
 from repro.workloads import uniform_query_workload
 

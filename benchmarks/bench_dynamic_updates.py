@@ -35,7 +35,7 @@ from repro.dynamic import DynamicGraph, DynamicReverseTopKService, IndexMaintain
 from repro.graph import copying_web_graph, transition_matrix
 from repro.serving import ServiceConfig
 from repro.utils.timer import Timer
-from repro.workloads import QueryEvent, UpdateEvent, churn_workload
+from repro.workloads import QueryEvent, churn_workload
 
 N_NODES = 2_000
 K = 10

@@ -1,6 +1,5 @@
 """Figure 8 — cumulative workload cost: our method vs. IBF vs. FBF."""
 
-import pytest
 
 from repro.evaluation import figure8_cumulative_cost
 from repro.workloads import uniform_query_workload

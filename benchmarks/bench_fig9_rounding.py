@@ -1,6 +1,5 @@
 """Figure 9 — effect of the hub-rounding threshold omega on result quality."""
 
-import pytest
 
 from repro.evaluation import figure9_rounding_effect
 

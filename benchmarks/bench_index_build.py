@@ -12,8 +12,8 @@ and a parallel snapshot build) to ``benchmarks/results/index_build.json``.
 """
 
 import json
-import time
 from pathlib import Path
+import time
 
 import numpy as np
 

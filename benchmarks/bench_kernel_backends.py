@@ -22,8 +22,8 @@ ratios.  Raw numbers land in ``benchmarks/results/kernel_backends.json``.
 """
 
 import json
-import time
 from pathlib import Path
+import time
 
 import numpy as np
 import scipy.sparse as sp

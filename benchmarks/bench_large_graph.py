@@ -36,11 +36,11 @@ from __future__ import annotations
 import argparse
 import json
 import os
+from pathlib import Path
 import resource
 import sys
 import tempfile
 import time
-from pathlib import Path
 
 import numpy as np
 import scipy.sparse as sp

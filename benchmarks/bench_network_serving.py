@@ -26,8 +26,8 @@ Latency percentiles and every layer's counters are recorded to
 
 import asyncio
 import json
-import tempfile
 from pathlib import Path
+import tempfile
 
 import numpy as np
 

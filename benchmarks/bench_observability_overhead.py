@@ -16,18 +16,18 @@ Three A/B comparisons on one copying-web graph, timed interleaved
 Raw numbers land in ``benchmarks/results/observability_overhead.json``.
 """
 
+from contextlib import contextmanager
 import gc
 import json
-import time
-from contextlib import contextmanager
 from pathlib import Path
+import time
 
 import numpy as np
 
-import repro.core.query as query_module
-import repro.core.sharding as sharding_module
 from repro.core import IndexParams, PropagationKernel, ReverseTopKEngine, build_index
 from repro.core.lbi import _compute_hub_matrix, default_hub_selection
+import repro.core.query as query_module
+import repro.core.sharding as sharding_module
 from repro.graph import copying_web_graph, transition_matrix
 from repro.obs import KernelProfiler, Trace
 

@@ -16,9 +16,9 @@ query workload through its engine, and reports throughput plus
 
 import json
 import os
+from pathlib import Path
 import subprocess
 import sys
-from pathlib import Path
 
 from repro.core import IndexParams
 from repro.graph import copying_web_graph, transition_matrix

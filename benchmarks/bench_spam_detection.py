@@ -1,6 +1,5 @@
 """Section 5.4 — spam detection: composition of reverse top-5 sets of labelled hosts."""
 
-import pytest
 
 from repro.core import IndexParams
 from repro.evaluation import spam_detection_stats

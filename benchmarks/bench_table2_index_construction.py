@@ -7,7 +7,7 @@ brute-force alternative (computing the full proximity matrix).
 
 import pytest
 
-from repro.core import IndexParams, build_index
+from repro.core import build_index
 from repro.core.hubs import select_hubs_by_degree
 from repro.evaluation import table2_index_construction
 

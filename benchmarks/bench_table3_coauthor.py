@@ -1,7 +1,6 @@
 """Table 3 — author popularity by reverse top-5 list size in a co-authorship graph."""
 
 import numpy as np
-import pytest
 
 from repro.core import IndexParams
 from repro.evaluation import table3_author_popularity

@@ -9,8 +9,8 @@ so future PRs have a perf trajectory to compare against.
 """
 
 import json
-import statistics
 from pathlib import Path
+import statistics
 
 import numpy as np
 

@@ -14,8 +14,8 @@ are what the assertions check.
 
 from __future__ import annotations
 
-import sys
 from pathlib import Path
+import sys
 
 import pytest
 

@@ -11,8 +11,8 @@ highly by far more researchers than they ever co-authored with — the reverse
 top-k size is a stronger popularity signal than the degree.
 """
 
-import sys
 from pathlib import Path
+import sys
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 

@@ -17,8 +17,8 @@ runtime:
    the cache stay warm.
 """
 
-import sys
 from pathlib import Path
+import sys
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 

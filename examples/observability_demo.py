@@ -18,8 +18,8 @@ The script walks the three pillars of the `repro.obs` layer:
 """
 
 import asyncio
-import sys
 from pathlib import Path
+import sys
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 

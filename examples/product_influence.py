@@ -10,8 +10,8 @@ synthetic co-purchase graph, finds the influencers of a few products and
 suggests cross-promotion bundles.
 """
 
-import sys
 from pathlib import Path
+import sys
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 

@@ -13,9 +13,9 @@ The script walks through the full life-cycle of the library:
 5. persist the refined index for the next session.
 """
 
+from pathlib import Path
 import sys
 import tempfile
-from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 

@@ -15,9 +15,9 @@ engine:
 5. persist a refinement and watch it invalidate stale cached answers.
 """
 
+from pathlib import Path
 import sys
 import tempfile
-from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 

@@ -11,8 +11,8 @@ hosts give it one of their top-k contributions — for spam, these are almost
 all other spam hosts.
 """
 
-import sys
 from pathlib import Path
+import sys
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 

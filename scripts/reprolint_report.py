@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Summarize and diff reprolint JSON reports.
+
+``python -m repro.analysis --format json`` emits a machine-readable report;
+this script turns one report into a per-rule/per-module table, or two
+reports into a fingerprint-level diff — the review tool for baseline churn:
+
+    PYTHONPATH=src python -m repro.analysis src/repro --format json > new.json
+    python scripts/reprolint_report.py summarize new.json
+    python scripts/reprolint_report.py diff old.json new.json
+
+``diff`` exits 1 when findings were added (new violations or new baseline
+entries to argue about in review), 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List
+
+
+def _load(path: str) -> Dict[str, object]:
+    try:
+        report = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read report {path!r}: {exc}")
+    if not isinstance(report, dict) or "findings" not in report:
+        raise SystemExit(f"error: {path!r} is not a reprolint JSON report")
+    return report
+
+
+def _module_of(finding: Dict[str, object]) -> str:
+    """Group findings by their top two path components (e.g. src/repro/net)."""
+    parts = Path(str(finding["path"])).parts
+    return "/".join(parts[:3]) if len(parts) > 3 else str(finding["path"])
+
+
+def _all_findings(report: Dict[str, object]) -> List[Dict[str, object]]:
+    findings = list(report["findings"])  # type: ignore[arg-type]
+    findings.extend(report.get("suppressed", []))  # type: ignore[arg-type]
+    return findings
+
+
+def summarize(args: argparse.Namespace) -> int:
+    report = _load(args.report)
+    findings = _all_findings(report)
+    by_rule: Counter = Counter()
+    by_module: Counter = Counter()
+    states: Dict[str, Counter] = {}
+    for finding in findings:
+        rule = str(finding["rule"])
+        by_rule[rule] += 1
+        by_module[_module_of(finding)] += 1
+        state = (
+            "suppressed"
+            if "suppression_reason" in finding
+            else "baselined"
+            if finding.get("baselined")
+            else "unbaselined"
+        )
+        states.setdefault(rule, Counter())[state] += 1
+
+    print(f"report: {args.report}")
+    summary = report.get("summary", {})
+    print(
+        f"  {summary.get('n_findings', len(findings))} finding(s), "
+        f"{summary.get('n_unbaselined', '?')} unbaselined, "
+        f"{summary.get('n_suppressed', '?')} suppressed, "
+        f"{summary.get('n_expired_baseline', '?')} expired baseline entr(ies)"
+    )
+    print("\nby rule:")
+    for rule in sorted(by_rule):
+        detail = ", ".join(
+            f"{count} {state}" for state, count in sorted(states[rule].items())
+        )
+        print(f"  {rule}: {by_rule[rule]:3d}  ({detail})")
+    print("\nby module:")
+    for module, count in by_module.most_common():
+        print(f"  {module}: {count}")
+    return 0
+
+
+def _fingerprints(report: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    return {str(f["fingerprint"]): f for f in _all_findings(report)}
+
+
+def diff(args: argparse.Namespace) -> int:
+    old = _fingerprints(_load(args.old))
+    new = _fingerprints(_load(args.new))
+    added = sorted(set(new) - set(old))
+    removed = sorted(set(old) - set(new))
+
+    if not added and not removed:
+        print("no finding-level changes between the two reports")
+        return 0
+    if added:
+        print(f"added ({len(added)}):")
+        for fingerprint in added:
+            f = new[fingerprint]
+            print(
+                f"  + {f['rule']} {f['path']}:{f['line']} "
+                f"{f['symbol']} — {f['message']}"
+            )
+    if removed:
+        print(f"removed ({len(removed)}):")
+        for fingerprint in removed:
+            f = old[fingerprint]
+            print(
+                f"  - {f['rule']} {f['path']}:{f['line']} "
+                f"{f['symbol']} — {f['message']}"
+            )
+    return 1 if added else 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint_report",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="per-rule/per-module table")
+    p_sum.add_argument("report", help="JSON report path")
+    p_sum.set_defaults(func=summarize)
+
+    p_diff = sub.add_parser("diff", help="fingerprint diff of two reports")
+    p_diff.add_argument("old", help="baseline-of-record JSON report")
+    p_diff.add_argument("new", help="candidate JSON report")
+    p_diff.set_defaults(func=diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

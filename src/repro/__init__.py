@@ -53,13 +53,6 @@ from .core import (
     proximity_to_node,
     brute_force_reverse_topk,
 )
-from .graph import DiGraph, transition_matrix, weighted_transition_matrix
-from .serving import (
-    ReverseTopKService,
-    ServiceConfig,
-    ServiceMetrics,
-    SnapshotManager,
-)
 from .dynamic import (
     DynamicGraph,
     DynamicReverseTopKService,
@@ -73,6 +66,13 @@ from .exceptions import (
     ConvergenceError,
     InvalidParameterError,
     QueryError,
+)
+from .graph import DiGraph, transition_matrix, weighted_transition_matrix
+from .serving import (
+    ReverseTopKService,
+    ServiceConfig,
+    ServiceMetrics,
+    SnapshotManager,
 )
 
 __version__ = "1.0.0"

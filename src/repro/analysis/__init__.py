@@ -1,0 +1,43 @@
+"""``reprolint`` — repo-specific AST invariant checkers.
+
+The engine layers that keep this codebase fast are held together by
+invariants that ordinary linters cannot see: columnar views may only be
+touched under the writer-preferring index lock, sealed memmap shard bytes
+must never mutate (copy-on-write promotion only), coroutines in
+``repro.net`` must never block the event loop, and every picklable engine
+object must drop its locks/workspaces/memmaps in ``__getstate__``.  Each of
+those rules was learned the hard way (the shard lazy-open race, the
+two-lock merge deadlock) and is enforced here statically, so a violation
+fails the tier-1 suite instead of waiting for a stress test to get lucky.
+
+Rule catalogue
+--------------
+========  =============================================================
+RL001     guarded attributes accessed outside their declared lock
+RL002     lock-acquisition-order cycles (potential deadlocks)
+RL003     in-place mutation of memory-mapped (sealed layout) arrays
+RL004     blocking calls reachable from ``async def`` bodies in repro.net
+RL005     unpicklable state (locks/pools/workspaces/memmaps) not dropped
+          by ``__getstate__``
+========  =============================================================
+
+Run it as ``python -m repro.analysis [paths]``; see :mod:`repro.analysis.cli`
+for output formats, rule selection, and the baseline workflow.  Inline
+suppressions use ``# reprolint: disable=RL00X(reason)`` and always carry a
+written justification.
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .engine import AnalysisProject, AnalysisResult, run_analysis
+from .findings import ALL_RULES, Finding, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisProject",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Rule",
+    "run_analysis",
+]

@@ -1,0 +1,141 @@
+"""The committed findings baseline: known, justified, watched.
+
+``analysis/baseline.json`` records findings the team has examined and
+decided to keep — each entry **must** carry a human-written reason.  The
+semantics at check time:
+
+* a current finding whose fingerprint is in the baseline **warns** (it is
+  reported, marked baselined, and does not fail the run);
+* a current finding *not* in the baseline **fails** the run;
+* a baseline entry with no matching finding is **expired** — the code got
+  fixed — and is reported so the entry can be deleted
+  (``--update-baseline`` prunes them).
+
+Fingerprints hash (rule, path, symbol, message, ordinal) — never line
+numbers — so unrelated edits to a file don't churn the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .findings import Finding
+
+
+class BaselineError(ValueError):
+    """A structurally invalid baseline file (bad JSON, missing reasons)."""
+
+
+@dataclass
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    symbol: str
+    reason: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_fingerprint = {entry.fingerprint: entry for entry in self.entries}
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls([])
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: invalid JSON: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise BaselineError(f"{path}: expected an object with 'entries'")
+        entries: List[BaselineEntry] = []
+        for index, raw in enumerate(data["entries"]):
+            missing = {"fingerprint", "rule", "path", "symbol", "reason"} - set(raw)
+            if missing:
+                raise BaselineError(
+                    f"{path}: entry {index} is missing {sorted(missing)}"
+                )
+            reason = str(raw["reason"]).strip()
+            if not reason:
+                raise BaselineError(
+                    f"{path}: entry {index} ({raw['rule']} {raw['symbol']}) has "
+                    "an empty reason — every baselined finding must be justified"
+                )
+            entries.append(
+                BaselineEntry(
+                    fingerprint=str(raw["fingerprint"]),
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    symbol=str(raw["symbol"]),
+                    reason=reason,
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        ordered = sorted(self.entries, key=lambda e: (e.rule, e.path, e.symbol))
+        payload = {
+            "version": 1,
+            "entries": [entry.as_dict() for entry in ordered],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def lookup(self, finding: Finding) -> Optional[BaselineEntry]:
+        return self._by_fingerprint.get(finding.fingerprint)
+
+    def apply(self, findings: List[Finding]) -> List[str]:
+        """Mark baselined findings in place; return expired fingerprints."""
+        matched = set()
+        for finding in findings:
+            entry = self.lookup(finding)
+            if entry is not None:
+                finding.baselined = True
+                finding.baseline_reason = entry.reason
+                matched.add(entry.fingerprint)
+        return [
+            entry.fingerprint
+            for entry in self.entries
+            if entry.fingerprint not in matched
+        ]
+
+    @classmethod
+    def from_findings(
+        cls, findings: List[Finding], reasons: Optional[Dict[str, str]] = None
+    ) -> "Baseline":
+        """Build a baseline covering ``findings`` (for --update-baseline).
+
+        Reasons carry over from ``reasons`` (fingerprint -> reason, e.g. the
+        previous baseline); new entries get an explicit placeholder the
+        maintainer must replace — the loader accepts it, but reviews won't.
+        """
+        reasons = reasons or {}
+        entries = [
+            BaselineEntry(
+                fingerprint=f.fingerprint,
+                rule=f.rule_id,
+                path=f.path,
+                symbol=f.symbol,
+                reason=reasons.get(
+                    f.fingerprint, "FIXME: justify this baselined finding"
+                ),
+            )
+            for f in findings
+        ]
+        return cls(entries)

@@ -1,0 +1,9 @@
+"""Checker registry: importing this package registers RL001–RL005."""
+
+from . import (  # noqa: F401  (imports register the checkers)
+    rl001_lock_discipline,
+    rl002_lock_order,
+    rl003_memmap,
+    rl004_async_blocking,
+    rl005_pickle_safety,
+)

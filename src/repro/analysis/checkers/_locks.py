@@ -1,0 +1,71 @@
+"""Shared lock-identification helpers for RL001 and RL002."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Tuple
+
+from .. import rules_config as config
+from ..callgraph import ClassInfo, ProjectIndex
+
+
+def known_locks(cls: ClassInfo) -> Dict[str, str]:
+    """Lock attributes of a class: attr name -> factory symbol.
+
+    An attribute is a lock when any method assigns it a ``threading`` /
+    ``asyncio`` primitive or an instance of a repo lock class
+    (:data:`~repro.analysis.rules_config.LOCK_CLASS_NAMES`).
+    """
+    locks: Dict[str, str] = {}
+    for attr, factory in cls.attr_factories.items():
+        simple = factory.rsplit(".", 1)[-1]
+        if factory in config.LOCK_FACTORY_SYMBOLS or simple in config.LOCK_CLASS_NAMES:
+            locks[attr] = factory
+    return locks
+
+
+def is_rw_lock(cls: ClassInfo, attr: str, index: ProjectIndex) -> bool:
+    """Whether a lock attribute is a reader/writer lock (repo lock class)."""
+    factory = cls.attr_factories.get(attr, "")
+    simple = factory.rsplit(".", 1)[-1]
+    return simple in config.LOCK_CLASS_NAMES and simple in index.classes
+
+
+def parse_held_symbol(symbol: str) -> Tuple[str, str, Optional[str]]:
+    """Split a held-context symbol into (base, lock attr, rw mode).
+
+    ``self._lock`` -> ("self", "_lock", None);
+    ``self._index_lock.read()`` -> ("self", "_index_lock", "read");
+    ``first._lock`` -> ("first", "_lock", None).  Unparseable symbols
+    return ("", "", None).
+    """
+    core = symbol
+    mode: Optional[str] = None
+    if core.endswith("()"):
+        core = core[:-2]
+        parts = core.rsplit(".", 1)
+        if len(parts) == 2 and parts[1] in config.RW_LOCK_METHODS:
+            core, mode = parts[0], parts[1]
+        else:
+            return "", "", None
+    if "." not in core:
+        return "", core, mode
+    base, attr = core.rsplit(".", 1)
+    return base, attr, mode
+
+
+def lock_base_of_access(access_base: str) -> str:
+    """The base object a guard's lock must hang off (same as the access)."""
+    return access_base
+
+
+def attribute_chain(node: ast.AST) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """Decompose ``base.a.b.c`` into (base name, ("a","b","c"))."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name) or not parts:
+        return None
+    return current.id, tuple(reversed(parts))

@@ -1,0 +1,235 @@
+"""RL001 — guarded attributes must be touched under their declared lock.
+
+Sources of truth, in order:
+
+1. the explicit ``GUARDED_BY`` registry in :mod:`repro.analysis.rules_config`
+   (class name -> attribute path -> guard);
+2. **inference**: an attribute of a class that (a) has a known lock, (b) is
+   written at least twice outside ``__init__``-like methods, and (c) is
+   *always* written under one consistent class lock, is inferred to be
+   guarded by that lock.  Inference never overrides a registry entry.
+
+An access is legal when the matching lock is held at the access site — for
+reader/writer locks a read accepts ``.read()`` or ``.write()``, a write
+requires ``.write()`` — **or** when the access sits in a helper method whose
+every resolved call site holds the lock (traced through the project call
+graph, transitively, to a small depth).  The guard is base-relative:
+``other._samples`` needs ``other._lock``, not ``self._lock``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .. import rules_config as config
+from ..callgraph import ClassInfo, FunctionInfo
+from ..contexts import iter_nodes_with_contexts
+from ..engine import AnalysisProject, register_checker
+from ..findings import Finding
+from ._locks import attribute_chain, is_rw_lock, known_locks, parse_held_symbol
+
+_MAX_CALLER_DEPTH = 3
+
+
+@register_checker("RL001")
+def check_lock_discipline(project: AnalysisProject) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    index = project.index
+    for class_list in index.classes.values():
+        for cls in class_list:
+            guards = _guards_for(cls, project)
+            if not guards:
+                continue
+            locks = known_locks(cls)
+            for method in cls.methods.values():
+                if method.name in config.GUARD_EXEMPT_METHODS:
+                    continue
+                findings.extend(
+                    _check_method(project, cls, method, guards, locks)
+                )
+    return findings
+
+
+def _guards_for(
+    cls: ClassInfo, project: AnalysisProject
+) -> Dict[Tuple[str, ...], config.Guard]:
+    """Registry guards plus inferred guards, keyed by attribute path tuple."""
+    guards: Dict[Tuple[str, ...], config.Guard] = {}
+    registry = config.GUARDED_BY.get(cls.name, {})
+    for path, guard in registry.items():
+        guards[tuple(path.split("."))] = guard
+    for attr, lock_attr in _infer_guards(cls, project).items():
+        guards.setdefault(
+            (attr,),
+            config.Guard(lock_attr, rw=is_rw_lock(cls, lock_attr, project.index)),
+        )
+    return guards
+
+
+def _infer_guards(cls: ClassInfo, project: AnalysisProject) -> Dict[str, str]:
+    """Attributes always written under one consistent class lock (>= 2x)."""
+    locks = known_locks(cls)
+    if not locks:
+        return {}
+    writes: Dict[str, List[Set[str]]] = {}
+    for method in cls.methods.values():
+        if method.name in config.GUARD_EXEMPT_METHODS:
+            continue
+        scope = project.index.scope_for(method)
+        for node, held, _stmt in iter_nodes_with_contexts(method.node, scope):
+            for target in _write_targets(node):
+                chain = attribute_chain(target)
+                if chain is None or chain[0] != "self" or len(chain[1]) != 1:
+                    continue
+                attr = chain[1][0]
+                held_locks = {
+                    lock_attr
+                    for symbol in held
+                    for base, lock_attr, _mode in (parse_held_symbol(symbol),)
+                    if base == "self" and lock_attr in locks
+                }
+                writes.setdefault(attr, []).append(held_locks)
+    inferred: Dict[str, str] = {}
+    for attr, held_sets in writes.items():
+        if len(held_sets) < 2:
+            continue
+        common = set.intersection(*held_sets) if held_sets else set()
+        if len(common) == 1:
+            inferred[attr] = next(iter(common))
+    return inferred
+
+
+def _write_targets(node: ast.AST) -> Iterable[ast.AST]:
+    if isinstance(node, ast.Assign):
+        return node.targets
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return ()
+
+
+def _check_method(
+    project: AnalysisProject,
+    cls: ClassInfo,
+    method: FunctionInfo,
+    guards: Dict[Tuple[str, ...], config.Guard],
+    locks: Dict[str, str],
+) -> Iterable[Finding]:
+    scope = project.index.scope_for(method)
+    findings: List[Finding] = []
+    for node, held, _stmt in iter_nodes_with_contexts(method.node, scope):
+        accesses = _accesses_in(node, guards)
+        for base, path, guard, is_write, anchor in accesses:
+            if _holds_guard(held, base, guard, is_write):
+                continue
+            if _callers_hold_guard(
+                project, method, guard, is_write, depth=_MAX_CALLER_DEPTH
+            ):
+                continue
+            mode = "write" if is_write else "read"
+            want = (
+                f"{base}.{guard.lock_attr}.write()"
+                if guard.rw and is_write
+                else f"{base}.{guard.lock_attr}"
+                + (".read()/.write()" if guard.rw else "")
+            )
+            findings.append(
+                Finding(
+                    rule_id="RL001",
+                    path=method.module.rel_path,
+                    line=anchor.lineno,
+                    col=anchor.col_offset,
+                    symbol=f"{cls.name}.{method.name}",
+                    message=(
+                        f"{mode} of guarded attribute "
+                        f"{base}.{'.'.join(path)} outside {want}"
+                    ),
+                    hint=(
+                        "hold the declared lock around this access (or route "
+                        "through a helper whose callers all hold it); if the "
+                        "access is provably safe, suppress with "
+                        "# reprolint: disable=RL001(reason)"
+                    ),
+                )
+            )
+    return findings
+
+
+def _accesses_in(
+    node: ast.AST, guards: Dict[Tuple[str, ...], config.Guard]
+) -> List[Tuple[str, Tuple[str, ...], config.Guard, bool, ast.AST]]:
+    """Guarded-attribute accesses rooted at ``node`` (non-recursive: the
+    context walker already yields every sub-expression, so only direct
+    matches are taken here to avoid duplicates)."""
+    accesses = []
+    if isinstance(node, ast.Attribute):
+        chain = attribute_chain(node)
+        if chain is not None:
+            base, path = chain
+            guard = guards.get(path)
+            if guard is not None:
+                is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+                accesses.append((base, path, guard, is_write, node))
+    elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Attribute):
+        # AugAssign targets carry Store ctx on the Attribute; the walker
+        # yields the Attribute separately, so nothing extra to do here.
+        pass
+    return accesses
+
+
+def _holds_guard(
+    held: Tuple[str, ...], base: str, guard: config.Guard, is_write: bool
+) -> bool:
+    for symbol in held:
+        held_base, lock_attr, mode = parse_held_symbol(symbol)
+        if lock_attr != guard.lock_attr or held_base != base:
+            continue
+        if guard.rw:
+            if mode == "write" or (mode == "read" and not is_write):
+                return True
+        elif mode is None:
+            return True
+    return False
+
+
+def _callers_hold_guard(
+    project: AnalysisProject,
+    method: FunctionInfo,
+    guard: config.Guard,
+    is_write: bool,
+    depth: int,
+    _seen: Optional[Set[str]] = None,
+) -> bool:
+    """True when every resolved call site of ``method`` holds the guard.
+
+    The guard base at a call site is ``self`` (helper methods are invoked
+    on the same instance: ``self._helper()``); call sites on *other*
+    instances don't propagate.  Zero known call sites means the lock
+    cannot be proven held — the access is reported.
+    """
+    if depth <= 0:
+        return False
+    seen = _seen or set()
+    if method.qualname in seen:
+        return False
+    seen = seen | {method.qualname}
+    sites = project.index.callers_of.get(method.qualname, [])
+    if not sites:
+        return False
+    for site in sites:
+        func = site.node.func
+        same_instance = (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and site.caller.class_name is not None
+        )
+        if not same_instance:
+            return False
+        if _holds_guard(site.held, "self", guard, is_write):
+            continue
+        if not _callers_hold_guard(
+            project, site.caller, guard, is_write, depth - 1, seen
+        ):
+            return False
+    return True

@@ -1,0 +1,243 @@
+"""RL002 — the global lock-acquisition graph must be acyclic.
+
+Every ``with <lock>`` acquired while another lock is already held adds a
+directed edge ``held -> acquired``.  Edges also propagate through the call
+graph: if ``A.f`` holds lock ``L`` and calls ``A.g`` which acquires ``M``,
+that is an ``L -> M`` edge even though no single function shows both.
+
+Lock node identity is ``ClassName.attr`` (``.read()`` / ``.write()`` on a
+reader/writer lock collapse onto the same node — a writer-preferring RW
+lock deadlocks against itself like any other lock).  Cycles are reported
+once per strongly connected component, anchored at the first acquisition
+site on an edge inside the cycle.
+
+This is the rule that would have caught the PR 7 ``LatencyStats.merge``
+deadlock: two instances of the same class acquiring each other's ``_lock``
+creates a ``LatencyStats._lock -> LatencyStats._lock`` self-edge, which
+``merge`` avoids by id-ordering the instances (and suppresses with a
+written reason).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..contexts import iter_nodes_with_contexts
+from ..engine import AnalysisProject, register_checker
+from ..findings import Finding
+from ..scopes import render
+from ._locks import known_locks, parse_held_symbol
+
+
+class _Site:
+    """One lock acquisition: graph node id plus source location."""
+
+    __slots__ = ("node_id", "path", "line", "col", "symbol")
+
+    def __init__(
+        self, node_id: str, path: str, line: int, col: int, symbol: str
+    ) -> None:
+        self.node_id = node_id
+        self.path = path
+        self.line = line
+        self.col = col
+        self.symbol = symbol
+
+    def location(self) -> Tuple[str, int, int]:
+        return (self.path, self.line, self.col)
+
+
+@register_checker("RL002")
+def check_lock_order(project: AnalysisProject) -> List[Finding]:
+    index = project.index
+
+    lock_nodes: Dict[Tuple[str, str], str] = {}
+    attr_owners: Dict[str, Set[str]] = {}
+    for class_list in index.classes.values():
+        for cls in class_list:
+            for attr in known_locks(cls):
+                node_id = f"{cls.name}.{attr}"
+                lock_nodes[(cls.name, attr)] = node_id
+                attr_owners.setdefault(attr, set()).add(node_id)
+
+    def node_for(func, symbol: str) -> Optional[str]:
+        """Graph node for a held/acquired lock symbol inside ``func``.
+
+        ``self._lock`` maps through the enclosing class; a lock hanging
+        off another name (``first._lock``) maps to the enclosing class
+        when it owns that attr (the intra-class pattern), else to the
+        unique owning class if there is exactly one.
+        """
+        _base, attr, _mode = parse_held_symbol(symbol)
+        if not attr:
+            return None
+        if func.class_name is not None:
+            node_id = lock_nodes.get((func.class_name, attr))
+            if node_id is not None:
+                return node_id
+        owners = attr_owners.get(attr, set())
+        if len(owners) == 1:
+            return next(iter(owners))
+        return None
+
+    # 1. Direct acquisitions: each `with` item acquired while other lock
+    #    nodes are held (enclosing withs, or earlier items of the same
+    #    multi-item with) adds held -> acquired edges.
+    edges: Dict[Tuple[str, str], List[_Site]] = {}
+    direct_acquires: Dict[str, List[_Site]] = {}
+
+    def add_edge(src: str, dst: str, site: _Site) -> None:
+        sites = edges.setdefault((src, dst), [])
+        if all(s.location() != site.location() for s in sites):
+            sites.append(site)
+
+    for func in index.functions.values():
+        scope = index.scope_for(func)
+        for node, held, _stmt in iter_nodes_with_contexts(func.node, scope):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            held_ids = [
+                node_id
+                for symbol in held
+                if (node_id := node_for(func, symbol)) is not None
+            ]
+            prefix = list(held_ids)
+            for item in node.items:
+                symbol = render(item.context_expr, scope)
+                if symbol is None:
+                    continue
+                node_id = node_for(func, symbol)
+                if node_id is None:
+                    continue
+                site = _Site(
+                    node_id,
+                    func.module.rel_path,
+                    item.context_expr.lineno,
+                    item.context_expr.col_offset,
+                    func.qualname,
+                )
+                for src in prefix:
+                    add_edge(src, node_id, site)
+                direct_acquires.setdefault(func.qualname, []).append(site)
+                prefix.append(node_id)
+
+    # 2. Call-graph propagation: a call made while holding L reaching a
+    #    function that (transitively) acquires M adds L -> M.
+    forward_calls: Dict[str, List] = {}
+    for call_site in index.calls:
+        forward_calls.setdefault(call_site.caller.qualname, []).append(call_site)
+
+    may_acquire: Dict[str, Set[_Site]] = {}
+
+    def acquired_by(qualname: str, stack: Set[str]) -> Set[_Site]:
+        cached = may_acquire.get(qualname)
+        if cached is not None:
+            return cached
+        if qualname in stack:
+            return set()
+        stack = stack | {qualname}
+        result: Set[_Site] = set(direct_acquires.get(qualname, []))
+        for call_site in forward_calls.get(qualname, []):
+            result |= acquired_by(call_site.callee.qualname, stack)
+        may_acquire[qualname] = result
+        return result
+
+    for call_site in index.calls:
+        if not call_site.held:
+            continue
+        held_ids = [
+            node_id
+            for symbol in call_site.held
+            if (node_id := node_for(call_site.caller, symbol)) is not None
+        ]
+        if not held_ids:
+            continue
+        for site in acquired_by(call_site.callee.qualname, set()):
+            for src in held_ids:
+                add_edge(src, site.node_id, site)
+
+    # 3. Cycle detection (Tarjan SCCs; self-edges count).
+    adjacency: Dict[str, Set[str]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set())
+
+    findings: List[Finding] = []
+    for cycle in _find_cycles(adjacency):
+        ordered = _rotate_min(cycle)
+        cycle_edges = [
+            (a, b)
+            for a in ordered
+            for b in ordered
+            if (a, b) in edges and b in adjacency.get(a, ())
+        ]
+        sites = [s for edge in sorted(cycle_edges) for s in edges[edge]]
+        site = min(sites, key=_Site.location) if sites else None
+        chain = " -> ".join(ordered + [ordered[0]])
+        findings.append(
+            Finding(
+                rule_id="RL002",
+                path=site.path if site else "<unknown>",
+                line=site.line if site else 0,
+                col=site.col if site else 0,
+                symbol=site.symbol if site else chain,
+                message=f"lock acquisition cycle: {chain}",
+                hint=(
+                    "impose one global acquisition order (acquire these locks "
+                    "in a single canonical sequence everywhere, e.g. by "
+                    "id-ordering same-class instances); if an ordering is "
+                    "already enforced out of band, suppress with "
+                    "# reprolint: disable=RL002(reason)"
+                ),
+            )
+        )
+    return findings
+
+
+def _find_cycles(adjacency: Dict[str, Set[str]]) -> List[List[str]]:
+    """One cycle report per non-trivial SCC, plus self-loops."""
+    counter = [0]
+    stack: List[str] = []
+    on_stack: Set[str] = set()
+    indices: Dict[str, int] = {}
+    lowlinks: Dict[str, int] = {}
+    sccs: List[List[str]] = []
+
+    def strongconnect(v: str) -> None:
+        indices[v] = lowlinks[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(adjacency.get(v, ())):
+            if w not in indices:
+                strongconnect(w)
+                lowlinks[v] = min(lowlinks[v], lowlinks[w])
+            elif w in on_stack:
+                lowlinks[v] = min(lowlinks[v], indices[w])
+        if lowlinks[v] == indices[v]:
+            component = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            sccs.append(component)
+
+    for v in sorted(adjacency):
+        if v not in indices:
+            strongconnect(v)
+
+    cycles: List[List[str]] = []
+    for component in sccs:
+        if len(component) > 1:
+            cycles.append(sorted(component))
+        elif component[0] in adjacency.get(component[0], ()):
+            cycles.append(component)
+    return cycles
+
+
+def _rotate_min(cycle: List[str]) -> List[str]:
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]

@@ -1,0 +1,123 @@
+"""RL004 — no blocking calls on the event loop thread.
+
+Coroutines in :data:`~repro.analysis.rules_config.ASYNC_SCOPE_PREFIX`
+modules run on the asyncio event loop; a single blocking call there stalls
+every connection the server is multiplexing.  Blocking work must move to a
+thread pool (``await loop.run_in_executor(pool, fn, *args)``).
+
+Flagged inside an ``async def`` body (nested ``def`` bodies excluded —
+those run wherever they are dispatched):
+
+* calls whose resolved symbol is in ``BLOCKING_CALL_SYMBOLS``
+  (``time.sleep``, ``open``, ``pickle.loads``, ...);
+* attribute calls whose terminal name is in ``BLOCKING_METHOD_NAMES``
+  (``serve``, ``refine``, ``shutdown``, ``close``, ...) — the serving
+  stack's known lock-taking / scanning entry points.
+
+Not flagged: calls directly under ``await`` (an awaited ``x.close()`` is a
+coroutine), function *references* passed uncalled (``run_in_executor(pool,
+self.service.serve, keys)``), and ``close``/``join`` on asyncio-native
+objects (``ASYNC_SAFE_BASES``: stream writers, servers, transports).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from .. import rules_config as config
+from ..engine import AnalysisProject, register_checker
+from ..findings import Finding
+from ..scopes import render
+
+_SAFE_ONLY_METHODS = frozenset({"close", "join", "shutdown"})
+
+
+@register_checker("RL004")
+def check_async_blocking(project: AnalysisProject) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for func in project.index.functions.values():
+        if not func.is_async:
+            continue
+        if not func.module.name.startswith(config.ASYNC_SCOPE_PREFIX):
+            continue
+        scope = project.index.scope_for(func)
+        awaited = _directly_awaited_calls(func.node)
+        for call in _calls_in_async_body(func.node):
+            if id(call) in awaited:
+                continue
+            reason = _blocking_reason(call, scope)
+            if reason is None:
+                continue
+            symbol = (
+                f"{func.class_name}.{func.name}" if func.class_name else func.name
+            )
+            findings.append(
+                Finding(
+                    rule_id="RL004",
+                    path=func.module.rel_path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    symbol=symbol,
+                    message=f"blocking call {reason} inside async def {func.name}",
+                    hint=(
+                        "dispatch through the loop's executor: await "
+                        "loop.run_in_executor(pool, fn, *args); if the call "
+                        "is proven non-blocking here, suppress with "
+                        "# reprolint: disable=RL004(reason)"
+                    ),
+                )
+            )
+    return findings
+
+
+def _calls_in_async_body(func_node: ast.AST) -> Iterable[ast.Call]:
+    """Every Call in the coroutine body, skipping nested function defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _directly_awaited_calls(func_node: ast.AST) -> Set[int]:
+    """ids of Call nodes that are the immediate operand of an ``await``."""
+    awaited: Set[int] = set()
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+            awaited.add(id(node.value))
+    return awaited
+
+
+def _blocking_reason(call: ast.Call, scope) -> str | None:
+    symbol = render(call.func, scope)
+    if symbol is not None:
+        plain = symbol[:-2] if symbol.endswith("()") else symbol
+        if plain in config.BLOCKING_CALL_SYMBOLS:
+            return f"{plain}()"
+        if plain in config.NUMPY_LOAD_SYMBOLS:
+            return f"{plain}()"
+    if isinstance(call.func, ast.Attribute):
+        name = call.func.attr
+        if name in config.BLOCKING_METHOD_NAMES:
+            if name in _SAFE_ONLY_METHODS and _is_async_safe_base(
+                call.func.value, scope
+            ):
+                return None
+            base = render(call.func.value, scope) or "<expr>"
+            return f"{base}.{name}()"
+    return None
+
+
+def _is_async_safe_base(base: ast.expr, scope) -> bool:
+    """close()/join()/shutdown() on asyncio-native objects is fine."""
+    symbol = render(base, scope)
+    if symbol is None:
+        return False
+    terminal = symbol.rsplit(".", 1)[-1]
+    if terminal.endswith("()"):
+        terminal = terminal[:-2]
+    return terminal in config.ASYNC_SAFE_BASES

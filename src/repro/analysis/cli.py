@@ -1,0 +1,194 @@
+"""The ``python -m repro.analysis`` command line.
+
+Usage::
+
+    python -m repro.analysis [paths...] [--rule RL00X]... [--format text|json]
+                             [--baseline PATH | --no-baseline]
+                             [--update-baseline] [--list-rules]
+
+Exit codes: 0 — clean (or baselined/suppressed only); 1 — unbaselined
+findings or expired baseline entries; 2 — usage or configuration error
+(unknown rule, malformed baseline or suppression comment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+import sys
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline, BaselineError
+from .engine import AnalysisResult, run_analysis
+from .findings import ALL_RULES
+from .suppress import SuppressionError
+
+DEFAULT_BASELINE = Path("analysis/baseline.json")
+
+
+def _repo_root(starts: Sequence[Path]) -> Path:
+    """Nearest ancestor (of any start) with analysis/baseline.json or .git.
+
+    The analyzed paths are tried before the working directory so an
+    absolute-path invocation from outside the repo still picks up the
+    repo's own committed baseline.
+    """
+    for start in starts:
+        for candidate in [start, *start.resolve().parents]:
+            if (
+                (candidate / DEFAULT_BASELINE).exists()
+                or (candidate / ".git").exists()
+            ):
+                return candidate
+    return starts[-1]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: AST invariant checks for this repository",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RL00X",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE} at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline: every finding fails the run",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to cover current findings (keeps existing "
+            "reasons, prunes expired entries, stamps new entries with a "
+            "FIXME reason to be replaced by hand)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root for relative finding paths (default: auto-detected)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    return parser
+
+
+def _render_text(result: AnalysisResult, out) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=out)
+        if finding.baselined and finding.baseline_reason:
+            print(f"    baselined: {finding.baseline_reason}", file=out)
+    for fingerprint in result.expired_baseline:
+        print(
+            f"baseline entry {fingerprint} matches no current finding — "
+            "the code was fixed; delete the entry (or run --update-baseline)",
+            file=out,
+        )
+    summary = result.as_dict()["summary"]
+    print(
+        "reprolint: {n_findings} finding(s), {n_unbaselined} unbaselined, "
+        "{n_suppressed} suppressed, {n_expired_baseline} expired baseline "
+        "entr(ies)".format(**summary),
+        file=out,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES.values():
+            print(f"{rule.id}  {rule.name:<20} {rule.summary}")
+        return 0
+
+    if args.rules:
+        unknown = [rule for rule in args.rules if rule not in ALL_RULES]
+        if unknown:
+            print(
+                f"error: unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(ALL_RULES))})",
+                file=sys.stderr,
+            )
+            return 2
+
+    root = args.root or _repo_root([*args.paths, Path.cwd()])
+    paths: List[Path] = args.paths or [root / "src" / "repro"]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print(
+            "error: no such path(s): " + ", ".join(str(p) for p in missing),
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline: Optional[Baseline] = None
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE)
+    if not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = run_analysis(
+            paths, rules=args.rules, baseline=baseline, root=root
+        )
+    except (SuppressionError, SyntaxError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        reasons = (
+            {entry.fingerprint: entry.reason for entry in baseline.entries}
+            if baseline is not None
+            else {}
+        )
+        updated = Baseline.from_findings(result.findings, reasons)
+        updated.save(baseline_path)
+        print(
+            f"baseline updated: {len(updated.entries)} entr(ies) -> "
+            f"{baseline_path}",
+            file=sys.stderr,
+        )
+        # After an update every current finding is baselined by definition.
+        return 0
+
+    if args.format == "json":
+        json.dump(result.as_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        _render_text(result, sys.stdout)
+
+    if result.failed or result.expired_baseline:
+        return 1
+    return 0

@@ -1,0 +1,128 @@
+"""The ``with``-context tracker: which contexts are held at every AST node.
+
+:func:`iter_nodes_with_contexts` walks one function body and yields every
+node paired with the tuple of context symbols currently held — rendered
+through the function's alias scope, so ``lock = self._lock; with lock:``
+tracks as ``self._lock`` and ``with self._index_lock.read():`` tracks as
+``self._index_lock.read()``.
+
+Nested function/lambda bodies are **not** entered by default: code inside a
+closure does not run while the enclosing ``with`` is active (it runs when
+the closure is called), so attributing the enclosing locks to it would be
+wrong in both directions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from .scopes import Scope, render
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def context_symbol(item: ast.withitem, scope: Optional[Scope]) -> Optional[str]:
+    """Render one with-item's context expression (``None`` if unrenderable)."""
+    return render(item.context_expr, scope)
+
+
+def iter_nodes_with_contexts(
+    func: ast.AST,
+    scope: Optional[Scope] = None,
+    *,
+    enter_nested: bool = False,
+) -> Iterator[Tuple[ast.AST, Tuple[str, ...], ast.AST]]:
+    """Yield ``(node, held_contexts, enclosing_stmt)`` for a function body.
+
+    ``held_contexts`` lists the symbols of every enclosing ``with`` /
+    ``async with`` item, outermost first; items of one multi-item ``with``
+    are pushed left to right, so the second item already "holds" the first
+    (which is exactly the acquisition order RL002 cares about).
+    ``enclosing_stmt`` is the nearest statement, used for statement-level
+    suppression comments.
+    """
+    body = getattr(func, "body", None)
+    if body is None:
+        return
+    if isinstance(func, ast.Lambda):
+        body = [func.body]
+    yield from _walk_statements(body, [], scope, enter_nested)
+
+
+def _walk_statements(
+    statements: List[ast.stmt],
+    held: List[str],
+    scope: Optional[Scope],
+    enter_nested: bool,
+) -> Iterator[Tuple[ast.AST, Tuple[str, ...], ast.AST]]:
+    for stmt in statements:
+        yield from _walk_one(stmt, held, scope, enter_nested)
+
+
+def _walk_one(
+    stmt: ast.AST,
+    held: List[str],
+    scope: Optional[Scope],
+    enter_nested: bool,
+) -> Iterator[Tuple[ast.AST, Tuple[str, ...], ast.AST]]:
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        yield stmt, tuple(held), stmt
+        pushed = 0
+        for item in stmt.items:
+            # The context expression itself evaluates while only the
+            # *earlier* items of this statement are held.
+            yield from _yield_expr(item.context_expr, held, stmt)
+            if item.optional_vars is not None:
+                yield from _yield_expr(item.optional_vars, held, stmt)
+            symbol = context_symbol(item, scope)
+            held.append(symbol if symbol is not None else "<unknown>")
+            pushed += 1
+        yield from _walk_statements(stmt.body, held, scope, enter_nested)
+        for _ in range(pushed):
+            held.pop()
+        return
+    if isinstance(stmt, _FUNCTION_NODES):
+        yield stmt, tuple(held), stmt
+        if enter_nested:
+            inner = stmt.body if not isinstance(stmt, ast.Lambda) else [stmt.body]
+            yield from _walk_statements(inner, held, scope, enter_nested)
+        return
+    # Generic statement: yield it and its non-statement descendants at the
+    # current held set, then recurse into child statement blocks.
+    yield stmt, tuple(held), stmt
+    for name, value in ast.iter_fields(stmt):
+        del name
+        for child in _iter_children(value):
+            if isinstance(child, ast.stmt):
+                yield from _walk_one(child, held, scope, enter_nested)
+            elif isinstance(child, ast.ExceptHandler):
+                # except blocks contain statements of their own; losing the
+                # held-context stack inside them would blind every checker
+                # to cleanup-path accesses.
+                yield child, tuple(held), stmt
+                if child.type is not None:
+                    yield from _yield_expr(child.type, held, stmt)
+                yield from _walk_statements(child.body, held, scope, enter_nested)
+            elif isinstance(child, ast.AST):
+                yield from _yield_expr(child, held, stmt)
+
+
+def _iter_children(value: object) -> Iterator[object]:
+    if isinstance(value, list):
+        for item in value:
+            yield item
+    elif isinstance(value, ast.AST):
+        yield value
+
+
+def _yield_expr(
+    node: ast.AST, held: List[str], enclosing: ast.AST
+) -> Iterator[Tuple[ast.AST, Tuple[str, ...], ast.AST]]:
+    """Yield an expression and its descendants (skipping nested functions)."""
+    if isinstance(node, _FUNCTION_NODES):
+        yield node, tuple(held), enclosing
+        return
+    yield node, tuple(held), enclosing
+    for child in ast.iter_child_nodes(node):
+        yield from _yield_expr(child, held, enclosing)

@@ -1,0 +1,151 @@
+"""The analysis engine: load, index, run checkers, suppress, baseline.
+
+The flow is deliberately boring::
+
+    modules  = load_modules(paths)
+    project  = AnalysisProject(modules)          # shared index, built once
+    findings = [checker(project) for checker in selected rules]
+    findings -= inline suppressions (# reprolint: disable=RULE(reason))
+    baseline.apply(findings)                     # mark known, find expired
+
+Checkers are pure functions from :class:`AnalysisProject` to findings; all
+shared machinery (scopes, contexts, call graph) lives on the project so
+five checkers pay for one parse and one index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline
+from .callgraph import ProjectIndex
+from .findings import ALL_RULES, Finding, assign_ordinals
+from .loader import ModuleInfo, load_modules
+from .suppress import Suppression, effective_lines
+
+
+class AnalysisProject:
+    """Parsed modules plus the shared cross-module index."""
+
+    def __init__(self, modules: List[ModuleInfo]) -> None:
+        self.modules = modules
+        self.index = ProjectIndex(modules)
+        self._suppressions: Optional[
+            Dict[str, Dict[Tuple[int, str], Suppression]]
+        ] = None
+
+    @property
+    def suppressions(self) -> Dict[str, Dict[Tuple[int, str], Suppression]]:
+        if self._suppressions is None:
+            self._suppressions = {
+                module.rel_path: effective_lines(module) for module in self.modules
+            }
+        return self._suppressions
+
+
+Checker = Callable[[AnalysisProject], Iterable[Finding]]
+
+_CHECKERS: Dict[str, Checker] = {}
+
+
+def register_checker(rule_id: str) -> Callable[[Checker], Checker]:
+    """Class/function decorator binding a checker to its rule id."""
+    if rule_id not in ALL_RULES:
+        raise ValueError(f"unknown rule id {rule_id}")
+
+    def bind(checker: Checker) -> Checker:
+        _CHECKERS[rule_id] = checker
+        return checker
+
+    return bind
+
+
+def registered_checkers() -> Dict[str, Checker]:
+    # Importing the package of checkers registers them all.
+    from . import checkers  # noqa: F401  (import for side effect)
+
+    return dict(_CHECKERS)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced, ready for rendering or JSON."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Tuple[Finding, Suppression]] = field(default_factory=list)
+    expired_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def unbaselined(self) -> List[Finding]:
+        return [f for f in self.findings if not f.baselined]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.unbaselined)
+
+    def as_dict(self) -> Dict[str, object]:
+        per_rule: Dict[str, Dict[str, int]] = {}
+        for finding in self.findings:
+            stats = per_rule.setdefault(
+                finding.rule_id, {"total": 0, "baselined": 0, "suppressed": 0}
+            )
+            stats["total"] += 1
+            stats["baselined"] += int(finding.baselined)
+        for finding, _ in self.suppressed:
+            stats = per_rule.setdefault(
+                finding.rule_id, {"total": 0, "baselined": 0, "suppressed": 0}
+            )
+            stats["suppressed"] += 1
+        return {
+            "version": 1,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [
+                {**f.as_dict(), "suppression_reason": s.reason}
+                for f, s in self.suppressed
+            ],
+            "expired_baseline": list(self.expired_baseline),
+            "summary": {
+                "rules": per_rule,
+                "n_findings": len(self.findings),
+                "n_unbaselined": len(self.unbaselined),
+                "n_suppressed": len(self.suppressed),
+                "n_expired_baseline": len(self.expired_baseline),
+            },
+        }
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Path] = None,
+    project: Optional[AnalysisProject] = None,
+) -> AnalysisResult:
+    """Run the selected checkers over ``paths`` and post-process findings."""
+    if project is None:
+        project = AnalysisProject(load_modules(paths, root=root))
+    selected = registered_checkers()
+    if rules is not None:
+        unknown = set(rules) - set(ALL_RULES)
+        if unknown:
+            raise ValueError(f"unknown rules: {sorted(unknown)}")
+        selected = {rid: chk for rid, chk in selected.items() if rid in rules}
+    raw: List[Finding] = []
+    for rule_id in sorted(selected):
+        raw.extend(selected[rule_id](project))
+    raw = assign_ordinals(raw)
+
+    result = AnalysisResult()
+    for finding in raw:
+        per_file = project.suppressions.get(finding.path, {})
+        suppression = per_file.get((finding.line, finding.rule_id))
+        if suppression is not None:
+            result.suppressed.append((finding, suppression))
+        else:
+            result.findings.append(finding)
+    if baseline is not None:
+        result.expired_baseline = baseline.apply(result.findings)
+    return result

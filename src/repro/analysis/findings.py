@@ -1,0 +1,166 @@
+"""The finding model: rule descriptors, findings, stable fingerprints.
+
+A finding's **fingerprint** is what the baseline keys on, so it must survive
+unrelated edits to the same file: it hashes the rule id, the repo-relative
+path, the enclosing symbol (``Class.method`` / function / class name) and the
+message — but never the line number.  Two findings that would collide (same
+symbol, same message — e.g. the same guarded attribute read twice in one
+method) are disambiguated by an occurrence ordinal assigned in line order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import hashlib
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checker's identity card (id, summary, and the invariant's origin)."""
+
+    id: str
+    name: str
+    summary: str
+
+    def __str__(self) -> str:
+        return f"{self.id} ({self.name})"
+
+
+RL001 = Rule(
+    "RL001",
+    "lock-discipline",
+    "guarded attributes must be read/written under their declared lock",
+)
+RL002 = Rule(
+    "RL002",
+    "lock-order",
+    "lock acquisition order must be acyclic across the codebase",
+)
+RL003 = Rule(
+    "RL003",
+    "memmap-immutability",
+    "memory-mapped layout arrays must never be mutated in place",
+)
+RL004 = Rule(
+    "RL004",
+    "asyncio-blocking",
+    "async def bodies in repro.net must not call blocking operations",
+)
+RL005 = Rule(
+    "RL005",
+    "pickle-safety",
+    "classes holding locks/pools/workspaces/memmaps must drop them in "
+    "__getstate__",
+)
+
+ALL_RULES: Dict[str, Rule] = {
+    rule.id: rule for rule in (RL001, RL002, RL003, RL004, RL005)
+}
+
+
+@dataclass
+class Finding:
+    """One rule violation, anchored to a file/line and a code symbol.
+
+    Attributes
+    ----------
+    rule_id:
+        ``RL001`` … ``RL005``.
+    path:
+        Repo-relative path of the offending file (posix separators).
+    line / col:
+        1-indexed line and 0-indexed column of the offending node.
+    symbol:
+        The enclosing code object (``Class.method``, ``function``, or
+        ``Class``) — part of the fingerprint, so baselines survive line
+        drift.
+    message:
+        What is wrong, in one sentence.
+    hint:
+        How to fix it (or how to suppress it with a reason).
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    symbol: str
+    message: str
+    hint: str = ""
+    ordinal: int = 0
+    baselined: bool = False
+    baseline_reason: Optional[str] = None
+
+    @property
+    def fingerprint(self) -> str:
+        core = "|".join(
+            (self.rule_id, self.path, self.symbol, self.message, str(self.ordinal))
+        )
+        return hashlib.sha1(core.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+        if self.baseline_reason is not None:
+            data["baseline_reason"] = self.baseline_reason
+        return data
+
+    def render(self) -> str:
+        mark = " [baselined]" if self.baselined else ""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+            f"[{self.symbol}] {self.message}{mark}"
+        )
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def assign_ordinals(findings: List[Finding]) -> List[Finding]:
+    """Disambiguate findings that share (rule, path, symbol, message).
+
+    Ordinals are assigned in (line, col) order so the n-th identical finding
+    keeps the n-th fingerprint even when unrelated lines shift.
+    """
+    findings = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    seen: Dict[str, int] = {}
+    for finding in findings:
+        key = "|".join((finding.rule_id, finding.path, finding.symbol, finding.message))
+        finding.ordinal = seen.get(key, 0)
+        seen[key] = finding.ordinal + 1
+    return findings
+
+
+@dataclass
+class RuleStats:
+    """Per-rule counters for the summary block of a report."""
+
+    total: int = 0
+    baselined: int = 0
+    suppressed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "total": self.total,
+            "baselined": self.baselined,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass
+class Report:
+    """Everything one analysis run produced (findings + bookkeeping)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    expired_baseline: List[str] = field(default_factory=list)

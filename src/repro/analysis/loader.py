@@ -1,0 +1,98 @@
+"""Module loading: discover, parse, and name the files under analysis.
+
+The loader walks the requested paths, parses every ``.py`` file once, and
+derives the *dotted module name* from the file's location relative to the
+nearest package root (the outermost ancestor chain of ``__init__.py``
+directories).  Checkers rely on those names to resolve relative imports and
+to scope themselves (RL004 only applies to ``repro.net``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file.
+
+    Attributes
+    ----------
+    path:
+        Absolute path on disk.
+    rel_path:
+        Path relative to the analysis root, with posix separators (what
+        findings and fingerprints use).
+    name:
+        Dotted module name, e.g. ``repro.serving.service``.
+    tree:
+        The parsed :class:`ast.Module`.
+    lines:
+        Raw source lines (for suppression-comment scanning).
+    """
+
+    path: Path
+    rel_path: str
+    name: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from package ``__init__.py`` ancestry."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+def load_modules(
+    paths: Iterable[Path], root: Optional[Path] = None
+) -> List[ModuleInfo]:
+    """Parse every python file under ``paths`` into :class:`ModuleInfo`.
+
+    ``root`` anchors the repo-relative paths reported in findings; it
+    defaults to the current working directory, falling back to an absolute
+    path when a file lives outside it.
+    """
+    root = (root or Path.cwd()).resolve()
+    modules: List[ModuleInfo] = []
+    seen: Dict[Path, None] = {}
+    for path in iter_python_files(Path(p).resolve() for p in paths):
+        if path in seen:
+            continue
+        seen[path] = None
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:  # pragma: no cover - analysis input error
+            raise SyntaxError(f"cannot parse {path}: {exc}") from exc
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        modules.append(
+            ModuleInfo(
+                path=path,
+                rel_path=rel,
+                name=module_name_for(path),
+                tree=tree,
+                lines=source.splitlines(),
+            )
+        )
+    return modules

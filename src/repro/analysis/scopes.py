@@ -1,0 +1,135 @@
+"""Symbolic expression rendering and scope/alias resolution.
+
+Checkers reason about *symbols* — dotted strings like ``self._index_lock``
+or ``numpy.memmap`` — rather than raw AST nodes.  This module renders
+expressions to symbols and resolves two kinds of indirection so the rules
+see through common idioms:
+
+* **import aliases** (module scope): ``import numpy as np`` makes ``np.load``
+  render as ``numpy.load``; ``from threading import Lock as L`` makes
+  ``L()`` render as ``threading.Lock()``.  Relative imports resolve against
+  the module's dotted name, so ``from ..utils.timer import LatencyStats``
+  inside ``repro.serving.service`` renders as
+  ``repro.utils.timer.LatencyStats``.
+* **local aliases** (function scope): ``lock = self._lock`` followed by
+  ``with lock:`` renders the with-item as ``self._lock``.  A name rebound to
+  two different renderable expressions is dropped from the alias table
+  (ambiguous), never guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+#: Sentinel marking a name rebound ambiguously (alias dropped, not guessed).
+_AMBIGUOUS = "\0ambiguous"
+
+
+def build_import_table(tree: ast.Module, module_name: str) -> Dict[str, str]:
+    """Map local names to fully-qualified module/object paths."""
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                table[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_from_module(node, module_name)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{base}.{alias.name}" if base else alias.name
+    return table
+
+
+def _resolve_from_module(node: ast.ImportFrom, module_name: str) -> str:
+    if not node.level:
+        return node.module or ""
+    # Relative import: strip `level` trailing components from the module's
+    # dotted name (a module's own name counts as one component).
+    parts = module_name.split(".")
+    anchor = parts[: len(parts) - node.level] if node.level <= len(parts) else []
+    if node.module:
+        anchor = anchor + node.module.split(".")
+    return ".".join(anchor)
+
+
+@dataclass
+class Scope:
+    """Name-resolution context for one function (plus its module)."""
+
+    imports: Dict[str, str] = field(default_factory=dict)
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    def resolve_name(self, name: str) -> str:
+        alias = self.aliases.get(name)
+        if alias is not None and alias != _AMBIGUOUS:
+            return alias
+        if alias == _AMBIGUOUS:
+            return name
+        return self.imports.get(name, name)
+
+    def add_alias(self, name: str, target: Optional[str]) -> None:
+        """Record ``name = <target>``; conflicting rebinds poison the alias."""
+        if target is None:
+            # Assigned something unrenderable: the name no longer reliably
+            # denotes anything symbolic.
+            if name in self.aliases:
+                self.aliases[name] = _AMBIGUOUS
+            return
+        previous = self.aliases.get(name)
+        if previous is not None and previous != target:
+            self.aliases[name] = _AMBIGUOUS
+        else:
+            self.aliases[name] = target
+
+
+def render(node: Optional[ast.AST], scope: Optional[Scope] = None) -> Optional[str]:
+    """Render an expression to a dotted symbol, or None when impossible.
+
+    Calls render with a ``()`` suffix on the called path —
+    ``self._index_lock.read()`` — so lock modes stay visible; chained or
+    argument-dependent expressions stay unrenderable on purpose.
+    """
+    if isinstance(node, ast.Name):
+        return scope.resolve_name(node.id) if scope is not None else node.id
+    if isinstance(node, ast.Attribute):
+        base = render(node.value, scope)
+        return f"{base}.{node.attr}" if base is not None else None
+    if isinstance(node, ast.Call):
+        base = render(node.func, scope)
+        return f"{base}()" if base is not None else None
+    return None
+
+
+def function_scope(
+    func: ast.AST, imports: Dict[str, str], renderable_roots: Iterable[str] = ()
+) -> Scope:
+    """Collect ``name = <symbolic expr>`` aliases from a function body.
+
+    One linear pre-pass (no flow sensitivity): a name consistently bound to
+    the same renderable expression becomes an alias; anything else —
+    conflicting rebinds, tuple targets, comprehension variables — is left
+    unresolved or poisoned.  That bias (miss an alias rather than invent
+    one) keeps every downstream rule's false positives down.
+    """
+    scope = Scope(imports=dict(imports))
+    del renderable_roots  # reserved for future narrowing
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                rendered = render(node.value, scope)
+                scope.add_alias(target.id, rendered)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            target = node.target
+            if isinstance(target, ast.Name):
+                scope.add_alias(target.id, None)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                scope.add_alias(node.target.id, None)
+    return scope

@@ -1,0 +1,140 @@
+"""Inline suppression comments: ``# reprolint: disable=RULE(reason)``.
+
+A suppression must name the rule **and** carry a non-empty reason — a bare
+``disable=RL001`` is a hard error, because an unjustified suppression is
+exactly the silent decay this tool exists to stop.  Several rules can share
+one comment: ``# reprolint: disable=RL001(why), RL002(other why)``.
+
+A suppression applies to:
+
+* the physical line it sits on;
+* the whole statement when it sits on the statement's first line (so one
+  comment on a multi-item ``with`` covers every finding inside the block —
+  the id-ordered two-lock merge in ``utils/timer.py`` is the canonical
+  user);
+* the following line, when the comment stands alone on its own line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+from .loader import ModuleInfo
+
+_MARKER = re.compile(r"#\s*reprolint:\s*disable=(.*)$")
+_ENTRY = re.compile(r"\s*(RL\d{3})\s*\(([^()]*)\)\s*(?:,|$)")
+
+
+class SuppressionError(ValueError):
+    """A malformed suppression comment (missing or empty reason)."""
+
+
+@dataclass(frozen=True)
+class Suppression:
+    rule_id: str
+    reason: str
+    line: int
+
+
+def _comment_tokens(module: ModuleInfo) -> List[Tuple[int, str]]:
+    """(line, text) for every real comment token — docstrings that merely
+    *mention* the suppression syntax must not parse as suppressions."""
+    source = "\n".join(module.lines) + "\n"
+    comments: List[Tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except tokenize.TokenizeError:  # pragma: no cover - the file parsed as AST
+        pass
+    return comments
+
+
+def parse_suppressions(module: ModuleInfo) -> Dict[int, Dict[str, Suppression]]:
+    """Scan a module's comments for suppression markers, keyed by line."""
+    found: Dict[int, Dict[str, Suppression]] = {}
+    for lineno, text in _comment_tokens(module):
+        match = _MARKER.search(text)
+        if match is None:
+            if "reprolint" in text and "disable" in text:
+                raise SuppressionError(
+                    f"{module.rel_path}:{lineno}: malformed reprolint comment: "
+                    f"{text.strip()!r}"
+                )
+            continue
+        spec = match.group(1).strip()
+        entries = list(_ENTRY.finditer(spec))
+        consumed = "".join(entry.group(0) for entry in entries)
+        if not entries or consumed.replace(" ", "") != spec.replace(" ", ""):
+            raise SuppressionError(
+                f"{module.rel_path}:{lineno}: suppression must be "
+                f"'RLnnn(reason)[, RLnnn(reason)...]', got {spec!r}"
+            )
+        per_rule: Dict[str, Suppression] = {}
+        for entry in entries:
+            rule_id, reason = entry.group(1), entry.group(2).strip()
+            if not reason:
+                raise SuppressionError(
+                    f"{module.rel_path}:{lineno}: suppression of {rule_id} "
+                    "must carry a reason: # reprolint: disable="
+                    f"{rule_id}(<why this is safe>)"
+                )
+            per_rule[rule_id] = Suppression(rule_id, reason, lineno)
+        found[lineno] = per_rule
+    return found
+
+
+def effective_lines(module: ModuleInfo) -> Dict[Tuple[int, str], Suppression]:
+    """Expand comment lines to every line each suppression covers."""
+    per_line = parse_suppressions(module)
+    covered: Dict[Tuple[int, str], Suppression] = {}
+    if not per_line:
+        return covered
+    spans = _statement_spans(module)
+    for lineno, rules in per_line.items():
+        lines: Set[int] = {lineno}
+        # A standalone comment (nothing but the comment on its line) also
+        # covers the next line.
+        text = module.lines[lineno - 1]
+        if text.lstrip().startswith("#"):
+            lines.add(lineno + 1)
+        # A comment on a statement's first line covers the statement's span.
+        for start, stop in spans.get(lineno, []):
+            lines.update(range(start, stop + 1))
+        for rule_id, suppression in rules.items():
+            for line in lines:
+                covered.setdefault((line, rule_id), suppression)
+    return covered
+
+
+def _statement_spans(module: ModuleInfo) -> Dict[int, List[Tuple[int, int]]]:
+    """Map statement header lines to (start, end) line spans.
+
+    Only simple statements and ``with`` blocks expand — covering a whole
+    function or class from one comment would hide far more than anyone
+    intends.
+    """
+    compound = (
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+        ast.ClassDef,
+        ast.If,
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.Try,
+    )
+    spans: Dict[int, List[Tuple[int, int]]] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.stmt) or isinstance(node, compound):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None:
+            continue
+        spans.setdefault(node.lineno, []).append((node.lineno, end))
+    return spans

@@ -12,9 +12,9 @@ Three applications from the paper are packaged as reusable classes:
   purchases.
 """
 
-from .spam import SpamDetector, SpamDetectionReport
 from .coauthor import AuthorPopularityAnalyzer, AuthorPopularity
 from .recommendation import ProductInfluenceAnalyzer, ProductInfluence
+from .spam import SpamDetector, SpamDetectionReport
 
 __all__ = [
     "SpamDetector",

@@ -13,7 +13,7 @@ classifier on top of it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -31,18 +31,24 @@ Modules
 """
 
 from .backends import available_backends, numba_available, require_backend
-from .config import IndexParams, QueryParams, PROPAGATION_BACKENDS, SCAN_PRECISIONS
-from .hubs import degree_union_hubs, select_hubs_by_degree, select_hubs_greedy, HubSet
-from .lbi import build_index, build_index_parallel, rebuild_node_state, refine_node_state
-from .propagation import BuildReport, KernelWorkspace, PropagationKernel
-from .index import ReverseTopKIndex, NodeState, ColumnarView
-from .pmpn import proximity_to_node, PMPNResult
+from .baseline import (
+    brute_force_reverse_topk,
+    InfeasibleBruteForce,
+    FeasibleBruteForce,
+)
 from .bounds import (
     BoundsWorkspace,
     kth_upper_bound,
     kth_upper_bounds_batch,
     staircase_levels,
 )
+from .config import IndexParams, QueryParams, PROPAGATION_BACKENDS, SCAN_PRECISIONS
+from .estimates import predicted_index_bytes, rounding_error_bound
+from .hubs import degree_union_hubs, select_hubs_by_degree, select_hubs_greedy, HubSet
+from .index import ReverseTopKIndex, NodeState, ColumnarView
+from .lbi import build_index, build_index_parallel, rebuild_node_state, refine_node_state
+from .pmpn import proximity_to_node, PMPNResult
+from .propagation import BuildReport, KernelWorkspace, PropagationKernel
 from .query import (
     ReverseTopKEngine,
     QueryResult,
@@ -57,12 +63,6 @@ from .sharding import (
     build_sharded_index,
     shard_boundaries,
 )
-from .baseline import (
-    brute_force_reverse_topk,
-    InfeasibleBruteForce,
-    FeasibleBruteForce,
-)
-from .estimates import predicted_index_bytes, rounding_error_bound
 
 __all__ = [
     "IndexParams",

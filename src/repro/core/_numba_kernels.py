@@ -22,8 +22,8 @@ Design notes
 
 from __future__ import annotations
 
-import numpy as np
 from numba import njit, prange
+import numpy as np
 
 __all__ = ["block_stats", "bca_block_iteration", "scan_decide"]
 

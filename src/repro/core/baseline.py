@@ -17,7 +17,6 @@ Three comparators are implemented:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp

@@ -12,8 +12,7 @@ The defaults mirror the experimental setup of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from .._validation import (
     check_non_negative_float,

@@ -43,19 +43,18 @@ is negligible, but it makes Proposition 4 hold exactly in all configurations.
 
 from __future__ import annotations
 
-import io
-import os
-import tempfile
-import zipfile
 from dataclasses import dataclass, field
+import os
 from pathlib import Path
+import tempfile
 from typing import Dict, Iterable, List, Optional, Tuple, Union
+import zipfile
 
 import numpy as np
 import scipy.sparse as sp
 
 from .._validation import check_node_index, check_positive_int
-from ..exceptions import IndexNotBuiltError, InvalidParameterError, SerializationError
+from ..exceptions import InvalidParameterError, SerializationError
 from .config import IndexParams
 from .hubs import HubSet
 

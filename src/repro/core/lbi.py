@@ -39,9 +39,9 @@ import scipy.sparse as sp
 from ..graph.digraph import DiGraph
 from ..graph.transition import transition_matrix
 from ..obs.registry import get_registry
+from ..rwr.power_method import proximity_vector
 from ..utils.sparsetools import top_k_descending
 from ..utils.timer import StageTimer
-from ..rwr.power_method import proximity_vector
 from .config import IndexParams
 from .hubs import HubSet, degree_union_hubs, select_hubs_by_degree
 from .index import NodeState, ReverseTopKIndex

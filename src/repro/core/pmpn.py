@@ -18,8 +18,8 @@ SpamRank-style analyses, as the paper suggests).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import Optional
 
 import numpy as np

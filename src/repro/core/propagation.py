@@ -87,8 +87,8 @@ bitwise equal — accumulation order across a batch necessarily differs.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np

@@ -61,14 +61,14 @@ scan the same values an in-RAM shard holds.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 import os
+from pathlib import Path
 import tempfile
 import threading
 import time
-import zipfile
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+import zipfile
 
 import numpy as np
 import scipy.sparse as sp
@@ -92,6 +92,13 @@ from .index import (
     _states_to_arrays,
     effective_state_residual_mass,
 )
+from .lbi import (
+    _bca_shard,
+    _collect_shard,
+    _compute_hub_matrix,
+    _init_shard_worker,
+    _resolve_build_inputs,
+)
 from .propagation import PropagationKernel, initial_node_state
 from .query import ReverseTopKEngine, _ScanTally, columnar_stage_decisions
 from .statestore import (
@@ -100,13 +107,6 @@ from .statestore import (
     StateArraysSink,
     assemble_store,
     count_materialization,
-)
-from .lbi import (
-    _bca_shard,
-    _collect_shard,
-    _compute_hub_matrix,
-    _init_shard_worker,
-    _resolve_build_inputs,
 )
 
 PathLike = Union[str, os.PathLike]

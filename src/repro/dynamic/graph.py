@@ -29,8 +29,8 @@ mutations behind its writer-preferring index lock.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 import numpy as np

@@ -71,8 +71,8 @@ from ..core.propagation import (
     PropagationKernel,
     materialize_lower_bounds,
 )
-from ..core.sharding import ShardedReverseTopKIndex, build_sharded_index
 from ..core.query import ReverseTopKEngine
+from ..core.sharding import ShardedReverseTopKIndex, build_sharded_index
 from ..graph.digraph import DiGraph
 from ..graph.transition import rebuild_transition_columns
 from ..utils.timer import Timer

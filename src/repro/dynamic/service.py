@@ -28,8 +28,8 @@ the version untouched and the cache warm.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
@@ -399,7 +399,15 @@ class DynamicReverseTopKService(ReverseTopKService):
     # metrics
     # ------------------------------------------------------------------ #
     def update_metrics(self) -> UpdateMetrics:
-        """A consistent snapshot of the update-path counters."""
+        """A consistent snapshot of the update-path counters.
+
+        The version is read under the read side of the index lock so a
+        concurrent ``apply_updates`` mid-rewrite can't leak a half-bumped
+        value; the locks stay sequential (never nested) to keep the global
+        acquisition graph acyclic.
+        """
+        with self._index_lock.read():
+            index_version = self.engine.index.version
         with self._update_lock:
             return UpdateMetrics(
                 n_update_batches=self._n_update_batches,
@@ -409,7 +417,7 @@ class DynamicReverseTopKService(ReverseTopKService):
                 n_rematerialized=self._n_rematerialized,
                 n_full_rebuilds=self._n_full_rebuilds,
                 update_seconds=self._update_seconds,
-                index_version=self.engine.index.version,
+                index_version=index_version,
             )
 
     def __repr__(self) -> str:

@@ -7,8 +7,6 @@ functions with ``pytest-benchmark`` so each experiment can be re-run with
 ``pytest benchmarks/ --benchmark-only``.
 """
 
-from .metrics import jaccard_similarity, precision_at_k, result_overlap
-from .tables import format_table, format_series
 from .experiments import (
     ExperimentResult,
     table2_index_construction,
@@ -20,6 +18,8 @@ from .experiments import (
     table3_author_popularity,
     spam_detection_stats,
 )
+from .metrics import jaccard_similarity, precision_at_k, result_overlap
+from .tables import format_table, format_series
 
 __all__ = [
     "jaccard_similarity",

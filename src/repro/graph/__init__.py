@@ -7,15 +7,10 @@ mimic the structural properties of the paper's datasets, and simple edge-list
 I/O.
 """
 
-from .digraph import DiGraph
+from . import datasets
+from . import download
 from .builder import GraphBuilder, from_edges
-from .transition import (
-    DanglingPolicy,
-    transition_matrix,
-    weighted_transition_matrix,
-    rebuild_transition_columns,
-    is_column_stochastic,
-)
+from .digraph import DiGraph
 from .generators import (
     erdos_renyi_graph,
     scale_free_graph,
@@ -27,8 +22,6 @@ from .generators import (
     star_graph,
     complete_graph,
 )
-from . import datasets
-from . import download
 from .io import (
     read_edge_list,
     stream_edge_list,
@@ -37,6 +30,13 @@ from .io import (
     write_node_labels,
 )
 from .stats import GraphStats, degree_histogram, summarize
+from .transition import (
+    DanglingPolicy,
+    transition_matrix,
+    weighted_transition_matrix,
+    rebuild_transition_columns,
+    is_column_stochastic,
+)
 
 __all__ = [
     "DiGraph",

@@ -9,8 +9,8 @@ domain objects (authors, hosts, products).
 
 from __future__ import annotations
 
-import math
 from array import array
+import math
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -21,8 +21,8 @@ grow them.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
+import os
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 

@@ -19,8 +19,8 @@ from typing import Iterable, Iterator, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..exceptions import GraphError, NodeNotFoundError
 from .._validation import check_node_index
+from ..exceptions import GraphError, NodeNotFoundError
 
 
 class DiGraph:

@@ -22,15 +22,15 @@ Design points:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import hashlib
 import os
+from pathlib import Path
 import shutil
 import tempfile
+from typing import Dict, Optional, Union
 import urllib.error
 import urllib.request
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Dict, Optional, Union
 
 from ..exceptions import SerializationError
 

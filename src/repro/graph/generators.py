@@ -15,7 +15,7 @@ Every generator takes an explicit ``seed`` so experiments are reproducible.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import gzip
 import os
-import warnings
 from pathlib import Path
 from typing import Dict, Iterable, List, Tuple, Union
+import warnings
 
 import numpy as np
 import scipy.sparse as sp

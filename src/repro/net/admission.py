@@ -27,8 +27,8 @@ synchronously with a fake clock).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+import time
 from typing import Callable, Dict, Optional
 
 from .._validation import check_positive_int

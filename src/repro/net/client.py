@@ -281,7 +281,7 @@ class ReverseTopKClient:
         """Close every pooled connection; in-flight borrows close on return."""
         self._closed = True
         for connection in self._free:
-            connection.close()
+            connection.close()  # reprolint: disable=RL004(_Connection.close only calls asyncio StreamWriter.close which is non-blocking)
         self._free.clear()
 
     async def __aenter__(self) -> "ReverseTopKClient":

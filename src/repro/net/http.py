@@ -25,8 +25,8 @@ garbage into a clean 400 instead of a stack trace.
 from __future__ import annotations
 
 import asyncio
-import json
 from dataclasses import dataclass, field
+import json
 from typing import Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 

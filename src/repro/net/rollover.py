@@ -41,9 +41,9 @@ the executor.
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures import Executor
 import itertools
 import pickle
-from concurrent.futures import Executor
 from typing import Callable, Dict, List, Optional
 
 from ..dynamic.graph import GraphUpdate
@@ -126,13 +126,20 @@ class ServiceGeneration:
     def pins(self) -> int:
         return self._pins
 
-    async def retire(self) -> None:
-        """Drain in-flight pins, then release the generation's resources."""
+    async def retire(self, executor: Optional[Executor] = None) -> None:
+        """Drain in-flight pins, then release the generation's resources.
+
+        ``service.close()`` takes the index write lock and joins worker
+        pools, so it runs on ``executor`` (or the loop's default pool) —
+        never on the event loop thread, where it would stall every other
+        connection for the duration of the teardown.
+        """
         self._retiring = True
         if self._pins > 0:
             await self._drained.wait()
         await self.coalescer.aclose()
-        self.service.close()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(executor, self.service.close)
 
     def __repr__(self) -> str:
         return (
@@ -195,11 +202,11 @@ class RolloverManager:
                     self._maintenance_executor, clone.apply_updates, updates
                 )
             except Exception:
-                clone.close()
+                await loop.run_in_executor(self._maintenance_executor, clone.close)
                 raise
             if not report.changed:
                 # Nothing observable changed: keep the warm generation.
-                clone.close()
+                await loop.run_in_executor(self._maintenance_executor, clone.close)
                 self.n_noop_batches += 1
                 return report
             fresh = ServiceGeneration(
@@ -211,7 +218,7 @@ class RolloverManager:
             return report
 
     async def _retire(self, generation: ServiceGeneration) -> None:
-        await generation.retire()
+        await generation.retire(executor=self._maintenance_executor)
         metrics = generation.service.metrics()
         self._retired.append(
             {

@@ -64,11 +64,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 import sys
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from .._validation import check_positive_int
@@ -331,6 +331,13 @@ class ReverseTopKServer:
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
         await self.rollover.aclose()
+        # shutdown(wait=True) joins worker threads; run it on the loop's
+        # default executor (not on the pools being joined) so a slow scan
+        # can't freeze the event loop during teardown.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._shutdown_pools)
+
+    def _shutdown_pools(self) -> None:
         self._scan_executor.shutdown(wait=True)
         self._maintenance_executor.shutdown(wait=True)
 

@@ -15,8 +15,8 @@ record from anywhere.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
+import threading
 from typing import Any, Dict, List, Optional
 
 from .._validation import check_positive_int

@@ -31,8 +31,8 @@ to attach one shared batch subtree under every waiter's request trace.
 
 from __future__ import annotations
 
-import time
 from contextvars import ContextVar
+import time
 from typing import Any, Dict, List, Optional
 
 __all__ = ["Span", "Trace", "current_span", "trace_span"]

@@ -13,20 +13,20 @@ builds on or compares against:
 * :mod:`pagerank` — PageRank and personalised PageRank via the same machinery.
 """
 
+from .bca import BCAResult, bca_proximity_vector, push_proximity_vector
+from .linear_solver import (
+    proximity_vector_direct,
+    proximity_matrix_direct,
+    ProximityLU,
+)
+from .monte_carlo import mc_end_point, mc_complete_path
+from .pagerank import pagerank, personalized_pagerank
 from .power_method import (
     proximity_vector,
     proximity_matrix,
     proximity_column,
     PowerMethodResult,
 )
-from .linear_solver import (
-    proximity_vector_direct,
-    proximity_matrix_direct,
-    ProximityLU,
-)
-from .bca import BCAResult, bca_proximity_vector, push_proximity_vector
-from .monte_carlo import mc_end_point, mc_complete_path
-from .pagerank import pagerank, personalized_pagerank
 from .proximity import ProximityMatrix, top_k_of_column
 
 __all__ = [

@@ -21,9 +21,9 @@ is part of the paper's contribution rather than prior work.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import heapq
 import itertools
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

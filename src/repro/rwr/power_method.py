@@ -13,8 +13,8 @@ log(1-alpha)``.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import Optional
 
 import numpy as np

@@ -19,9 +19,9 @@ eagerly.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+import threading
 from typing import Dict, Hashable, Optional, Tuple
 
 from .._validation import check_non_negative_int

@@ -28,9 +28,9 @@ the service merges those into its latency/throughput metrics.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+import threading
 from typing import List, Optional, Sequence, Tuple
 
 from .._validation import check_membership, check_non_negative_int

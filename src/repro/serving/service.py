@@ -21,9 +21,9 @@ thereby invalidates every cached answer computed against the older state.
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import scipy.sparse as sp
@@ -34,9 +34,9 @@ from .._validation import (
     check_non_negative_int,
     check_positive_int,
 )
-from ..exceptions import InvalidParameterError, ServiceClosedError
 from ..core.config import IndexParams
 from ..core.query import SCAN_MODES, QueryResult, ReverseTopKEngine
+from ..exceptions import InvalidParameterError, ServiceClosedError
 from ..graph.digraph import DiGraph
 from ..obs.registry import MetricsRegistry, get_registry
 from ..obs.tracing import trace_span
@@ -539,10 +539,14 @@ class ReverseTopKService:
             # match the bumped version again, and LRU aging would leave them
             # pinning heavyweight results until insertion pressure arrives.
             self._cache.purge_versions_below(self.engine.index.version)
+            # Capture the post-refinement version while the write lock still
+            # pins it: once released, a concurrent refine() may bump it again
+            # and the gauge would pair this refinement with a later version.
+            version_after = self.engine.index.version
         with self._lock:
             self._n_refinements += 1
         self._obs["refinements"].inc()
-        self._obs["index_version"].set(self.engine.index.version)
+        self._obs["index_version"].set(version_after)
         return result
 
     def _discard_stale_workers(self, version_before: int) -> None:
@@ -565,7 +569,17 @@ class ReverseTopKService:
     # metrics / lifecycle
     # ------------------------------------------------------------------ #
     def metrics(self) -> ServiceMetrics:
-        """A consistent snapshot of every service counter."""
+        """A consistent snapshot of every service counter.
+
+        The index version is read under the read side of the index lock (a
+        refine() mid-rewrite must not leak a half-bumped version), then the
+        counter block is snapshotted under the counter lock.  The two locks
+        are deliberately *not* nested: metrics() must never stall a running
+        refinement, and keeping the acquisition sequential keeps the lock
+        graph acyclic.
+        """
+        with self._index_lock.read():
+            index_version = self.engine.index.version
         with self._lock:
             return ServiceMetrics(
                 n_requests=self._n_requests,
@@ -574,7 +588,7 @@ class ReverseTopKService:
                 n_engine_queries=self._n_engine_queries,
                 n_batches=self._n_batches,
                 n_refinements=self._n_refinements,
-                index_version=self.engine.index.version,
+                index_version=index_version,
                 serve_seconds=self._serve_seconds,
                 worker_seconds=self._worker_seconds,
                 cache=self._cache.stats(),

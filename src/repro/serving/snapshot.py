@@ -18,9 +18,9 @@ miss, not an error.
 
 from __future__ import annotations
 
+from dataclasses import fields, replace
 import hashlib
 import os
-from dataclasses import fields, replace
 from pathlib import Path
 from typing import Optional, Tuple, Union
 

@@ -12,8 +12,8 @@ cites as prior art.  They serve three purposes in this repository:
   (one top-k computation per node).
 """
 
-from .exact import exact_top_k
 from .bpa import basic_push_top_k
+from .exact import exact_top_k
 from .kdash import KDashIndex
 from .mc_topk import monte_carlo_top_k
 

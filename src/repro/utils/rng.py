@@ -7,7 +7,7 @@ Centralising the conversion keeps behaviour consistent and testable.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

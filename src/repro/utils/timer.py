@@ -9,10 +9,10 @@ metrics endpoint and the throughput benchmarks report.
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass, field
 import math
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 
@@ -175,7 +175,11 @@ class LatencyStats:
         # same pair (a.merge(b) vs b.merge(a)) cannot deadlock, and `other`
         # cannot gain samples between the emptiness check and the extend.
         first, second = sorted((self, other), key=id)
-        with first._lock, second._lock:
+        # The analyzer cannot see that {first, second} == {self, other}, so
+        # it reports the guarded accesses below as unlocked and the two-lock
+        # acquisition as a same-class cycle; the id-ordering above is exactly
+        # the canonical-sequence fix RL002 asks for.
+        with first._lock, second._lock:  # reprolint: disable=RL001(first/second are id-ordered aliases of self/other so both locks are held), RL002(same-class pair is acquired in id order everywhere)
             if other._samples:
                 self._samples.extend(other._samples)
                 self._sorted = None

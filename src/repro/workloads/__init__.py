@@ -1,5 +1,12 @@
 """Query workload generation and parameter sweeps for the evaluation harness."""
 
+from .async_replay import AsyncReplayReport, async_replay, replay_over_network
+from .churn import (
+    ChurnWorkload,
+    QueryEvent,
+    UpdateEvent,
+    churn_workload,
+)
 from .queries import (
     uniform_query_workload,
     degree_weighted_query_workload,
@@ -7,14 +14,7 @@ from .queries import (
     all_nodes_workload,
     QueryWorkload,
 )
-from .churn import (
-    ChurnWorkload,
-    QueryEvent,
-    UpdateEvent,
-    churn_workload,
-)
 from .replay import ReplayReport, replay
-from .async_replay import AsyncReplayReport, async_replay, replay_over_network
 from .sweep import ParameterSweep, SweepPoint
 
 __all__ = [

@@ -23,9 +23,9 @@ so importing :mod:`repro.workloads` stays free of the network stack.
 from __future__ import annotations
 
 import asyncio
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import time
+from typing import Dict, List, Optional, Sequence, Union
 
 from .._validation import check_positive_int
 from ..utils.timer import LatencyStats

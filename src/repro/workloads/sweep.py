@@ -8,8 +8,8 @@ the bookkeeping so individual experiments stay short and declarative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Sequence
 
 
 @dataclass(frozen=True)

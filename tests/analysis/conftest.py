@@ -1,0 +1,10 @@
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="session")
+def fixtures_root() -> Path:
+    return FIXTURES

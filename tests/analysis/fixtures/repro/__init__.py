@@ -1,0 +1,3 @@
+# Package markers so the loader derives the dotted name "repro.net.*" for
+# the RL004 fixtures (the rule only applies under that prefix).  These
+# fixture packages are parsed by tests, never imported.

@@ -1,0 +1,1 @@
+# See ../__init__.py — fixture package marker only.

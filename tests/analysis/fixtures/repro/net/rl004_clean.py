@@ -1,0 +1,23 @@
+"""Clean RL004 counterpart: blocking work goes through the executor, and
+asyncio-native close() calls are exempt.  Parsed by the checker tests,
+never imported.
+"""
+
+import asyncio
+
+
+class Handler:
+    async def handle(self, request):
+        loop = asyncio.get_running_loop()
+        # The blocking callable is *passed*, not called, on the loop thread.
+        return await loop.run_in_executor(
+            self.pool, self.service.serve, [request.key]
+        )
+
+    async def teardown(self, writer):
+        writer.close()  # asyncio StreamWriter: non-blocking by contract
+        await self.coalescer.aclose()
+
+    def sync_helper(self):
+        # Not an async def: free to block.
+        self.service.serve([0])

@@ -1,0 +1,19 @@
+"""Seeded RL004 violations: blocking calls on the event loop thread.
+
+Module path puts this under the ``repro.net`` prefix the rule scopes to.
+Parsed by the checker tests, never imported.
+"""
+
+import pickle
+import time
+
+
+class Handler:
+    async def handle(self, request):
+        time.sleep(0.05)  # RL004: blocking call symbol
+        payload = pickle.dumps(request)  # RL004: blocking call symbol
+        results = self.service.serve([request.key])  # RL004: blocking method
+        return payload, results
+
+    async def teardown(self):
+        self.pool.shutdown(wait=True)  # RL004: joins worker threads

@@ -1,0 +1,43 @@
+"""Clean RL001 counterpart: every guarded access holds its lock, including
+one routed through a helper whose only caller holds it.
+
+Parsed by the checker tests, never imported.
+"""
+
+import threading
+
+
+class Telemetry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def bump_many(self, n):
+        with self._lock:
+            self._count += n
+
+    def peek(self):
+        with self._lock:
+            return self._count
+
+
+class LatencyStats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._samples = []
+
+    def record(self, value):
+        with self._lock:
+            self._record_locked(value)
+
+    def _record_locked(self, value):
+        # Legal without taking the lock: the one call site above holds it.
+        self._samples.append(value)
+
+    def reset(self):
+        with self._lock:
+            self._samples = []

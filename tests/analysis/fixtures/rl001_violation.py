@@ -1,0 +1,42 @@
+"""Seeded RL001 violations: guarded attributes touched without the lock.
+
+Parsed by the checker tests, never imported.
+"""
+
+import threading
+
+
+class Telemetry:
+    """Exercises lock *inference*: ``_count`` is written twice under
+    ``_lock``, so the unlocked read in ``peek`` must be flagged."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def bump_many(self, n):
+        with self._lock:
+            self._count += n
+
+    def peek(self):
+        return self._count  # RL001: inferred guard not held
+
+
+class LatencyStats:
+    """Exercises the GUARDED_BY registry: the real class of this name
+    declares ``_samples`` guarded by ``_lock``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._samples = []
+
+    def record(self, value):
+        with self._lock:
+            self._samples.append(value)
+
+    def reset(self):
+        self._samples = []  # RL001: registry guard not held

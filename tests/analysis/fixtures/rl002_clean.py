@@ -1,0 +1,28 @@
+"""Clean RL002 counterpart: both paths acquire data -> stats, and the
+cross-method case (a helper acquiring the inner lock) follows the same
+global order.  Parsed by the checker tests, never imported.
+"""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._data_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._rows = []
+        self._counts = {}
+
+    def report(self):
+        with self._data_lock:
+            with self._stats_lock:
+                return len(self._rows), dict(self._counts)
+
+    def ingest(self, row):
+        with self._data_lock:
+            self._rows.append(row)
+            self._count_locked(row)
+
+    def _count_locked(self, row):
+        with self._stats_lock:  # still data -> stats via the caller
+            self._counts[row[0]] = self._counts.get(row[0], 0) + 1

@@ -1,0 +1,27 @@
+"""Seeded RL002 violation: two locks acquired in opposite orders.
+
+``report()`` nests ``_stats_lock`` inside ``_data_lock``; ``ingest()``
+nests them the other way around — two threads running one each can
+deadlock.  Parsed by the checker tests, never imported.
+"""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._data_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._rows = []
+        self._counts = {}
+
+    def report(self):
+        with self._data_lock:
+            with self._stats_lock:  # RL002: data -> stats
+                return len(self._rows), dict(self._counts)
+
+    def ingest(self, row):
+        with self._stats_lock:
+            with self._data_lock:  # RL002: stats -> data (cycle!)
+                self._rows.append(row)
+                self._counts[row[0]] = self._counts.get(row[0], 0) + 1

@@ -1,0 +1,30 @@
+"""Clean RL003 counterpart: copies are promoted before any write, and a
+non-mapped ``np.load`` is free to mutate.  Parsed by the checker tests,
+never imported.
+"""
+
+import numpy as np
+
+
+def patch_layout(path):
+    mapped = np.load(path, mmap_mode="r")
+    arr = np.array(mapped, copy=True)  # copy-on-write promotion
+    arr[0] = 1.0
+    arr += 2.0
+    arr.sort()
+    return arr
+
+
+def patch_loaded(path):
+    arr = np.load(path)  # no mmap_mode: a private in-memory array
+    arr[0] = 1.0
+    np.add(arr, 1.0, out=arr)
+    return arr
+
+
+def read_only_scan(path):
+    mapped = np.memmap(path, dtype="float32", mode="r")
+    total = float(mapped.sum())  # reads never mutate
+    head = mapped[:16].copy()  # slicing + copy launders the taint
+    head[0] = total
+    return head

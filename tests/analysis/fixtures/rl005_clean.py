@@ -1,0 +1,40 @@
+"""Clean RL005 counterpart: both sanctioned ``__getstate__`` shapes.
+
+Parsed by the checker tests, never imported.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Engine:
+    """Explicit-dict getstate: state is rebuilt from scratch, so the lock
+    is dropped by construction."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.data = [1, 2, 3]
+
+    def __getstate__(self):
+        return {"data": list(self.data)}
+
+    def __setstate__(self, state):
+        self._lock = threading.Lock()
+        self.data = state["data"]
+
+
+class Holder:
+    """Dict-copying getstate that explicitly drops the pool."""
+
+    def __init__(self):
+        self._pool = ThreadPoolExecutor(max_workers=2)
+        self.results = {}
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._pool = ThreadPoolExecutor(max_workers=2)

@@ -1,0 +1,27 @@
+"""Seeded RL005 violations: unpicklable resources with no (or an
+incomplete) ``__getstate__``.  Parsed by the checker tests, never imported.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Engine:
+    """No __getstate__ at all."""
+
+    def __init__(self):
+        self._lock = threading.Lock()  # RL005
+        self.data = [1, 2, 3]
+
+
+class Holder:
+    """__getstate__ copies __dict__ but never drops the pool."""
+
+    def __init__(self):
+        self._pool = ThreadPoolExecutor(max_workers=2)  # RL005
+        self.results = {}
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["results"] = dict(self.results)
+        return state

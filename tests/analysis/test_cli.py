@@ -1,0 +1,139 @@
+"""CLI behavior: exit codes, rule selection, JSON shape (golden), baseline
+workflow end to end."""
+
+import json
+from pathlib import Path
+
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+VIOLATION = FIXTURES / "rl005_violation.py"
+CLEAN = FIXTURES / "rl005_clean.py"
+GOLDEN = Path(__file__).parent / "golden" / "rl005_violation.json"
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_clean_file_exits_zero(capsys):
+    code, out, _err = _run(
+        capsys, str(CLEAN), "--no-baseline", "--root", str(FIXTURES)
+    )
+    assert code == 0
+    assert "0 unbaselined" in out
+
+
+def test_violations_exit_one(capsys):
+    code, out, _err = _run(
+        capsys, str(VIOLATION), "--no-baseline", "--root", str(FIXTURES)
+    )
+    assert code == 1
+    assert "RL005" in out
+
+
+def test_unknown_rule_exits_two(capsys):
+    code, _out, err = _run(capsys, str(CLEAN), "--rule", "RL999")
+    assert code == 2
+    assert "unknown rule" in err
+
+
+def test_missing_path_exits_two(capsys):
+    code, _out, err = _run(capsys, str(FIXTURES / "no_such_file.py"))
+    assert code == 2
+    assert "no such path" in err
+
+
+def test_rule_selection_limits_output(capsys):
+    # The RL005 fixture seeds no RL004 violations, so selecting RL004 only
+    # must come back clean.
+    code, _out, _err = _run(
+        capsys,
+        str(VIOLATION),
+        "--rule",
+        "RL004",
+        "--no-baseline",
+        "--root",
+        str(FIXTURES),
+    )
+    assert code == 0
+
+
+def test_list_rules(capsys):
+    code, out, _err = _run(capsys, "--list-rules")
+    assert code == 0
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert rule_id in out
+
+
+def test_json_output_matches_golden(capsys):
+    code, out, _err = _run(
+        capsys,
+        str(VIOLATION),
+        "--format",
+        "json",
+        "--no-baseline",
+        "--root",
+        str(FIXTURES),
+    )
+    assert code == 1
+    produced = json.loads(out)
+    expected = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert produced == expected
+
+
+def test_baseline_workflow_end_to_end(tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+
+    # 1. Fails without a baseline.
+    code, _out, _err = _run(
+        capsys,
+        str(VIOLATION),
+        "--baseline",
+        str(baseline_path),
+        "--root",
+        str(FIXTURES),
+    )
+    assert code == 1
+
+    # 2. --update-baseline records the findings (with FIXME reasons).
+    code, _out, err = _run(
+        capsys,
+        str(VIOLATION),
+        "--baseline",
+        str(baseline_path),
+        "--update-baseline",
+        "--root",
+        str(FIXTURES),
+    )
+    assert code == 0
+    assert "baseline updated" in err
+    data = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert len(data["entries"]) == 2
+
+    # 3. The same findings now warn instead of failing.
+    code, out, _err = _run(
+        capsys,
+        str(VIOLATION),
+        "--baseline",
+        str(baseline_path),
+        "--root",
+        str(FIXTURES),
+    )
+    assert code == 0
+    assert "[baselined]" in out
+
+    # 4. Against the clean file every entry is expired -> fail again.
+    code, out, _err = _run(
+        capsys,
+        str(CLEAN),
+        "--baseline",
+        str(baseline_path),
+        "--root",
+        str(FIXTURES),
+    )
+    assert code == 1
+    assert "matches no current finding" in out

@@ -1,0 +1,312 @@
+"""Unit tests for the reprolint engine internals: import/alias resolution,
+the with-context tracker, and the cross-module call graph."""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import ProjectIndex
+from repro.analysis.contexts import iter_nodes_with_contexts
+from repro.analysis.loader import ModuleInfo, module_name_for
+from repro.analysis.scopes import build_import_table, function_scope, render
+
+
+def _module(source: str, name: str = "pkg.mod", rel: str = "pkg/mod.py"):
+    source = textwrap.dedent(source)
+    return ModuleInfo(
+        path=None,
+        rel_path=rel,
+        name=name,
+        tree=ast.parse(source),
+        lines=source.splitlines(),
+    )
+
+
+def _func(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return next(
+        node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+
+
+# --------------------------------------------------------------------- #
+# imports and aliases
+# --------------------------------------------------------------------- #
+class TestImportTable:
+    def test_plain_and_aliased_imports(self):
+        tree = ast.parse("import numpy as np\nimport pickle\n")
+        table = build_import_table(tree, "repro.x")
+        assert table["np"] == "numpy"
+        assert table["pickle"] == "pickle"
+
+    def test_from_import_with_alias(self):
+        tree = ast.parse("from threading import Lock as L\n")
+        table = build_import_table(tree, "repro.x")
+        assert table["L"] == "threading.Lock"
+
+    def test_relative_import_resolves_against_module_name(self):
+        tree = ast.parse("from ..utils.timer import LatencyStats\n")
+        table = build_import_table(tree, "repro.serving.service")
+        assert table["LatencyStats"] == "repro.utils.timer.LatencyStats"
+
+    def test_single_dot_relative_import(self):
+        tree = ast.parse("from .cache import ResultCache\n")
+        table = build_import_table(tree, "repro.serving.service")
+        assert table["ResultCache"] == "repro.serving.cache.ResultCache"
+
+
+class TestFunctionScope:
+    def test_alias_renders_through(self):
+        func = _func(
+            """
+            def f(self):
+                lock = self._lock
+                with lock:
+                    pass
+            """
+        )
+        scope = function_scope(func, {})
+        with_node = func.body[1]
+        assert render(with_node.items[0].context_expr, scope) == "self._lock"
+
+    def test_conflicting_rebind_poisons_the_alias(self):
+        func = _func(
+            """
+            def f(self, other):
+                lock = self._lock
+                lock = other._lock
+                with lock:
+                    pass
+            """
+        )
+        scope = function_scope(func, {})
+        # `lock` no longer reliably denotes either expression.
+        assert scope.resolve_name("lock") == "lock"
+
+    def test_unrenderable_rebind_poisons_too(self):
+        func = _func(
+            """
+            def f(self, items):
+                lock = self._lock
+                lock = items[0]
+                with lock:
+                    pass
+            """
+        )
+        scope = function_scope(func, {})
+        assert scope.resolve_name("lock") == "lock"
+
+    def test_import_alias_reaches_call_rendering(self):
+        func = _func(
+            """
+            def f(path):
+                return np.load(path)
+            """
+        )
+        scope = function_scope(func, {"np": "numpy"})
+        call = func.body[0].value
+        assert render(call.func, scope) == "numpy.load"
+
+
+# --------------------------------------------------------------------- #
+# with-context tracking
+# --------------------------------------------------------------------- #
+def _held_at(func, predicate):
+    scope = function_scope(func, {})
+    for node, held, _stmt in iter_nodes_with_contexts(func, scope):
+        if predicate(node):
+            return held
+    raise AssertionError("no node matched the predicate")
+
+
+class TestContextTracker:
+    def test_nested_withs_stack_outermost_first(self):
+        func = _func(
+            """
+            def f(self):
+                with self._outer:
+                    with self._inner:
+                        touch()
+            """
+        )
+        held = _held_at(
+            func,
+            lambda n: isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "touch",
+        )
+        assert held == ("self._outer", "self._inner")
+
+    def test_multi_item_with_orders_left_to_right(self):
+        func = _func(
+            """
+            def f(self, other):
+                with self._lock, other._lock:
+                    touch()
+            """
+        )
+        held = _held_at(
+            func,
+            lambda n: isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "touch",
+        )
+        assert held == ("self._lock", "other._lock")
+
+    def test_second_item_expression_holds_only_the_first(self):
+        func = _func(
+            """
+            def f(self, other):
+                with self._lock, other._lock:
+                    pass
+            """
+        )
+        # The *evaluation* of `other._lock` happens while only `self._lock`
+        # is held — the tracker must not claim both.
+        scope = function_scope(func, {})
+        for node, held, _stmt in iter_nodes_with_contexts(func, scope):
+            if isinstance(node, ast.Attribute) and node.attr == "_lock":
+                base = node.value
+                if isinstance(base, ast.Name) and base.id == "other":
+                    assert held == ("self._lock",)
+                    return
+        raise AssertionError("other._lock never yielded")
+
+    def test_renamed_context_through_alias(self):
+        func = _func(
+            """
+            def f(self):
+                guard = self._index_lock
+                with guard.read():
+                    touch()
+            """
+        )
+        held = _held_at(
+            func,
+            lambda n: isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "touch",
+        )
+        assert held == ("self._index_lock.read()",)
+
+    def test_nested_function_bodies_are_not_entered(self):
+        func = _func(
+            """
+            def f(self):
+                with self._lock:
+                    def inner():
+                        touch()
+                    return inner
+            """
+        )
+        scope = function_scope(func, {})
+        seen_touch = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "touch"
+            for node, _held, _stmt in iter_nodes_with_contexts(func, scope)
+        )
+        assert not seen_touch  # the closure runs later, not under the lock
+
+    def test_except_handler_bodies_keep_the_held_stack(self):
+        func = _func(
+            """
+            def f(self):
+                with self._lock:
+                    try:
+                        risky()
+                    except ValueError:
+                        cleanup()
+            """
+        )
+        held = _held_at(
+            func,
+            lambda n: isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "cleanup",
+        )
+        assert held == ("self._lock",)
+
+    def test_unrenderable_item_tracks_as_unknown(self):
+        func = _func(
+            """
+            def f(self, locks):
+                with locks[0]:
+                    touch()
+            """
+        )
+        held = _held_at(
+            func,
+            lambda n: isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "touch",
+        )
+        assert held == ("<unknown>",)
+
+
+# --------------------------------------------------------------------- #
+# loader naming + call graph
+# --------------------------------------------------------------------- #
+class TestCallGraph:
+    def test_module_name_from_package_ancestry(self, tmp_path):
+        pkg = tmp_path / "top" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "top" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        target = pkg / "leaf.py"
+        target.write_text("x = 1\n")
+        assert module_name_for(target) == "top.sub.leaf"
+
+    def test_self_method_call_resolves_with_held_locks(self):
+        module = _module(
+            """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        self._helper()
+
+                def _helper(self):
+                    return 1
+            """
+        )
+        index = ProjectIndex([module])
+        sites = index.callers_of["pkg.mod.Service._helper"]
+        assert len(sites) == 1
+        assert sites[0].held == ("self._lock",)
+        assert sites[0].caller.name == "outer"
+
+    def test_attribute_typed_call_resolves_across_classes(self):
+        module = _module(
+            """
+            class Cache:
+                def get(self, key):
+                    return None
+
+            class Service:
+                def __init__(self):
+                    self._cache = Cache()
+
+                def lookup(self, key):
+                    return self._cache.get(key)
+            """
+        )
+        index = ProjectIndex([module])
+        assert "pkg.mod.Cache.get" in index.callers_of
+        [site] = index.callers_of["pkg.mod.Cache.get"]
+        assert site.caller.qualname == "pkg.mod.Service.lookup"
+
+    def test_unresolvable_calls_stay_unresolved(self):
+        module = _module(
+            """
+            def f(thing):
+                return thing.frobnicate()
+            """
+        )
+        index = ProjectIndex([module])
+        assert index.calls == []

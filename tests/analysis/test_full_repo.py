@@ -1,0 +1,75 @@
+"""The tier-1 gate: reprolint over the real codebase must be clean.
+
+"Clean" means zero unbaselined findings and zero expired baseline entries —
+new violations fail this test immediately, and fixed code must have its
+baseline entry removed in the same change.  Every baseline entry and every
+inline suppression must carry a real, human-written justification.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "analysis" / "baseline.json"
+
+
+@pytest.fixture(scope="module")
+def repo_result():
+    baseline = Baseline.load(BASELINE)
+    return run_analysis([SRC], baseline=baseline, root=REPO_ROOT), baseline
+
+
+def test_no_unbaselined_findings(repo_result):
+    result, _ = repo_result
+    rendered = "\n".join(f.render() for f in result.unbaselined)
+    assert not result.unbaselined, (
+        "reprolint found new (unbaselined) violations:\n"
+        f"{rendered}\n"
+        "Fix them, suppress with a written reason, or (only with "
+        "justification) add them to analysis/baseline.json."
+    )
+
+
+def test_no_expired_baseline_entries(repo_result):
+    result, _ = repo_result
+    assert not result.expired_baseline, (
+        "baseline entries match no current finding (the code was fixed): "
+        f"{result.expired_baseline} — delete them from analysis/baseline.json"
+    )
+
+
+def test_every_baseline_entry_is_justified(repo_result):
+    _, baseline = repo_result
+    assert baseline.entries, "the committed baseline should not be empty-loaded"
+    for entry in baseline.entries:
+        assert "FIXME" not in entry.reason, (
+            f"baseline entry {entry.fingerprint} ({entry.symbol}) still has "
+            "a placeholder reason — write the real justification"
+        )
+        assert len(entry.reason.split()) >= 5, (
+            f"baseline entry {entry.fingerprint} ({entry.symbol}) has a "
+            f"throwaway reason {entry.reason!r} — justify it properly"
+        )
+
+
+def test_every_suppression_is_justified(repo_result):
+    result, _ = repo_result
+    assert result.suppressed, "the known inline suppressions should be seen"
+    for finding, suppression in result.suppressed:
+        assert len(suppression.reason.split()) >= 3, (
+            f"{finding.path}:{finding.line} suppression of {finding.rule_id} "
+            f"has a throwaway reason {suppression.reason!r}"
+        )
+
+
+def test_all_five_rules_executed(repo_result):
+    result, _ = repo_result
+    summary = result.as_dict()["summary"]
+    # The repo currently carries baselined RL005 findings and suppressed
+    # RL001/RL002/RL004 findings; their presence proves the checkers ran.
+    assert summary["rules"], "no checker produced any accounting"
+    assert summary["n_unbaselined"] == 0

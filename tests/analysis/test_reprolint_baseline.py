@@ -1,0 +1,103 @@
+"""Baseline semantics: load/save, mandatory reasons, apply/expire, update."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, Finding
+from repro.analysis.baseline import BaselineError
+
+
+def _finding(message="m", symbol="C.f", ordinal=0):
+    return Finding(
+        rule_id="RL001",
+        path="src/x.py",
+        line=10,
+        col=4,
+        symbol=symbol,
+        message=message,
+        ordinal=ordinal,
+    )
+
+
+def _entry_for(finding, reason="known and justified"):
+    return BaselineEntry(
+        fingerprint=finding.fingerprint,
+        rule=finding.rule_id,
+        path=finding.path,
+        symbol=finding.symbol,
+        reason=reason,
+    )
+
+
+def test_apply_marks_matches_and_reports_expired():
+    current = _finding("current")
+    fixed = _finding("already fixed")
+    baseline = Baseline([_entry_for(current), _entry_for(fixed)])
+    expired = baseline.apply([current])
+    assert current.baselined
+    assert current.baseline_reason == "known and justified"
+    assert expired == [fixed.fingerprint]
+
+
+def test_fingerprints_survive_line_drift():
+    before = _finding()
+    after = _finding()
+    after.line, after.col = 99, 0  # unrelated edits moved the code
+    assert before.fingerprint == after.fingerprint
+
+
+def test_ordinal_disambiguates_identical_findings():
+    first = _finding(ordinal=0)
+    second = _finding(ordinal=1)
+    assert first.fingerprint != second.fingerprint
+
+
+def test_roundtrip(tmp_path):
+    finding = _finding()
+    baseline = Baseline([_entry_for(finding)])
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.lookup(finding).reason == "known and justified"
+
+
+def test_missing_file_loads_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert baseline.entries == []
+
+
+def test_empty_reason_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    payload = {
+        "version": 1,
+        "entries": [
+            {
+                "fingerprint": "abc",
+                "rule": "RL001",
+                "path": "x.py",
+                "symbol": "C",
+                "reason": "   ",
+            }
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    with pytest.raises(BaselineError, match="reason"):
+        Baseline.load(path)
+
+
+def test_malformed_json_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json")
+    with pytest.raises(BaselineError, match="JSON"):
+        Baseline.load(path)
+
+
+def test_from_findings_keeps_existing_reasons_and_stamps_new():
+    old = _finding("old")
+    new = _finding("new")
+    reasons = {old.fingerprint: "carried over"}
+    updated = Baseline.from_findings([old, new], reasons)
+    by_fp = {entry.fingerprint: entry.reason for entry in updated.entries}
+    assert by_fp[old.fingerprint] == "carried over"
+    assert "FIXME" in by_fp[new.fingerprint]

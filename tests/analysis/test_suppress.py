@@ -1,0 +1,117 @@
+"""Suppression-comment semantics: spans, reasons, and malformed markers."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.loader import ModuleInfo
+from repro.analysis.suppress import (
+    SuppressionError,
+    effective_lines,
+    parse_suppressions,
+)
+
+
+def _module(source: str):
+    source = textwrap.dedent(source)
+    return ModuleInfo(
+        path=None,
+        rel_path="mod.py",
+        name="mod",
+        tree=ast.parse(source),
+        lines=source.splitlines(),
+    )
+
+
+def test_same_line_suppression():
+    module = _module(
+        """
+        x = compute()  # reprolint: disable=RL003(writable scratch buffer)
+        """
+    )
+    covered = effective_lines(module)
+    assert (2, "RL003") in covered
+    assert covered[(2, "RL003")].reason == "writable scratch buffer"
+
+
+def test_multiple_rules_in_one_comment():
+    module = _module(
+        """
+        x = compute()  # reprolint: disable=RL001(lock held via alias), RL002(id-ordered)
+        """
+    )
+    covered = effective_lines(module)
+    assert covered[(2, "RL001")].reason == "lock held via alias"
+    assert covered[(2, "RL002")].reason == "id-ordered"
+
+
+def test_with_statement_span_covers_the_block():
+    module = _module(
+        """
+        def f(self, other):
+            with self._a, other._a:  # reprolint: disable=RL001(both held)
+                self._x = 1
+                other._x = 2
+        """
+    )
+    covered = effective_lines(module)
+    assert (3, "RL001") in covered
+    assert (4, "RL001") in covered
+    assert (5, "RL001") in covered
+
+
+def test_compound_statements_do_not_expand():
+    module = _module(
+        """
+        def f(self):
+            if True:  # reprolint: disable=RL001(header only)
+                self._x = 1
+        """
+    )
+    covered = effective_lines(module)
+    assert (3, "RL001") in covered
+    assert (4, "RL001") not in covered  # the if-body is NOT blanketed
+
+
+def test_standalone_comment_covers_next_line():
+    module = _module(
+        """
+        def f(self):
+            # reprolint: disable=RL001(warmup path is single-threaded)
+            self._x = 1
+        """
+    )
+    covered = effective_lines(module)
+    assert (4, "RL001") in covered
+
+
+def test_missing_reason_is_a_hard_error():
+    module = _module(
+        """
+        x = 1  # reprolint: disable=RL001()
+        """
+    )
+    with pytest.raises(SuppressionError, match="reason"):
+        parse_suppressions(module)
+
+
+def test_bare_rule_without_parens_is_a_hard_error():
+    module = _module(
+        """
+        x = 1  # reprolint: disable=RL001
+        """
+    )
+    with pytest.raises(SuppressionError):
+        parse_suppressions(module)
+
+
+def test_docstring_mention_is_not_a_suppression():
+    module = _module(
+        '''
+        def f():
+            """Suppress with ``# reprolint: disable=RL001(reason)``."""
+            return 1
+        '''
+    )
+    assert parse_suppressions(module) == {}

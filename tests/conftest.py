@@ -16,9 +16,7 @@ from repro.graph import (
     coauthorship_graph,
     copying_web_graph,
     erdos_renyi_graph,
-    ring_graph,
     spam_host_graph,
-    star_graph,
     transition_matrix,
     trust_graph,
 )

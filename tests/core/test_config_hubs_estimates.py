@@ -13,7 +13,7 @@ from repro.core.estimates import (
 )
 from repro.core.hubs import HubSet, select_hubs_by_degree, select_hubs_greedy
 from repro.exceptions import InvalidParameterError
-from repro.graph import copying_web_graph, star_graph, transition_matrix
+from repro.graph import star_graph, transition_matrix
 
 
 class TestIndexParams:

@@ -5,13 +5,7 @@ import copy
 import numpy as np
 import pytest
 
-from repro.core import (
-    IndexParams,
-    QueryParams,
-    ReverseTopKEngine,
-    brute_force_reverse_topk,
-    build_index,
-)
+from repro.core import IndexParams, QueryParams, ReverseTopKEngine
 from repro.exceptions import InvalidParameterError, QueryError
 from repro.graph import transition_matrix, trust_graph
 

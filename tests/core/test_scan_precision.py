@@ -10,7 +10,6 @@ where the statistics — not just the answers — must match.
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.core import (
     IndexParams,

@@ -1,6 +1,5 @@
 """Unit tests for the DynamicGraph delta overlay and GraphUpdate."""
 
-import numpy as np
 import pytest
 
 from repro.dynamic import DynamicGraph, GraphUpdate

@@ -90,6 +90,28 @@ class TestServeAcrossUpdates:
             payload = metrics.as_dict()
             assert payload["n_update_batches"] == 2
 
+    def test_update_metrics_waits_for_index_writer(self):
+        """Regression: the version snapshot queues behind a live index
+        writer instead of reading a half-bumped value mid-``apply_updates``."""
+        import threading
+
+        graph = copying_web_graph(30, out_degree=3, seed=24)
+        with make_service(graph) as service:
+            done = threading.Event()
+            captured = []
+
+            def read_metrics():
+                captured.append(service.update_metrics().index_version)
+                done.set()
+
+            with service._index_lock.write():
+                thread = threading.Thread(target=read_metrics)
+                thread.start()
+                assert not done.wait(0.15)  # blocked behind the writer
+            assert done.wait(5.0)
+            thread.join(5.0)
+            assert captured == [service.engine.index.version]
+
     def test_serving_metrics_endpoint_still_works(self):
         graph = copying_web_graph(30, out_degree=3, seed=25)
         with make_service(graph) as service:

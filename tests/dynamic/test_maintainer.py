@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core import IndexParams, ReverseTopKEngine, build_index
-from repro.dynamic import DynamicGraph, GraphUpdate, IndexMaintainer
+from repro.dynamic import DynamicGraph, IndexMaintainer
 from repro.graph import copying_web_graph, erdos_renyi_graph, transition_matrix
 
 PARAMS = IndexParams(capacity=8, hub_budget=2)

@@ -1,6 +1,5 @@
 """Tests for evaluation metrics, table formatting and the experiment harness."""
 
-import numpy as np
 import pytest
 
 from repro.core import IndexParams

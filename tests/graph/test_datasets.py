@@ -1,6 +1,5 @@
 """Tests for the paper-dataset stand-ins."""
 
-import numpy as np
 import pytest
 
 from repro.graph import datasets

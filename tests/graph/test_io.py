@@ -1,6 +1,5 @@
 """Tests for edge-list and label I/O."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import SerializationError

@@ -10,10 +10,10 @@ same edges: same shape, same duplicate-summing, same CSR data/indices/indptr.
 import gzip
 from pathlib import Path
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.exceptions import GraphError, SerializationError
 from repro.graph.builder import from_edges

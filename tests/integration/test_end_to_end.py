@@ -1,14 +1,10 @@
 """Integration tests: full pipelines across modules, mirroring real usage."""
 
-import copy
-
 import numpy as np
-import pytest
 
 from repro import (
     IndexParams,
     ReverseTopKEngine,
-    brute_force_reverse_topk,
     proximity_to_node,
     transition_matrix,
 )

@@ -11,7 +11,11 @@ import pytest
 from repro.dynamic import DynamicReverseTopKService, GraphUpdate
 from repro.exceptions import ServiceClosedError
 from repro.net.coalesce import QueryCoalescer
-from repro.net.rollover import RolloverManager, clone_for_rollover
+from repro.net.rollover import (
+    RolloverManager,
+    ServiceGeneration,
+    clone_for_rollover,
+)
 
 
 @pytest.fixture()
@@ -145,6 +149,51 @@ class TestRolloverManager:
                 assert not before.service.closed
                 assert before.service.query(3, 5).query == 3
                 await manager.aclose()
+
+        asyncio.run(scenario())
+
+    def test_retire_runs_service_close_off_the_event_loop(self, dynamic_service):
+        """Regression: a slow ``service.close`` must not stall the loop.
+
+        ``close`` takes the index write lock and joins worker pools; calling
+        it inline in the retire coroutine froze every other connection for
+        the duration of the teardown.  It now runs on the executor, so the
+        loop keeps turning while close blocks.
+        """
+        import threading
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=2) as executor:
+                coalescer = QueryCoalescer(
+                    dynamic_service, executor, batch_window=0.001
+                )
+                generation = ServiceGeneration(0, dynamic_service, coalescer)
+                started = threading.Event()
+                release = threading.Event()
+                real_close = dynamic_service.close
+
+                def slow_close():
+                    started.set()
+                    assert release.wait(5.0), "test never released close()"
+                    real_close()
+
+                dynamic_service.close = slow_close  # instance-attr shadow
+                loop = asyncio.get_running_loop()
+                try:
+                    retirement = asyncio.ensure_future(
+                        generation.retire(executor=executor)
+                    )
+                    await loop.run_in_executor(None, started.wait, 5.0)
+                    assert started.is_set()
+                    # close() is parked on `release` in the executor; if it
+                    # ran on the loop thread we could not get scheduled here
+                    # until retirement finished.
+                    await asyncio.sleep(0.05)
+                    assert not retirement.done()
+                finally:
+                    release.set()
+                await asyncio.wait_for(retirement, timeout=5.0)
+                assert dynamic_service.closed
 
         asyncio.run(scenario())
 

@@ -10,10 +10,10 @@ from __future__ import annotations
 
 import asyncio
 import os
+from pathlib import Path
 import signal
 import subprocess
 import sys
-from pathlib import Path
 
 import pytest
 

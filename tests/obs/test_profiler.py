@@ -7,7 +7,7 @@ import pickle
 import numpy as np
 
 from repro.core import IndexParams, PropagationKernel, build_index
-from repro.graph import copying_web_graph, transition_matrix
+from repro.graph import transition_matrix
 from repro.obs import NULL_PROFILER, KernelProfiler, MetricsRegistry, NullProfiler
 
 

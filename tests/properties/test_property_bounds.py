@@ -1,8 +1,8 @@
 """Property-based tests (hypothesis) for the staircase upper bound (Algorithm 3)."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.core.bounds import kth_upper_bound, staircase_levels
 

@@ -18,10 +18,10 @@ dynamic façade (cache + batching) across updates match direct queries on a
 fresh engine, and effective updates retire cached answers.
 """
 
-import numpy as np
-import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import scipy.sparse as sp
 
 from repro.core import IndexParams, ReverseTopKEngine, build_index
 from repro.dynamic import DynamicGraph, DynamicReverseTopKService, IndexMaintainer

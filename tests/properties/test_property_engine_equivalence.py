@@ -10,10 +10,10 @@ graphs, both ``update_index`` modes, and the extreme depths ``k = 1`` and
 
 import copy
 
-import numpy as np
-import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import scipy.sparse as sp
 
 from repro.core import (
     IndexParams,

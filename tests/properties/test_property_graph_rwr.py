@@ -1,12 +1,12 @@
 """Property-based tests for graph/transition invariants and RWR propositions."""
 
-import numpy as np
-import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import scipy.sparse as sp
 
-from repro.core.lbi import bca_iteration, initial_node_state
 from repro.core.config import IndexParams
+from repro.core.lbi import bca_iteration, initial_node_state
 from repro.graph import DiGraph, is_column_stochastic, transition_matrix, weighted_transition_matrix
 from repro.rwr import proximity_column, push_proximity_vector
 from repro.utils.sparsetools import dense_top_k

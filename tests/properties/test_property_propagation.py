@@ -10,11 +10,11 @@ Two guarantees under random graphs and parameters:
    per-node primitives it is built from.
 """
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
 import numpy as np
 import pytest
 import scipy.sparse as sp
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import (
     IndexParams,

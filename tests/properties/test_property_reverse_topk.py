@@ -1,9 +1,9 @@
 """End-to-end property test: the engine agrees with the exact oracle on random graphs."""
 
-import numpy as np
-import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import scipy.sparse as sp
 
 from repro.core import IndexParams, ReverseTopKEngine
 from repro.graph import DiGraph, transition_matrix

@@ -9,10 +9,10 @@ proximity vectors) to evaluating the same ``(query, k)`` directly with
 the index must invalidate prior cache entries (the version key).
 """
 
-import numpy as np
-import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import scipy.sparse as sp
 
 from repro.core import IndexParams, ReverseTopKEngine, build_index
 from repro.graph import DiGraph, transition_matrix

@@ -10,10 +10,10 @@ refinement write-backs: after the same query stream, both indexes hold the
 same per-node state values and the same global version counter.
 """
 
-import numpy as np
-import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import scipy.sparse as sp
 
 from repro.core import (
     IndexParams,

@@ -3,13 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.core.pmpn import proximity_to_node
 from repro.rwr import (
     ProximityLU,
     proximity_column,
     proximity_matrix_direct,
     proximity_vector_direct,
 )
-from repro.core.pmpn import proximity_to_node
 
 
 class TestProximityLU:

@@ -380,6 +380,28 @@ class TestMetrics:
         payload = json.dumps(service.metrics().as_dict())
         assert "throughput_qps" in payload
 
+    def test_metrics_waits_for_index_writer(self, serving_engine):
+        """Regression: the version in a snapshot is read under the index
+        read lock, so a refinement mid-rewrite can never leak a half-bumped
+        value — metrics() must queue behind a live writer."""
+        import threading
+
+        service = _fresh_service(serving_engine)
+        done = threading.Event()
+        captured = []
+
+        def read_metrics():
+            captured.append(service.metrics().index_version)
+            done.set()
+
+        with service._index_lock.write():
+            thread = threading.Thread(target=read_metrics)
+            thread.start()
+            assert not done.wait(0.15)  # blocked behind the writer
+        assert done.wait(5.0)
+        thread.join(5.0)
+        assert captured == [service.engine.index.version]
+
     def test_clear_cache(self, serving_engine):
         service = _fresh_service(serving_engine)
         service.query(2, 5)

@@ -7,9 +7,9 @@ smoke test that loads a memmap-backed layout the way a cold serving replica
 would.
 """
 
+from pathlib import Path
 import subprocess
 import sys
-from pathlib import Path
 
 import numpy as np
 import pytest

@@ -4,7 +4,6 @@ import pickle
 import threading
 
 import numpy as np
-import pytest
 
 from repro.utils.workspace import ArrayWorkspace
 

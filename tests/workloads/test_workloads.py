@@ -5,7 +5,6 @@ import pytest
 
 from repro.workloads import (
     ParameterSweep,
-    QueryWorkload,
     all_nodes_workload,
     degree_weighted_query_workload,
     uniform_query_workload,
